@@ -1,0 +1,77 @@
+//! Microbenchmarks of the dense and sparse kernels underlying every epoch:
+//! parallel matmul, chunk aggregation (GCN forward), GAT attention, and
+//! row gather/scatter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hongtu_graph::generators;
+use hongtu_nn::{GnnLayer, LayerGrads};
+use hongtu_partition::ChunkSubgraph;
+use hongtu_tensor::{Matrix, SeededRng};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &(n, k, m) in &[(1024usize, 64usize, 64usize), (4096, 32, 32)] {
+        let a = Matrix::from_fn(n, k, |r, q| ((r + q) as f32 * 0.01).sin());
+        let b = Matrix::from_fn(k, m, |r, q| ((r * q) as f32 * 0.02).cos());
+        group.bench_function(format!("{n}x{k}x{m}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let src = Matrix::from_fn(10_000, 32, |r, q| (r * 32 + q) as f32);
+    let mut rng = SeededRng::new(5);
+    let idx: Vec<usize> = (0..20_000).map(|_| rng.index(10_000)).collect();
+    c.bench_function("gather_rows/20k-of-10k-x32", |b| {
+        b.iter(|| black_box(src.gather_rows(&idx)))
+    });
+    let upd = src.gather_rows(&idx);
+    c.bench_function("scatter_add_rows/20k-x32", |b| {
+        b.iter(|| {
+            let mut acc = Matrix::zeros(10_000, 32);
+            acc.scatter_add_rows(&idx, &upd);
+            black_box(acc)
+        })
+    });
+}
+
+fn layer_chunk() -> (ChunkSubgraph, Matrix) {
+    let mut rng = SeededRng::new(9);
+    let g = generators::erdos_renyi(4000, 10.0, &mut rng);
+    let g = hongtu_datasets::dataset::with_self_loops(&g);
+    let chunk = ChunkSubgraph::build(&g, 0, 0, (0..4000).collect());
+    let h = Matrix::from_fn(chunk.num_neighbors(), 32, |r, q| ((r + 3 * q) as f32 * 0.01).sin());
+    (chunk, h)
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let (chunk, h) = layer_chunk();
+    let mut rng = SeededRng::new(1);
+    let gcn = hongtu_nn::GcnLayer::new(32, 32, &mut rng);
+    let gat = hongtu_nn::GatLayer::new(32, 32, &mut rng);
+    c.bench_function("gcn_forward/4k-40k", |b| b.iter(|| black_box(gcn.forward(&chunk, &h))));
+    c.bench_function("gat_forward/4k-40k", |b| b.iter(|| black_box(gat.forward(&chunk, &h))));
+    let grad = Matrix::from_fn(chunk.num_dests(), 32, |r, q| ((r + q) as f32 * 0.005).cos());
+    c.bench_function("gcn_backward/4k-40k", |b| {
+        b.iter(|| {
+            let mut grads = LayerGrads::zeros_for(&gcn);
+            black_box(gcn.backward_from_input(&chunk, &h, &grad, &mut grads))
+        })
+    });
+    c.bench_function("gat_backward/4k-40k", |b| {
+        b.iter(|| {
+            let mut grads = LayerGrads::zeros_for(&gat);
+            black_box(gat.backward_from_input(&chunk, &h, &grad, &mut grads))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_gather_scatter, bench_layers
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Memory-boundary calibration: prints every system's footprint vs its
+//! capacity for every (dataset, model, layers) cell, so the scaled
+//! constants in `config.rs` can be checked against the paper's OOM
+//! pattern.
+
+use hongtu_bench::{config::ExperimentConfig as C, dataset, format_bytes, header, Table};
+use hongtu_core::systems::{
+    CpuSystem, CpuSystemKind, InMemoryKind, MultiGpuInMemory, SingleGpuFullGraph, Workload,
+};
+use hongtu_datasets::registry::all_keys;
+use hongtu_nn::ModelKind;
+
+fn main() {
+    header("calibration: memory footprints vs capacities", "internal");
+    println!(
+        "GPU mem {}  | single-CPU {}  | ECS node {}",
+        format_bytes(C::GPU_MEM),
+        format_bytes(C::cpu_single().node_memory),
+        format_bytes(C::cpu_cluster().node_memory),
+    );
+    let mut t = Table::new(vec![
+        "dataset", "model", "L", "DGL(1gpu)", "Sancus/gpu", "IM/gpu", "CPU1/node", "ECS16/node",
+    ]);
+    for key in all_keys() {
+        let ds = dataset(key);
+        let hidden = C::hidden(key);
+        for kind in [ModelKind::Gcn, ModelKind::Gat] {
+            for layers in C::layer_sweep(key) {
+                let w = Workload::new(&ds, kind, hidden, layers);
+                let dgl = SingleGpuFullGraph::new(C::machine(1)).required_bytes(&w);
+                let sancus =
+                    MultiGpuInMemory::new(InMemoryKind::Sancus, C::machine(4), &ds, 1)
+                        .max_gpu_bytes(&w);
+                let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, C::machine(4), &ds, 1)
+                    .max_gpu_bytes(&w);
+                let cpu1 =
+                    CpuSystem::new(CpuSystemKind::SingleNode, C::cpu_single(), &ds).per_node_bytes(&w);
+                let ecs =
+                    CpuSystem::new(CpuSystemKind::Cluster, C::cpu_cluster(), &ds).per_node_bytes(&w);
+                let mark = |need: usize, cap: usize| {
+                    format!("{}{}", format_bytes(need), if need > cap { " !OOM" } else { "" })
+                };
+                t.row(vec![
+                    ds.key.abbrev().to_string(),
+                    kind.name().to_string(),
+                    layers.to_string(),
+                    mark(dgl, C::GPU_MEM),
+                    mark(sancus, C::GPU_MEM),
+                    mark(im, C::GPU_MEM),
+                    mark(cpu1, C::cpu_single().node_memory),
+                    mark(ecs, C::cpu_cluster().node_memory),
+                ]);
+            }
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,43 @@
+//! Figure 11: scaling of HongTu from 1 to 4 GPUs on the three large
+//! graphs, GCN and GAT, normalized to the 1-GPU time. The 1→2 step is
+//! sub-proportional because with fewer GPUs than NUMA sockets the vertex
+//! data must span both sockets and PCIe reads pay remote-memory penalties
+//! (§7.6).
+
+use hongtu_bench::{dataset, format_seconds, header, run, Table};
+use hongtu_datasets::registry::large_keys;
+use hongtu_nn::ModelKind;
+
+fn main() {
+    header(
+        "Figure 11: scaling from 1 to 4 GPUs (normalized speedup)",
+        "HongTu (SIGMOD 2023), Figure 11",
+    );
+    for kind in [ModelKind::Gcn, ModelKind::Gat] {
+        println!("\n--- {} ---", kind.name());
+        let mut t = Table::new(vec!["dataset", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs", "speedup@4"]);
+        for key in large_keys() {
+            let ds = dataset(key);
+            let times: Vec<f64> = (1..=4)
+                .map(|g| {
+                    run::hongtu_epoch(&ds, kind, 2, g)
+                        .expect("offloading engine must fit at every GPU count")
+                        .time
+                })
+                .collect();
+            t.row(vec![
+                key.abbrev().to_string(),
+                format_seconds(times[0]),
+                format!("{} ({:.2}x)", format_seconds(times[1]), times[0] / times[1]),
+                format!("{} ({:.2}x)", format_seconds(times[2]), times[0] / times[2]),
+                format!("{} ({:.2}x)", format_seconds(times[3]), times[0] / times[3]),
+                format!("{:.2}x", times[0] / times[3]),
+            ]);
+        }
+        t.print();
+    }
+    println!();
+    println!("paper shape: 3.3x-3.7x (GCN) and 3.4x-3.8x (GAT) at 4 GPUs, with the");
+    println!("1→2 step below 2x because ≤2-GPU configurations lack NUMA-local");
+    println!("vertex-data placement.");
+}

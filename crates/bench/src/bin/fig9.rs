@@ -1,0 +1,57 @@
+//! Figure 9: performance breakdown of HongTu on GCN and GAT with 2/3/4
+//! hidden layers on the three large graphs, enabling inter-GPU
+//! deduplication (+P2P) and intra-GPU reuse (+RU) one by one over the
+//! vanilla baseline. Each bar is split into GPU compute, host-GPU (H2D),
+//! inter-GPU (D2D) and CPU gradient-accumulation time.
+
+use hongtu_bench::{dataset, format_seconds, header, run, Table};
+use hongtu_core::CommMode;
+use hongtu_datasets::registry::large_keys;
+use hongtu_nn::ModelKind;
+
+fn main() {
+    header(
+        "Figure 9: per-epoch breakdown, Baseline vs +P2P vs +RU",
+        "HongTu (SIGMOD 2023), Figure 9 + §7.4/§7.5",
+    );
+    for kind in [ModelKind::Gcn, ModelKind::Gat] {
+        for key in large_keys() {
+            let ds = dataset(key);
+            println!("\n--- {} on {} ---", kind.name(), key.abbrev());
+            // Bucket times are summed over the 4 GPUs; show the per-GPU
+            // average so components add up to the (critical-path) total.
+            let mut t = Table::new(vec![
+                "Layers", "Mode", "total", "GPU/gpu", "H2D/gpu", "D2D/gpu", "CPU/gpu", "speedup",
+            ]);
+            for layers in [2usize, 3, 4] {
+                let mut baseline_time = None;
+                for (mode, name) in [
+                    (CommMode::Vanilla, "Baseline"),
+                    (CommMode::P2p, "+P2P"),
+                    (CommMode::P2pRu, "+RU"),
+                ] {
+                    let r = run::hongtu_epoch_with(&ds, kind, layers, 4, mode)
+                        .expect("large graphs must fit the offloading engine");
+                    let base = *baseline_time.get_or_insert(r.time);
+                    let g = 4.0;
+                    t.row(vec![
+                        layers.to_string(),
+                        name.to_string(),
+                        format_seconds(r.time),
+                        format_seconds((r.buckets.gpu + r.buckets.reuse) / g),
+                        format_seconds(r.buckets.h2d / g),
+                        format_seconds(r.buckets.d2d / g),
+                        format_seconds(r.buckets.cpu / g),
+                        format!("{:.2}x", base / r.time),
+                    ]);
+                }
+            }
+            t.print();
+        }
+    }
+    println!();
+    println!("paper shape: +P2P and +RU each cut communication; total speedup over");
+    println!("the baseline is 1.3x-3.4x and stable across layer counts; GCN is");
+    println!("communication-bound (~58-61% comm) while GAT spends far more GPU time;");
+    println!("CPU gradient accumulation is 8-30% of the epoch.");
+}

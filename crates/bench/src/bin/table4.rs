@@ -1,0 +1,42 @@
+//! Table 4: dataset description — the proxies' actual statistics next to
+//! the full-scale originals they stand in for.
+
+use hongtu_bench::{dataset, header, Table};
+use hongtu_datasets::registry::all_keys;
+use hongtu_graph::DegreeStats;
+
+fn main() {
+    header("Table 4: dataset description (proxy vs original)", "HongTu (SIGMOD 2023), Table 4");
+    let mut t = Table::new(vec![
+        "Dataset", "|V|", "|E|", "#F", "#L", "avg deg", "max in-deg", "train frac", "original |V|/|E|",
+    ]);
+    let originals = [
+        ("0.23M / 114M", "reddit"),
+        ("2.4M / 62M", "ogbn-products"),
+        ("41M / 1.2B", "it-2004"),
+        ("111M / 1.6B", "ogbn-paper"),
+        ("65.6M / 2.5B", "friendster"),
+    ];
+    for (key, (orig, _)) in all_keys().into_iter().zip(originals) {
+        let ds = dataset(key);
+        let stats = DegreeStats::in_degrees(&ds.graph);
+        t.row(vec![
+            format!("{} ({})", key.real_name(), key.abbrev()),
+            ds.num_vertices().to_string(),
+            ds.num_edges().to_string(),
+            ds.feat_dim().to_string(),
+            ds.num_classes.to_string(),
+            format!("{:.1}", stats.mean),
+            stats.max.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * ds.splits.num_train() as f64 / ds.num_vertices() as f64
+            ),
+            orig.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("proxies are ~500-1000x smaller with matched structure (degree skew,");
+    println!("id-locality, community signal) and the paper's train-split fractions.");
+}

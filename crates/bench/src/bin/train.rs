@@ -1,0 +1,229 @@
+//! Command-line trainer: run HongTu end-to-end on any built-in dataset
+//! proxy (or an edge-list file) from the shell.
+//!
+//! ```text
+//! cargo run -p hongtu-bench --bin train -- \
+//!     --dataset rdt --model gcn --layers 2 --hidden 32 \
+//!     --epochs 50 --chunks 4 --gpus 4 --gpu-mem-mb 256 \
+//!     [--comm full|p2p|vanilla] [--memory hybrid|recompute] \
+//!     [--no-reorg] [--seed N] [--save model.htgm] [--quiet]
+//! ```
+
+use hongtu_core::{CommMode, HongTuConfig, HongTuEngine, MemoryStrategy};
+use hongtu_datasets::{load, DatasetKey};
+use hongtu_nn::ModelKind;
+use hongtu_sim::MachineConfig;
+use hongtu_tensor::SeededRng;
+
+#[derive(Debug)]
+struct Args {
+    dataset: DatasetKey,
+    model: ModelKind,
+    layers: usize,
+    hidden: usize,
+    epochs: usize,
+    chunks: usize,
+    gpus: usize,
+    gpu_mem_mb: usize,
+    comm: CommMode,
+    memory: MemoryStrategy,
+    reorganize: bool,
+    seed: u64,
+    save: Option<String>,
+    quiet: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            dataset: DatasetKey::Rdt,
+            model: ModelKind::Gcn,
+            layers: 2,
+            hidden: 32,
+            epochs: 30,
+            chunks: 4,
+            gpus: 4,
+            gpu_mem_mb: 256,
+            comm: CommMode::P2pRu,
+            memory: MemoryStrategy::Hybrid,
+            reorganize: true,
+            seed: 42,
+            save: None,
+            quiet: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: train [--dataset rdt|opt|it|opr|fds] [--model gcn|gat|sage|gin|commnet|ggnn]\n\
+         \x20            [--layers N] [--hidden N] [--epochs N] [--chunks N] [--gpus N]\n\
+         \x20            [--gpu-mem-mb N] [--comm full|p2p|vanilla]\n\
+         \x20            [--memory hybrid|recompute] [--no-reorg] [--seed N]\n\
+         \x20            [--save FILE] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    let bad = |flag: &str, val: &str| -> ! {
+        eprintln!("invalid value {val:?} for {flag}");
+        usage()
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--no-reorg" => {
+                args.reorganize = false;
+                continue;
+            }
+            "--quiet" => {
+                args.quiet = true;
+                continue;
+            }
+            "--help" | "-h" => usage(),
+            _ => {}
+        }
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--dataset" => {
+                args.dataset = match value.to_lowercase().as_str() {
+                    "rdt" | "reddit" => DatasetKey::Rdt,
+                    "opt" | "products" => DatasetKey::Opt,
+                    "it" | "it-2004" => DatasetKey::It,
+                    "opr" | "papers" => DatasetKey::Opr,
+                    "fds" | "friendster" => DatasetKey::Fds,
+                    _ => bad("--dataset", &value),
+                }
+            }
+            "--model" => {
+                args.model = match value.to_lowercase().as_str() {
+                    "gcn" => ModelKind::Gcn,
+                    "gat" => ModelKind::Gat,
+                    "sage" => ModelKind::Sage,
+                    "gin" => ModelKind::Gin,
+                    "commnet" => ModelKind::CommNet,
+                    "ggnn" | "ggcn" => ModelKind::Ggnn,
+                    _ => bad("--model", &value),
+                }
+            }
+            "--comm" => {
+                args.comm = match value.to_lowercase().as_str() {
+                    "full" | "p2pru" => CommMode::P2pRu,
+                    "p2p" => CommMode::P2p,
+                    "vanilla" | "baseline" => CommMode::Vanilla,
+                    _ => bad("--comm", &value),
+                }
+            }
+            "--memory" => {
+                args.memory = match value.to_lowercase().as_str() {
+                    "hybrid" => MemoryStrategy::Hybrid,
+                    "recompute" => MemoryStrategy::Recompute,
+                    _ => bad("--memory", &value),
+                }
+            }
+            "--save" => args.save = Some(value),
+            "--layers" | "--hidden" | "--epochs" | "--chunks" | "--gpus" | "--gpu-mem-mb"
+            | "--seed" => {
+                let Ok(n) = value.parse::<usize>() else { bad(&flag, &value) };
+                match flag.as_str() {
+                    "--layers" => args.layers = n,
+                    "--hidden" => args.hidden = n,
+                    "--epochs" => args.epochs = n,
+                    "--chunks" => args.chunks = n,
+                    "--gpus" => args.gpus = n,
+                    "--gpu-mem-mb" => args.gpu_mem_mb = n,
+                    "--seed" => args.seed = n as u64,
+                    _ => unreachable!(),
+                }
+            }
+            _ => {
+                eprintln!("unknown flag {flag:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let dataset = load(args.dataset, &mut SeededRng::new(args.seed));
+    if !args.quiet {
+        println!(
+            "dataset {} ({}): {} vertices, {} edges, {} classes",
+            args.dataset.abbrev(),
+            args.dataset.real_name(),
+            dataset.num_vertices(),
+            dataset.num_edges(),
+            dataset.num_classes
+        );
+    }
+    let machine = MachineConfig::scaled(args.gpus, args.gpu_mem_mb << 20);
+    let config = HongTuConfig {
+        comm: args.comm,
+        memory: args.memory,
+        reorganize: args.reorganize,
+        machine,
+        lr: 0.01,
+        interleaved: true,
+    };
+    let mut engine = match HongTuEngine::new(
+        &dataset,
+        args.model,
+        args.hidden,
+        args.layers,
+        args.chunks,
+        config,
+    ) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("engine construction failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if !args.quiet {
+        let v = &engine.preprocessing().volumes;
+        println!(
+            "plan: {} x {} chunks | V_ori {:.2}|V| | H2D reduction {:.0}%",
+            engine.plan().m,
+            engine.plan().n,
+            v.v_ori as f64 / dataset.num_vertices() as f64,
+            100.0 * v.h2d_reduction()
+        );
+    }
+    for epoch in 1..=args.epochs {
+        match engine.train_epoch() {
+            Ok(r) => {
+                if !args.quiet && (epoch % 10 == 0 || epoch == 1 || epoch == args.epochs) {
+                    println!(
+                        "epoch {epoch:>4}: loss {:.4}  train-acc {:.3}  sim {:.3} ms",
+                        r.loss.loss,
+                        r.loss.accuracy,
+                        r.time * 1e3
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("epoch {epoch} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "final: val {:.3}, test {:.3} | peak GPU {:.1} MB",
+        engine.accuracy(&dataset.splits.val),
+        engine.accuracy(&dataset.splits.test),
+        engine.machine().max_gpu_peak() as f64 / (1 << 20) as f64
+    );
+    if let Some(path) = args.save {
+        match hongtu_nn::save_model_file(engine.model(), &path) {
+            Ok(()) => println!("model saved to {path}"),
+            Err(e) => {
+                eprintln!("saving model failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

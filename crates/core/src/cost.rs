@@ -1,0 +1,126 @@
+//! The deduplicated-communication cost model (paper Equation 4):
+//!
+//! `C = V_+ru/T_hd + (V_ori − V_+p2p)/T_dd + (V_+p2p − V_+ru)/T_ru`
+//!
+//! where `T_hd`, `T_dd`, `T_ru` are the host↔GPU, inter-GPU, and intra-GPU
+//! throughputs of the platform. The reorganization heuristic (Algorithm 4)
+//! minimizes this quantity by redistributing chunks.
+
+use crate::dedup::DedupPlan;
+use hongtu_sim::MachineConfig;
+
+/// The three communication volumes of §5.3, in vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommVolumes {
+    /// `V_ori`: per-chunk full neighbor transfer.
+    pub v_ori: usize,
+    /// `V_+p2p`: after inter-GPU deduplication.
+    pub v_p2p: usize,
+    /// `V_+ru`: after inter-GPU deduplication and intra-GPU reuse.
+    pub v_ru: usize,
+}
+
+impl CommVolumes {
+    /// Extracts the volumes from a communication plan.
+    pub fn from_plan(plan: &DedupPlan) -> Self {
+        CommVolumes { v_ori: plan.v_ori(), v_p2p: plan.v_p2p(), v_ru: plan.v_ru() }
+    }
+
+    /// Rows served by inter-GPU communication.
+    pub fn inter_gpu(&self) -> usize {
+        self.v_ori - self.v_p2p
+    }
+
+    /// Rows served by intra-GPU reuse.
+    pub fn intra_gpu(&self) -> usize {
+        self.v_p2p - self.v_ru
+    }
+
+    /// Fraction of the original host-GPU volume eliminated
+    /// (paper §7.3 headline: 25%–71% on the three large graphs).
+    pub fn h2d_reduction(&self) -> f64 {
+        if self.v_ori == 0 {
+            0.0
+        } else {
+            1.0 - self.v_ru as f64 / self.v_ori as f64
+        }
+    }
+}
+
+/// Evaluates Equation 4 in seconds for rows of `bytes_per_vertex` bytes.
+pub fn comm_cost(v: CommVolumes, cfg: &MachineConfig, bytes_per_vertex: usize) -> f64 {
+    assert!(v.v_ori >= v.v_p2p && v.v_p2p >= v.v_ru, "volume ordering violated: {v:?}");
+    let b = bytes_per_vertex as f64;
+    let t_hd = cfg.pcie_bw;
+    let t_dd = cfg.nvlink_bw;
+    let t_ru = cfg.hbm_bw;
+    (v.v_ru as f64 * b) / t_hd
+        + (v.inter_gpu() as f64 * b) / t_dd
+        + (v.intra_gpu() as f64 * b) / t_ru
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_partition::TwoLevelPartition;
+    use hongtu_tensor::SeededRng;
+
+    fn volumes() -> CommVolumes {
+        let mut rng = SeededRng::new(1);
+        let g = hongtu_graph::generators::rmat(
+            10,
+            8000,
+            hongtu_graph::generators::RmatParams::social(),
+            &mut rng,
+        );
+        let p = TwoLevelPartition::build(&g, 4, 4, 1);
+        CommVolumes::from_plan(&DedupPlan::build(&p))
+    }
+
+    #[test]
+    fn reductions_are_consistent() {
+        let v = volumes();
+        assert_eq!(v.inter_gpu() + v.intra_gpu() + v.v_ru, v.v_ori);
+        assert!(v.h2d_reduction() > 0.0 && v.h2d_reduction() < 1.0);
+    }
+
+    #[test]
+    fn dedup_cost_beats_vanilla_cost() {
+        let v = volumes();
+        let cfg = MachineConfig::a100_4x();
+        let dedup = comm_cost(v, &cfg, 128);
+        let vanilla = comm_cost(
+            CommVolumes { v_ori: v.v_ori, v_p2p: v.v_ori, v_ru: v.v_ori },
+            &cfg,
+            128,
+        );
+        assert!(dedup < vanilla, "dedup {dedup} vs vanilla {vanilla}");
+    }
+
+    #[test]
+    fn pcie_only_platform_still_benefits_from_reuse() {
+        // §5.3: with T_dd == T_hd inter-GPU sharing gains nothing, but
+        // intra-GPU reuse still reduces cost.
+        let v = volumes();
+        let cfg = MachineConfig::a100_4x().pcie_only();
+        let with_ru = comm_cost(v, &cfg, 128);
+        let no_ru = comm_cost(CommVolumes { v_ru: v.v_p2p, ..v }, &cfg, 128);
+        assert!(with_ru < no_ru);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_row_bytes() {
+        let v = volumes();
+        let cfg = MachineConfig::a100_4x();
+        let c1 = comm_cost(v, &cfg, 64);
+        let c2 = comm_cost(v, &cfg, 128);
+        assert!((c2 / c1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "volume ordering violated")]
+    fn rejects_inconsistent_volumes() {
+        let cfg = MachineConfig::a100_4x();
+        let _ = comm_cost(CommVolumes { v_ori: 1, v_p2p: 5, v_ru: 0 }, &cfg, 4);
+    }
+}

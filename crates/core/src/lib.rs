@@ -1,0 +1,39 @@
+//! HongTu core: the memory-efficient training framework (paper §4), the
+//! deduplicated communication framework (paper §5), and the comparator
+//! systems used in the evaluation (§7).
+//!
+//! The execution engine runs *real* training numerics (via `hongtu-nn`)
+//! while charging all data movement and compute to the hardware simulator
+//! (`hongtu-sim`), so accuracy results are exact and performance results
+//! follow the paper's cost structure.
+//!
+//! Module map:
+//! - [`dedup`] — transition-set construction and the per-batch
+//!   communication plan (Algorithms 2 & 3, §5.1–5.2);
+//! - [`cost`] — the communication cost model (Equation 4);
+//! - [`reorg`] — cost-guided partition reorganization (Algorithm 4, §5.3);
+//! - [`buffers`] — in-place transition/neighbor buffer index planning
+//!   (§6: stable slots for reused vertices, freed-slot insertion,
+//!   merged-buffer deduplication);
+//! - [`engine`] — the HongTu executor (Algorithm 1): partition-based
+//!   training with recomputation-caching-hybrid intermediate data
+//!   management and deduplicated communication;
+//! - [`systems`] — comparator systems: single-GPU full-graph ("DGL"),
+//!   multi-GPU in-memory ("Sancus" / HongTu-IM), single-node and
+//!   distributed CPU ("DistGNN"), and sampled mini-batch ("DistDGL").
+
+// Indexed loops are deliberate: indices double as GPU/batch identifiers.
+#![allow(clippy::needless_range_loop)]
+
+pub mod buffers;
+pub mod cost;
+pub mod dedup;
+pub mod engine;
+pub mod reorg;
+pub mod systems;
+
+pub use buffers::GpuBufferPlan;
+pub use cost::{comm_cost, CommVolumes};
+pub use dedup::DedupPlan;
+pub use engine::{CommMode, EpochReport, HongTuConfig, HongTuEngine, MemoryStrategy};
+pub use reorg::{reorganize, reorganize_guarded};

@@ -1,0 +1,360 @@
+//! Sampled mini-batch comparator — the "DistDGL" rows of Table 6 and the
+//! mini-batch curve of Figure 8.
+//!
+//! Mini-batch GNN training samples, for every batch of training vertices, a
+//! `fanout`-bounded multi-layer neighborhood and trains on the sampled
+//! blocks. This sidesteps the full-graph memory wall but (a) changes the
+//! training semantics (sampled, not full, neighbor aggregation — the
+//! accuracy gap of Figure 8) and (b) suffers *neighbor explosion*: the
+//! sampled neighborhood grows roughly `fanout^L`, so deep models blow up
+//! in both time and memory (the exponential runtimes and OOM cells of
+//! Table 6).
+
+use super::Workload;
+use hongtu_datasets::Dataset;
+use hongtu_graph::VertexId;
+use hongtu_nn::{masked_cross_entropy, GnnModel};
+use hongtu_partition::ChunkSubgraph;
+use hongtu_sim::{MachineConfig, SimError};
+use hongtu_tensor::{Matrix, Optimizer, SeededRng};
+
+const F32: usize = std::mem::size_of::<f32>();
+
+/// The mini-batch training system.
+pub struct MiniBatchSystem {
+    /// Neighbors sampled per vertex per layer (paper §7.1: 10).
+    pub fanout: usize,
+    /// Training vertices per batch (paper: 1024; proxies use a scaled
+    /// value).
+    pub batch_size: usize,
+    /// Platform for the cost model.
+    pub machine: MachineConfig,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl MiniBatchSystem {
+    /// A system with the paper's fanout-10 default.
+    pub fn new(machine: MachineConfig, batch_size: usize, seed: u64) -> Self {
+        MiniBatchSystem { fanout: 10, batch_size, machine, seed }
+    }
+
+    /// Samples the layered blocks for one batch of `seeds`. Returns blocks
+    /// in forward order: `blocks[l]` consumes representations of its
+    /// `neighbors` (⊆ `blocks[l-1].dests`; layer 0 reads input features)
+    /// and produces representations of its `dests`.
+    pub fn sample_blocks(
+        &self,
+        ds: &Dataset,
+        seeds: &[VertexId],
+        layers: usize,
+        rng: &mut SeededRng,
+    ) -> Vec<ChunkSubgraph> {
+        let g = &ds.graph;
+        let mut blocks_rev: Vec<ChunkSubgraph> = Vec::with_capacity(layers);
+        let mut dests: Vec<VertexId> = seeds.to_vec();
+        dests.sort_unstable();
+        dests.dedup();
+        for l in (0..layers).rev() {
+            // Sample up to `fanout` in-neighbors per destination; the
+            // self-loop is always kept so every layer sees h_v itself.
+            let mut edges: Vec<Vec<VertexId>> = Vec::with_capacity(dests.len());
+            for &d in &dests {
+                let nbrs = g.in_neighbors(d);
+                let mut picked: Vec<VertexId> = if nbrs.len() <= self.fanout {
+                    nbrs.to_vec()
+                } else {
+                    let idx = rng.sample_indices(nbrs.len(), self.fanout);
+                    idx.into_iter().map(|i| nbrs[i]).collect()
+                };
+                if !picked.contains(&d) && nbrs.contains(&d) {
+                    picked.push(d);
+                }
+                picked.sort_unstable();
+                picked.dedup();
+                edges.push(picked);
+            }
+            let mut neighbors: Vec<VertexId> = edges.iter().flatten().copied().collect();
+            neighbors.sort_unstable();
+            neighbors.dedup();
+            let mut offsets = vec![0usize];
+            let mut nbr_index = Vec::new();
+            let mut weights = Vec::new();
+            for (k, picked) in edges.iter().enumerate() {
+                let d = dests[k];
+                let dv = (1 + g.in_degree(d)) as f32;
+                for &u in picked {
+                    let pos = neighbors.binary_search(&u).expect("sampled neighbor present");
+                    nbr_index.push(pos as u32);
+                    let du = (1 + g.out_degree(u)) as f32;
+                    weights.push(1.0 / (du * dv).sqrt());
+                }
+                offsets.push(nbr_index.len());
+            }
+            blocks_rev.push(ChunkSubgraph {
+                part: 0,
+                chunk: l,
+                dests: dests.clone(),
+                neighbors: neighbors.clone(),
+                offsets,
+                nbr_index,
+                gcn_weights: weights,
+            });
+            dests = neighbors;
+        }
+        blocks_rev.reverse();
+        blocks_rev
+    }
+
+    /// Number of batches per epoch for the dataset's training split.
+    pub fn batches_per_epoch(&self, ds: &Dataset) -> usize {
+        ds.splits.num_train().div_ceil(self.batch_size)
+    }
+
+    /// Cost-model epoch time: samples a few representative batches,
+    /// prices sampling (CPU), feature/block transfer (H2D) and compute
+    /// (GPU), checks the peak batch footprint, and extrapolates.
+    pub fn epoch_time(&self, w: &Workload<'_>) -> Result<f64, SimError> {
+        let ds = w.dataset;
+        let train: Vec<VertexId> = ds
+            .splits
+            .train
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(v, _)| v as VertexId)
+            .collect();
+        let num_batches = self.batches_per_epoch(ds);
+        let probe = num_batches.min(3);
+        let mut rng = SeededRng::new(self.seed);
+        let mut probe_time = 0.0f64;
+        let mut peak_bytes = 0usize;
+        for b in 0..probe {
+            let start = b * self.batch_size;
+            let end = (start + self.batch_size).min(train.len());
+            let blocks = self.sample_blocks(ds, &train[start..end], w.layers, &mut rng);
+            let mut batch_bytes = 0usize;
+            let mut sampled_edges = 0usize;
+            for (l, blk) in blocks.iter().enumerate() {
+                let (v, e, nbr) =
+                    (blk.num_dests() as f64, blk.num_edges() as f64, blk.num_neighbors() as f64);
+                let flops = w.layer_flops(l, v, e, nbr).scale(3.0);
+                probe_time += flops.dense / self.machine.gpu_dense_flops
+                    + flops.edge / self.machine.gpu_edge_flops;
+                batch_bytes += w.layer_intermediate_bytes(
+                    l,
+                    blk.num_dests(),
+                    blk.num_edges(),
+                    blk.num_neighbors(),
+                ) + blk.topology_bytes()
+                    + (blk.num_neighbors() + blk.num_dests()) * w.dims()[l] * F32;
+                sampled_edges += blk.num_edges();
+            }
+            // Input features of the widest (bottom) block go host→GPU.
+            let feat_bytes = blocks[0].num_neighbors() * ds.feat_dim() * F32;
+            probe_time += feat_bytes as f64 * self.machine.pcie_seconds_per_byte();
+            // CPU-side sampling: random in-neighbor selection, dedup and
+            // block construction cost tens of ops per sampled edge.
+            probe_time += (sampled_edges as f64 * 60.0) / self.machine.cpu_flops;
+            peak_bytes = peak_bytes.max(batch_bytes);
+        }
+        if peak_bytes + 3 * w.param_bytes() > self.machine.gpu_memory {
+            return Err(SimError::OutOfMemory {
+                device: "GPU0".into(),
+                label: "sampled batch blocks".into(),
+                requested: peak_bytes,
+                in_use: 0,
+                capacity: self.machine.gpu_memory,
+            });
+        }
+        Ok(probe_time * num_batches as f64 / probe.max(1) as f64)
+    }
+
+    /// Real mini-batch training for one epoch (Figure 8). Performs an
+    /// optimizer step per batch; returns the mean batch loss.
+    pub fn train_epoch_real(
+        &self,
+        model: &mut GnnModel,
+        ds: &Dataset,
+        opt: &mut dyn Optimizer,
+        rng: &mut SeededRng,
+    ) -> f32 {
+        let mut train: Vec<VertexId> = ds
+            .splits
+            .train
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(v, _)| v as VertexId)
+            .collect();
+        rng.shuffle(&mut train);
+        let mut total_loss = 0.0f32;
+        let mut batches = 0usize;
+        for seeds in train.chunks(self.batch_size) {
+            let blocks = self.sample_blocks(ds, seeds, model.num_layers(), rng);
+            total_loss += self.train_batch(model, ds, &blocks, opt);
+            batches += 1;
+        }
+        total_loss / batches.max(1) as f32
+    }
+
+    /// Forward/backward over one batch's blocks with an optimizer step.
+    fn train_batch(
+        &self,
+        model: &mut GnnModel,
+        ds: &Dataset,
+        blocks: &[ChunkSubgraph],
+        opt: &mut dyn Optimizer,
+    ) -> f32 {
+        let l_count = model.num_layers();
+        // Forward, keeping each block's input for the backward pass.
+        let feat_idx: Vec<usize> = blocks[0].neighbors.iter().map(|&v| v as usize).collect();
+        let mut inputs: Vec<Matrix> = vec![ds.features.gather_rows(&feat_idx)];
+        for l in 0..l_count {
+            let out = model.layer(l).forward(&blocks[l], &inputs[l]).out;
+            if l + 1 < l_count {
+                // Next block's neighbors are a subset of this block's dests.
+                let map: Vec<usize> = blocks[l + 1]
+                    .neighbors
+                    .iter()
+                    .map(|v| blocks[l].dests.binary_search(v).expect("block chaining broken"))
+                    .collect();
+                inputs.push(out.gather_rows(&map));
+            } else {
+                inputs.push(out);
+            }
+        }
+        // Loss over the seed vertices.
+        let seeds = &blocks[l_count - 1].dests;
+        let labels: Vec<u32> = seeds.iter().map(|&v| ds.labels[v as usize]).collect();
+        let mask = vec![true; seeds.len()];
+        let loss = masked_cross_entropy(inputs.last().unwrap(), &labels, &mask);
+
+        // Backward through the blocks.
+        let mut grads = model.zero_grads();
+        let mut grad_out = loss.grad.clone();
+        for l in (0..l_count).rev() {
+            let grad_nbr =
+                model.layer(l).backward_from_input(&blocks[l], &inputs[l], &grad_out, &mut grads[l]);
+            if l > 0 {
+                let mut prev = Matrix::zeros(blocks[l - 1].num_dests(), model.layer(l).in_dim());
+                let map: Vec<usize> = blocks[l]
+                    .neighbors
+                    .iter()
+                    .map(|v| blocks[l - 1].dests.binary_search(v).expect("block chaining broken"))
+                    .collect();
+                prev.scatter_add_rows(&map, &grad_nbr);
+                grad_out = prev;
+            }
+        }
+        model.apply_grads(&grads, opt);
+        loss.loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_datasets::{load, DatasetKey};
+    use hongtu_nn::ModelKind;
+    use hongtu_tensor::Adam;
+
+    fn rdt() -> Dataset {
+        load(DatasetKey::Rdt, &mut SeededRng::new(1))
+    }
+
+    fn sys() -> MiniBatchSystem {
+        MiniBatchSystem::new(MachineConfig::scaled(1, 1 << 30), 128, 7)
+    }
+
+    #[test]
+    fn blocks_chain_correctly() {
+        let ds = rdt();
+        let s = sys();
+        let mut rng = SeededRng::new(2);
+        let seeds: Vec<VertexId> = (0..64).map(|i| i * 7 % ds.num_vertices() as u32).collect();
+        let blocks = s.sample_blocks(&ds, &seeds, 3, &mut rng);
+        assert_eq!(blocks.len(), 3);
+        // Final block's dests are exactly the (dedup'd) seeds.
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(blocks[2].dests, sorted);
+        // Chaining: every block's neighbors appear in the previous dests.
+        for l in 1..3 {
+            for v in &blocks[l].neighbors {
+                assert!(blocks[l - 1].dests.binary_search(v).is_ok());
+            }
+        }
+        // Fanout bound (+1 for the forced self-loop).
+        for blk in &blocks {
+            for k in 0..blk.num_dests() {
+                assert!(blk.in_edges_of(k).len() <= s.fanout + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_grows_with_layers() {
+        let ds = rdt();
+        let s = sys();
+        let mut rng = SeededRng::new(3);
+        let seeds: Vec<VertexId> = (0..32u32).collect();
+        let b1 = s.sample_blocks(&ds, &seeds, 1, &mut rng);
+        let b3 = s.sample_blocks(&ds, &seeds, 3, &mut rng);
+        assert!(
+            b3[0].num_neighbors() > 4 * b1[0].num_neighbors(),
+            "3-layer frontier {} vs 1-layer {}",
+            b3[0].num_neighbors(),
+            b1[0].num_neighbors()
+        );
+    }
+
+    #[test]
+    fn epoch_time_grows_superlinearly_with_layers() {
+        // Neighbor explosion needs room to explode: use the large sparse
+        // it-2004 proxy (dense RDT saturates at |V| after two hops).
+        let ds = load(DatasetKey::It, &mut SeededRng::new(9));
+        let s = MiniBatchSystem::new(MachineConfig::scaled(1, 1 << 30), 128, 7);
+        let t2 = s.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2)).unwrap();
+        let t4 = s.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 4)).unwrap();
+        assert!(t4 > 2.5 * t2, "t2 {t2} t4 {t4}");
+    }
+
+    #[test]
+    fn deep_models_oom_on_small_gpu() {
+        let ds = rdt();
+        let s = MiniBatchSystem::new(MachineConfig::scaled(1, 1 << 20), 256, 7);
+        let r = s.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 6));
+        assert!(matches!(r, Err(SimError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn real_training_reduces_loss_and_learns() {
+        let ds = rdt();
+        let s = sys();
+        let mut rng = SeededRng::new(5);
+        let mut model = GnnModel::new(ModelKind::Gcn, &ds.model_dims(16, 2), &mut rng);
+        let mut opt = Adam::new(0.01);
+        let mut train_rng = SeededRng::new(6);
+        let first = s.train_epoch_real(&mut model, &ds, &mut opt, &mut train_rng);
+        let mut last = first;
+        for _ in 0..14 {
+            last = s.train_epoch_real(&mut model, &ds, &mut opt, &mut train_rng);
+        }
+        assert!(last < first, "loss {first} -> {last}");
+        // Full-neighbor inference accuracy after mini-batch training.
+        let chunk = hongtu_nn::model::whole_graph_chunk(&ds.graph);
+        let logits = model.forward_reference(&chunk, &ds.features).pop().unwrap();
+        let acc = hongtu_nn::loss::masked_accuracy(&logits, &ds.labels, &ds.splits.val);
+        assert!(acc > 0.5, "val accuracy {acc}");
+    }
+
+    #[test]
+    fn batches_per_epoch_rounds_up() {
+        let ds = rdt();
+        let s = MiniBatchSystem::new(MachineConfig::scaled(1, 1 << 30), 100, 1);
+        let n = ds.splits.num_train();
+        assert_eq!(s.batches_per_epoch(&ds), n.div_ceil(100));
+    }
+}

@@ -1,0 +1,215 @@
+//! Multi-GPU in-memory comparators: "Sancus" and HongTu-IM (Tables 5–6).
+//!
+//! Both keep all training data resident across the GPUs (vertex data and
+//! intermediates partitioned; neighbor replicas buffered); neither touches
+//! host memory during an epoch. They differ in how remote neighbor
+//! representations move:
+//!
+//! - **Sancus** broadcasts each partition's representations to every other
+//!   GPU per layer (its staleness machinery decides *when*, not *what*;
+//!   at steady state every GPU holds a full replica);
+//! - **HongTu-IM** (this repo's in-memory mode) fetches only the remote
+//!   neighbors each partition actually needs — the same deduplicated
+//!   access pattern as the offloading engine, minus the host trips.
+
+use super::Workload;
+use hongtu_graph::VertexId;
+use hongtu_partition::multilevel::metis_like;
+use hongtu_sim::{MachineConfig, SimError};
+
+const F32: usize = std::mem::size_of::<f32>();
+
+/// Which in-memory communication scheme to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InMemoryKind {
+    /// Broadcast-everything (Sancus-like).
+    Sancus,
+    /// Fetch-what-you-need (HongTu-IM).
+    HongTuIm,
+}
+
+/// Per-partition statistics computed once per dataset.
+#[derive(Debug, Clone)]
+struct PartitionStats {
+    /// Owned vertices per partition.
+    owned: Vec<usize>,
+    /// In-edges per partition.
+    edges: Vec<usize>,
+    /// Distinct remote in-neighbors per partition.
+    remote: Vec<usize>,
+}
+
+/// The multi-GPU in-memory system.
+pub struct MultiGpuInMemory {
+    /// Communication scheme.
+    pub kind: InMemoryKind,
+    /// Platform.
+    pub machine: MachineConfig,
+    stats: PartitionStats,
+}
+
+impl MultiGpuInMemory {
+    /// Partitions the workload's graph across the machine's GPUs and
+    /// precomputes per-partition statistics.
+    pub fn new(
+        kind: InMemoryKind,
+        machine: MachineConfig,
+        dataset: &hongtu_datasets::Dataset,
+        seed: u64,
+    ) -> Self {
+        let m = machine.num_gpus;
+        let g = &dataset.graph;
+        let assignment = metis_like(g, m, seed);
+        let mut owned = vec![0usize; m];
+        let mut edges = vec![0usize; m];
+        let mut remote = vec![0usize; m];
+        let mut mark = vec![u32::MAX; g.num_vertices()];
+        for p in 0..m {
+            for v in 0..g.num_vertices() {
+                if assignment.partition_of[v] as usize != p {
+                    continue;
+                }
+                owned[p] += 1;
+                edges[p] += g.in_degree(v as VertexId);
+                for &u in g.in_neighbors(v as VertexId) {
+                    if assignment.partition_of[u as usize] as usize != p && mark[u as usize] != p as u32 {
+                        mark[u as usize] = p as u32;
+                        remote[p] += 1;
+                    }
+                }
+            }
+        }
+        MultiGpuInMemory { kind, machine, stats: PartitionStats { owned, edges, remote } }
+    }
+
+    /// Resident bytes on the most-loaded GPU.
+    pub fn max_gpu_bytes(&self, w: &Workload<'_>) -> usize {
+        let dims = w.dims();
+        let dim_sum: usize = dims.iter().sum();
+        (0..self.machine.num_gpus)
+            .map(|p| {
+                let v = self.stats.owned[p];
+                let e = self.stats.edges[p];
+                let replicas = match self.kind {
+                    // Full replica of every other partition's vertices.
+                    InMemoryKind::Sancus => w.dataset.num_vertices() - v,
+                    InMemoryKind::HongTuIm => self.stats.remote[p],
+                };
+                let nbr_rows = v + replicas;
+                // Topology share + owned vertex data (reps + grads, every
+                // layer) + replica buffers (reps of every layer) +
+                // intermediates + params.
+                e * 12
+                    + w.vertex_data_bytes(v)
+                    + replicas * dim_sum * F32
+                    + w.total_intermediate_bytes(v, e, nbr_rows)
+                    + 3 * w.param_bytes()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-epoch seconds, or OOM on the most-loaded GPU.
+    pub fn epoch_time(&self, w: &Workload<'_>) -> Result<f64, SimError> {
+        let need = self.max_gpu_bytes(w);
+        if need > self.machine.gpu_memory {
+            return Err(SimError::OutOfMemory {
+                device: "GPU (max over partitions)".into(),
+                label: "in-memory training data".into(),
+                requested: need,
+                in_use: 0,
+                capacity: self.machine.gpu_memory,
+            });
+        }
+        let m = self.machine.num_gpus;
+        let dims = w.dims();
+        // Critical path: the slowest GPU per epoch.
+        let mut worst: f64 = 0.0;
+        for p in 0..m {
+            let v = self.stats.owned[p] as f64;
+            let e = self.stats.edges[p] as f64;
+            let replicas = match self.kind {
+                InMemoryKind::Sancus => (w.dataset.num_vertices() - self.stats.owned[p]) as f64,
+                InMemoryKind::HongTuIm => self.stats.remote[p] as f64,
+            };
+            let nbr = v + replicas;
+            let flops = w.epoch_flops(v, e, nbr, false);
+            let compute = flops.dense / self.machine.gpu_dense_flops
+                + flops.edge / self.machine.gpu_edge_flops;
+            // Per layer: receive replica representations (forward) and send
+            // the gradients back (backward).
+            let comm_bytes: f64 = dims[..w.layers]
+                .iter()
+                .map(|&d| 2.0 * replicas * (d * F32) as f64)
+                .sum();
+            let comm = comm_bytes / self.machine.nvlink_bw;
+            worst = worst.max(compute + comm);
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_datasets::{load, DatasetKey};
+    use hongtu_nn::ModelKind;
+    use hongtu_tensor::SeededRng;
+
+    fn rdt() -> hongtu_datasets::Dataset {
+        load(DatasetKey::Rdt, &mut SeededRng::new(1))
+    }
+
+    #[test]
+    fn four_gpus_beat_one_gpu_compute() {
+        let ds = rdt();
+        let cfg = MachineConfig::scaled(4, 1 << 30);
+        let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, cfg.clone(), &ds, 1);
+        let w = Workload::new(&ds, ModelKind::Gcn, 16, 4);
+        let t4 = im.epoch_time(&w).unwrap();
+        let single =
+            super::super::SingleGpuFullGraph::new(MachineConfig::scaled(1, 1 << 30));
+        let t1 = single.epoch_time(&w).unwrap();
+        assert!(t4 < t1, "4-GPU {t4} must beat 1-GPU {t1}");
+    }
+
+    #[test]
+    fn hongtu_im_needs_no_more_memory_than_sancus() {
+        let ds = rdt();
+        let cfg = MachineConfig::scaled(4, 1 << 30);
+        let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, cfg.clone(), &ds, 1);
+        let sancus = MultiGpuInMemory::new(InMemoryKind::Sancus, cfg, &ds, 1);
+        let w = Workload::new(&ds, ModelKind::Gcn, 16, 2);
+        assert!(im.max_gpu_bytes(&w) <= sancus.max_gpu_bytes(&w));
+    }
+
+    #[test]
+    fn hongtu_im_is_at_least_as_fast_as_sancus() {
+        let ds = rdt();
+        let cfg = MachineConfig::scaled(4, 1 << 30);
+        let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, cfg.clone(), &ds, 1);
+        let sancus = MultiGpuInMemory::new(InMemoryKind::Sancus, cfg, &ds, 1);
+        let w = Workload::new(&ds, ModelKind::Gcn, 16, 3);
+        let ti = im.epoch_time(&w).unwrap();
+        let ts = sancus.epoch_time(&w).unwrap();
+        assert!(ti <= ts, "IM {ti} vs Sancus {ts}");
+    }
+
+    #[test]
+    fn ooms_on_large_graph_with_small_gpus() {
+        let ds = load(DatasetKey::Fds, &mut SeededRng::new(2));
+        let cfg = MachineConfig::scaled(4, 4 << 20);
+        let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, cfg, &ds, 1);
+        let w = Workload::new(&ds, ModelKind::Gcn, 32, 3);
+        assert!(matches!(im.epoch_time(&w), Err(SimError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn partition_stats_cover_graph() {
+        let ds = rdt();
+        let cfg = MachineConfig::scaled(4, 1 << 30);
+        let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, cfg, &ds, 1);
+        assert_eq!(im.stats.owned.iter().sum::<usize>(), ds.num_vertices());
+        assert_eq!(im.stats.edges.iter().sum::<usize>(), ds.num_edges());
+    }
+}

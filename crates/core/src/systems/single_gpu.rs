@@ -1,0 +1,104 @@
+//! Single-GPU full-graph comparator — the "DGL" rows of Tables 5 and 6.
+//!
+//! All training data (topology, every layer's representations and
+//! gradients, all intermediates) stays resident on one GPU, so epochs are
+//! pure compute; the flip side is an exact memory check that produces the
+//! OOM cells the paper reports for deep GAT configurations.
+
+use super::Workload;
+use hongtu_sim::{MachineConfig, SimError};
+
+/// The single-GPU full-graph system.
+#[derive(Debug, Clone)]
+pub struct SingleGpuFullGraph {
+    /// Platform (only GPU 0 is used).
+    pub machine: MachineConfig,
+}
+
+impl SingleGpuFullGraph {
+    /// A system on the given platform.
+    pub fn new(machine: MachineConfig) -> Self {
+        SingleGpuFullGraph { machine }
+    }
+
+    /// Resident bytes this system needs on its one GPU.
+    pub fn required_bytes(&self, w: &Workload<'_>) -> usize {
+        let ds = w.dataset;
+        let (v, e) = (ds.num_vertices(), ds.num_edges());
+        ds.graph.topology_bytes()
+            + w.vertex_data_bytes(v)
+            + w.total_intermediate_bytes(v, e, v)
+            + 3 * w.param_bytes()
+    }
+
+    /// Per-epoch seconds, or OOM.
+    pub fn epoch_time(&self, w: &Workload<'_>) -> Result<f64, SimError> {
+        let required = self.required_bytes(w);
+        if required > self.machine.gpu_memory {
+            return Err(SimError::OutOfMemory {
+                device: "GPU0".into(),
+                label: "full-graph training data".into(),
+                requested: required,
+                in_use: 0,
+                capacity: self.machine.gpu_memory,
+            });
+        }
+        let ds = w.dataset;
+        let (v, e) = (ds.num_vertices() as f64, ds.num_edges() as f64);
+        // All intermediates are retained, so no recomputation (3× forward).
+        let flops = w.epoch_flops(v, e, v, false);
+        Ok(flops.dense / self.machine.gpu_dense_flops + flops.edge / self.machine.gpu_edge_flops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_datasets::{load, DatasetKey};
+    use hongtu_nn::ModelKind;
+    use hongtu_tensor::SeededRng;
+
+    fn rdt() -> hongtu_datasets::Dataset {
+        load(DatasetKey::Rdt, &mut SeededRng::new(1))
+    }
+
+    fn fds() -> hongtu_datasets::Dataset {
+        load(DatasetKey::Fds, &mut SeededRng::new(1))
+    }
+
+    #[test]
+    fn small_graph_fits_and_reports_time() {
+        let ds = rdt();
+        let sys = SingleGpuFullGraph::new(MachineConfig::scaled(1, 256 << 20));
+        let t = sys.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2)).unwrap();
+        assert!(t > 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn runtime_grows_with_layers_and_model_weight() {
+        let ds = rdt();
+        let sys = SingleGpuFullGraph::new(MachineConfig::scaled(1, 1 << 30));
+        let t2 = sys.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2)).unwrap();
+        let t4 = sys.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 4)).unwrap();
+        let gat2 = sys.epoch_time(&Workload::new(&ds, ModelKind::Gat, 16, 2)).unwrap();
+        assert!(t4 > t2 * 1.5);
+        assert!(gat2 > t2, "GAT must be slower than GCN");
+    }
+
+    #[test]
+    fn large_graph_overflows_small_gpu() {
+        let ds = fds();
+        let sys = SingleGpuFullGraph::new(MachineConfig::scaled(1, 8 << 20));
+        let r = sys.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 32, 3));
+        assert!(matches!(r, Err(SimError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn gat_needs_more_memory_than_gcn() {
+        let ds = rdt();
+        let sys = SingleGpuFullGraph::new(MachineConfig::scaled(1, 1 << 30));
+        let gcn = sys.required_bytes(&Workload::new(&ds, ModelKind::Gcn, 16, 4));
+        let gat = sys.required_bytes(&Workload::new(&ds, ModelKind::Gat, 16, 4));
+        assert!(gat > gcn, "GAT {gat} vs GCN {gcn}");
+    }
+}

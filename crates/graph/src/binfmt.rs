@@ -1,0 +1,173 @@
+//! Compact binary graph format (`.htg`).
+//!
+//! Parsing billion-edge text edge lists is slow; production systems keep a
+//! binary CSR on disk. Layout (little-endian):
+//! `magic "HTG1" | n u64 | m u64 | offsets u64×(n+1) | targets u32×m`.
+//! The CSC orientation is rebuilt on load (cheaper than storing both).
+
+use crate::csr::{Csr, Graph};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HTG1";
+
+/// Errors from binary graph (de)serialization.
+#[derive(Debug)]
+pub enum BinGraphError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid file.
+    Format(String),
+}
+
+impl std::fmt::Display for BinGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinGraphError::Io(e) => write!(f, "binary graph I/O error: {e}"),
+            BinGraphError::Format(m) => write!(f, "binary graph format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BinGraphError {}
+
+impl From<io::Error> for BinGraphError {
+    fn from(e: io::Error) -> Self {
+        BinGraphError::Io(e)
+    }
+}
+
+/// Writes `g`'s CSR orientation in binary form.
+pub fn write_graph(g: &Graph, mut w: impl Write) -> Result<(), BinGraphError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &off in &g.csr.offsets {
+        w.write_all(&(off as u64).to_le_bytes())?;
+    }
+    for &t in &g.csr.targets {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a graph written by [`write_graph`], validating the structure.
+pub fn read_graph(mut r: impl Read) -> Result<Graph, BinGraphError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(BinGraphError::Format("bad magic (not a .htg file)".into()));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    if n > u32::MAX as usize {
+        return Err(BinGraphError::Format(format!("vertex count {n} exceeds u32 ids")));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    let mut targets = Vec::with_capacity(m);
+    let mut buf = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf)?;
+        targets.push(u32::from_le_bytes(buf));
+    }
+    let csr = Csr { offsets, targets };
+    csr.validate().map_err(BinGraphError::Format)?;
+    Ok(Graph::from_csr(csr))
+}
+
+/// File-path convenience for [`write_graph`].
+pub fn write_graph_file(g: &Graph, path: impl AsRef<Path>) -> Result<(), BinGraphError> {
+    let f = std::fs::File::create(path)?;
+    write_graph(g, io::BufWriter::new(f))
+}
+
+/// File-path convenience for [`read_graph`].
+pub fn read_graph_file(path: impl AsRef<Path>) -> Result<Graph, BinGraphError> {
+    let f = std::fs::File::open(path)?;
+    read_graph(io::BufReader::new(f))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use hongtu_tensor::SeededRng;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let mut rng = SeededRng::new(3);
+        let g = generators::erdos_renyi(500, 6.0, &mut rng);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g.csr.offsets, g2.csr.offsets);
+        assert_eq!(g.csr.targets, g2.csr.targets);
+        assert_eq!(g.csc.targets, g2.csc.targets);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(matches!(read_graph(&b"XXXX"[..]), Err(BinGraphError::Format(_))));
+        let mut rng = SeededRng::new(4);
+        let g = generators::erdos_renyi(50, 3.0, &mut rng);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(read_graph(buf.as_slice()), Err(BinGraphError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_corrupted_topology() {
+        let mut rng = SeededRng::new(5);
+        let g = generators::erdos_renyi(30, 3.0, &mut rng);
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        // Corrupt a target id to be out of range.
+        let last = buf.len() - 4;
+        buf[last..].copy_from_slice(&10_000u32.to_le_bytes());
+        assert!(matches!(read_graph(buf.as_slice()), Err(BinGraphError::Format(_))));
+    }
+
+    #[test]
+    fn binary_is_smaller_than_text() {
+        let mut rng = SeededRng::new(6);
+        let g = generators::erdos_renyi(400, 8.0, &mut rng);
+        let mut bin = Vec::new();
+        write_graph(&g, &mut bin).unwrap();
+        let mut text = Vec::new();
+        crate::io::write_edge_list(&g, &mut text).unwrap();
+        assert!(bin.len() < text.len());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = Graph::from_csr(Csr::empty(4));
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), 4);
+        assert_eq!(g2.num_edges(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hongtu_graph_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.htg");
+        let mut rng = SeededRng::new(7);
+        let g = generators::erdos_renyi(100, 4.0, &mut rng);
+        write_graph_file(&g, &path).unwrap();
+        let g2 = read_graph_file(&path).unwrap();
+        assert_eq!(g.csr.targets, g2.csr.targets);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,157 @@
+//! Incremental graph construction with sorting and deduplication.
+
+use crate::csr::{Csr, Graph, VertexId};
+
+/// Collects edges and builds a [`Graph`] with sorted, deduplicated
+/// adjacency lists.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    allow_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph over vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), allow_self_loops: false }
+    }
+
+    /// Keep self-loops instead of dropping them (dropped by default, as GNN
+    /// aggregation treats self-information via the UPDATE path).
+    pub fn keep_self_loops(mut self) -> Self {
+        self.allow_self_loops = true;
+        self
+    }
+
+    /// Number of vertices this builder was created for.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges currently buffered (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a directed edge `src → dst`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) {
+        assert!(
+            (src as usize) < self.n && (dst as usize) < self.n,
+            "edge ({src},{dst}) out of range (n = {})",
+            self.n
+        );
+        if src == dst && !self.allow_self_loops {
+            return;
+        }
+        self.edges.push((src, dst));
+    }
+
+    /// Adds both `u → v` and `v → u`.
+    pub fn add_undirected(&mut self, u: VertexId, v: VertexId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Bulk insertion from an iterator of pairs.
+    pub fn extend(&mut self, edges: impl IntoIterator<Item = (VertexId, VertexId)>) {
+        for (s, t) in edges {
+            self.add_edge(s, t);
+        }
+    }
+
+    /// Consumes the builder and produces the dual-orientation graph.
+    /// Parallel edges are deduplicated; adjacency lists come out sorted.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut offsets = vec![0usize; self.n + 1];
+        for &(s, _) in &self.edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = self.edges.iter().map(|&(_, t)| t).collect();
+        let csr = Csr { offsets, targets };
+        debug_assert!(csr.validate().is_ok());
+        Graph::from_csr(csr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn drops_self_loops_by_default() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+
+    #[test]
+    fn keeps_self_loops_when_asked() {
+        let mut b = GraphBuilder::new(2).keep_self_loops();
+        b.add_edge(0, 0);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+
+    #[test]
+    fn undirected_adds_both_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_undirected(0, 2);
+        let g = b.build();
+        assert_eq!(g.out_neighbors(0), &[2]);
+        assert_eq!(g.out_neighbors(2), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+
+    proptest! {
+        /// Built graphs always satisfy structural invariants, and in/out
+        /// degree sums both equal the edge count.
+        #[test]
+        fn built_graphs_are_valid(
+            n in 1usize..40,
+            raw in proptest::collection::vec((0u32..40, 0u32..40), 0..200)
+        ) {
+            let mut b = GraphBuilder::new(n);
+            for (s, t) in raw {
+                let (s, t) = (s % n as u32, t % n as u32);
+                b.add_edge(s, t);
+            }
+            let g = b.build();
+            prop_assert!(g.validate().is_ok());
+            let out_sum: usize = (0..n).map(|v| g.out_degree(v as u32)).sum();
+            let in_sum: usize = (0..n).map(|v| g.in_degree(v as u32)).sum();
+            prop_assert_eq!(out_sum, g.num_edges());
+            prop_assert_eq!(in_sum, g.num_edges());
+            // Every CSR edge appears in CSC and vice versa.
+            for (s, t) in g.csr.edges() {
+                prop_assert!(g.in_neighbors(t).contains(&s));
+            }
+        }
+    }
+}

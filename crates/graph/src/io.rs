@@ -1,0 +1,133 @@
+//! Plain-text edge-list interchange format.
+//!
+//! One `src dst` pair per line, `#`-prefixed comment lines allowed — the
+//! same format as SNAP dumps (friendster et al.), so real datasets can be
+//! dropped in where the synthetic proxies are used.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "edge list I/O error: {e}"),
+            EdgeListError::Parse { line, content } => {
+                write!(f, "edge list parse error at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parses an edge list from a reader. Vertex count is `max id + 1`.
+pub fn read_edge_list(reader: impl Read) -> Result<Graph, EdgeListError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: VertexId = 0;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>| -> Option<VertexId> { tok?.parse().ok() };
+        match (parse(it.next()), parse(it.next())) {
+            (Some(s), Some(t)) => {
+                max_id = max_id.max(s).max(t);
+                edges.push((s, t));
+            }
+            _ => return Err(EdgeListError::Parse { line: i + 1, content: line.clone() }),
+        }
+    }
+    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let mut b = GraphBuilder::new(n);
+    b.extend(edges);
+    Ok(b.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Graph, EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes `g` as an edge list with a header comment.
+pub fn write_edge_list(g: &Graph, writer: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# directed edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for (s, t) in g.csr.edges() {
+        writeln!(w, "{s} {t}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = GraphBuilder::new(5);
+        for (s, t) in [(0, 1), (1, 2), (4, 0), (2, 4)] {
+            b.add_edge(s, t);
+        }
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.csr.targets, g2.csr.targets);
+        assert_eq!(g.csr.offsets, g2.csr.offsets);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n0 1\n  # another\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn reports_parse_error_with_line_number() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            EdgeListError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn handles_tabs_and_extra_whitespace() {
+        let text = "0\t1\n 2   3 \n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Graph data structures and generators for HongTu.
+//!
+//! Provides the compressed sparse row/column (CSR/CSC) graph representation
+//! used by the computation engine (paper §6: "HongTu organizes the topology
+//! of each subgraph chunk into the compressed sparse row/column formats"),
+//! seeded synthetic graph generators standing in for the paper's datasets,
+//! GCN edge normalization, degree statistics, and a simple edge-list text
+//! format for interchange.
+
+pub mod binfmt;
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod norm;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csc, Csr, Graph, VertexId};
+pub use norm::gcn_edge_weights;
+pub use stats::DegreeStats;

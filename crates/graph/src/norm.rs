@@ -1,0 +1,93 @@
+//! GCN edge normalization.
+//!
+//! Equation 2 of the paper aggregates with normalized edge weights
+//! `d_uv`. We use the standard symmetric GCN normalization
+//! `d_uv = 1 / sqrt((1 + out_deg(u)) · (1 + in_deg(v)))`; the `+1` guards
+//! isolated vertices (equivalent to the usual self-loop-augmented degree).
+
+use crate::csr::{Graph, VertexId};
+
+/// Per-edge GCN weights aligned with the CSC (in-edge) layout: entry `k` of
+/// the result weights edge `csc.targets[k] → v` where `v` is the
+/// destination owning position `k`.
+pub fn gcn_edge_weights(g: &Graph) -> Vec<f32> {
+    let mut w = Vec::with_capacity(g.num_edges());
+    for v in 0..g.num_vertices() {
+        let v = v as VertexId;
+        let dv = (1 + g.in_degree(v)) as f32;
+        for &u in g.in_neighbors(v) {
+            let du = (1 + g.out_degree(u)) as f32;
+            w.push(1.0 / (du * dv).sqrt());
+        }
+    }
+    w
+}
+
+/// In-degree mean normalization (`1 / in_deg(v)`), used by GraphSAGE-mean.
+pub fn mean_edge_weights(g: &Graph) -> Vec<f32> {
+    let mut w = Vec::with_capacity(g.num_edges());
+    for v in 0..g.num_vertices() {
+        let v = v as VertexId;
+        let dv = g.in_degree(v).max(1) as f32;
+        for _ in g.in_neighbors(v) {
+            w.push(1.0 / dv);
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn toy() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 2);
+        b.build()
+    }
+
+    #[test]
+    fn gcn_weights_match_formula() {
+        let g = toy();
+        let w = gcn_edge_weights(&g);
+        assert_eq!(w.len(), 3);
+        // Edge 0→1: out_deg(0)=2, in_deg(1)=1 → 1/sqrt(3*2)
+        let expect01 = 1.0 / ((3.0_f32) * 2.0).sqrt();
+        // v=1 has one in-neighbor (0); it is the first CSC row with edges.
+        assert!((w[0] - expect01).abs() < 1e-6);
+        // Edges into v=2 come from {0, 1}: in_deg(2)=2.
+        let expect02 = 1.0 / ((3.0_f32) * 3.0).sqrt();
+        let expect12 = 1.0 / ((2.0_f32) * 3.0).sqrt();
+        let mut got = [w[1], w[2]];
+        got.sort_by(f32::total_cmp);
+        let mut want = [expect02, expect12];
+        want.sort_by(f32::total_cmp);
+        assert!((got[0] - want[0]).abs() < 1e-6 && (got[1] - want[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_are_positive_and_bounded() {
+        let mut rng = hongtu_tensor::SeededRng::new(1);
+        let g = crate::generators::erdos_renyi(200, 5.0, &mut rng);
+        for &w in &gcn_edge_weights(&g) {
+            assert!(w > 0.0 && w <= 1.0);
+        }
+    }
+
+    #[test]
+    fn mean_weights_sum_to_one_per_vertex() {
+        let g = toy();
+        let w = mean_edge_weights(&g);
+        // v=2 has two in-edges, each weighted 1/2.
+        assert!((w[1] - 0.5).abs() < 1e-6 && (w[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_graph_has_no_weights() {
+        let g = Graph::from_csr(crate::csr::Csr::empty(4));
+        assert!(gcn_edge_weights(&g).is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Degree statistics used for workload characterization and load balancing.
+
+use crate::csr::{Graph, VertexId};
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// 99th-percentile degree.
+    pub p99: usize,
+}
+
+impl DegreeStats {
+    fn from_degrees(mut degs: Vec<usize>) -> Self {
+        assert!(!degs.is_empty(), "DegreeStats: empty graph");
+        degs.sort_unstable();
+        let n = degs.len();
+        let mean = degs.iter().sum::<usize>() as f64 / n as f64;
+        DegreeStats {
+            min: degs[0],
+            max: degs[n - 1],
+            mean,
+            median: degs[n / 2],
+            p99: degs[((n as f64 * 0.99) as usize).min(n - 1)],
+        }
+    }
+
+    /// In-degree statistics of `g`.
+    pub fn in_degrees(g: &Graph) -> Self {
+        Self::from_degrees((0..g.num_vertices()).map(|v| g.in_degree(v as VertexId)).collect())
+    }
+
+    /// Out-degree statistics of `g`.
+    pub fn out_degrees(g: &Graph) -> Self {
+        Self::from_degrees((0..g.num_vertices()).map(|v| g.out_degree(v as VertexId)).collect())
+    }
+}
+
+/// Degree histogram with logarithmic buckets `[2^i, 2^{i+1})`; bucket 0
+/// counts degree-0 vertices.
+pub fn log_degree_histogram(degrees: impl Iterator<Item = usize>) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for d in degrees {
+        let bucket = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_on_star_graph() {
+        // Star: 0 → {1..9}
+        let mut b = GraphBuilder::new(10);
+        for t in 1..10 {
+            b.add_edge(0, t);
+        }
+        let g = b.build();
+        let out = DegreeStats::out_degrees(&g);
+        assert_eq!(out.max, 9);
+        assert_eq!(out.min, 0);
+        assert!((out.mean - 0.9).abs() < 1e-9);
+        let ins = DegreeStats::in_degrees(&g);
+        assert_eq!(ins.max, 1);
+        assert_eq!(ins.median, 1);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // degrees 0,1,2,3,4 → buckets 0,1,2,2,3
+        let h = log_degree_histogram([0usize, 1, 2, 3, 4].into_iter());
+        assert_eq!(h, vec![1, 1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn stats_reject_empty() {
+        let _ = DegreeStats::from_degrees(vec![]);
+    }
+}

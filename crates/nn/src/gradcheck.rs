@@ -1,0 +1,115 @@
+//! Finite-difference gradient checking for chunk-level layers.
+//!
+//! Each layer's hand-derived backward pass is validated against central
+//! differences of a scalar objective `L = Σ out ⊙ C` (for a fixed
+//! pseudo-random coefficient matrix `C`, so every output coordinate
+//! contributes). f32 arithmetic and ReLU/LeakyReLU kinks limit achievable
+//! precision, so comparisons are relative with a caller-chosen tolerance
+//! and a small bounded fraction of kink-straddling coordinates is
+//! tolerated.
+
+use crate::layer::{GnnLayer, LayerGrads};
+use hongtu_partition::ChunkSubgraph;
+use hongtu_tensor::Matrix;
+
+/// Deterministic coefficient matrix decorrelated from typical inputs.
+fn coeffs(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| (((r * 31 + c * 17 + 7) % 13) as f32 - 6.0) * 0.11)
+}
+
+fn objective(layer: &dyn GnnLayer, chunk: &ChunkSubgraph, h: &Matrix, c: &Matrix) -> f32 {
+    let out = layer.forward(chunk, h).out;
+    out.hadamard(c).sum()
+}
+
+/// Verifies `layer`'s `backward_from_input` against central differences,
+/// over both the neighbor input and every trainable parameter.
+///
+/// Checks a deterministic stride sample of coordinates (everything, for
+/// small problems). Panics with the list of mismatches when the relative
+/// error exceeds `tol` on more than 2% of checked coordinates.
+pub fn check_layer(layer: &mut dyn GnnLayer, chunk: &ChunkSubgraph, h_nbr: &Matrix, tol: f32) {
+    let c = coeffs(chunk.num_dests(), layer.out_dim());
+    let mut grads = LayerGrads::zeros_for(layer);
+    let grad_nbr = layer.backward_from_input(chunk, h_nbr, &c, &mut grads);
+    assert_eq!(grad_nbr.shape(), h_nbr.shape(), "grad_nbr must match input shape");
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+
+    // 1. Input gradient.
+    let mut h = h_nbr.clone();
+    let stride = (h.len() / 400).max(1);
+    for i in (0..h.len()).step_by(stride) {
+        let x = h.as_slice()[i];
+        let eps = 5e-3 * x.abs().max(1.0);
+        h.as_mut_slice()[i] = x + eps;
+        let lp = objective(layer, chunk, &h, &c);
+        h.as_mut_slice()[i] = x - eps;
+        let lm = objective(layer, chunk, &h, &c);
+        h.as_mut_slice()[i] = x;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = grad_nbr.as_slice()[i];
+        checked += 1;
+        if !close(numeric, analytic, tol) {
+            failures.push(format!("input[{i}]: numeric {numeric} vs analytic {analytic}"));
+        }
+    }
+
+    // 2. Parameter gradients: perturb each parameter in place (reverted
+    // after each probe) and re-run the forward pass.
+    let num_params = layer.params().len();
+    for pi in 0..num_params {
+        let plen = grads.grads[pi].len();
+        let pstride = (plen / 200).max(1);
+        for i in (0..plen).step_by(pstride) {
+            let x = layer.params()[pi].as_slice()[i];
+            let eps = 5e-3 * x.abs().max(1.0);
+            layer.params_mut()[pi].as_mut_slice()[i] = x + eps;
+            let lp = objective(layer, chunk, h_nbr, &c);
+            layer.params_mut()[pi].as_mut_slice()[i] = x - eps;
+            let lm = objective(layer, chunk, h_nbr, &c);
+            layer.params_mut()[pi].as_mut_slice()[i] = x;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grads.grads[pi].as_slice()[i];
+            checked += 1;
+            if !close(numeric, analytic, tol) {
+                failures.push(format!("param{pi}[{i}]: numeric {numeric} vs analytic {analytic}"));
+            }
+        }
+    }
+
+    let budget = (checked as f32 * 0.02).ceil() as usize;
+    assert!(
+        failures.len() <= budget,
+        "gradient check failed on {}/{} coordinates (budget {}):\n{}",
+        failures.len(),
+        checked,
+        budget,
+        failures.join("\n")
+    );
+}
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_is_relative() {
+        assert!(close(100.0, 100.5, 1e-2));
+        assert!(!close(100.0, 110.0, 1e-2));
+        assert!(close(1e-9, 0.0, 1e-2)); // both tiny
+    }
+
+    #[test]
+    fn coeffs_are_mixed_sign() {
+        let c = coeffs(6, 6);
+        assert!(c.as_slice().iter().any(|&v| v > 0.0));
+        assert!(c.as_slice().iter().any(|&v| v < 0.0));
+    }
+}

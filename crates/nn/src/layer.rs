@@ -1,0 +1,242 @@
+//! The chunk-level layer abstraction.
+
+use hongtu_partition::ChunkSubgraph;
+use hongtu_tensor::Matrix;
+
+/// Output of a chunk-level forward pass.
+#[derive(Debug, Clone)]
+pub struct LayerForward {
+    /// New representations of the chunk's destination vertices,
+    /// `|V_ij| × out_dim`.
+    pub out: Matrix,
+    /// AGGREGATE output `a` (`|V_ij| × agg_dim`), present only for layers
+    /// that support aggregate caching — this is the tensor the hybrid
+    /// strategy checkpoints to CPU memory instead of recomputing.
+    pub agg: Option<Matrix>,
+}
+
+/// Accumulated parameter gradients, aligned with [`GnnLayer::params`].
+#[derive(Debug, Clone)]
+pub struct LayerGrads {
+    /// One gradient matrix per parameter, same shapes as the parameters.
+    pub grads: Vec<Matrix>,
+}
+
+impl LayerGrads {
+    /// Zero gradients matching `layer`'s parameter shapes.
+    pub fn zeros_for(layer: &dyn GnnLayer) -> Self {
+        LayerGrads {
+            grads: layer.params().iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect(),
+        }
+    }
+
+    /// Element-wise accumulation of another gradient set.
+    pub fn add(&mut self, other: &LayerGrads) {
+        assert_eq!(self.grads.len(), other.grads.len(), "LayerGrads::add: arity mismatch");
+        for (a, b) in self.grads.iter_mut().zip(&other.grads) {
+            a.add_assign(b);
+        }
+    }
+
+    /// Scales all gradients (e.g. 1/|train| normalization).
+    pub fn scale(&mut self, s: f32) {
+        for g in &mut self.grads {
+            g.scale_assign(s);
+        }
+    }
+}
+
+/// FLOP estimate of one chunk-level pass, split by execution character so
+/// the simulator can price dense (tensor-core) and irregular (edge
+/// gather/scatter) work differently.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LayerFlops {
+    /// Dense matmul-like FLOPs.
+    pub dense: f64,
+    /// Irregular per-edge FLOPs.
+    pub edge: f64,
+}
+
+#[allow(clippy::should_implement_trait)] // plain value helper, not operator overloading
+impl LayerFlops {
+    /// Component-wise sum.
+    pub fn add(self, other: LayerFlops) -> LayerFlops {
+        LayerFlops { dense: self.dense + other.dense, edge: self.edge + other.edge }
+    }
+
+    /// Multiplies both components (e.g. backward ≈ 2× forward).
+    pub fn scale(self, s: f64) -> LayerFlops {
+        LayerFlops { dense: self.dense * s, edge: self.edge * s }
+    }
+}
+
+/// The UPDATE nonlinearity of a layer. Hidden layers use ReLU; the output
+/// layer is linear so the classifier logits can go negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Activation {
+    /// `max(x, 0)`.
+    #[default]
+    Relu,
+    /// No activation (output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn apply(self, z: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => hongtu_tensor::relu(z),
+            Activation::Identity => z.clone(),
+        }
+    }
+
+    /// Backward through the activation given the pre-activation `z`.
+    pub fn backward(self, z: &Matrix, grad: &Matrix) -> Matrix {
+        match self {
+            Activation::Relu => hongtu_tensor::relu_backward(z, grad),
+            Activation::Identity => grad.clone(),
+        }
+    }
+}
+
+/// A GNN layer executable one chunk at a time.
+///
+/// Layer inputs are the representations of the chunk's deduplicated
+/// neighbor list (`|N_ij| × in_dim`), in the order of
+/// [`ChunkSubgraph::neighbors`]. Layers that reference the destination's own
+/// previous representation (GAT, SAGE, GIN) require each destination to be
+/// present in its own neighbor list — guaranteed when the dataset adds
+/// self-loops.
+pub trait GnnLayer: Send + Sync {
+    /// Input feature dimension.
+    fn in_dim(&self) -> usize;
+
+    /// Output feature dimension.
+    fn out_dim(&self) -> usize;
+
+    /// Trainable parameters.
+    fn params(&self) -> Vec<&Matrix>;
+
+    /// Mutable access to trainable parameters (for the optimizer).
+    fn params_mut(&mut self) -> Vec<&mut Matrix>;
+
+    /// True when AGGREGATE is a plain weighted sum (no edge intermediates),
+    /// enabling the hybrid caching strategy of §4.2.
+    fn supports_agg_cache(&self) -> bool;
+
+    /// Forward pass over one chunk.
+    fn forward(&self, chunk: &ChunkSubgraph, h_nbr: &Matrix) -> LayerForward;
+
+    /// Recomputation-path backward: recompute the forward internals from
+    /// the (reloaded) neighbor input, then differentiate. Returns the
+    /// gradient w.r.t. `h_nbr` (`|N_ij| × in_dim`) and accumulates
+    /// parameter gradients into `grads`.
+    fn backward_from_input(
+        &self,
+        chunk: &ChunkSubgraph,
+        h_nbr: &Matrix,
+        grad_out: &Matrix,
+        grads: &mut LayerGrads,
+    ) -> Matrix;
+
+    /// Hybrid-path backward: differentiate from the cached AGGREGATE output
+    /// `agg`, skipping aggregate recomputation. Only valid when
+    /// [`Self::supports_agg_cache`] is true.
+    ///
+    /// # Panics
+    /// Default implementation panics; cache-capable layers override it.
+    fn backward_from_agg(
+        &self,
+        _chunk: &ChunkSubgraph,
+        _agg: &Matrix,
+        _grad_out: &Matrix,
+        _grads: &mut LayerGrads,
+    ) -> Matrix {
+        panic!("this layer does not support aggregate caching (see supports_agg_cache)");
+    }
+
+    /// Forward FLOP estimate for one chunk.
+    fn forward_flops(&self, chunk: &ChunkSubgraph) -> LayerFlops;
+
+    /// Backward FLOP estimate (defaults to 2× forward, the usual rule of
+    /// thumb for reverse-mode differentiation).
+    fn backward_flops(&self, chunk: &ChunkSubgraph) -> LayerFlops {
+        self.forward_flops(chunk).scale(2.0)
+    }
+
+    /// Bytes of intermediate data the forward pass materializes for this
+    /// chunk (beyond input and output) — the quantity HongTu avoids keeping
+    /// resident (paper Table 1 "Intr Data").
+    fn intermediate_bytes(&self, chunk: &ChunkSubgraph) -> usize;
+
+    /// Bytes of the cached aggregate for this chunk (hybrid strategy), if
+    /// supported.
+    fn agg_cache_bytes(&self, chunk: &ChunkSubgraph) -> usize {
+        if self.supports_agg_cache() {
+            chunk.num_dests() * self.in_dim() * std::mem::size_of::<f32>()
+        } else {
+            0
+        }
+    }
+}
+
+/// Gathers, for each destination of `chunk`, its own position in the
+/// chunk's neighbor list. Layers that need `h_v^{l-1}` (GAT/SAGE/GIN) use
+/// this to read the destination's previous representation out of the
+/// neighbor buffer.
+///
+/// # Panics
+/// Panics if a destination is missing from its own neighbor list (i.e. the
+/// graph lacks self-loops), with a message pointing at the fix.
+pub fn self_positions(chunk: &ChunkSubgraph) -> Vec<usize> {
+    chunk
+        .dests
+        .iter()
+        .map(|d| {
+            chunk.neighbors.binary_search(d).unwrap_or_else(|_| {
+                panic!(
+                    "destination {d} absent from its neighbor list; this layer requires \
+                     self-loops (add them at dataset construction)"
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_graph::GraphBuilder;
+
+    #[test]
+    fn self_positions_found_with_self_loops() {
+        let mut b = GraphBuilder::new(3).keep_self_loops();
+        for v in 0..3 {
+            b.add_edge(v, v);
+        }
+        b.add_edge(0, 2);
+        let g = b.build();
+        let chunk = ChunkSubgraph::build(&g, 0, 0, vec![1, 2]);
+        let pos = self_positions(&chunk);
+        assert_eq!(chunk.neighbors[pos[0]], 1);
+        assert_eq!(chunk.neighbors[pos[1]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_positions_panics_without_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let chunk = ChunkSubgraph::build(&g, 0, 0, vec![1]);
+        let _ = self_positions(&chunk);
+    }
+
+    #[test]
+    fn layer_flops_arithmetic() {
+        let a = LayerFlops { dense: 2.0, edge: 3.0 };
+        let b = LayerFlops { dense: 1.0, edge: 1.0 };
+        assert_eq!(a.add(b), LayerFlops { dense: 3.0, edge: 4.0 });
+        assert_eq!(a.scale(2.0), LayerFlops { dense: 4.0, edge: 6.0 });
+    }
+}

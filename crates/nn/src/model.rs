@@ -1,0 +1,409 @@
+//! Multi-layer GNN models and a single-device reference trainer.
+//!
+//! The reference trainer executes full-graph training on one whole-graph
+//! chunk — this is the "DGL single-GPU" semantics the paper compares
+//! against, and the ground truth that HongTu's partitioned execution must
+//! reproduce exactly (Figure 8: "full-graph GNN can achieve theoretical
+//! accuracy in HongTu because its training semantic is not changed").
+
+use crate::commnet::CommNetLayer;
+use crate::gat::GatLayer;
+use crate::gcn::GcnLayer;
+use crate::ggnn::GgnnLayer;
+use crate::gin::GinLayer;
+use crate::layer::{Activation, GnnLayer, LayerGrads};
+use crate::loss::{masked_cross_entropy, MaskedLoss};
+use crate::sage::SageLayer;
+use hongtu_graph::Graph;
+use hongtu_partition::ChunkSubgraph;
+use hongtu_tensor::{Matrix, Optimizer, SeededRng};
+
+/// Which GNN architecture a model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Graph convolutional network (paper Eq. 2) — light edge computation.
+    Gcn,
+    /// Graph attention network (paper Eq. 3) — heavy edge computation.
+    Gat,
+    /// GraphSAGE with mean aggregation.
+    Sage,
+    /// Graph isomorphism network (sum aggregation).
+    Gin,
+    /// CommNet (mean communication over the other neighbors).
+    CommNet,
+    /// Gated graph network (GRU-style UPDATE; the paper's "GGCN").
+    Ggnn,
+}
+
+impl ModelKind {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "GCN",
+            ModelKind::Gat => "GAT",
+            ModelKind::Sage => "SAGE",
+            ModelKind::Gin => "GIN",
+            ModelKind::CommNet => "CommNet",
+            ModelKind::Ggnn => "GGNN",
+        }
+    }
+
+    /// True when the architecture's AGGREGATE has no edge intermediates and
+    /// so benefits from the hybrid caching strategy (§4.2).
+    pub fn supports_agg_cache(self) -> bool {
+        !matches!(self, ModelKind::Gat)
+    }
+}
+
+/// A stack of GNN layers with dimensions `dims[0] → dims[1] → … → dims[L]`.
+pub struct GnnModel {
+    /// Architecture.
+    pub kind: ModelKind,
+    /// Per-boundary dimensions; `dims.len() = L + 1`.
+    pub dims: Vec<usize>,
+    layers: Vec<Box<dyn GnnLayer>>,
+}
+
+impl GnnModel {
+    /// Builds a model of `kind` with layer dimensions `dims`
+    /// (`dims[0]` = input features, `dims.last()` = #classes).
+    pub fn new(kind: ModelKind, dims: &[usize], rng: &mut SeededRng) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer (dims.len() >= 2)");
+        let last = dims.len() - 2;
+        let layers: Vec<Box<dyn GnnLayer>> = dims
+            .windows(2)
+            .enumerate()
+            .map(|(l, w)| -> Box<dyn GnnLayer> {
+                let mut layer_rng = rng.fork(1000 + l as u64);
+                // Hidden layers use ReLU; the output layer stays linear so
+                // classifier logits can go negative.
+                let act = if l == last { Activation::Identity } else { Activation::Relu };
+                match kind {
+                    ModelKind::Gcn => {
+                        let mut layer = GcnLayer::new(w[0], w[1], &mut layer_rng);
+                        layer.act = act;
+                        Box::new(layer)
+                    }
+                    ModelKind::Gat => {
+                        let mut layer = GatLayer::new(w[0], w[1], &mut layer_rng);
+                        layer.act = act;
+                        Box::new(layer)
+                    }
+                    ModelKind::Sage => {
+                        let mut layer = SageLayer::new(w[0], w[1], &mut layer_rng);
+                        layer.act = act;
+                        Box::new(layer)
+                    }
+                    ModelKind::Gin => {
+                        let mut layer = GinLayer::new(w[0], w[1], &mut layer_rng);
+                        layer.act = act;
+                        Box::new(layer)
+                    }
+                    ModelKind::CommNet => {
+                        let mut layer = CommNetLayer::new(w[0], w[1], &mut layer_rng);
+                        layer.act = act;
+                        Box::new(layer)
+                    }
+                    ModelKind::Ggnn => {
+                        // The gated cell is already nonlinear; only the
+                        // output layer's Identity matters.
+                        let mut layer = GgnnLayer::new(w[0], w[1], &mut layer_rng);
+                        layer.act = act;
+                        Box::new(layer)
+                    }
+                }
+            })
+            .collect();
+        GnnModel { kind, dims: dims.to_vec(), layers }
+    }
+
+    /// Builds a model from caller-constructed layers (e.g.
+    /// [`crate::MultiHeadGatLayer`] stacks). Layer dimensions must chain:
+    /// `layers[i].out_dim() == layers[i+1].in_dim()`.
+    ///
+    /// `kind` is a label used for reporting and strategy selection; pick
+    /// the closest architecture (e.g. `Gat` for attention stacks).
+    pub fn custom(kind: ModelKind, layers: Vec<Box<dyn GnnLayer>>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].out_dim(),
+                w[1].in_dim(),
+                "layer dimensions do not chain ({} -> {})",
+                w[0].out_dim(),
+                w[1].in_dim()
+            );
+        }
+        let mut dims = vec![layers[0].in_dim()];
+        dims.extend(layers.iter().map(|l| l.out_dim()));
+        GnnModel { kind, dims, layers }
+    }
+
+    /// Number of layers `L`.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer `l`.
+    pub fn layer(&self, l: usize) -> &dyn GnnLayer {
+        self.layers[l].as_ref()
+    }
+
+    /// All layers.
+    pub fn layers(&self) -> &[Box<dyn GnnLayer>] {
+        &self.layers
+    }
+
+    /// Mutable layers (optimizer access).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn GnnLayer>] {
+        &mut self.layers
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().flat_map(|l| l.params()).map(|p| p.len()).sum()
+    }
+
+    /// Total parameter bytes (replicated per GPU in HongTu; synchronized
+    /// with all-reduce after each epoch).
+    pub fn param_bytes(&self) -> usize {
+        self.param_count() * std::mem::size_of::<f32>()
+    }
+
+    /// Zero gradient holders for every layer.
+    pub fn zero_grads(&self) -> Vec<LayerGrads> {
+        self.layers.iter().map(|l| LayerGrads::zeros_for(l.as_ref())).collect()
+    }
+
+    /// Applies accumulated gradients with `opt` and advances its step.
+    pub fn apply_grads(&mut self, grads: &[LayerGrads], opt: &mut dyn Optimizer) {
+        assert_eq!(grads.len(), self.layers.len(), "apply_grads: layer count mismatch");
+        for (l, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
+            for (pi, (param, grad)) in layer.params_mut().into_iter().zip(&g.grads).enumerate() {
+                opt.step(l * 8 + pi, param, grad);
+            }
+        }
+        opt.advance();
+    }
+
+    /// Reference full-graph forward pass over a chunk that owns **all**
+    /// vertices. Returns the per-layer global representations
+    /// `[h^1, …, h^L]` (each `|V| × dims[l]`).
+    pub fn forward_reference(&self, chunk: &ChunkSubgraph, features: &Matrix) -> Vec<Matrix> {
+        let n = features.rows();
+        assert_eq!(chunk.num_dests(), n, "reference forward needs a whole-graph chunk");
+        let nbr_idx: Vec<usize> = chunk.neighbors.iter().map(|&v| v as usize).collect();
+        let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
+        let mut outs = Vec::with_capacity(self.layers.len());
+        let mut h = features.clone();
+        for layer in &self.layers {
+            let h_nbr = h.gather_rows(&nbr_idx);
+            let f = layer.forward(chunk, &h_nbr);
+            let mut global = Matrix::zeros(n, layer.out_dim());
+            global.scatter_rows(&dest_idx, &f.out);
+            outs.push(global.clone());
+            h = global;
+        }
+        outs
+    }
+
+    /// One reference full-graph training epoch (forward, loss over
+    /// `train_mask`, backward, optimizer step). Returns the epoch loss.
+    pub fn train_epoch_reference(
+        &mut self,
+        chunk: &ChunkSubgraph,
+        features: &Matrix,
+        labels: &[u32],
+        train_mask: &[bool],
+        opt: &mut dyn Optimizer,
+    ) -> MaskedLoss {
+        let n = features.rows();
+        let nbr_idx: Vec<usize> = chunk.neighbors.iter().map(|&v| v as usize).collect();
+        let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
+        let mut reps = vec![features.clone()];
+        reps.extend(self.forward_reference(chunk, features));
+        let loss = masked_cross_entropy(reps.last().unwrap(), labels, train_mask);
+
+        let mut grads = self.zero_grads();
+        let mut grad_global = loss.grad.clone();
+        for l in (0..self.layers.len()).rev() {
+            let layer = &self.layers[l];
+            let h_nbr = reps[l].gather_rows(&nbr_idx);
+            let grad_out = grad_global.gather_rows(&dest_idx);
+            let grad_nbr = layer.backward_from_input(chunk, &h_nbr, &grad_out, &mut grads[l]);
+            let mut prev = Matrix::zeros(n, layer.in_dim());
+            prev.scatter_add_rows(&nbr_idx, &grad_nbr);
+            grad_global = prev;
+        }
+        self.apply_grads(&grads, opt);
+        loss
+    }
+}
+
+/// Builds the whole-graph chunk used by the reference trainer.
+pub fn whole_graph_chunk(g: &Graph) -> ChunkSubgraph {
+    ChunkSubgraph::build(g, 0, 0, (0..g.num_vertices() as u32).collect())
+}
+
+impl std::fmt::Debug for GnnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GnnModel({:?}, dims={:?}, params={})", self.kind, self.dims, self.param_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_graph::generators;
+    use hongtu_tensor::Adam;
+
+    /// Planted-partition dataset small enough for fast epochs.
+    fn dataset() -> (Graph, Matrix, Vec<u32>, Vec<bool>) {
+        let mut rng = SeededRng::new(7);
+        let (mut g, labels) = generators::planted_partition(120, 3, 6.0, 0.9, &mut rng);
+        // add self-loops (required by SAGE/GIN/GAT)
+        let mut b = hongtu_graph::GraphBuilder::new(g.num_vertices()).keep_self_loops();
+        for (s, t) in g.csr.edges() {
+            b.add_edge(s, t);
+        }
+        for v in 0..g.num_vertices() as u32 {
+            b.add_edge(v, v);
+        }
+        g = b.build();
+        // features: noisy one-hot of the label
+        let mut frng = SeededRng::new(8);
+        let feats = Matrix::from_fn(120, 6, |v, c| {
+            let base = if labels[v] as usize == c % 3 { 1.0 } else { 0.0 };
+            base + 0.3 * frng.normal()
+        });
+        let mask: Vec<bool> = (0..120).map(|v| v % 2 == 0).collect();
+        (g, feats, labels, mask)
+    }
+
+    #[test]
+    fn model_construction_and_shapes() {
+        let mut rng = SeededRng::new(1);
+        let m = GnnModel::new(ModelKind::Gcn, &[6, 8, 3], &mut rng);
+        assert_eq!(m.num_layers(), 2);
+        assert_eq!(m.layer(0).in_dim(), 6);
+        assert_eq!(m.layer(0).out_dim(), 8);
+        assert_eq!(m.layer(1).out_dim(), 3);
+        assert_eq!(m.param_count(), 6 * 8 + 8 * 3);
+        assert_eq!(m.param_bytes(), m.param_count() * 4);
+    }
+
+    #[test]
+    fn forward_reference_shapes() {
+        let (g, feats, _, _) = dataset();
+        let chunk = whole_graph_chunk(&g);
+        let mut rng = SeededRng::new(2);
+        let m = GnnModel::new(ModelKind::Gcn, &[6, 4, 3], &mut rng);
+        let outs = m.forward_reference(&chunk, &feats);
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[0].shape(), (120, 4));
+        assert_eq!(outs[1].shape(), (120, 3));
+    }
+
+    #[test]
+    fn gcn_learns_planted_partition() {
+        let (g, feats, labels, mask) = dataset();
+        let chunk = whole_graph_chunk(&g);
+        let mut rng = SeededRng::new(3);
+        let mut m = GnnModel::new(ModelKind::Gcn, &[6, 16, 3], &mut rng);
+        let mut opt = Adam::new(0.02);
+        let first = m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt);
+        let mut last = first.clone();
+        for _ in 0..60 {
+            last = m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt);
+        }
+        assert!(last.loss < first.loss * 0.5, "loss {} -> {}", first.loss, last.loss);
+        assert!(last.accuracy > 0.8, "train accuracy {}", last.accuracy);
+    }
+
+    #[test]
+    fn all_kinds_train_without_panicking_and_reduce_loss() {
+        let (g, feats, labels, mask) = dataset();
+        let chunk = whole_graph_chunk(&g);
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::Gat,
+            ModelKind::Sage,
+            ModelKind::Gin,
+            ModelKind::CommNet,
+            ModelKind::Ggnn,
+        ] {
+            let mut rng = SeededRng::new(4);
+            let mut m = GnnModel::new(kind, &[6, 8, 3], &mut rng);
+            let mut opt = Adam::new(0.01);
+            let first = m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt);
+            let mut last = first.clone();
+            for _ in 0..25 {
+                last = m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt);
+            }
+            assert!(
+                last.loss < first.loss,
+                "{}: loss did not decrease ({} -> {})",
+                kind.name(),
+                first.loss,
+                last.loss
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (g, feats, labels, mask) = dataset();
+        let chunk = whole_graph_chunk(&g);
+        let run = || {
+            let mut rng = SeededRng::new(5);
+            let mut m = GnnModel::new(ModelKind::Gcn, &[6, 8, 3], &mut rng);
+            let mut opt = Adam::new(0.01);
+            let mut losses = Vec::new();
+            for _ in 0..5 {
+                losses.push(m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt).loss);
+            }
+            losses
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn custom_model_with_multihead_gat_trains() {
+        let (g, feats, labels, mask) = dataset();
+        let chunk = whole_graph_chunk(&g);
+        let mut rng = SeededRng::new(21);
+        let mut l1 = crate::MultiHeadGatLayer::new(6, 8, 2, &mut rng);
+        l1.set_activation(crate::layer::Activation::Relu);
+        let mut l2 = crate::MultiHeadGatLayer::new(8, 3, 1, &mut rng);
+        l2.set_activation(crate::layer::Activation::Identity);
+        let mut m = GnnModel::custom(ModelKind::Gat, vec![Box::new(l1), Box::new(l2)]);
+        assert_eq!(m.dims, vec![6, 8, 3]);
+        let mut opt = Adam::new(0.01);
+        let first = m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt);
+        let mut last = first.clone();
+        for _ in 0..20 {
+            last = m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt);
+        }
+        assert!(last.loss < first.loss, "loss {} -> {}", first.loss, last.loss);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not chain")]
+    fn custom_model_rejects_dimension_break() {
+        let mut rng = SeededRng::new(22);
+        let l1 = crate::GcnLayer::new(4, 8, &mut rng);
+        let l2 = crate::GcnLayer::new(6, 2, &mut rng);
+        let _ = GnnModel::custom(ModelKind::Gcn, vec![Box::new(l1), Box::new(l2)]);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert!(ModelKind::Gcn.supports_agg_cache());
+        assert!(ModelKind::Sage.supports_agg_cache());
+        assert!(ModelKind::Gin.supports_agg_cache());
+        assert!(ModelKind::CommNet.supports_agg_cache());
+        assert!(ModelKind::Ggnn.supports_agg_cache());
+        assert!(!ModelKind::Gat.supports_agg_cache());
+        assert_eq!(ModelKind::Gat.name(), "GAT");
+    }
+}

@@ -1,0 +1,249 @@
+//! Model checkpointing: save/load trained parameters in a small
+//! self-describing binary format.
+//!
+//! Layout (all integers little-endian):
+//! `magic "HTGM" | version u32 | kind u8 | dim_count u32 | dims u64×n |
+//!  param_count u32 | { rows u64, cols u64, data f32×(rows·cols) }×p`
+
+use crate::model::{GnnModel, ModelKind};
+use hongtu_tensor::{Matrix, SeededRng};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"HTGM";
+const VERSION: u32 = 1;
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid or incompatible file.
+    Format(String),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model I/O error: {e}"),
+            ModelIoError::Format(m) => write!(f, "model format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<io::Error> for ModelIoError {
+    fn from(e: io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+fn kind_tag(kind: ModelKind) -> u8 {
+    match kind {
+        ModelKind::Gcn => 0,
+        ModelKind::Gat => 1,
+        ModelKind::Sage => 2,
+        ModelKind::Gin => 3,
+        ModelKind::CommNet => 4,
+        ModelKind::Ggnn => 5,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<ModelKind, ModelIoError> {
+    Ok(match tag {
+        0 => ModelKind::Gcn,
+        1 => ModelKind::Gat,
+        2 => ModelKind::Sage,
+        3 => ModelKind::Gin,
+        4 => ModelKind::CommNet,
+        5 => ModelKind::Ggnn,
+        other => return Err(ModelIoError::Format(format!("unknown model kind tag {other}"))),
+    })
+}
+
+/// Serializes a model's architecture and parameters.
+pub fn save_model(model: &GnnModel, mut w: impl Write) -> Result<(), ModelIoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&[kind_tag(model.kind)])?;
+    w.write_all(&(model.dims.len() as u32).to_le_bytes())?;
+    for &d in &model.dims {
+        w.write_all(&(d as u64).to_le_bytes())?;
+    }
+    let params: Vec<&Matrix> = model.layers().iter().flat_map(|l| l.params()).collect();
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        w.write_all(&(p.rows() as u64).to_le_bytes())?;
+        w.write_all(&(p.cols() as u64).to_le_bytes())?;
+        for &v in p.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Saves to a file path.
+pub fn save_model_file(model: &GnnModel, path: impl AsRef<Path>) -> Result<(), ModelIoError> {
+    let f = std::fs::File::create(path)?;
+    save_model(model, io::BufWriter::new(f))
+}
+
+/// Deserializes a model saved by [`save_model`].
+pub fn load_model(mut r: impl Read) -> Result<GnnModel, ModelIoError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ModelIoError::Format("bad magic (not a HongTu model file)".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(ModelIoError::Format(format!("unsupported version {version}")));
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let kind = kind_from_tag(tag[0])?;
+    let dim_count = read_u32(&mut r)? as usize;
+    if !(2..=64).contains(&dim_count) {
+        return Err(ModelIoError::Format(format!("implausible dim count {dim_count}")));
+    }
+    let mut dims = Vec::with_capacity(dim_count);
+    for _ in 0..dim_count {
+        dims.push(read_u64(&mut r)? as usize);
+    }
+    // Rebuild the architecture, then overwrite the parameters.
+    let mut model = GnnModel::new(kind, &dims, &mut SeededRng::new(0));
+    let param_count = read_u32(&mut r)? as usize;
+    let expected: usize = model.layers().iter().map(|l| l.params().len()).sum();
+    if param_count != expected {
+        return Err(ModelIoError::Format(format!(
+            "parameter count {param_count} does not match architecture ({expected})"
+        )));
+    }
+    let mut loaded: Vec<Matrix> = Vec::with_capacity(param_count);
+    for _ in 0..param_count {
+        let rows = read_u64(&mut r)? as usize;
+        let cols = read_u64(&mut r)? as usize;
+        if rows.saturating_mul(cols) > (1 << 28) {
+            return Err(ModelIoError::Format(format!("implausible tensor {rows}x{cols}")));
+        }
+        let mut data = vec![0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        loaded.push(Matrix::from_vec(rows, cols, data));
+    }
+    let mut it = loaded.into_iter();
+    for layer in model.layers_mut() {
+        for param in layer.params_mut() {
+            let value = it.next().expect("counted above");
+            if value.shape() != param.shape() {
+                return Err(ModelIoError::Format(format!(
+                    "tensor shape {:?} does not match architecture {:?}",
+                    value.shape(),
+                    param.shape()
+                )));
+            }
+            *param = value;
+        }
+    }
+    Ok(model)
+}
+
+/// Loads from a file path.
+pub fn load_model_file(path: impl AsRef<Path>) -> Result<GnnModel, ModelIoError> {
+    let f = std::fs::File::open(path)?;
+    load_model(io::BufReader::new(f))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(kind: ModelKind) -> GnnModel {
+        GnnModel::new(kind, &[6, 8, 3], &mut SeededRng::new(42))
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::Gat,
+            ModelKind::Sage,
+            ModelKind::Gin,
+            ModelKind::CommNet,
+            ModelKind::Ggnn,
+        ] {
+            let m = model(kind);
+            let mut buf = Vec::new();
+            save_model(&m, &mut buf).unwrap();
+            let m2 = load_model(buf.as_slice()).unwrap();
+            assert_eq!(m2.kind, kind);
+            assert_eq!(m2.dims, m.dims);
+            let p1: Vec<&Matrix> = m.layers().iter().flat_map(|l| l.params()).collect();
+            let p2: Vec<&Matrix> = m2.layers().iter().flat_map(|l| l.params()).collect();
+            assert_eq!(p1.len(), p2.len());
+            for (a, b) in p1.iter().zip(&p2) {
+                assert_eq!(a, b, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn loaded_model_computes_identically() {
+        let mut rng = SeededRng::new(7);
+        let mut b = hongtu_graph::GraphBuilder::new(60).keep_self_loops();
+        for v in 0..60u32 {
+            b.add_edge(v, v);
+        }
+        for _ in 0..240 {
+            b.add_edge(rng.index(60) as u32, rng.index(60) as u32);
+        }
+        let g = b.build();
+        let chunk = crate::model::whole_graph_chunk(&g);
+        let feats = Matrix::from_fn(60, 6, |r, c| ((r + c) as f32 * 0.1).sin());
+        let m = model(ModelKind::Sage);
+        let mut buf = Vec::new();
+        save_model(&m, &mut buf).unwrap();
+        let m2 = load_model(buf.as_slice()).unwrap();
+        let out1 = m.forward_reference(&chunk, &feats).pop().unwrap();
+        let out2 = m2.forward_reference(&chunk, &feats).pop().unwrap();
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(load_model(&b"NOPE"[..]), Err(ModelIoError::Format(_))));
+        assert!(load_model(&b"HT"[..]).is_err()); // truncated
+        let mut buf = Vec::new();
+        save_model(&model(ModelKind::Gcn), &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(load_model(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hongtu_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.htgm");
+        let m = model(ModelKind::Gin);
+        save_model_file(&m, &path).unwrap();
+        let m2 = load_model_file(&path).unwrap();
+        assert_eq!(m2.kind, ModelKind::Gin);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,114 @@
+//! Range-based chunking (paper §4.1): a partition's vertex sequence is
+//! split into `n` *computation-balanced* chunks, balancing by in-edge count
+//! (the aggregation work per destination vertex), following Gemini-style
+//! chunked range partitioning.
+
+/// Splits the sequence `items` (with per-item costs) into `n` contiguous
+/// ranges whose total costs are as even as a greedy forward sweep allows.
+/// Every range is non-empty provided `items.len() >= n`.
+pub fn balanced_ranges(costs: &[u64], n: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(n >= 1, "need at least one chunk");
+    assert!(costs.len() >= n, "fewer items ({}) than chunks ({n})", costs.len());
+    let total: u64 = costs.iter().sum();
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut consumed = 0u64;
+    for chunk in 0..n {
+        let remaining_chunks = (n - chunk) as u64;
+        let target = (total - consumed + remaining_chunks - 1) / remaining_chunks.max(1);
+        let mut end = start;
+        // Must leave at least (n - chunk - 1) items for the remaining chunks.
+        let max_end = costs.len() - (n - chunk - 1);
+        while end < max_end && (acc < target || end == start) {
+            acc += costs[end];
+            end += 1;
+            if acc >= target && end > start {
+                break;
+            }
+        }
+        if chunk == n - 1 {
+            end = costs.len();
+            acc = total - consumed;
+        }
+        ranges.push(start..end);
+        consumed += acc;
+        start = end;
+        acc = 0;
+    }
+    debug_assert_eq!(ranges.last().unwrap().end, costs.len());
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range_cost(costs: &[u64], r: &std::ops::Range<usize>) -> u64 {
+        costs[r.clone()].iter().sum()
+    }
+
+    #[test]
+    fn uniform_costs_split_evenly() {
+        let costs = vec![1u64; 12];
+        let ranges = balanced_ranges(&costs, 4);
+        assert_eq!(ranges.len(), 4);
+        for r in &ranges {
+            assert_eq!(r.len(), 3);
+        }
+    }
+
+    #[test]
+    fn ranges_tile_the_sequence() {
+        let costs: Vec<u64> = (0..37).map(|i| (i % 7) + 1).collect();
+        let ranges = balanced_ranges(&costs, 5);
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, 37);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert!(ranges.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    fn skewed_costs_are_balanced() {
+        // One huge item at the front; the rest small.
+        let mut costs = vec![1u64; 100];
+        costs[0] = 100;
+        let ranges = balanced_ranges(&costs, 4);
+        // First chunk should be just the huge item (or close);
+        // remaining chunks split the rest.
+        let c0 = range_cost(&costs, &ranges[0]);
+        assert!(c0 >= 50, "first chunk cost {c0}");
+        let rest_max = ranges[1..].iter().map(|r| range_cost(&costs, r)).max().unwrap();
+        assert!(rest_max <= 60, "rest max {rest_max}");
+    }
+
+    #[test]
+    fn single_chunk_takes_everything() {
+        let costs = vec![3u64, 1, 4];
+        let ranges = balanced_ranges(&costs, 1);
+        assert_eq!(ranges, vec![0..3]);
+    }
+
+    #[test]
+    fn n_equals_len_gives_singletons() {
+        let costs = vec![5u64, 1, 9];
+        let ranges = balanced_ranges(&costs, 3);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn zero_costs_are_fine() {
+        let costs = vec![0u64; 8];
+        let ranges = balanced_ranges(&costs, 4);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 8);
+        assert!(ranges.iter().all(|r| !r.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer items")]
+    fn rejects_more_chunks_than_items() {
+        let _ = balanced_ranges(&[1, 2], 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Partition quality measures: edge cut and balance.
+
+use crate::Assignment;
+use hongtu_graph::Graph;
+
+/// Quality summary of an assignment on a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of directed edges crossing partitions.
+    pub cut_edges: usize,
+    /// `cut_edges / |E|`.
+    pub cut_fraction: f64,
+    /// `max part size / ideal part size` (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Partition sizes.
+    pub sizes: Vec<usize>,
+}
+
+impl PartitionQuality {
+    /// Measures `a` against `g`.
+    pub fn measure(g: &Graph, a: &Assignment) -> Self {
+        assert_eq!(a.partition_of.len(), g.num_vertices(), "assignment/graph size mismatch");
+        let cut_edges = g
+            .csr
+            .edges()
+            .filter(|&(s, t)| a.partition_of[s as usize] != a.partition_of[t as usize])
+            .count();
+        let sizes = a.sizes();
+        let max = *sizes.iter().max().unwrap_or(&0) as f64;
+        let ideal = g.num_vertices() as f64 / a.num_parts as f64;
+        PartitionQuality {
+            cut_edges,
+            cut_fraction: if g.num_edges() == 0 { 0.0 } else { cut_edges as f64 / g.num_edges() as f64 },
+            imbalance: if ideal == 0.0 { 0.0 } else { max / ideal },
+            sizes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::range_partition;
+    use hongtu_graph::GraphBuilder;
+
+    #[test]
+    fn cut_counts_cross_partition_edges() {
+        // 0→1 (same part), 1→2 (cross), 2→3 (same part), 3→0 (cross)
+        let mut b = GraphBuilder::new(4);
+        for (s, t) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_edge(s, t);
+        }
+        let g = b.build();
+        let a = range_partition(4, 2);
+        let q = PartitionQuality::measure(&g, &a);
+        assert_eq!(q.cut_edges, 2);
+        assert!((q.cut_fraction - 0.5).abs() < 1e-9);
+        assert!((q.imbalance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let a = Assignment { partition_of: vec![0, 0, 0, 1], num_parts: 2 };
+        let q = PartitionQuality::measure(&g, &a);
+        assert!((q.imbalance - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_edge_set_has_zero_cut() {
+        let g = GraphBuilder::new(3).build();
+        let a = range_partition(3, 3);
+        let q = PartitionQuality::measure(&g, &a);
+        assert_eq!(q.cut_edges, 0);
+        assert_eq!(q.cut_fraction, 0.0);
+    }
+}

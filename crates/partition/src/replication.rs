@@ -1,0 +1,106 @@
+//! Neighbor replication factor α (paper §2.4, Table 3).
+//!
+//! When a graph is split into `P` subgraphs, a vertex with out-edges into
+//! several subgraphs is replicated to each of them as an in-neighbor. The
+//! replication factor `α(P) = Σ_p |N_p| / |V|` measures the average number
+//! of neighbor replicas per vertex, and hence the host-GPU communication
+//! amplification of naive per-subgraph transfers.
+
+use crate::two_level::TwoLevelPartition;
+use crate::Assignment;
+use hongtu_graph::{Graph, VertexId};
+
+/// Replication factor of a level-1 assignment: for each partition `p`, the
+/// distinct in-neighbor set `N_p = {u : ∃ u→v, v ∈ p}` is counted, and the
+/// total is normalized by `|V|`.
+pub fn replication_factor(g: &Graph, a: &Assignment) -> f64 {
+    assert_eq!(a.partition_of.len(), g.num_vertices(), "assignment/graph size mismatch");
+    let mut total = 0usize;
+    // Mark-array reused across partitions, versioned by partition id + 1.
+    let mut mark = vec![0u32; g.num_vertices()];
+    for p in 0..a.num_parts {
+        let stamp = p as u32 + 1;
+        for v in 0..g.num_vertices() {
+            if a.partition_of[v] as usize != p {
+                continue;
+            }
+            for &u in g.in_neighbors(v as VertexId) {
+                if mark[u as usize] != stamp {
+                    mark[u as usize] = stamp;
+                    total += 1;
+                }
+            }
+        }
+    }
+    total as f64 / g.num_vertices() as f64
+}
+
+/// Replication factor at chunk granularity for a 2-level plan:
+/// `α(m·n) = Σ_ij |N_ij| / |V|` (the paper's Table 3 is computed over the
+/// total number of subgraphs `m·n`).
+pub fn replication_factor_chunks(g: &Graph, plan: &TwoLevelPartition) -> f64 {
+    plan.v_ori() as f64 / g.num_vertices() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multilevel::metis_like;
+    use crate::simple::range_partition;
+    use hongtu_graph::generators;
+    use hongtu_tensor::SeededRng;
+
+    #[test]
+    fn single_partition_alpha_counts_distinct_sources() {
+        let mut rng = SeededRng::new(1);
+        let g = generators::erdos_renyi(200, 4.0, &mut rng);
+        let a = range_partition(200, 1);
+        let alpha = replication_factor(&g, &a);
+        let sources =
+            (0..200).filter(|&v| g.out_degree(v as VertexId) > 0).count() as f64 / 200.0;
+        assert!((alpha - sources).abs() < 1e-9);
+        assert!(alpha <= 1.0);
+    }
+
+    #[test]
+    fn alpha_grows_with_partitions() {
+        let mut rng = SeededRng::new(2);
+        let g = generators::rmat(12, 40_000, generators::RmatParams::social(), &mut rng);
+        let a2 = replication_factor(&g, &metis_like(&g, 2, 1));
+        let a8 = replication_factor(&g, &metis_like(&g, 8, 1));
+        let a32 = replication_factor(&g, &metis_like(&g, 32, 1));
+        assert!(a2 < a8 && a8 < a32, "α: {a2:.2} {a8:.2} {a32:.2}");
+    }
+
+    #[test]
+    fn alpha_bounded_by_partition_count_and_degree() {
+        let mut rng = SeededRng::new(3);
+        let g = generators::erdos_renyi(300, 3.0, &mut rng);
+        let parts = 5;
+        let a = metis_like(&g, parts, 2);
+        let alpha = replication_factor(&g, &a);
+        assert!(alpha <= parts as f64);
+        // Also bounded by total out-degree (each replica needs an out-edge).
+        assert!(alpha <= g.num_edges() as f64 / g.num_vertices() as f64);
+    }
+
+    #[test]
+    fn local_graphs_replicate_less_than_random() {
+        let mut rng = SeededRng::new(4);
+        let g_local = generators::local_window(3000, 6.0, 20.0, &mut rng);
+        let g_rand = generators::erdos_renyi(3000, 6.0, &mut rng);
+        let al = replication_factor(&g_local, &range_partition(3000, 16));
+        let ar = replication_factor(&g_rand, &range_partition(3000, 16));
+        assert!(al < ar * 0.5, "local α {al:.2} vs random α {ar:.2}");
+    }
+
+    #[test]
+    fn chunk_alpha_at_least_partition_alpha() {
+        let mut rng = SeededRng::new(5);
+        let g = generators::erdos_renyi(600, 5.0, &mut rng);
+        let plan = crate::two_level::TwoLevelPartition::build(&g, 4, 4, 1);
+        let a_chunks = replication_factor_chunks(&g, &plan);
+        let a_parts = replication_factor(&g, &plan.assignment);
+        assert!(a_chunks >= a_parts - 1e-9, "{a_chunks} < {a_parts}");
+    }
+}

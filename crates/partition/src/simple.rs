@@ -1,0 +1,100 @@
+//! Baseline partitioners: hash (locality-destroying) and contiguous range
+//! (locality-preserving on id-local graphs). Both are used as ablation
+//! baselines against the multilevel partitioner.
+
+use crate::{Assignment, Partitioner};
+use hongtu_graph::Graph;
+
+/// Assigns vertex `v` to partition `hash(v) % parts`.
+pub fn hash_partition(n: usize, parts: usize) -> Assignment {
+    assert!(parts >= 1 && parts <= n, "hash_partition: need 1 <= parts <= n");
+    let partition_of = (0..n)
+        .map(|v| {
+            // Fibonacci hashing of the vertex id.
+            let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+            (h % parts as u64) as u32
+        })
+        .collect();
+    let a = Assignment { partition_of, num_parts: parts };
+    debug_assert!(a.validate().is_ok());
+    a
+}
+
+/// Splits `0..n` into `parts` contiguous, near-equal ranges.
+pub fn range_partition(n: usize, parts: usize) -> Assignment {
+    assert!(parts >= 1 && parts <= n, "range_partition: need 1 <= parts <= n");
+    let mut partition_of = vec![0u32; n];
+    let base = n / parts;
+    let extra = n % parts;
+    let mut v = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        for _ in 0..size {
+            partition_of[v] = p as u32;
+            v += 1;
+        }
+    }
+    Assignment { partition_of, num_parts: parts }
+}
+
+/// Hash partitioner as a [`Partitioner`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, g: &Graph, parts: usize) -> Assignment {
+        hash_partition(g.num_vertices(), parts)
+    }
+}
+
+/// Range partitioner as a [`Partitioner`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn partition(&self, g: &Graph, parts: usize) -> Assignment {
+        range_partition(g.num_vertices(), parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_partition_is_contiguous_and_balanced() {
+        let a = range_partition(10, 3);
+        assert_eq!(a.partition_of, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        assert!(a.validate().is_ok());
+        let sizes = a.sizes();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn range_partition_exact_division() {
+        let a = range_partition(9, 3);
+        assert_eq!(a.sizes(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn hash_partition_is_roughly_balanced() {
+        let a = hash_partition(10_000, 8);
+        assert!(a.validate().is_ok());
+        for &s in &a.sizes() {
+            assert!((s as f64 - 1250.0).abs() < 300.0, "size {s}");
+        }
+    }
+
+    #[test]
+    fn single_partition_trivial() {
+        let a = range_partition(5, 1);
+        assert!(a.partition_of.iter().all(|&p| p == 0));
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= parts <= n")]
+    fn more_parts_than_vertices_rejected() {
+        let _ = range_partition(2, 3);
+    }
+}

@@ -1,0 +1,235 @@
+//! Per-chunk subgraph: the unit of GPU execution (paper Figure 5).
+//!
+//! A chunk owns a disjoint set of destination vertices and **all** their
+//! in-edges. Edges reference neighbors through a *local* index into the
+//! chunk's deduplicated neighbor list `N_ij`, which is exactly the layout
+//! the computation engine needs to read neighbor data out of the on-GPU
+//! neighbor buffer (paper §6, "in-place neighbor data management").
+
+use hongtu_graph::{Graph, VertexId};
+
+/// A partitioned subgraph `G_ij`: destination set `V_ij`, in-edges `E_ij`,
+/// and deduplicated neighbor list `N_ij`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkSubgraph {
+    /// Owning partition id `i` (the GPU this chunk is scheduled on).
+    pub part: usize,
+    /// Chunk id `j` within the partition (the batch it belongs to).
+    pub chunk: usize,
+    /// Destination vertices (global ids, ascending). `V_ij`.
+    pub dests: Vec<VertexId>,
+    /// Deduplicated in-neighbor list (global ids, ascending). `N_ij`.
+    pub neighbors: Vec<VertexId>,
+    /// Local CSC offsets: in-edges of `dests[k]` occupy
+    /// `offsets[k]..offsets[k+1]` of `nbr_index` / `gcn_weights`.
+    pub offsets: Vec<usize>,
+    /// Per-edge index into `neighbors` (the local neighbor id of the source).
+    pub nbr_index: Vec<u32>,
+    /// Per-edge symmetric GCN weight `d_uv` (Equation 2).
+    pub gcn_weights: Vec<f32>,
+}
+
+impl ChunkSubgraph {
+    /// Builds the chunk subgraph for destination set `dests` (must be sorted
+    /// and unique) against the full graph `g`.
+    pub fn build(g: &Graph, part: usize, chunk: usize, dests: Vec<VertexId>) -> Self {
+        debug_assert!(dests.windows(2).all(|w| w[0] < w[1]), "dests must be sorted & unique");
+        // Collect the union of in-neighbors.
+        let mut neighbors: Vec<VertexId> = Vec::new();
+        for &d in &dests {
+            neighbors.extend_from_slice(g.in_neighbors(d));
+        }
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        // Local edge lists.
+        let mut offsets = Vec::with_capacity(dests.len() + 1);
+        offsets.push(0usize);
+        let mut nbr_index = Vec::new();
+        let mut gcn_weights = Vec::new();
+        for &d in &dests {
+            let dv = (1 + g.in_degree(d)) as f32;
+            for &u in g.in_neighbors(d) {
+                let local = neighbors.binary_search(&u).expect("neighbor present by construction");
+                nbr_index.push(local as u32);
+                let du = (1 + g.out_degree(u)) as f32;
+                gcn_weights.push(1.0 / (du * dv).sqrt());
+            }
+            offsets.push(nbr_index.len());
+        }
+        ChunkSubgraph { part, chunk, dests, neighbors, offsets, nbr_index, gcn_weights }
+    }
+
+    /// Number of destination vertices `|V_ij|`.
+    #[inline]
+    pub fn num_dests(&self) -> usize {
+        self.dests.len()
+    }
+
+    /// Number of in-edges `|E_ij|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.nbr_index.len()
+    }
+
+    /// Number of distinct in-neighbors `|N_ij|`.
+    #[inline]
+    pub fn num_neighbors(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Local in-edge range of destination `k` (local index).
+    #[inline]
+    pub fn in_edges_of(&self, k: usize) -> std::ops::Range<usize> {
+        self.offsets[k]..self.offsets[k + 1]
+    }
+
+    /// The chunk's weighted adjacency as a sparse matrix
+    /// (`|V_ij| × |N_ij|`, GCN-normalized values) — the operand the
+    /// paper's cuSparse-based computation engine aggregates with:
+    /// `AGGREGATE(H) = A · H_{N_ij}`.
+    pub fn to_csr_matrix(&self) -> hongtu_tensor::CsrMatrix {
+        hongtu_tensor::CsrMatrix::from_parts(
+            self.num_dests(),
+            self.num_neighbors(),
+            self.offsets.clone(),
+            self.nbr_index.clone(),
+            self.gcn_weights.clone(),
+        )
+    }
+
+    /// Bytes of topology this chunk occupies on a device (offsets + edge
+    /// indices + weights + the two vertex-id lists).
+    pub fn topology_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.nbr_index.len() * std::mem::size_of::<u32>()
+            + self.gcn_weights.len() * std::mem::size_of::<f32>()
+            + (self.dests.len() + self.neighbors.len()) * std::mem::size_of::<VertexId>()
+    }
+
+    /// Structural validation against the source graph.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        if self.offsets.len() != self.dests.len() + 1 {
+            return Err("offsets length must be |dests| + 1".into());
+        }
+        if self.nbr_index.len() != self.gcn_weights.len() {
+            return Err("edge arrays disagree in length".into());
+        }
+        if self.neighbors.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("neighbor list not sorted/unique".into());
+        }
+        for (k, &d) in self.dests.iter().enumerate() {
+            let expect = g.in_neighbors(d);
+            let got = &self.nbr_index[self.in_edges_of(k)];
+            if expect.len() != got.len() {
+                return Err(format!("dest {d}: edge count {} != {}", got.len(), expect.len()));
+            }
+            for (&want, &li) in expect.iter().zip(got) {
+                if self.neighbors[li as usize] != want {
+                    return Err(format!("dest {d}: edge resolves to wrong neighbor"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_graph::GraphBuilder;
+
+    fn toy() -> Graph {
+        // in-edges: 2←{0,1,3}, 1←{0}, 0←{2}
+        let mut b = GraphBuilder::new(4);
+        for (s, t) in [(0, 1), (0, 2), (1, 2), (2, 0), (3, 2)] {
+            b.add_edge(s, t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builds_dedup_neighbor_list() {
+        let g = toy();
+        let c = ChunkSubgraph::build(&g, 0, 0, vec![1, 2]);
+        assert_eq!(c.num_dests(), 2);
+        assert_eq!(c.num_edges(), 4); // 1←0 plus 2←{0,1,3}
+        assert_eq!(c.neighbors, vec![0, 1, 3]);
+        assert!(c.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn full_neighbor_set_per_dest() {
+        // Even when a chunk only holds vertex 2, *all* of 2's in-neighbors
+        // are present — the property that makes GAT-style softmax work.
+        let g = toy();
+        let c = ChunkSubgraph::build(&g, 0, 0, vec![2]);
+        assert_eq!(c.num_edges(), g.in_degree(2));
+        assert_eq!(c.neighbors.len(), 3);
+    }
+
+    #[test]
+    fn edge_indices_resolve_to_sources() {
+        let g = toy();
+        let c = ChunkSubgraph::build(&g, 1, 3, vec![0, 2]);
+        assert_eq!((c.part, c.chunk), (1, 3));
+        for (k, &d) in c.dests.iter().enumerate() {
+            let resolved: Vec<VertexId> =
+                c.nbr_index[c.in_edges_of(k)].iter().map(|&i| c.neighbors[i as usize]).collect();
+            assert_eq!(resolved, g.in_neighbors(d));
+        }
+    }
+
+    #[test]
+    fn gcn_weights_match_global_normalization() {
+        let g = toy();
+        let c = ChunkSubgraph::build(&g, 0, 0, vec![2]);
+        // edge 0→2: out_deg(0)=2 → du=3; in_deg(2)=3 → dv=4
+        let w = c.gcn_weights[0];
+        assert!((w - 1.0 / (3.0f32 * 4.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_dest_set_is_legal() {
+        let g = toy();
+        let c = ChunkSubgraph::build(&g, 0, 0, vec![]);
+        assert_eq!(c.num_dests(), 0);
+        assert_eq!(c.num_edges(), 0);
+        assert!(c.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn isolated_dest_has_no_edges() {
+        let g = toy();
+        let c = ChunkSubgraph::build(&g, 0, 0, vec![3]);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.num_neighbors(), 0);
+        assert!(c.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn csr_matrix_adapter_matches_edge_lists() {
+        let g = toy();
+        let c = ChunkSubgraph::build(&g, 0, 0, vec![0, 1, 2, 3]);
+        let a = c.to_csr_matrix();
+        assert_eq!(a.rows(), c.num_dests());
+        assert_eq!(a.cols(), c.num_neighbors());
+        assert_eq!(a.nnz(), c.num_edges());
+        // Densified row k has mass exactly on k's neighbor positions.
+        let dense = a.to_dense();
+        for k in 0..c.num_dests() {
+            let mut expect = vec![0.0f32; c.num_neighbors()];
+            for e in c.in_edges_of(k) {
+                expect[c.nbr_index[e] as usize] += c.gcn_weights[e];
+            }
+            assert_eq!(dense.row(k), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn topology_bytes_is_positive_and_scales() {
+        let g = toy();
+        let small = ChunkSubgraph::build(&g, 0, 0, vec![1]);
+        let big = ChunkSubgraph::build(&g, 0, 0, vec![0, 1, 2, 3]);
+        assert!(big.topology_bytes() > small.topology_bytes());
+    }
+}

@@ -1,0 +1,218 @@
+//! The full 2-level partition plan (paper §4.1 and Figure 5).
+//!
+//! Level 1 splits the graph into `m` locality-preserving partitions (one per
+//! GPU) with the multilevel partitioner. Level 2 splits each partition's
+//! member list (ascending vertex id, preserving id locality) into `n`
+//! chunks balanced by in-edge count. Chunks with the same local position
+//! `j` across partitions form *batch* `j` and are scheduled concurrently.
+
+use crate::chunking::balanced_ranges;
+use crate::subgraph::ChunkSubgraph;
+use crate::{Assignment, Partitioner};
+use hongtu_graph::Graph;
+
+/// A complete `m × n` partition plan with materialized chunk subgraphs.
+#[derive(Debug, Clone)]
+pub struct TwoLevelPartition {
+    /// Number of partitions (GPUs).
+    pub m: usize,
+    /// Number of chunks per partition (batches).
+    pub n: usize,
+    /// Level-1 vertex assignment.
+    pub assignment: Assignment,
+    /// `chunks[i][j]` is subgraph `G_ij` (partition `i`, batch `j`).
+    pub chunks: Vec<Vec<ChunkSubgraph>>,
+}
+
+impl TwoLevelPartition {
+    /// Builds the plan with the default partitioner portfolio (multilevel
+    /// vs contiguous range, whichever cuts fewer edges).
+    pub fn build(g: &Graph, m: usize, n: usize, seed: u64) -> Self {
+        let assignment = crate::multilevel::best_of(g, m, seed);
+        Self::from_assignment(g, assignment, n)
+    }
+
+    /// Builds the plan with a caller-supplied level-1 partitioner.
+    pub fn build_with(g: &Graph, m: usize, n: usize, partitioner: &dyn Partitioner) -> Self {
+        assert!(m >= 1 && n >= 1, "need m >= 1 and n >= 1");
+        let assignment = partitioner.partition(g, m);
+        Self::from_assignment(g, assignment, n)
+    }
+
+    /// Builds the plan from an existing level-1 assignment.
+    pub fn from_assignment(g: &Graph, assignment: Assignment, n: usize) -> Self {
+        let m = assignment.num_parts;
+        let members = assignment.members();
+        let mut chunks = Vec::with_capacity(m);
+        for (i, part_members) in members.into_iter().enumerate() {
+            assert!(
+                part_members.len() >= n,
+                "partition {i} has {} vertices, fewer than {n} chunks",
+                part_members.len()
+            );
+            // Balance chunks by aggregation work = in-edge count (+1 so
+            // isolated vertices still carry weight for the UPDATE matmul).
+            let costs: Vec<u64> =
+                part_members.iter().map(|&v| 1 + g.in_degree(v) as u64).collect();
+            let ranges = balanced_ranges(&costs, n);
+            let part_chunks: Vec<ChunkSubgraph> = ranges
+                .into_iter()
+                .enumerate()
+                .map(|(j, r)| ChunkSubgraph::build(g, i, j, part_members[r].to_vec()))
+                .collect();
+            chunks.push(part_chunks);
+        }
+        TwoLevelPartition { m, n, assignment, chunks }
+    }
+
+    /// All subgraphs of batch `j` (one per partition).
+    pub fn batch(&self, j: usize) -> impl Iterator<Item = &ChunkSubgraph> {
+        self.chunks.iter().map(move |p| &p[j])
+    }
+
+    /// Iterates over all `m × n` chunks, partition-major.
+    pub fn all_chunks(&self) -> impl Iterator<Item = &ChunkSubgraph> {
+        self.chunks.iter().flatten()
+    }
+
+    /// Total neighbor-transfer volume if every chunk's neighbor set is
+    /// loaded individually: `V_ori = Σ_ij |N_ij|` (paper §5.3), in vertices.
+    pub fn v_ori(&self) -> usize {
+        self.all_chunks().map(|c| c.num_neighbors()).sum()
+    }
+
+    /// Validates the plan: chunks disjointly cover V, each chunk is valid.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        let mut seen = vec![false; g.num_vertices()];
+        for c in self.all_chunks() {
+            c.validate(g)?;
+            for &d in &c.dests {
+                if seen[d as usize] {
+                    return Err(format!("vertex {d} owned by more than one chunk"));
+                }
+                seen[d as usize] = true;
+            }
+        }
+        if let Some(v) = seen.iter().position(|&s| !s) {
+            return Err(format!("vertex {v} not owned by any chunk"));
+        }
+        Ok(())
+    }
+
+    /// Replaces the chunk grid (used by the reorganization pass); chunk
+    /// `part`/`chunk` ids are rewritten to match the new grid positions.
+    pub fn with_chunks(mut self, chunks: Vec<Vec<ChunkSubgraph>>) -> Self {
+        assert_eq!(chunks.len(), self.m, "chunk grid must keep m rows");
+        for (i, row) in chunks.iter().enumerate() {
+            assert_eq!(row.len(), self.n, "partition {i} must keep n chunks");
+        }
+        self.chunks = chunks;
+        for (i, row) in self.chunks.iter_mut().enumerate() {
+            for (j, c) in row.iter_mut().enumerate() {
+                c.part = i;
+                c.chunk = j;
+            }
+        }
+        self
+    }
+}
+
+/// Destination-count weighted mean of `|N_ij|` over chunks — used in memory
+/// sizing discussions.
+pub fn mean_neighbors(plan: &TwoLevelPartition) -> f64 {
+    let total: usize = plan.all_chunks().map(|c| c.num_neighbors()).sum();
+    total as f64 / (plan.m * plan.n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_graph::{generators, VertexId};
+    use hongtu_tensor::SeededRng;
+
+    fn graph() -> Graph {
+        generators::erdos_renyi(400, 5.0, &mut SeededRng::new(2))
+    }
+
+    #[test]
+    fn plan_covers_all_vertices_disjointly() {
+        let g = graph();
+        let plan = TwoLevelPartition::build(&g, 4, 3, 1);
+        assert_eq!(plan.m, 4);
+        assert_eq!(plan.n, 3);
+        assert!(plan.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn batches_group_same_chunk_index() {
+        let g = graph();
+        let plan = TwoLevelPartition::build(&g, 3, 2, 1);
+        let batch1: Vec<_> = plan.batch(1).collect();
+        assert_eq!(batch1.len(), 3);
+        for (i, c) in batch1.iter().enumerate() {
+            assert_eq!(c.part, i);
+            assert_eq!(c.chunk, 1);
+        }
+    }
+
+    #[test]
+    fn chunks_are_edge_balanced_within_partition() {
+        let g = graph();
+        let plan = TwoLevelPartition::build(&g, 2, 4, 1);
+        for row in &plan.chunks {
+            let loads: Vec<usize> = row.iter().map(|c| c.num_edges() + c.num_dests()).collect();
+            let max = *loads.iter().max().unwrap() as f64;
+            let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+            assert!(max <= mean * 2.0, "loads {loads:?}");
+        }
+    }
+
+    #[test]
+    fn total_edges_preserved() {
+        let g = graph();
+        let plan = TwoLevelPartition::build(&g, 4, 2, 3);
+        let total: usize = plan.all_chunks().map(|c| c.num_edges()).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn v_ori_at_least_distinct_sources() {
+        let g = graph();
+        let plan = TwoLevelPartition::build(&g, 4, 4, 3);
+        // V_ori counts each chunk's neighbor set; must be at least the
+        // number of distinct sources in the whole graph.
+        let distinct_sources =
+            (0..g.num_vertices()).filter(|&v| g.out_degree(v as VertexId) > 0).count();
+        assert!(plan.v_ori() >= distinct_sources);
+    }
+
+    #[test]
+    fn single_gpu_single_chunk_is_whole_graph() {
+        let g = graph();
+        let plan = TwoLevelPartition::build(&g, 1, 1, 0);
+        assert_eq!(plan.chunks[0][0].num_dests(), g.num_vertices());
+        assert_eq!(plan.chunks[0][0].num_edges(), g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than")]
+    fn rejects_more_chunks_than_partition_vertices() {
+        let g = generators::erdos_renyi(12, 2.0, &mut SeededRng::new(1));
+        let _ = TwoLevelPartition::build(&g, 4, 10, 0);
+    }
+
+    #[test]
+    fn with_chunks_renumbers_ids() {
+        let g = graph();
+        let plan = TwoLevelPartition::build(&g, 2, 2, 1);
+        let mut grid = plan.chunks.clone();
+        grid[0].reverse(); // permute batch order in partition 0
+        let plan2 = plan.with_chunks(grid);
+        for (i, row) in plan2.chunks.iter().enumerate() {
+            for (j, c) in row.iter().enumerate() {
+                assert_eq!((c.part, c.chunk), (i, j));
+            }
+        }
+        assert!(plan2.validate(&g).is_ok());
+    }
+}

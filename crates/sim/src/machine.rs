@@ -1,0 +1,430 @@
+//! The simulated machine: per-GPU clocks, memory trackers, and the
+//! time/volume accounting that backs every performance number in the
+//! benchmark harness.
+
+use crate::config::MachineConfig;
+use crate::memory::{MemoryTracker, SimError};
+use crate::trace::{Event, EventKind, Trace};
+
+/// Time attributed to each of the paper's breakdown components (Figure 9),
+/// in seconds, plus the transferred byte volumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBuckets {
+    /// Host↔GPU communication time (H2D + D2H; the paper's "H2D" bar).
+    pub h2d: f64,
+    /// Inter-GPU communication time (the paper's "D2D" bar).
+    pub d2d: f64,
+    /// GPU compute time.
+    pub gpu: f64,
+    /// CPU compute time (host-side gradient accumulation).
+    pub cpu: f64,
+    /// Intra-GPU reuse time (tiny; folded into "GPU" in the paper's plots).
+    pub reuse: f64,
+    /// Host→GPU bytes.
+    pub bytes_h2d: u64,
+    /// GPU→host bytes.
+    pub bytes_d2h: u64,
+    /// GPU↔GPU bytes.
+    pub bytes_d2d: u64,
+    /// Bytes served by intra-GPU reuse instead of a transfer.
+    pub bytes_reuse: u64,
+}
+
+impl TimeBuckets {
+    /// Total attributed time (sum over devices, not the critical path).
+    pub fn total_time(&self) -> f64 {
+        self.h2d + self.d2d + self.gpu + self.cpu + self.reuse
+    }
+
+    /// Total communication time (H2D + D2D), the quantity §7.3 reports.
+    pub fn comm_time(&self) -> f64 {
+        self.h2d + self.d2d
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &TimeBuckets) {
+        self.h2d += other.h2d;
+        self.d2d += other.d2d;
+        self.gpu += other.gpu;
+        self.cpu += other.cpu;
+        self.reuse += other.reuse;
+        self.bytes_h2d += other.bytes_h2d;
+        self.bytes_d2h += other.bytes_d2h;
+        self.bytes_d2d += other.bytes_d2d;
+        self.bytes_reuse += other.bytes_reuse;
+    }
+}
+
+/// The simulated multi-GPU machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    gpus: Vec<MemoryTracker>,
+    host: MemoryTracker,
+    clocks: Vec<f64>,
+    buckets: TimeBuckets,
+    trace: Trace,
+}
+
+impl Machine {
+    /// Builds a machine from a validated config.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid (see [`MachineConfig::validate`]).
+    pub fn new(config: MachineConfig) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid MachineConfig: {e}"));
+        let gpus = (0..config.num_gpus)
+            .map(|i| MemoryTracker::new(format!("GPU{i}"), config.gpu_memory))
+            .collect();
+        let host = MemoryTracker::new("host", config.host_memory);
+        let clocks = vec![0.0; config.num_gpus];
+        Machine { config, gpus, host, clocks, buckets: TimeBuckets::default(), trace: Trace::disabled() }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.config.num_gpus
+    }
+
+    /// Enables event tracing with the given capacity.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    fn check_gpu(&self, gpu: usize) -> Result<(), SimError> {
+        if gpu >= self.gpus.len() {
+            Err(SimError::NoSuchDevice { index: gpu, available: self.gpus.len() })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn record(&mut self, kind: EventKind, device: usize, bytes: usize, seconds: f64) {
+        let at = if device < self.clocks.len() { self.clocks[device] } else { 0.0 };
+        self.trace.record(Event { kind, device, bytes, seconds, at });
+    }
+
+    // ---- memory ----
+
+    /// Allocates `bytes` on GPU `gpu`.
+    pub fn alloc(&mut self, gpu: usize, bytes: usize, label: &str) -> Result<(), SimError> {
+        self.check_gpu(gpu)?;
+        self.gpus[gpu].alloc(bytes, label)
+    }
+
+    /// Frees `bytes` on GPU `gpu`.
+    pub fn free(&mut self, gpu: usize, bytes: usize) {
+        self.gpus[gpu].free(bytes);
+    }
+
+    /// Allocates `bytes` of host memory.
+    pub fn host_alloc(&mut self, bytes: usize, label: &str) -> Result<(), SimError> {
+        self.host.alloc(bytes, label)
+    }
+
+    /// Frees `bytes` of host memory.
+    pub fn host_free(&mut self, bytes: usize) {
+        self.host.free(bytes);
+    }
+
+    /// Memory tracker of GPU `gpu`.
+    pub fn gpu_memory(&self, gpu: usize) -> &MemoryTracker {
+        &self.gpus[gpu]
+    }
+
+    /// Host memory tracker.
+    pub fn host_memory(&self) -> &MemoryTracker {
+        &self.host
+    }
+
+    /// Largest per-GPU peak allocation across all GPUs.
+    pub fn max_gpu_peak(&self) -> usize {
+        self.gpus.iter().map(|g| g.peak()).max().unwrap_or(0)
+    }
+
+    // ---- time ----
+
+    /// Charges a host→GPU transfer of `bytes` to GPU `gpu`'s clock.
+    /// Returns the seconds charged.
+    pub fn h2d(&mut self, gpu: usize, bytes: usize) -> f64 {
+        let t = self.config.pcie_latency + bytes as f64 * self.config.pcie_seconds_per_byte();
+        self.clocks[gpu] += t;
+        self.buckets.h2d += t;
+        self.buckets.bytes_h2d += bytes as u64;
+        self.record(EventKind::H2D, gpu, bytes, t);
+        t
+    }
+
+    /// Charges a host→GPU transfer where `remote_bytes` of the payload
+    /// live on the other NUMA socket and pay the QPI penalty. Used by the
+    /// vanilla offloading baseline, whose per-chunk transfers pull
+    /// neighbors from whichever socket owns them (§7.3: deduplication
+    /// "eliminates the remote neighbor access across CPUs").
+    pub fn h2d_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
+        debug_assert!(remote_bytes <= bytes);
+        let spb = self.config.pcie_seconds_per_byte();
+        let t = self.config.pcie_latency
+            + (bytes - remote_bytes) as f64 * spb
+            + remote_bytes as f64 * spb * self.config.numa_remote_factor;
+        self.clocks[gpu] += t;
+        self.buckets.h2d += t;
+        self.buckets.bytes_h2d += bytes as u64;
+        self.record(EventKind::H2D, gpu, bytes, t);
+        t
+    }
+
+    /// GPU→host counterpart of [`Machine::h2d_mixed`].
+    pub fn d2h_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
+        debug_assert!(remote_bytes <= bytes);
+        let spb = self.config.pcie_seconds_per_byte();
+        let t = self.config.pcie_latency
+            + (bytes - remote_bytes) as f64 * spb
+            + remote_bytes as f64 * spb * self.config.numa_remote_factor;
+        self.clocks[gpu] += t;
+        self.buckets.h2d += t;
+        self.buckets.bytes_d2h += bytes as u64;
+        self.record(EventKind::D2H, gpu, bytes, t);
+        t
+    }
+
+    /// Charges a GPU→host transfer of `bytes` to GPU `gpu`'s clock.
+    pub fn d2h(&mut self, gpu: usize, bytes: usize) -> f64 {
+        let t = self.config.pcie_latency + bytes as f64 * self.config.pcie_seconds_per_byte();
+        self.clocks[gpu] += t;
+        self.buckets.h2d += t;
+        self.buckets.bytes_d2h += bytes as u64;
+        self.record(EventKind::D2H, gpu, bytes, t);
+        t
+    }
+
+    /// Charges a GPU↔GPU transfer of `bytes` between `src` and `dst` to the
+    /// *initiating* GPU `dst` (pull semantics, matching the paper's
+    /// forward-pass fetch_from_gpu).
+    pub fn d2d(&mut self, _src: usize, dst: usize, bytes: usize) -> f64 {
+        let t = self.config.nvlink_latency + bytes as f64 / self.config.nvlink_bw;
+        self.clocks[dst] += t;
+        self.buckets.d2d += t;
+        self.buckets.bytes_d2d += bytes as u64;
+        self.record(EventKind::D2D, dst, bytes, t);
+        t
+    }
+
+    /// Charges an intra-GPU reuse of `bytes` (buffer-local copy at HBM
+    /// speed) to GPU `gpu`.
+    pub fn reuse(&mut self, gpu: usize, bytes: usize) -> f64 {
+        let t = bytes as f64 / self.config.hbm_bw;
+        self.clocks[gpu] += t;
+        self.buckets.reuse += t;
+        self.buckets.bytes_reuse += bytes as u64;
+        self.record(EventKind::Reuse, gpu, bytes, t);
+        t
+    }
+
+    /// Charges `flops` of dense (matmul-like) GPU work to GPU `gpu`.
+    pub fn gpu_dense(&mut self, gpu: usize, flops: f64) -> f64 {
+        let t = flops / self.config.gpu_dense_flops;
+        self.clocks[gpu] += t;
+        self.buckets.gpu += t;
+        self.record(EventKind::GpuCompute, gpu, 0, t);
+        t
+    }
+
+    /// Charges `flops` of irregular edge-parallel GPU work to GPU `gpu`.
+    pub fn gpu_edge(&mut self, gpu: usize, flops: f64) -> f64 {
+        let t = flops / self.config.gpu_edge_flops;
+        self.clocks[gpu] += t;
+        self.buckets.gpu += t;
+        self.record(EventKind::GpuCompute, gpu, 0, t);
+        t
+    }
+
+    /// Charges `flops` of CPU work; the time is serialized onto GPU
+    /// `waiting_gpu`'s timeline (the paper's CPU-side gradient accumulation
+    /// happens between batches, blocking the owner GPU's next step). All
+    /// GPUs' host-side work contends for the same CPUs, so the effective
+    /// throughput is divided by the GPU count.
+    pub fn cpu_compute(&mut self, waiting_gpu: usize, flops: f64) -> f64 {
+        let t = flops / (self.config.cpu_flops / self.config.num_gpus as f64);
+        self.clocks[waiting_gpu] += t;
+        self.buckets.cpu += t;
+        self.record(EventKind::CpuCompute, waiting_gpu, 0, t);
+        t
+    }
+
+    /// Charges a host-side gradient accumulation of `bytes` (read old,
+    /// add, write back — three memory touches per byte) to GPU
+    /// `waiting_gpu`'s timeline. Host memory bandwidth is shared by all
+    /// GPUs' accumulation streams, which is why the paper measures the
+    /// CPU component at 8–30% of the epoch.
+    pub fn cpu_accumulate(&mut self, waiting_gpu: usize, bytes: usize) -> f64 {
+        let bw = self.config.host_mem_bw / self.config.num_gpus as f64;
+        let t = 3.0 * bytes as f64 / bw;
+        self.clocks[waiting_gpu] += t;
+        self.buckets.cpu += t;
+        self.record(EventKind::CpuCompute, waiting_gpu, bytes, t);
+        t
+    }
+
+    /// Synchronizes all GPU clocks to the maximum (batch barrier).
+    pub fn barrier(&mut self) {
+        let max = self.elapsed();
+        for c in &mut self.clocks {
+            *c = max;
+        }
+        self.record(EventKind::Barrier, usize::MAX, 0, 0.0);
+    }
+
+    /// Current simulated time: the furthest-ahead GPU clock.
+    pub fn elapsed(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// GPU `gpu`'s own clock.
+    pub fn clock(&self, gpu: usize) -> f64 {
+        self.clocks[gpu]
+    }
+
+    /// Accumulated per-component times and volumes.
+    pub fn buckets(&self) -> TimeBuckets {
+        self.buckets
+    }
+
+    /// Zeroes clocks and buckets; memory state and peaks are kept.
+    pub fn reset_time(&mut self) {
+        for c in &mut self.clocks {
+            *c = 0.0;
+        }
+        self.buckets = TimeBuckets::default();
+        self.trace.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::scaled(4, 1 << 20))
+    }
+
+    #[test]
+    fn transfer_times_match_bandwidth_model() {
+        let mut m = machine();
+        let cfg = m.config().clone();
+        let t = m.h2d(0, 1_000_000);
+        assert!((t - (cfg.pcie_latency + 1_000_000.0 / cfg.pcie_bw)).abs() < 1e-12);
+        let t2 = m.d2d(0, 1, 1_000_000);
+        assert!(t2 < t, "NVLink must be faster than PCIe");
+        let t3 = m.reuse(1, 1_000_000);
+        assert!(t3 < t2, "reuse must be faster than NVLink");
+    }
+
+    #[test]
+    fn clocks_are_per_gpu_until_barrier() {
+        let mut m = machine();
+        m.h2d(0, 1_000_000);
+        assert!(m.clock(0) > 0.0);
+        assert_eq!(m.clock(1), 0.0);
+        m.barrier();
+        assert_eq!(m.clock(1), m.clock(0));
+        assert_eq!(m.elapsed(), m.clock(0));
+    }
+
+    #[test]
+    fn buckets_accumulate_by_kind() {
+        let mut m = machine();
+        m.h2d(0, 100);
+        m.d2h(1, 50);
+        m.d2d(0, 2, 200);
+        m.reuse(3, 400);
+        m.gpu_dense(0, 1e9);
+        m.cpu_compute(0, 1e9);
+        let b = m.buckets();
+        assert!(b.h2d > 0.0 && b.d2d > 0.0 && b.gpu > 0.0 && b.cpu > 0.0 && b.reuse > 0.0);
+        assert_eq!(b.bytes_h2d, 100);
+        assert_eq!(b.bytes_d2h, 50);
+        assert_eq!(b.bytes_d2d, 200);
+        assert_eq!(b.bytes_reuse, 400);
+        assert!(b.total_time() > b.comm_time());
+    }
+
+    #[test]
+    fn edge_compute_slower_than_dense() {
+        let mut m = machine();
+        let td = m.gpu_dense(0, 1e9);
+        let te = m.gpu_edge(0, 1e9);
+        assert!(te > td);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let mut m = Machine::new(MachineConfig::scaled(2, 1000));
+        assert!(m.alloc(0, 600, "a").is_ok());
+        let err = m.alloc(0, 600, "b").unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+        // Other GPU unaffected.
+        assert!(m.alloc(1, 600, "c").is_ok());
+        m.free(0, 600);
+        assert!(m.alloc(0, 600, "b").is_ok());
+        assert_eq!(m.max_gpu_peak(), 600);
+    }
+
+    #[test]
+    fn invalid_gpu_index_is_an_error() {
+        let mut m = machine();
+        assert!(matches!(
+            m.alloc(9, 1, "x"),
+            Err(SimError::NoSuchDevice { index: 9, available: 4 })
+        ));
+    }
+
+    #[test]
+    fn reset_time_keeps_memory() {
+        let mut m = machine();
+        m.alloc(0, 512, "x").unwrap();
+        m.h2d(0, 100);
+        m.reset_time();
+        assert_eq!(m.elapsed(), 0.0);
+        assert_eq!(m.buckets(), TimeBuckets::default());
+        assert_eq!(m.gpu_memory(0).in_use(), 512);
+    }
+
+    #[test]
+    fn single_gpu_machine_pays_numa_penalty() {
+        let mut m4 = Machine::new(MachineConfig::scaled(4, 1 << 20));
+        let mut m1 = Machine::new(MachineConfig::scaled(1, 1 << 20));
+        let t4 = m4.h2d(0, 10_000_000);
+        let t1 = m1.h2d(0, 10_000_000);
+        assert!(t1 > t4, "1-GPU config must pay remote-socket penalty");
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let mut m = machine();
+        m.enable_trace(16);
+        m.h2d(0, 10);
+        m.barrier();
+        let kinds: Vec<_> = m.trace().events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EventKind::H2D, EventKind::Barrier]);
+    }
+
+    #[test]
+    fn buckets_add_combines() {
+        let mut a = TimeBuckets::default();
+        let b = TimeBuckets { h2d: 1.0, bytes_h2d: 5, ..Default::default() };
+        a.add(&b);
+        a.add(&b);
+        assert_eq!(a.h2d, 2.0);
+        assert_eq!(a.bytes_h2d, 10);
+    }
+}

@@ -1,0 +1,128 @@
+//! Optional event trace for debugging and for the bench harness's
+//! communication-volume reports.
+
+/// The kind of a simulated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Host → GPU transfer.
+    H2D,
+    /// GPU → host transfer.
+    D2H,
+    /// GPU → GPU transfer.
+    D2D,
+    /// Intra-GPU data reuse (buffer-to-buffer at HBM speed).
+    Reuse,
+    /// GPU compute.
+    GpuCompute,
+    /// CPU compute.
+    CpuCompute,
+    /// Barrier synchronization.
+    Barrier,
+}
+
+/// One recorded operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Operation kind.
+    pub kind: EventKind,
+    /// Device the time was charged to (GPU index; `usize::MAX` = host).
+    pub device: usize,
+    /// Payload bytes (0 for compute/barrier).
+    pub bytes: usize,
+    /// Seconds charged.
+    pub seconds: f64,
+    /// Simulated timestamp at completion on the charged device.
+    pub at: f64,
+}
+
+/// A bounded event log. Disabled by default; when enabled it keeps the most
+/// recent `capacity` events.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: std::collections::VecDeque<Event>,
+    capacity: usize,
+    enabled: bool,
+    dropped: usize,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace { events: Default::default(), capacity: 0, enabled: false, dropped: 0 }
+    }
+
+    /// An enabled trace holding up to `capacity` recent events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace { events: Default::default(), capacity, enabled: true, dropped: 0 }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, e: Event) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(e);
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events evicted due to the capacity bound.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, bytes: usize) -> Event {
+        Event { kind, device: 0, bytes, seconds: 1e-6, at: 0.0 }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(ev(EventKind::H2D, 10));
+        assert_eq!(t.events().count(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        let mut t = Trace::with_capacity(2);
+        t.record(ev(EventKind::H2D, 1));
+        t.record(ev(EventKind::D2D, 2));
+        t.record(ev(EventKind::Reuse, 3));
+        let kinds: Vec<_> = t.events().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![EventKind::D2D, EventKind::Reuse]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::with_capacity(4);
+        t.record(ev(EventKind::Barrier, 0));
+        t.clear();
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Weight initialization schemes.
+
+use crate::matrix::Matrix;
+use crate::rng::SeededRng;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. This matches the initialization used
+/// by the reference GCN/GAT implementations the paper builds on.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform_range(-a, a))
+}
+
+/// Scaled normal initialization: `N(0, scale²)`.
+pub fn normal_init(rows: usize, cols: usize, scale: f32, rng: &mut SeededRng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.normal() * scale)
+}
+
+/// A zero matrix with the same shape as `m`.
+pub fn zeros_like(m: &Matrix) -> Matrix {
+    Matrix::zeros(m.rows(), m.cols())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = SeededRng::new(1);
+        let w = xavier_uniform(64, 32, &mut rng);
+        let a = (6.0_f32 / 96.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= a));
+        assert_eq!(w.shape(), (64, 32));
+    }
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        let w1 = xavier_uniform(8, 8, &mut SeededRng::new(5));
+        let w2 = xavier_uniform(8, 8, &mut SeededRng::new(5));
+        assert_eq!(w1, w2);
+        let w3 = xavier_uniform(8, 8, &mut SeededRng::new(6));
+        assert_ne!(w1, w3);
+    }
+
+    #[test]
+    fn xavier_is_not_degenerate() {
+        let mut rng = SeededRng::new(2);
+        let w = xavier_uniform(128, 128, &mut rng);
+        let mean = w.sum() / w.len() as f32;
+        assert!(mean.abs() < 0.01);
+        assert!(w.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn zeros_like_matches_shape() {
+        let m = Matrix::full(3, 7, 2.0);
+        let z = zeros_like(&m);
+        assert_eq!(z.shape(), (3, 7));
+        assert_eq!(z.sum(), 0.0);
+    }
+
+    #[test]
+    fn normal_init_scale() {
+        let mut rng = SeededRng::new(3);
+        let w = normal_init(100, 100, 0.1, &mut rng);
+        let var = w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        assert!((var - 0.01).abs() < 0.002, "var {var}");
+    }
+}

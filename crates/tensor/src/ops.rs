@@ -1,0 +1,295 @@
+//! Activation functions and their derivatives, plus row-wise softmax.
+//!
+//! These are exactly the nonlinearities used by the paper's two reference
+//! models: GCN uses `ReLU` in UPDATE; GAT uses `LeakyReLU` on attention
+//! coefficients and a neighbor-oriented softmax for edge weights.
+
+use crate::matrix::Matrix;
+
+/// Slope used by GAT's LeakyReLU, matching the GAT reference implementation.
+pub const LEAKY_RELU_SLOPE: f32 = 0.2;
+
+/// `ReLU(x) = max(x, 0)`, element-wise.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| if v > 0.0 { v } else { 0.0 })
+}
+
+/// Backward of ReLU: `grad * 1[pre > 0]`.
+///
+/// `pre` is the *pre-activation* input (the paper's `a × W`), which in the
+/// recomputation-based scheme is regenerated in the backward pass.
+pub fn relu_backward(pre: &Matrix, grad: &Matrix) -> Matrix {
+    assert_eq!(pre.shape(), grad.shape(), "relu_backward: shape mismatch");
+    Matrix::from_vec(
+        pre.rows(),
+        pre.cols(),
+        pre.as_slice()
+            .iter()
+            .zip(grad.as_slice())
+            .map(|(&p, &g)| if p > 0.0 { g } else { 0.0 })
+            .collect(),
+    )
+}
+
+/// `LeakyReLU(x)` with slope [`LEAKY_RELU_SLOPE`] on the negative side.
+pub fn leaky_relu(x: f32) -> f32 {
+    if x > 0.0 {
+        x
+    } else {
+        LEAKY_RELU_SLOPE * x
+    }
+}
+
+/// Derivative of LeakyReLU at pre-activation `x`.
+pub fn leaky_relu_backward(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        LEAKY_RELU_SLOPE
+    }
+}
+
+/// Element-wise logistic sigmoid.
+pub fn sigmoid(x: &Matrix) -> Matrix {
+    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+}
+
+/// Derivative of the sigmoid given its *output* `y`: `y · (1 − y)`.
+pub fn sigmoid_backward_from_output(y: &Matrix, grad: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), grad.shape(), "sigmoid_backward: shape mismatch");
+    let mut out = y.clone();
+    for ((o, &yv), &g) in
+        out.as_mut_slice().iter_mut().zip(y.as_slice()).zip(grad.as_slice())
+    {
+        *o = g * yv * (1.0 - yv);
+    }
+    out
+}
+
+/// Element-wise hyperbolic tangent.
+pub fn tanh(x: &Matrix) -> Matrix {
+    x.map(f32::tanh)
+}
+
+/// Derivative of tanh given its *output* `y`: `1 − y²`.
+pub fn tanh_backward_from_output(y: &Matrix, grad: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), grad.shape(), "tanh_backward: shape mismatch");
+    let mut out = y.clone();
+    for ((o, &yv), &g) in
+        out.as_mut_slice().iter_mut().zip(y.as_slice()).zip(grad.as_slice())
+    {
+        *o = g * (1.0 - yv * yv);
+    }
+    out
+}
+
+/// Numerically-stable softmax applied independently to every row.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        softmax_in_place(out.row_mut(r));
+    }
+    out
+}
+
+/// Numerically-stable log-softmax applied independently to every row.
+pub fn log_softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    out
+}
+
+/// In-place stable softmax over a slice (used for per-neighbor-set softmax in
+/// GAT, where the "row" is a variable-length neighbor segment).
+pub fn softmax_in_place(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Backward of an in-place softmax segment: given the softmax output `y` and
+/// upstream gradient `dy`, returns `dx` where
+/// `dx_i = y_i * (dy_i - Σ_j y_j dy_j)`.
+pub fn softmax_backward_segment(y: &[f32], dy: &[f32], dx: &mut [f32]) {
+    debug_assert_eq!(y.len(), dy.len());
+    debug_assert_eq!(y.len(), dx.len());
+    let dot: f32 = y.iter().zip(dy).map(|(a, b)| a * b).sum();
+    for ((o, &yi), &dyi) in dx.iter_mut().zip(y).zip(dy) {
+        *o = yi * (dyi - dot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Matrix::from_vec(1, 4, vec![-2.0, -0.0, 0.5, 3.0]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_by_preactivation() {
+        let pre = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 1.0, 2.0]);
+        let grad = Matrix::from_vec(1, 4, vec![10.0, 10.0, 10.0, 10.0]);
+        assert_eq!(relu_backward(&pre, &grad).as_slice(), &[0.0, 0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn leaky_relu_matches_slope() {
+        assert_eq!(leaky_relu(2.0), 2.0);
+        assert!((leaky_relu(-2.0) + 2.0 * LEAKY_RELU_SLOPE).abs() < 1e-7);
+        assert_eq!(leaky_relu_backward(1.0), 1.0);
+        assert_eq!(leaky_relu_backward(-1.0), LEAKY_RELU_SLOPE);
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_values() {
+        let x = Matrix::from_vec(1, 3, vec![0.0, 100.0, -100.0]);
+        let s = sigmoid(&x);
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((s.get(0, 1) - 1.0).abs() < 1e-6);
+        assert!(s.get(0, 2).abs() < 1e-6);
+        let t = tanh(&x);
+        assert!(t.get(0, 0).abs() < 1e-6);
+        assert!((t.get(0, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_backward_matches_finite_difference() {
+        let x = Matrix::from_vec(1, 4, vec![0.3, -0.7, 1.1, 0.0]);
+        let g = Matrix::from_vec(1, 4, vec![1.0, -0.5, 0.25, 2.0]);
+        let y = sigmoid(&x);
+        let ana = sigmoid_backward_from_output(&y, &g);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (sigmoid(&xp).hadamard(&g).sum() - sigmoid(&xm).hadamard(&g).sum())
+                / (2.0 * eps);
+            assert!((num - ana.as_slice()[i]).abs() < 1e-3, "coord {i}");
+        }
+    }
+
+    #[test]
+    fn tanh_backward_matches_finite_difference() {
+        let x = Matrix::from_vec(1, 3, vec![0.4, -1.2, 0.0]);
+        let g = Matrix::from_vec(1, 3, vec![0.7, 1.3, -2.0]);
+        let y = tanh(&x);
+        let ana = tanh_backward_from_output(&y, &g);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num =
+                (tanh(&xp).hadamard(&g).sum() - tanh(&xm).hadamard(&g).sum()) / (2.0 * eps);
+            assert!((num - ana.as_slice()[i]).abs() < 1e-3, "coord {i}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let y = softmax_rows(&x);
+        for r in 0..2 {
+            let s: f32 = y.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone: larger logits get larger probabilities.
+        assert!(y.get(0, 2) > y.get(0, 1) && y.get(0, 1) > y.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        assert!(softmax_rows(&a).approx_eq(&softmax_rows(&b), 1e-6));
+    }
+
+    #[test]
+    fn softmax_handles_extreme_values() {
+        let x = Matrix::from_vec(1, 3, vec![1e30, -1e30, 0.0]);
+        let y = softmax_rows(&x);
+        assert!((y.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = Matrix::from_vec(2, 4, vec![0.5, -1.0, 2.0, 0.0, 3.0, 3.0, 3.0, 3.0]);
+        let p = softmax_rows(&x);
+        let lp = log_softmax_rows(&x);
+        for i in 0..x.len() {
+            assert!((p.as_slice()[i].ln() - lp.as_slice()[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_zero_for_uniform_upstream() {
+        // d/dx softmax with constant upstream gradient is zero (probabilities
+        // are invariant to shifts).
+        let mut y = vec![1.0_f32, 2.0, 0.5];
+        softmax_in_place(&mut y);
+        let dy = vec![3.0; 3];
+        let mut dx = vec![0.0; 3];
+        softmax_backward_segment(&y, &dy, &mut dx);
+        assert!(dx.iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = [0.3_f32, -0.7, 1.1, 0.2];
+        let dy = [0.5_f32, -1.0, 0.25, 2.0];
+        let f = |x: &[f32]| -> f32 {
+            let mut y = x.to_vec();
+            softmax_in_place(&mut y);
+            y.iter().zip(&dy).map(|(a, b)| a * b).sum()
+        };
+        let mut y = x.to_vec();
+        softmax_in_place(&mut y);
+        let mut dx = vec![0.0; 4];
+        softmax_backward_segment(&y, &dy, &mut dx);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx[i]).abs() < 1e-2,
+                "component {i}: numeric {num} vs analytic {}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_segment_softmax_is_noop() {
+        let mut empty: [f32; 0] = [];
+        softmax_in_place(&mut empty);
+    }
+}

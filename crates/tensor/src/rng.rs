@@ -1,0 +1,209 @@
+//! Deterministic random-number utilities.
+//!
+//! Every experiment in the repository is seeded; [`SeededRng`] is a thin
+//! wrapper around `StdRng` that also supports cheap *forking*, so that
+//! independent components (feature init, weight init, graph generation)
+//! derive decorrelated-but-reproducible streams from a single master seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seedable RNG with stream forking.
+#[derive(Debug)]
+pub struct SeededRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SeededRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The master seed this stream was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream labelled by `stream`.
+    ///
+    /// Forking with the same `(seed, stream)` pair always yields the same
+    /// sequence, regardless of how much the parent has been consumed.
+    ///
+    /// ```
+    /// use hongtu_tensor::SeededRng;
+    /// let mut parent = SeededRng::new(7);
+    /// let _ = parent.next_u64(); // consuming the parent ...
+    /// let mut a = parent.fork(1);
+    /// let mut b = SeededRng::new(7).fork(1); // ... does not change forks
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    pub fn fork(&self, stream: u64) -> SeededRng {
+        // SplitMix64-style mixing of (seed, stream) into a child seed.
+        let mut z = self.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SeededRng::new(z)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.random()
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform `usize` in `[0, n)`. `n` must be positive.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "SeededRng::index: empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.random_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.uniform().max(1e-12);
+        let u2: f32 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (k ≤ n), in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k={k} > n={n}");
+        if k * 4 >= n {
+            // Dense regime: shuffle a full index vector.
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            all
+        } else {
+            // Sparse regime: rejection sampling with a seen-set.
+            let mut seen = std::collections::HashSet::with_capacity(k * 2);
+            let mut out = Vec::with_capacity(k);
+            while out.len() < k {
+                let v = self.index(n);
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent_of_parent_state() {
+        let mut parent = SeededRng::new(7);
+        let pristine = SeededRng::new(7);
+        let _ = parent.next_u64(); // consume parent
+        let mut f1 = parent.fork(3);
+        let mut f2 = pristine.fork(3);
+        for _ in 0..16 {
+            assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_with_different_labels_differ() {
+        let r = SeededRng::new(9);
+        let mut a = r.fork(0);
+        let mut b = r.fork(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SeededRng::new(5);
+        for _ in 0..1000 {
+            let v = r.uniform();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn index_respects_bound() {
+        let mut r = SeededRng::new(5);
+        for n in 1..20 {
+            for _ in 0..50 {
+                assert!(r.index(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut r = SeededRng::new(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_complete() {
+        let mut r = SeededRng::new(3);
+        // Sparse regime
+        let s = r.sample_indices(1000, 10);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 10);
+        // Dense regime: k == n must be a permutation
+        let mut s = r.sample_indices(8, 8);
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SeededRng::new(17);
+        let mut v: Vec<usize> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,230 @@
+//! Sparse matrices in CSR form and SpMM — the cuSparse analog.
+//!
+//! The paper's computation engine implements graph operations with
+//! cuSparse (§6): neighbor aggregation is a sparse × dense product
+//! `A · H` where `A` is the (weighted) chunk adjacency. This module
+//! provides that kernel on the host, row-parallelized like the dense
+//! matmul, plus the transpose product used by the backward pass.
+
+use crate::matrix::Matrix;
+
+/// A sparse `rows × cols` matrix in compressed sparse row form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `offsets[r]..offsets[r+1]` indexes `indices`/`values` for row `r`.
+    offsets: Vec<usize>,
+    /// Column indices per non-zero.
+    indices: Vec<u32>,
+    /// Non-zero values.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from per-row `(column, value)` lists.
+    ///
+    /// # Panics
+    /// Panics if a column index is out of range.
+    pub fn from_rows(rows: usize, cols: usize, row_entries: &[Vec<(u32, f32)>]) -> Self {
+        assert_eq!(row_entries.len(), rows, "row list length mismatch");
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0usize);
+        let nnz: usize = row_entries.iter().map(Vec::len).sum();
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for entries in row_entries {
+            for &(c, v) in entries {
+                assert!((c as usize) < cols, "column {c} out of range (cols = {cols})");
+                indices.push(c);
+                values.push(v);
+            }
+            offsets.push(indices.len());
+        }
+        CsrMatrix { rows, cols, offsets, indices, values }
+    }
+
+    /// Builds the CSR matrix directly from raw parts (validated).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        offsets: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(offsets.len(), rows + 1, "offsets length must be rows + 1");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(*offsets.last().unwrap(), indices.len(), "offsets must end at nnz");
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of range");
+        CsrMatrix { rows, cols, offsets, indices, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sparse × dense product `self · dense`
+    /// (`rows × cols` · `cols × d` → `rows × d`).
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.cols, dense.rows(), "spmm: inner dimensions differ");
+        let d = dense.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        for r in 0..self.rows {
+            let row_out = out.row_mut(r);
+            for k in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.indices[k] as usize;
+                let w = self.values[k];
+                for (o, &x) in row_out.iter_mut().zip(dense.row(c)) {
+                    *o += w * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product `selfᵀ · dense`
+    /// (`cols × rows` · `rows × d` → `cols × d`) without materializing the
+    /// transpose — the scatter pattern of the aggregation backward pass.
+    pub fn transpose_spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.rows, dense.rows(), "transpose_spmm: row counts differ");
+        let d = dense.cols();
+        let mut out = Matrix::zeros(self.cols, d);
+        for r in 0..self.rows {
+            let src = dense.row(r);
+            for k in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.indices[k] as usize;
+                let w = self.values[k];
+                let row_out = out.row_mut(c);
+                for (o, &x) in row_out.iter_mut().zip(src) {
+                    *o += w * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialized transpose (CSC view as a CSR matrix).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        for r in 0..self.rows {
+            for k in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.indices[k] as usize;
+                let pos = cursor[c];
+                indices[pos] = r as u32;
+                values[pos] = self.values[k];
+                cursor[c] += 1;
+            }
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, offsets, indices, values }
+    }
+
+    /// Densifies (tests / small problems only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for k in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.indices[k] as usize;
+                out.set(r, c, out.get(r, c) + self.values[k]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn random_csr(rng: &mut SeededRng, rows: usize, cols: usize, per_row: usize) -> CsrMatrix {
+        let entries: Vec<Vec<(u32, f32)>> = (0..rows)
+            .map(|_| {
+                (0..per_row)
+                    .map(|_| (rng.index(cols) as u32, rng.uniform_range(-1.0, 1.0)))
+                    .collect()
+            })
+            .collect();
+        CsrMatrix::from_rows(rows, cols, &entries)
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference() {
+        let mut rng = SeededRng::new(1);
+        let a = random_csr(&mut rng, 12, 9, 3);
+        let h = Matrix::from_fn(9, 5, |r, c| ((r * 5 + c) as f32 * 0.13).sin());
+        let sparse = a.spmm(&h);
+        let dense = a.to_dense().matmul(&h);
+        assert!(sparse.approx_eq(&dense, 1e-5));
+    }
+
+    #[test]
+    fn transpose_spmm_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(2);
+        let a = random_csr(&mut rng, 10, 14, 4);
+        let h = Matrix::from_fn(10, 3, |r, c| ((r + c * 7) as f32 * 0.21).cos());
+        let fused = a.transpose_spmm(&h);
+        let explicit = a.transpose().spmm(&h);
+        assert!(fused.approx_eq(&explicit, 1e-5));
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let mut rng = SeededRng::new(3);
+        let a = random_csr(&mut rng, 8, 6, 2);
+        let back = a.transpose().transpose();
+        assert!(back.to_dense().approx_eq(&a.to_dense(), 1e-6));
+    }
+
+    #[test]
+    fn duplicate_entries_accumulate() {
+        let a = CsrMatrix::from_rows(1, 2, &[vec![(1, 2.0), (1, 3.0)]]);
+        assert_eq!(a.nnz(), 2);
+        let h = Matrix::from_vec(2, 1, vec![10.0, 1.0]);
+        assert_eq!(a.spmm(&h).get(0, 0), 5.0);
+        assert_eq!(a.to_dense().get(0, 1), 5.0);
+    }
+
+    #[test]
+    fn empty_rows_are_zero() {
+        let a = CsrMatrix::from_rows(3, 3, &[vec![(0, 1.0)], vec![], vec![(2, 4.0)]]);
+        let h = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        let out = a.spmm(&h);
+        assert!(out.row(1).iter().all(|&v| v == 0.0));
+        assert_eq!(out.get(2, 0), 4.0 * h.get(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_column() {
+        let _ = CsrMatrix::from_rows(1, 2, &[vec![(5, 1.0)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_parts_validates() {
+        let _ = CsrMatrix::from_parts(3, 2, vec![0, 2, 1, 2], vec![0, 1], vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the tensor kernels: algebraic identities that
+//! must hold for arbitrary shapes and data.
+
+use hongtu_tensor::{Matrix, SeededRng};
+use proptest::prelude::*;
+
+fn rand_matrix(rng: &mut SeededRng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform_range(-2.0, 2.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `(A·B)·x == A·(B·x)` (associativity against a vector), within f32
+    /// tolerance — exercises the parallel matmul against itself.
+    #[test]
+    fn matmul_is_associative(seed in 0u64..1000, n in 1usize..24, k in 1usize..24, m in 1usize..24) {
+        let mut rng = SeededRng::new(seed);
+        let a = rand_matrix(&mut rng, n, k);
+        let b = rand_matrix(&mut rng, k, m);
+        let x = rand_matrix(&mut rng, m, 1);
+        let left = a.matmul(&b).matmul(&x);
+        let right = a.matmul(&b.matmul(&x));
+        prop_assert!(left.approx_eq(&right, 1e-3), "max diff {}", left.max_abs_diff(&right));
+    }
+
+    /// The fused transpose products agree with explicit transposition.
+    #[test]
+    fn fused_transpose_products(seed in 0u64..1000, n in 1usize..16, k in 1usize..16, m in 1usize..16) {
+        let mut rng = SeededRng::new(seed);
+        let a = rand_matrix(&mut rng, n, k);
+        let b = rand_matrix(&mut rng, n, m);
+        prop_assert!(a.transpose_matmul(&b).approx_eq(&a.transpose().matmul(&b), 1e-4));
+        let c = rand_matrix(&mut rng, m, k);
+        prop_assert!(a.matmul_transpose(&c).approx_eq(&a.matmul(&c.transpose()), 1e-4));
+    }
+
+    /// Gather and scatter-add are adjoint: `<gather(A, idx), B> ==
+    /// <A, scatter_add(idx, B)>` — the identity that makes the backward
+    /// pass of every neighbor gather correct.
+    #[test]
+    fn gather_scatter_adjoint(
+        seed in 0u64..1000,
+        n in 2usize..40,
+        picks in 1usize..60,
+        dim in 1usize..8,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = rand_matrix(&mut rng, n, dim);
+        let idx: Vec<usize> = (0..picks).map(|_| rng.index(n)).collect();
+        let b = rand_matrix(&mut rng, picks, dim);
+        let lhs: f32 = a.gather_rows(&idx).hadamard(&b).sum();
+        let mut scat = Matrix::zeros(n, dim);
+        scat.scatter_add_rows(&idx, &b);
+        let rhs: f32 = a.hadamard(&scat).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    /// Softmax rows are a probability distribution for any input.
+    #[test]
+    fn softmax_rows_are_distributions(seed in 0u64..1000, n in 1usize..12, c in 1usize..12) {
+        let mut rng = SeededRng::new(seed);
+        let x = Matrix::from_fn(n, c, |_, _| rng.uniform_range(-30.0, 30.0));
+        let y = hongtu_tensor::softmax_rows(&x);
+        for r in 0..n {
+            let s: f32 = y.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(y.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// `hstack` then `columns` round-trips.
+    #[test]
+    fn hstack_columns_roundtrip(seed in 0u64..1000, n in 1usize..10, c1 in 1usize..8, c2 in 1usize..8) {
+        let mut rng = SeededRng::new(seed);
+        let a = rand_matrix(&mut rng, n, c1);
+        let b = rand_matrix(&mut rng, n, c2);
+        let s = a.hstack(&b);
+        prop_assert_eq!(s.columns(0..c1), a);
+        prop_assert_eq!(s.columns(c1..c1 + c2), b);
+    }
+}

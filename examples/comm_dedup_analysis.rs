@@ -1,0 +1,68 @@
+//! Communication-deduplication analysis on a custom graph.
+//!
+//! Shows the planner layer of HongTu as a standalone library: build your
+//! own graph, 2-level-partition it, inspect the three communication
+//! volumes of §5.3, evaluate the Equation-4 cost model, and measure what
+//! Algorithm 4 reorganization buys.
+//!
+//! Run with: `cargo run --example comm_dedup_analysis`
+
+use hongtu::core::{comm_cost, reorganize, CommVolumes, DedupPlan};
+use hongtu::graph::generators::{rmat, RmatParams};
+use hongtu::partition::TwoLevelPartition;
+use hongtu::sim::MachineConfig;
+use hongtu::tensor::SeededRng;
+
+fn main() {
+    // A hub-heavy social graph: lots of duplicated neighbor accesses.
+    let mut rng = SeededRng::new(3);
+    let g = rmat(14, 200_000, RmatParams::social(), &mut rng);
+    println!("graph: {} vertices, {} edges (R-MAT social)", g.num_vertices(), g.num_edges());
+
+    let cfg = MachineConfig::a100_4x();
+    let bytes_per_row = 128 * 4; // a 128-dim f32 representation
+
+    let report = |name: &str, plan: &TwoLevelPartition| {
+        let v = CommVolumes::from_plan(&DedupPlan::build(plan));
+        let cost = comm_cost(v, &cfg, bytes_per_row);
+        println!(
+            "{name:<12} V_ori {:>8}  inter-GPU dup {:>7} ({:>4.1}%)  intra-GPU dup {:>7} ({:>4.1}%)  \
+             H2D cut {:>3.0}%  Eq.4 cost {:.3} ms",
+            v.v_ori,
+            v.inter_gpu(),
+            100.0 * v.inter_gpu() as f64 / v.v_ori as f64,
+            v.intra_gpu(),
+            100.0 * v.intra_gpu() as f64 / v.v_ori as f64,
+            100.0 * v.h2d_reduction(),
+            cost * 1e3,
+        );
+        cost
+    };
+
+    // 4 GPUs x 16 chunks.
+    let plan = TwoLevelPartition::build(&g, 4, 16, 99);
+    let before = report("initial", &plan);
+
+    // Algorithm 4: 2-phase greedy reorganization.
+    let reorg = reorganize(plan);
+    let after = report("reorganized", &reorg);
+
+    println!(
+        "\nreorganization changed the modeled communication cost by {:+.1}%",
+        100.0 * (after - before) / before
+    );
+
+    // Sensitivity: the same graph at several chunk counts.
+    println!("\nchunk-count sensitivity (4 GPUs):");
+    for n in [4usize, 8, 16, 32, 64] {
+        let plan = TwoLevelPartition::build(&g, 4, n, 99);
+        let v = CommVolumes::from_plan(&DedupPlan::build(&plan));
+        println!(
+            "  n = {n:>3}: V_ori/|V| = {:.2}, H2D reduction {:.0}%",
+            v.v_ori as f64 / g.num_vertices() as f64,
+            100.0 * v.h2d_reduction()
+        );
+    }
+    println!("\nmore chunks -> more neighbor replication (higher V_ori), and also");
+    println!("more adjacent-batch overlap for intra-GPU reuse to recover.");
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate re-exporting the HongTu workspace.
+//!
+//! HongTu is a reproduction of "HongTu: Scalable Full-Graph GNN Training on
+//! Multiple GPUs" (SIGMOD 2023, Wang et al.). The 4×A100 GPU platform of the
+//! paper is replaced by a discrete-cost hardware simulator
+//! (`hongtu_sim`); all training numerics are executed for real on the
+//! host, so model semantics are bit-faithful to full-graph training.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+pub use hongtu_core as core;
+pub use hongtu_datasets as datasets;
+pub use hongtu_graph as graph;
+pub use hongtu_nn as nn;
+pub use hongtu_partition as partition;
+pub use hongtu_sim as sim;
+pub use hongtu_tensor as tensor;

@@ -1,0 +1,102 @@
+//! Property-based integration tests over the partition → dedup → reorg
+//! pipeline on randomly generated graphs.
+
+use hongtu::core::{comm_cost, reorganize, reorganize_guarded, CommVolumes, DedupPlan};
+use hongtu::graph::generators;
+use hongtu::partition::TwoLevelPartition;
+use hongtu::sim::MachineConfig;
+use hongtu::tensor::SeededRng;
+use proptest::prelude::*;
+
+fn random_plan(seed: u64, n_vertices: usize, deg: f64, m: usize, n: usize) -> (hongtu::graph::Graph, TwoLevelPartition) {
+    let mut rng = SeededRng::new(seed);
+    let g = generators::erdos_renyi(n_vertices, deg, &mut rng);
+    let plan = TwoLevelPartition::build(&g, m, n, seed);
+    (g, plan)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The dedup plan validates and its volumes obey
+    /// `V_ori ≥ V_+p2p ≥ V_+ru ≥ 0` for arbitrary graphs and shapes.
+    #[test]
+    fn dedup_plan_invariants(
+        seed in 0u64..1000,
+        nv in 60usize..400,
+        deg in 2.0f64..8.0,
+        m in 1usize..5,
+        n in 1usize..5,
+    ) {
+        let (g, plan) = random_plan(seed, nv, deg, m, n);
+        prop_assert!(plan.validate(&g).is_ok());
+        let d = DedupPlan::build(&plan);
+        prop_assert!(d.validate(&plan).is_ok(), "{:?}", d.validate(&plan));
+        let v = CommVolumes::from_plan(&d);
+        prop_assert!(v.v_ori >= v.v_p2p);
+        prop_assert!(v.v_p2p >= v.v_ru);
+        // Every access is attributed exactly once.
+        prop_assert_eq!(v.v_ru + v.inter_gpu() + v.intra_gpu(), v.v_ori);
+    }
+
+    /// Reorganization (Algorithm 4) preserves plan validity and total
+    /// access volume; the guarded variant never raises the Eq.-4 cost.
+    #[test]
+    fn reorganization_invariants(
+        seed in 0u64..1000,
+        nv in 80usize..300,
+        m in 2usize..5,
+        n in 2usize..6,
+    ) {
+        let (g, plan) = random_plan(seed, nv, 5.0, m, n);
+        let cfg = MachineConfig::a100_4x();
+        let v_before = CommVolumes::from_plan(&DedupPlan::build(&plan));
+        let cost_before = comm_cost(v_before, &cfg, 64);
+
+        let reorg = reorganize(plan.clone());
+        prop_assert!(reorg.validate(&g).is_ok());
+        let v_after = CommVolumes::from_plan(&DedupPlan::build(&reorg));
+        prop_assert_eq!(v_after.v_ori, v_before.v_ori, "total accesses must be preserved");
+
+        let guarded = reorganize_guarded(plan, &cfg);
+        let v_guarded = CommVolumes::from_plan(&DedupPlan::build(&guarded));
+        prop_assert!(comm_cost(v_guarded, &cfg, 64) <= cost_before * (1.0 + 1e-9));
+    }
+
+    /// The chunk grid partitions both vertices and edges exactly.
+    #[test]
+    fn chunks_tile_the_graph(
+        seed in 0u64..1000,
+        nv in 60usize..300,
+        m in 1usize..4,
+        n in 1usize..5,
+    ) {
+        let (g, plan) = random_plan(seed, nv, 4.0, m, n);
+        let dests: usize = plan.all_chunks().map(|c| c.num_dests()).sum();
+        let edges: usize = plan.all_chunks().map(|c| c.num_edges()).sum();
+        prop_assert_eq!(dests, g.num_vertices());
+        prop_assert_eq!(edges, g.num_edges());
+    }
+}
+
+/// Deterministic end-to-end check that dedup volumes match a brute-force
+/// recount on a concrete graph.
+#[test]
+fn volumes_match_brute_force() {
+    let (_g, plan) = random_plan(123, 200, 5.0, 3, 3);
+    let d = DedupPlan::build(&plan);
+
+    // Brute force V_ori.
+    let v_ori: usize = plan.all_chunks().map(|c| c.num_neighbors()).sum();
+    assert_eq!(d.v_ori(), v_ori);
+
+    // Brute force V_+p2p: per batch, the union of neighbor sets.
+    let mut v_p2p = 0;
+    for j in 0..plan.n {
+        let mut union: Vec<u32> = plan.batch(j).flat_map(|c| c.neighbors.clone()).collect();
+        union.sort_unstable();
+        union.dedup();
+        v_p2p += union.len();
+    }
+    assert_eq!(d.v_p2p(), v_p2p);
+}

@@ -1,0 +1,105 @@
+//! Failure-injection tests: the system must fail loudly and informatively
+//! — never silently — when capacities, shapes, or configurations are
+//! wrong.
+
+use hongtu::core::systems::{InMemoryKind, MultiGpuInMemory, Workload};
+use hongtu::core::{HongTuConfig, HongTuEngine};
+use hongtu::datasets::{load, DatasetKey};
+use hongtu::nn::ModelKind;
+use hongtu::sim::{MachineConfig, SimError};
+use hongtu::tensor::SeededRng;
+
+fn rdt() -> hongtu::datasets::Dataset {
+    load(DatasetKey::Rdt, &mut SeededRng::new(5))
+}
+
+/// Construction-time OOM: the engine refuses to build when even the
+/// static allocations (host buffers, replicated parameters) do not fit.
+#[test]
+fn construction_oom_reports_device_and_label() {
+    let ds = rdt();
+    // GPUs too small even for the model parameters + one chunk.
+    let cfg = HongTuConfig::full(MachineConfig::scaled(4, 4 << 10));
+    let err = HongTuEngine::new(&ds, ModelKind::Gcn, 64, 4, 2, cfg)
+        .err()
+        .or_else(|| {
+            // If construction somehow fits, the first epoch must fail.
+            let cfg = HongTuConfig::full(MachineConfig::scaled(4, 4 << 10));
+            HongTuEngine::new(&ds, ModelKind::Gcn, 64, 4, 2, cfg)
+                .ok()
+                .and_then(|mut e| e.train_epoch().err())
+        })
+        .expect("a 4 KB GPU cannot run this workload");
+    match err {
+        SimError::OutOfMemory { device, label, requested, capacity, .. } => {
+            assert!(!device.is_empty() && !label.is_empty());
+            assert!(requested > capacity || requested > 0);
+        }
+        other => panic!("expected OutOfMemory, got {other:?}"),
+    }
+}
+
+/// Mid-epoch OOM: with memory that holds the static data but not the
+/// per-batch buffers, the failure surfaces as an error from `train_epoch`,
+/// not a panic.
+#[test]
+fn epoch_oom_is_an_error_not_a_panic() {
+    let ds = rdt();
+    // Binary-search a capacity that admits construction but not execution.
+    for mb in [1usize, 2, 3, 4] {
+        let cfg = HongTuConfig::full(MachineConfig::scaled(4, mb << 18));
+        if let Ok(mut e) = HongTuEngine::new(&ds, ModelKind::Gat, 32, 2, 1, cfg) {
+            match e.train_epoch() {
+                Err(SimError::OutOfMemory { .. }) => return, // what we wanted
+                Ok(_) => continue,                           // fits — try smaller? next mb bigger
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+    }
+    // All sizes either failed at construction or ran — also acceptable, but
+    // at least one configuration should demonstrate the mid-epoch path.
+    // (GAT with 1 chunk has large per-batch intermediates; the smallest
+    // size above must have hit it.)
+    panic!("no configuration exercised the mid-epoch OOM path");
+}
+
+/// Comparator OOM errors carry the device context.
+#[test]
+fn comparator_oom_is_descriptive() {
+    let ds = load(DatasetKey::Fds, &mut SeededRng::new(5));
+    let im = MultiGpuInMemory::new(InMemoryKind::Sancus, MachineConfig::scaled(4, 8 << 20), &ds, 1);
+    let err = im.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 32, 2)).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("out of memory"), "{msg}");
+    assert!(msg.contains("in-memory training data"), "{msg}");
+}
+
+/// Invalid machine configurations are rejected before any training runs.
+#[test]
+#[should_panic(expected = "invalid MachineConfig")]
+fn invalid_machine_config_panics_at_construction() {
+    let mut cfg = MachineConfig::scaled(4, 1 << 20);
+    cfg.pcie_bw = -1.0;
+    let _ = hongtu::sim::Machine::new(cfg);
+}
+
+/// More chunks than a partition has vertices is a programming error with a
+/// clear message.
+#[test]
+#[should_panic(expected = "fewer than")]
+fn oversized_chunk_count_panics_with_context() {
+    let ds = rdt();
+    let cfg = HongTuConfig::full(MachineConfig::scaled(4, 256 << 20));
+    // RDT has 3000 vertices / 4 partitions = 750 per partition.
+    let _ = HongTuEngine::new(&ds, ModelKind::Gcn, 8, 2, 1000, cfg);
+}
+
+/// Corrupt checkpoint files fail to load with a format error, and a
+/// truncated graph file fails with an I/O error — neither panics.
+#[test]
+fn corrupt_files_are_graceful() {
+    let model_err = hongtu::nn::load_model(&b"garbage-bytes"[..]).unwrap_err();
+    assert!(model_err.to_string().contains("model"), "{model_err}");
+    let graph_err = hongtu::graph::binfmt::read_graph(&b"also-garbage"[..]).unwrap_err();
+    assert!(graph_err.to_string().contains("graph"), "{graph_err}");
+}
