@@ -22,8 +22,12 @@ fn plan(n_chunks: usize) -> TwoLevelPartition {
 fn bench_dedup_plan(c: &mut Criterion) {
     let p8 = plan(8);
     let p32 = plan(32);
-    c.bench_function("dedup_plan/16k-4x8", |b| b.iter(|| black_box(DedupPlan::build(&p8))));
-    c.bench_function("dedup_plan/16k-4x32", |b| b.iter(|| black_box(DedupPlan::build(&p32))));
+    c.bench_function("dedup_plan/16k-4x8", |b| {
+        b.iter(|| black_box(DedupPlan::build(&p8)))
+    });
+    c.bench_function("dedup_plan/16k-4x32", |b| {
+        b.iter(|| black_box(DedupPlan::build(&p32)))
+    });
 }
 
 fn bench_reorganize(c: &mut Criterion) {

@@ -17,20 +17,13 @@ fn bench_epoch(c: &mut Criterion) {
         cfg.comm = comm;
         cfg.reorganize = comm != CommMode::Vanilla;
         let mut engine = HongTuEngine::new(&ds, ModelKind::Gcn, 32, 2, 4, cfg).unwrap();
-        c.bench_function(&format!("hongtu_epoch/rdt-gcn2-{name}"), |b| {
+        c.bench_function(format!("hongtu_epoch/rdt-gcn2-{name}"), |b| {
             b.iter(|| black_box(engine.train_epoch().unwrap().loss.loss))
         });
     }
     // GAT epoch (recompute path).
-    let mut engine = HongTuEngine::new(
-        &ds,
-        ModelKind::Gat,
-        32,
-        2,
-        4,
-        HongTuConfig::full(machine),
-    )
-    .unwrap();
+    let mut engine =
+        HongTuEngine::new(&ds, ModelKind::Gat, 32, 2, 4, HongTuConfig::full(machine)).unwrap();
     c.bench_function("hongtu_epoch/rdt-gat2-dedup", |b| {
         b.iter(|| black_box(engine.train_epoch().unwrap().loss.loss))
     });

@@ -43,7 +43,9 @@ fn layer_chunk() -> (ChunkSubgraph, Matrix) {
     let g = generators::erdos_renyi(4000, 10.0, &mut rng);
     let g = hongtu_datasets::dataset::with_self_loops(&g);
     let chunk = ChunkSubgraph::build(&g, 0, 0, (0..4000).collect());
-    let h = Matrix::from_fn(chunk.num_neighbors(), 32, |r, q| ((r + 3 * q) as f32 * 0.01).sin());
+    let h = Matrix::from_fn(chunk.num_neighbors(), 32, |r, q| {
+        ((r + 3 * q) as f32 * 0.01).sin()
+    });
     (chunk, h)
 }
 
@@ -52,8 +54,12 @@ fn bench_layers(c: &mut Criterion) {
     let mut rng = SeededRng::new(1);
     let gcn = hongtu_nn::GcnLayer::new(32, 32, &mut rng);
     let gat = hongtu_nn::GatLayer::new(32, 32, &mut rng);
-    c.bench_function("gcn_forward/4k-40k", |b| b.iter(|| black_box(gcn.forward(&chunk, &h))));
-    c.bench_function("gat_forward/4k-40k", |b| b.iter(|| black_box(gat.forward(&chunk, &h))));
+    c.bench_function("gcn_forward/4k-40k", |b| {
+        b.iter(|| black_box(gcn.forward(&chunk, &h)))
+    });
+    c.bench_function("gat_forward/4k-40k", |b| {
+        b.iter(|| black_box(gat.forward(&chunk, &h)))
+    });
     let grad = Matrix::from_fn(chunk.num_dests(), 32, |r, q| ((r + q) as f32 * 0.005).cos());
     c.bench_function("gcn_backward/4k-40k", |b| {
         b.iter(|| {

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hongtu_graph::Graph;
-use hongtu_partition::{
-    multilevel::metis_like, simple::hash_partition, TwoLevelPartition,
-};
+use hongtu_partition::{multilevel::metis_like, simple::hash_partition, TwoLevelPartition};
 use hongtu_tensor::SeededRng;
 use std::hint::black_box;
 
@@ -16,8 +14,12 @@ fn graph(n: usize, deg: f64) -> Graph {
 
 fn bench_partitioners(c: &mut Criterion) {
     let g = graph(20_000, 8.0);
-    c.bench_function("multilevel/20k-4parts", |b| b.iter(|| black_box(metis_like(&g, 4, 1))));
-    c.bench_function("multilevel/20k-64parts", |b| b.iter(|| black_box(metis_like(&g, 64, 1))));
+    c.bench_function("multilevel/20k-4parts", |b| {
+        b.iter(|| black_box(metis_like(&g, 4, 1)))
+    });
+    c.bench_function("multilevel/20k-64parts", |b| {
+        b.iter(|| black_box(metis_like(&g, 64, 1)))
+    });
     c.bench_function("hash/20k-64parts", |b| {
         b.iter(|| black_box(hash_partition(g.num_vertices(), 64)))
     });

@@ -25,9 +25,10 @@ fn main() {
     let ds = dataset(DatasetKey::Fds);
     let mut t = Table::new(vec!["model", "strategy", "epoch time", "note"]);
     for kind in [ModelKind::Gcn, ModelKind::Gat] {
-        for (strategy, name) in
-            [(MemoryStrategy::Hybrid, "hybrid"), (MemoryStrategy::Recompute, "recompute")]
-        {
+        for (strategy, name) in [
+            (MemoryStrategy::Hybrid, "hybrid"),
+            (MemoryStrategy::Recompute, "recompute"),
+        ] {
             let mut cfg = HongTuConfig::full(C::machine(4));
             cfg.memory = strategy;
             let r = run::hongtu_engine_with(&ds, kind, 2, 4, cfg)
@@ -80,7 +81,11 @@ fn main() {
     println!("\n[3] level-1 partitioner (OPR, 4x32 chunks, Eq.4 cost):");
     let ds = dataset(DatasetKey::Opr);
     let mut t = Table::new(vec![
-        "partitioner", "V_ori/|V|", "H2D reduction", "Eq.4 cost", "epoch (dedup)",
+        "partitioner",
+        "V_ori/|V|",
+        "H2D reduction",
+        "Eq.4 cost",
+        "epoch (dedup)",
         "epoch (vanilla)",
     ]);
     let cfg = C::machine(4);
@@ -124,9 +129,10 @@ fn main() {
     println!("\n[4] interconnect (FDS GCN-2): NVLink vs PCIe-only inter-GPU links:");
     let ds = dataset(DatasetKey::Fds);
     let mut t = Table::new(vec!["platform", "comm mode", "epoch time"]);
-    for (pname, machine) in
-        [("NVLink", C::machine(4)), ("PCIe-only", C::machine(4).pcie_only())]
-    {
+    for (pname, machine) in [
+        ("NVLink", C::machine(4)),
+        ("PCIe-only", C::machine(4).pcie_only()),
+    ] {
         for (mname, comm) in [("vanilla", CommMode::Vanilla), ("dedup", CommMode::P2pRu)] {
             let mut cfg = HongTuConfig::full(machine.clone());
             cfg.comm = comm;
@@ -134,7 +140,11 @@ fn main() {
             let r = run::hongtu_engine_with(&ds, ModelKind::Gcn, 2, 4, cfg)
                 .and_then(|mut e| e.train_epoch())
                 .expect("epoch");
-            t.row(vec![pname.to_string(), mname.to_string(), format_seconds(r.time)]);
+            t.row(vec![
+                pname.to_string(),
+                mname.to_string(),
+                format_seconds(r.time),
+            ]);
         }
     }
     t.print();

@@ -19,7 +19,14 @@ fn main() {
         format_bytes(C::cpu_cluster().node_memory),
     );
     let mut t = Table::new(vec![
-        "dataset", "model", "L", "DGL(1gpu)", "Sancus/gpu", "IM/gpu", "CPU1/node", "ECS16/node",
+        "dataset",
+        "model",
+        "L",
+        "DGL(1gpu)",
+        "Sancus/gpu",
+        "IM/gpu",
+        "CPU1/node",
+        "ECS16/node",
     ]);
     for key in all_keys() {
         let ds = dataset(key);
@@ -28,17 +35,20 @@ fn main() {
             for layers in C::layer_sweep(key) {
                 let w = Workload::new(&ds, kind, hidden, layers);
                 let dgl = SingleGpuFullGraph::new(C::machine(1)).required_bytes(&w);
-                let sancus =
-                    MultiGpuInMemory::new(InMemoryKind::Sancus, C::machine(4), &ds, 1)
-                        .max_gpu_bytes(&w);
+                let sancus = MultiGpuInMemory::new(InMemoryKind::Sancus, C::machine(4), &ds, 1)
+                    .max_gpu_bytes(&w);
                 let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, C::machine(4), &ds, 1)
                     .max_gpu_bytes(&w);
-                let cpu1 =
-                    CpuSystem::new(CpuSystemKind::SingleNode, C::cpu_single(), &ds).per_node_bytes(&w);
-                let ecs =
-                    CpuSystem::new(CpuSystemKind::Cluster, C::cpu_cluster(), &ds).per_node_bytes(&w);
+                let cpu1 = CpuSystem::new(CpuSystemKind::SingleNode, C::cpu_single(), &ds)
+                    .per_node_bytes(&w);
+                let ecs = CpuSystem::new(CpuSystemKind::Cluster, C::cpu_cluster(), &ds)
+                    .per_node_bytes(&w);
                 let mark = |need: usize, cap: usize| {
-                    format!("{}{}", format_bytes(need), if need > cap { " !OOM" } else { "" })
+                    format!(
+                        "{}{}",
+                        format_bytes(need),
+                        if need > cap { " !OOM" } else { "" }
+                    )
                 };
                 t.row(vec![
                     ds.key.abbrev().to_string(),

@@ -23,7 +23,13 @@ fn main() {
     for key in large_keys() {
         let ds = dataset(key);
         println!("\n--- {} ---", key.abbrev());
-        let mut t = Table::new(vec!["factor", "chunks/part", "epoch time", "peak GPU mem", "vs x1"]);
+        let mut t = Table::new(vec![
+            "factor",
+            "chunks/part",
+            "epoch time",
+            "peak GPU mem",
+            "vs x1",
+        ]);
         let base_chunks = C::chunks(key, ModelKind::Gcn);
         let mut base: Option<(f64, usize)> = None;
         for factor in 1..=4usize {
@@ -45,7 +51,11 @@ fn main() {
                 n.to_string(),
                 format_seconds(r.time),
                 format_bytes(peak),
-                format!("time {:.2}x, mem {:.0}%", r.time / bt, 100.0 * peak as f64 / bp as f64),
+                format!(
+                    "time {:.2}x, mem {:.0}%",
+                    r.time / bt,
+                    100.0 * peak as f64 / bp as f64
+                ),
             ]);
         }
         t.print();

@@ -15,7 +15,14 @@ fn main() {
     );
     for kind in [ModelKind::Gcn, ModelKind::Gat] {
         println!("\n--- {} ---", kind.name());
-        let mut t = Table::new(vec!["dataset", "1 GPU", "2 GPUs", "3 GPUs", "4 GPUs", "speedup@4"]);
+        let mut t = Table::new(vec![
+            "dataset",
+            "1 GPU",
+            "2 GPUs",
+            "3 GPUs",
+            "4 GPUs",
+            "speedup@4",
+        ]);
         for key in large_keys() {
             let ds = dataset(key);
             let times: Vec<f64> = (1..=4)

@@ -40,18 +40,30 @@ fn main() {
         // --- DistDGL: sampled mini-batch training ---
         let mb = MiniBatchSystem::new(C::machine(4), C::minibatch_size(), hongtu_bench::SEED);
         let mut mb_rng = SeededRng::new(ds.seed ^ 0xD15D);
-        let mut mb_model =
-            GnnModel::new(ModelKind::Gcn, &ds.model_dims(hidden, layers), &mut mb_rng.fork(1));
+        let mut mb_model = GnnModel::new(
+            ModelKind::Gcn,
+            &ds.model_dims(hidden, layers),
+            &mut mb_rng.fork(1),
+        );
         let mut mb_opt = Adam::new(0.01);
         let mut mb_curve = Vec::new();
 
         for epoch in 1..=EPOCHS {
-            dgl.train_epoch_reference(&chunk, &ds.features, &ds.labels, &ds.splits.train, &mut dgl_opt);
+            dgl.train_epoch_reference(
+                &chunk,
+                &ds.features,
+                &ds.labels,
+                &ds.splits.train,
+                &mut dgl_opt,
+            );
             hongtu.train_epoch().expect("hongtu epoch");
             mb.train_epoch_real(&mut mb_model, &ds, &mut mb_opt, &mut mb_rng);
             if epoch % REPORT_EVERY == 0 {
                 let dgl_logits = dgl.forward_reference(&chunk, &ds.features).pop().unwrap();
-                let mb_logits = mb_model.forward_reference(&chunk, &ds.features).pop().unwrap();
+                let mb_logits = mb_model
+                    .forward_reference(&chunk, &ds.features)
+                    .pop()
+                    .unwrap();
                 dgl_curve.push(masked_accuracy(&dgl_logits, &ds.labels, &ds.splits.val));
                 hongtu_curve.push(hongtu.accuracy(&ds.splits.val));
                 mb_curve.push(masked_accuracy(&mb_logits, &ds.labels, &ds.splits.val));
@@ -65,14 +77,29 @@ fn main() {
                 .collect::<Vec<_>>(),
         );
         let fmt = |c: &[f32]| c.iter().map(|a| format!("{:.3}", a)).collect::<Vec<_>>();
-        t.row(std::iter::once("DGL-FG".to_string()).chain(fmt(&dgl_curve)).collect());
-        t.row(std::iter::once("HongTu".to_string()).chain(fmt(&hongtu_curve)).collect());
-        t.row(std::iter::once("DistDGL".to_string()).chain(fmt(&mb_curve)).collect());
+        t.row(
+            std::iter::once("DGL-FG".to_string())
+                .chain(fmt(&dgl_curve))
+                .collect(),
+        );
+        t.row(
+            std::iter::once("HongTu".to_string())
+                .chain(fmt(&hongtu_curve))
+                .collect(),
+        );
+        t.row(
+            std::iter::once("DistDGL".to_string())
+                .chain(fmt(&mb_curve))
+                .collect(),
+        );
         t.print();
 
         // Final (val, test) accuracies, as in the figure's legend.
         let dgl_logits = dgl.forward_reference(&chunk, &ds.features).pop().unwrap();
-        let mb_logits = mb_model.forward_reference(&chunk, &ds.features).pop().unwrap();
+        let mb_logits = mb_model
+            .forward_reference(&chunk, &ds.features)
+            .pop()
+            .unwrap();
         println!(
             "final (val, test): DGL-FG ({:.3}, {:.3})  HongTu ({:.3}, {:.3})  DistDGL ({:.3}, {:.3})",
             masked_accuracy(&dgl_logits, &ds.labels, &ds.splits.val),

@@ -13,9 +13,7 @@ fn main() {
     );
     let rdt = dataset(DatasetKey::Rdt);
     let fds = dataset(DatasetKey::Fds);
-    let mut t = Table::new(vec![
-        "model", "agg cache", "RDT epoch", "FDS epoch", "note",
-    ]);
+    let mut t = Table::new(vec!["model", "agg cache", "RDT epoch", "FDS epoch", "note"]);
     for kind in [
         ModelKind::Gcn,
         ModelKind::Sage,
@@ -34,7 +32,12 @@ fn main() {
         };
         t.row(vec![
             kind.name().to_string(),
-            if kind.supports_agg_cache() { "yes" } else { "no (recompute)" }.to_string(),
+            if kind.supports_agg_cache() {
+                "yes"
+            } else {
+                "no (recompute)"
+            }
+            .to_string(),
             time_cell(&run::hongtu_epoch(&rdt, kind, 2, 4).map(|r| r.time)),
             time_cell(&run::hongtu_epoch(&fds, kind, 2, 4).map(|r| r.time)),
             note.to_string(),

@@ -19,7 +19,11 @@ fn main() {
     );
     let ds = dataset(DatasetKey::Fds);
     let mut t = Table::new(vec![
-        "T_dd / T_hd", "baseline", "+P2P", "+RU", "dedup speedup",
+        "T_dd / T_hd",
+        "baseline",
+        "+P2P",
+        "+RU",
+        "dedup speedup",
     ]);
     for ratio in [1.0f64, 2.0, 4.0, 6.25, 12.5, 25.0] {
         let mut machine = C::machine(4);

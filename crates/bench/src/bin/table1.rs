@@ -27,7 +27,10 @@ fn main() {
         };
         t.row(vec![
             ps.name.to_string(),
-            dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("-"),
+            dims.iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("-"),
             format!("{:.1}GB", gb(m.topology)),
             format!("{:.1}GB", gb(m.vertex_data)),
             format!("{:.1}GB", gb(m.intermediate)),

@@ -24,8 +24,14 @@ fn main() {
     );
     println!("workloads: GCN-3 and GAT-3 on the small RDT proxy and the large OPR proxy\n");
     let mut t = Table::new(vec![
-        "System class", "stores VD", "stores ID", "full-nbr agg", "RDT GCN", "RDT GAT",
-        "OPR GCN", "OPR GAT",
+        "System class",
+        "stores VD",
+        "stores ID",
+        "full-nbr agg",
+        "RDT GCN",
+        "RDT GAT",
+        "OPR GCN",
+        "OPR GAT",
     ]);
     let rdt = dataset(DatasetKey::Rdt);
     let opt = dataset(DatasetKey::Opr);
@@ -44,7 +50,9 @@ fn main() {
         for ds in [&rdt, &opt] {
             for kind in [ModelKind::Gcn, ModelKind::Gat] {
                 let sys = MultiGpuInMemory::new(InMemoryKind::Sancus, machine.clone(), ds, 1);
-                cells.push(time_cell(&sys.epoch_time(&Workload::new(ds, kind, hidden, layers))));
+                cells.push(time_cell(
+                    &sys.epoch_time(&Workload::new(ds, kind, hidden, layers)),
+                ));
             }
         }
         t.row(cells);
@@ -60,7 +68,9 @@ fn main() {
         for ds in [&rdt, &opt] {
             for kind in [ModelKind::Gcn, ModelKind::Gat] {
                 let sys = NeutronStyle::new(machine.clone());
-                cells.push(limitation_cell(sys.epoch_time(&Workload::new(ds, kind, hidden, layers))));
+                cells.push(limitation_cell(
+                    sys.epoch_time(&Workload::new(ds, kind, hidden, layers)),
+                ));
             }
         }
         t.row(cells);
@@ -76,7 +86,9 @@ fn main() {
         for ds in [&rdt, &opt] {
             for kind in [ModelKind::Gcn, ModelKind::Gat] {
                 let sys = RocStyle::new(machine.clone());
-                cells.push(limitation_cell(sys.epoch_time(&Workload::new(ds, kind, hidden, layers))));
+                cells.push(limitation_cell(
+                    sys.epoch_time(&Workload::new(ds, kind, hidden, layers)),
+                ));
             }
         }
         t.row(cells);
@@ -92,7 +104,9 @@ fn main() {
         for key in [DatasetKey::Rdt, DatasetKey::Opr] {
             let ds = dataset(key);
             for kind in [ModelKind::Gcn, ModelKind::Gat] {
-                cells.push(time_cell(&run::hongtu_epoch(&ds, kind, layers, 4).map(|r| r.time)));
+                cells.push(time_cell(
+                    &run::hongtu_epoch(&ds, kind, layers, 4).map(|r| r.time),
+                ));
             }
         }
         t.row(cells);

@@ -6,7 +6,10 @@ use hongtu_datasets::registry::large_keys;
 use hongtu_partition::{multilevel::metis_like, replication_factor};
 
 fn main() {
-    header("Table 3: neighbor replication factor α", "HongTu (SIGMOD 2023), Table 3");
+    header(
+        "Table 3: neighbor replication factor α",
+        "HongTu (SIGMOD 2023), Table 3",
+    );
     let parts = [2usize, 4, 8, 16, 32, 64, 128, 256, 512];
     let mut t = Table::new(
         std::iter::once("Partitions".to_string())

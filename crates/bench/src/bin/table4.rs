@@ -6,9 +6,20 @@ use hongtu_datasets::registry::all_keys;
 use hongtu_graph::DegreeStats;
 
 fn main() {
-    header("Table 4: dataset description (proxy vs original)", "HongTu (SIGMOD 2023), Table 4");
+    header(
+        "Table 4: dataset description (proxy vs original)",
+        "HongTu (SIGMOD 2023), Table 4",
+    );
     let mut t = Table::new(vec![
-        "Dataset", "|V|", "|E|", "#F", "#L", "avg deg", "max in-deg", "train frac", "original |V|/|E|",
+        "Dataset",
+        "|V|",
+        "|E|",
+        "#F",
+        "#L",
+        "avg deg",
+        "max in-deg",
+        "train frac",
+        "original |V|/|E|",
     ]);
     let originals = [
         ("0.23M / 114M", "reddit"),

@@ -31,15 +31,22 @@ fn main() {
                 rows[0].1.push(
                     CpuSystem::new(CpuSystemKind::SingleNode, C::cpu_single(), ds).epoch_time(&w),
                 );
-                rows[1].1.push(SingleGpuFullGraph::new(C::machine(1)).epoch_time(&w));
+                rows[1]
+                    .1
+                    .push(SingleGpuFullGraph::new(C::machine(1)).epoch_time(&w));
                 rows[2].1.push(
                     MultiGpuInMemory::new(InMemoryKind::HongTuIm, C::machine(4), ds, 1)
                         .epoch_time(&w),
                 );
-                rows[3].1.push(run::hongtu_epoch(ds, kind, layers, 4).map(|r| r.time));
+                rows[3]
+                    .1
+                    .push(run::hongtu_epoch(ds, kind, layers, 4).map(|r| r.time));
             }
-            let base: Vec<f64> =
-                rows[0].1.iter().map(|r| r.as_ref().copied().unwrap_or(f64::NAN)).collect();
+            let base: Vec<f64> = rows[0]
+                .1
+                .iter()
+                .map(|r| r.as_ref().copied().unwrap_or(f64::NAN))
+                .collect();
             for (name, times) in rows {
                 let cells: Vec<String> = times
                     .iter()

@@ -14,8 +14,15 @@ fn main() {
     );
     let datasets: Vec<_> = all_keys().iter().map(|&k| dataset(k)).collect();
     let kind = ModelKind::Gcn;
-    let mut t =
-        Table::new(vec!["Layers(sm/lg)", "System", "RDT", "OPT", "IT", "OPR", "FDS"]);
+    let mut t = Table::new(vec![
+        "Layers(sm/lg)",
+        "System",
+        "RDT",
+        "OPT",
+        "IT",
+        "OPR",
+        "FDS",
+    ]);
     for depth in 0..3 {
         let mut rows: Vec<(&str, Vec<String>)> = vec![
             ("Sancus", Vec::new()),
@@ -36,13 +43,16 @@ fn main() {
                 &MultiGpuInMemory::new(InMemoryKind::Sancus, C::machine(4), ds, 1).epoch_time(&w),
             ));
             rows[1].1.push(time_cell(
-                &MultiGpuInMemory::new(InMemoryKind::HongTuIm, C::machine(4), ds, 1)
-                    .epoch_time(&w),
+                &MultiGpuInMemory::new(InMemoryKind::HongTuIm, C::machine(4), ds, 1).epoch_time(&w),
             ));
-            rows[2].1.push(time_cell(&run::hongtu_epoch(ds, kind, layers, 4).map(|r| r.time)));
+            rows[2].1.push(time_cell(
+                &run::hongtu_epoch(ds, kind, layers, 4).map(|r| r.time),
+            ));
             // DistDGL: 4 sampling/training workers share the epoch.
             let mb = MiniBatchSystem::new(C::machine(4), C::minibatch_size(), hongtu_bench::SEED);
-            rows[3].1.push(time_cell(&mb.epoch_time(&w).map(|t| t / 4.0)));
+            rows[3]
+                .1
+                .push(time_cell(&mb.epoch_time(&w).map(|t| t / 4.0)));
         }
         for (name, cells) in rows {
             t.row(

@@ -12,7 +12,12 @@ fn main() {
         "HongTu (SIGMOD 2023), Table 7",
     );
     let mut t = Table::new(vec![
-        "Layers", "Dataset", "GCN DistGNN", "GCN HongTu", "GAT DistGNN", "GAT HongTu",
+        "Layers",
+        "Dataset",
+        "GCN DistGNN",
+        "GCN HongTu",
+        "GAT DistGNN",
+        "GAT HongTu",
     ]);
     for layers in [2usize, 3, 4] {
         for key in large_keys() {

@@ -34,8 +34,16 @@ fn main() {
             format!("{} ({})", key.real_name(), key.abbrev()),
             format!("{}", 4 * n),
             format!("{:.2}", v.v_ori as f64 / norm),
-            format!("{:.2} ({:.1}%)", v.inter_gpu() as f64 / norm, 100.0 * v.inter_gpu() as f64 / v.v_ori as f64),
-            format!("{:.2} ({:.1}%)", v.intra_gpu() as f64 / norm, 100.0 * v.intra_gpu() as f64 / v.v_ori as f64),
+            format!(
+                "{:.2} ({:.1}%)",
+                v.inter_gpu() as f64 / norm,
+                100.0 * v.inter_gpu() as f64 / v.v_ori as f64
+            ),
+            format!(
+                "{:.2} ({:.1}%)",
+                v.intra_gpu() as f64 / norm,
+                100.0 * v.intra_gpu() as f64 / v.v_ori as f64
+            ),
             format!("{:.0}%", 100.0 * v.h2d_reduction()),
         ]);
     }

@@ -21,13 +21,11 @@ fn main() {
     let ds = dataset(DatasetKey::Fds);
     let mut curves: Vec<(&str, Vec<(f64, f32)>)> = Vec::new();
     for (name, comm) in [("HongTu", CommMode::P2pRu), ("Baseline", CommMode::Vanilla)] {
-        let mut cfg = hongtu_core::HongTuConfig::full(
-            hongtu_bench::config::ExperimentConfig::machine(4),
-        );
+        let mut cfg =
+            hongtu_core::HongTuConfig::full(hongtu_bench::config::ExperimentConfig::machine(4));
         cfg.comm = comm;
         cfg.reorganize = comm != CommMode::Vanilla;
-        let mut engine =
-            run::hongtu_engine_with(&ds, ModelKind::Gcn, 2, 4, cfg).expect("engine");
+        let mut engine = run::hongtu_engine_with(&ds, ModelKind::Gcn, 2, 4, cfg).expect("engine");
         let mut t = 0.0;
         let mut curve = Vec::new();
         for _ in 0..EPOCHS {
@@ -38,7 +36,13 @@ fn main() {
         curves.push((name, curve));
     }
 
-    let mut table = Table::new(vec!["epoch", "loss", "HongTu cumul.", "Baseline cumul.", "lead"]);
+    let mut table = Table::new(vec![
+        "epoch",
+        "loss",
+        "HongTu cumul.",
+        "Baseline cumul.",
+        "lead",
+    ]);
     for e in (4..EPOCHS).step_by(5) {
         let (th, lh) = curves[0].1[e];
         let (tb, lb) = curves[1].1[e];

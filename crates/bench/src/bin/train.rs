@@ -126,7 +126,9 @@ fn parse_args() -> Args {
             "--save" => args.save = Some(value),
             "--layers" | "--hidden" | "--epochs" | "--chunks" | "--gpus" | "--gpu-mem-mb"
             | "--seed" => {
-                let Ok(n) = value.parse::<usize>() else { bad(&flag, &value) };
+                let Ok(n) = value.parse::<usize>() else {
+                    bad(&flag, &value)
+                };
                 match flag.as_str() {
                     "--layers" => args.layers = n,
                     "--hidden" => args.hidden = n,
@@ -168,6 +170,7 @@ fn main() {
         machine,
         lr: 0.01,
         interleaved: true,
+        validation: hongtu_core::engine::ValidationLevel::Plan,
     };
     let mut engine = match HongTuEngine::new(
         &dataset,

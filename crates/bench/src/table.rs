@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).

@@ -23,7 +23,11 @@ pub struct CommVolumes {
 impl CommVolumes {
     /// Extracts the volumes from a communication plan.
     pub fn from_plan(plan: &DedupPlan) -> Self {
-        CommVolumes { v_ori: plan.v_ori(), v_p2p: plan.v_p2p(), v_ru: plan.v_ru() }
+        CommVolumes {
+            v_ori: plan.v_ori(),
+            v_p2p: plan.v_p2p(),
+            v_ru: plan.v_ru(),
+        }
     }
 
     /// Rows served by inter-GPU communication.
@@ -49,7 +53,10 @@ impl CommVolumes {
 
 /// Evaluates Equation 4 in seconds for rows of `bytes_per_vertex` bytes.
 pub fn comm_cost(v: CommVolumes, cfg: &MachineConfig, bytes_per_vertex: usize) -> f64 {
-    assert!(v.v_ori >= v.v_p2p && v.v_p2p >= v.v_ru, "volume ordering violated: {v:?}");
+    assert!(
+        v.v_ori >= v.v_p2p && v.v_p2p >= v.v_ru,
+        "volume ordering violated: {v:?}"
+    );
     let b = bytes_per_vertex as f64;
     let t_hd = cfg.pcie_bw;
     let t_dd = cfg.nvlink_bw;
@@ -90,7 +97,11 @@ mod tests {
         let cfg = MachineConfig::a100_4x();
         let dedup = comm_cost(v, &cfg, 128);
         let vanilla = comm_cost(
-            CommVolumes { v_ori: v.v_ori, v_p2p: v.v_ori, v_ru: v.v_ori },
+            CommVolumes {
+                v_ori: v.v_ori,
+                v_p2p: v.v_ori,
+                v_ru: v.v_ori,
+            },
             &cfg,
             128,
         );
@@ -121,6 +132,14 @@ mod tests {
     #[should_panic(expected = "volume ordering violated")]
     fn rejects_inconsistent_volumes() {
         let cfg = MachineConfig::a100_4x();
-        let _ = comm_cost(CommVolumes { v_ori: 1, v_p2p: 5, v_ru: 0 }, &cfg, 4);
+        let _ = comm_cost(
+            CommVolumes {
+                v_ori: 1,
+                v_p2p: 5,
+                v_ru: 0,
+            },
+            &cfg,
+            4,
+        );
     }
 }

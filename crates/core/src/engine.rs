@@ -29,6 +29,8 @@ use hongtu_nn::{masked_cross_entropy, GnnModel, LayerGrads, MaskedLoss, ModelKin
 use hongtu_partition::TwoLevelPartition;
 use hongtu_sim::{Machine, MachineConfig, SimError, TimeBuckets};
 use hongtu_tensor::{Adam, Matrix, SeededRng};
+use hongtu_verify::Report;
+pub use hongtu_verify::ValidationLevel;
 
 const F32: usize = std::mem::size_of::<f32>();
 
@@ -73,6 +75,10 @@ pub struct HongTuConfig {
     /// hit the same source in a time slot. When false, contended pulls
     /// also stall the source GPU (naive schedule).
     pub interleaved: bool,
+    /// Static plan verification (`hongtu-verify`). The default, `Plan`,
+    /// checks all four passes once at construction; `Paranoid` re-checks
+    /// the graph-free passes every epoch in debug builds.
+    pub validation: ValidationLevel,
 }
 
 impl HongTuConfig {
@@ -85,6 +91,7 @@ impl HongTuConfig {
             machine,
             lr: 0.01,
             interleaved: true,
+            validation: ValidationLevel::Plan,
         }
     }
 
@@ -99,7 +106,20 @@ impl HongTuConfig {
             machine,
             lr: 0.01,
             interleaved: true,
+            validation: ValidationLevel::Plan,
         }
+    }
+}
+
+/// Converts a failed verification report into the engine error.
+fn invalid_plan(report: &Report) -> SimError {
+    let code = report
+        .first()
+        .map(|d| d.code.code().to_string())
+        .unwrap_or_default();
+    SimError::InvalidPlan {
+        code,
+        message: report.render(),
     }
 }
 
@@ -142,6 +162,8 @@ pub struct HongTuEngine {
     dedup: DedupPlan,
     /// `buffer_comm[i][j]`: §6-accurate communication plan (P2P+RU mode).
     buffer_comm: Option<Vec<Vec<BatchComm>>>,
+    /// Buffer index plans retained for `Paranoid` per-epoch re-checks.
+    paranoid_bufs: Option<Vec<GpuBufferPlan>>,
     model: GnnModel,
     opt: Adam,
     labels: Vec<u32>,
@@ -168,8 +190,12 @@ impl HongTuEngine {
         n_chunks: usize,
         config: HongTuConfig,
     ) -> Result<Self, SimError> {
-        let plan =
-            TwoLevelPartition::build(&dataset.graph, config.machine.num_gpus, n_chunks, dataset.seed);
+        let plan = TwoLevelPartition::build(
+            &dataset.graph,
+            config.machine.num_gpus,
+            n_chunks,
+            dataset.seed,
+        );
         Self::with_plan(dataset, kind, hidden, layers, plan, config)
     }
 
@@ -186,7 +212,11 @@ impl HongTuEngine {
     ) -> Result<Self, SimError> {
         let mut machine = Machine::new(config.machine.clone());
         let m = machine.num_gpus();
-        assert_eq!(plan.m, m, "plan has {} partitions but the machine has {m} GPUs", plan.m);
+        assert_eq!(
+            plan.m, m,
+            "plan has {} partitions but the machine has {m} GPUs",
+            plan.m
+        );
         let dims = dataset.model_dims(hidden, layers);
         let mut rng = SeededRng::new(dataset.seed ^ 0x686F6E67);
         let model = GnnModel::new(kind, &dims, &mut rng);
@@ -196,12 +226,36 @@ impl HongTuEngine {
             plan = reorganize_guarded(plan, &config.machine);
         }
         let dedup = DedupPlan::build(&plan);
+        // The merged-buffer index plans of §6 are needed by the P2pRu
+        // executor, and by the verifier in every mode.
+        let bufplans =
+            if config.validation != ValidationLevel::Off || config.comm == CommMode::P2pRu {
+                Some(GpuBufferPlan::build_all(&plan, &dedup))
+            } else {
+                None
+            };
+
+        // ---- static plan verification (refuse to run a corrupt plan) ----
+        if config.validation != ValidationLevel::Off {
+            let report = hongtu_verify::verify_all(
+                &dataset.graph,
+                &plan,
+                &dedup,
+                bufplans.as_deref().unwrap_or(&[]),
+            );
+            if !report.is_ok() {
+                return Err(invalid_plan(&report));
+            }
+        }
+
         // Full dedup mode plans the in-place merged buffers of §6, which
         // also lets reused rows skip the inter-GPU fetch.
         let buffer_comm = if config.comm == CommMode::P2pRu {
             let owner = &plan.assignment.partition_of;
-            let per_gpu = GpuBufferPlan::build_all(&plan, &dedup)
-                .into_iter()
+            let per_gpu = bufplans
+                .as_deref()
+                .expect("buffer plans built for P2pRu")
+                .iter()
                 .map(|bp| {
                     bp.batches
                         .iter()
@@ -235,8 +289,10 @@ impl HongTuEngine {
         // Modeled preprocessing cost: the heuristic streams every neighbor
         // list a handful of times (phase-1 intersections + index planning).
         let preprocess_flops = 8.0 * volumes.v_ori as f64 * (plan.n as f64).log2().max(1.0);
-        let preprocessing =
-            Preprocessing { volumes, seconds: preprocess_flops / config.machine.cpu_flops };
+        let preprocessing = Preprocessing {
+            volumes,
+            seconds: preprocess_flops / config.machine.cpu_flops,
+        };
 
         // ---- host buffers: h^l and ∇h^l for every layer (Alg 1, line 3) ----
         let v = dataset.num_vertices();
@@ -267,16 +323,26 @@ impl HongTuEngine {
 
         // ---- per-GPU static allocations: replicated params + Adam state ----
         for gpu in 0..m {
-            machine.alloc(gpu, model.param_bytes() * 3, "model params + optimizer state")?;
+            machine.alloc(
+                gpu,
+                model.param_bytes() * 3,
+                "model params + optimizer state",
+            )?;
         }
 
         let lr = config.lr;
+        let paranoid_bufs = if config.validation == ValidationLevel::Paranoid {
+            bufplans
+        } else {
+            None
+        };
         Ok(HongTuEngine {
             config,
             machine,
             plan,
             dedup,
             buffer_comm,
+            paranoid_bufs,
             model,
             opt: Adam::new(lr),
             labels: dataset.labels.clone(),
@@ -333,6 +399,17 @@ impl HongTuEngine {
     /// Runs one full training epoch (Algorithm 1). Returns the loss and the
     /// simulated time spent.
     pub fn train_epoch(&mut self) -> Result<EpochReport, SimError> {
+        // Paranoid: re-run the graph-free verifier passes before touching
+        // the plans again (catches accidental in-training mutation).
+        // Debug builds only — release epochs stay full speed.
+        if cfg!(debug_assertions) && self.config.validation == ValidationLevel::Paranoid {
+            if let Some(bufs) = &self.paranoid_bufs {
+                let report = hongtu_verify::verify_runtime(&self.plan, &self.dedup, bufs);
+                if !report.is_ok() {
+                    return Err(invalid_plan(&report));
+                }
+            }
+        }
         let t0 = self.machine.elapsed();
         let b0 = self.machine.buckets();
         let l_count = self.model.num_layers();
@@ -361,8 +438,7 @@ impl HongTuEngine {
         *self.grad_h.last_mut().unwrap() = loss.grad.clone();
 
         // ---- backward pass (lines 12–19) ----
-        let mut grads: Vec<Vec<LayerGrads>> =
-            (0..m).map(|_| self.model.zero_grads()).collect();
+        let mut grads: Vec<Vec<LayerGrads>> = (0..m).map(|_| self.model.zero_grads()).collect();
         for l in (0..l_count).rev() {
             for j in 0..n {
                 for i in 0..m {
@@ -378,7 +454,8 @@ impl HongTuEngine {
             // Ring all-reduce: 2·(m−1)/m of the parameter volume per GPU.
             let ring = 2 * param_bytes * (m.saturating_sub(1)) / m.max(1);
             self.machine.d2d((i + 1) % m, i, ring);
-            self.machine.gpu_dense(i, 2.0 * self.model.param_count() as f64);
+            self.machine
+                .gpu_dense(i, 2.0 * self.model.param_count() as f64);
         }
         self.machine.barrier();
         let mut total = self.model.zero_grads();
@@ -433,7 +510,11 @@ impl HongTuEngine {
 
         // -- real numerics --
         let h_nbr = self.h[l].gather_rows(
-            &chunk.neighbors.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+            &chunk
+                .neighbors
+                .iter()
+                .map(|&v| v as usize)
+                .collect::<Vec<_>>(),
         );
         let f = layer.forward(chunk, &h_nbr);
         let flops = layer.forward_flops(chunk);
@@ -472,8 +553,7 @@ impl HongTuEngine {
         let in_dim = layer.in_dim();
         let out_dim = layer.out_dim();
         let row = in_dim * F32;
-        let use_hybrid =
-            self.config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+        let use_hybrid = self.config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
 
         // -- load ∇h^{l+1}_{V_ij} from CPU (line 16) --
         let grad_out_bytes = chunk.num_dests() * out_dim * F32;
@@ -516,13 +596,20 @@ impl HongTuEngine {
             )?;
             let bytes = rows * row;
             let h_nbr = self.h[l].gather_rows(
-                &chunk.neighbors.iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                &chunk
+                    .neighbors
+                    .iter()
+                    .map(|&v| v as usize)
+                    .collect::<Vec<_>>(),
             );
             self.machine.gpu_dense(i, fwd.dense); // full re-forward
             self.machine.gpu_edge(i, fwd.edge);
             self.machine.gpu_dense(i, bwd.dense);
             self.machine.gpu_edge(i, bwd.edge);
-            (layer.backward_from_input(chunk, &h_nbr, &grad_out, grads), bytes)
+            (
+                layer.backward_from_input(chunk, &h_nbr, &grad_out, grads),
+                bytes,
+            )
         };
 
         // -- numerics: accumulate ∇h^l over neighbor replicas --
@@ -531,13 +618,18 @@ impl HongTuEngine {
 
         // -- communication accounting for gradient writeback (Algorithm 3) --
         charge_gradient_store(
-            &mut self.machine, &self.plan, &self.dedup, self.config.comm, i, j, row,
+            &mut self.machine,
+            &self.plan,
+            &self.dedup,
+            self.config.comm,
+            i,
+            j,
+            row,
         );
 
         self.machine.free(i, topo + inter + buf_bytes);
         Ok(())
     }
-
 }
 
 /// Charges the communication of loading `h_{N_ij}` according to the
@@ -643,8 +735,11 @@ fn charge_gradient_store(
             // Evicted transition gradients go D2H and are accumulated on
             // the CPU; reused rows stay resident for the next batch.
             let evicted = if comm == CommMode::P2pRu {
-                let next_reused =
-                    if j + 1 < dedup.n { dedup.batches[j + 1].reused[i] } else { 0 };
+                let next_reused = if j + 1 < dedup.n {
+                    dedup.batches[j + 1].reused[i]
+                } else {
+                    0
+                };
                 batch.transition[i].len() - next_reused
             } else {
                 batch.transition[i].len()
@@ -814,7 +909,12 @@ mod tests {
         let rr = mk(MemoryStrategy::Recompute).train_epoch().unwrap();
         // Hybrid loads O(|V|) checkpoints instead of O(α|V|) neighbors in
         // the backward pass and skips the AGGREGATE recompute.
-        assert!(rh.time < rr.time, "hybrid {} vs recompute {}", rh.time, rr.time);
+        assert!(
+            rh.time < rr.time,
+            "hybrid {} vs recompute {}",
+            rh.time,
+            rr.time
+        );
     }
 
     #[test]
@@ -825,7 +925,12 @@ mod tests {
         let rg = gat.train_epoch().unwrap();
         let rc = gcn.train_epoch().unwrap();
         assert!(rg.loss.loss.is_finite());
-        assert!(rg.buckets.gpu > rc.buckets.gpu, "GAT GPU {} vs GCN {}", rg.buckets.gpu, rc.buckets.gpu);
+        assert!(
+            rg.buckets.gpu > rc.buckets.gpu,
+            "GAT GPU {} vs GCN {}",
+            rg.buckets.gpu,
+            rc.buckets.gpu
+        );
     }
 
     #[test]
@@ -845,9 +950,12 @@ mod tests {
     fn oom_when_gpu_memory_too_small() {
         let ds = small_dataset();
         let cfg = HongTuConfig::full(MachineConfig::scaled(4, 64 << 10));
-        let r = HongTuEngine::new(&ds, ModelKind::Gcn, 16, 2, 4, cfg)
-            .and_then(|mut e| e.train_epoch());
-        assert!(matches!(r, Err(SimError::OutOfMemory { .. })), "expected OOM, got ok");
+        let r =
+            HongTuEngine::new(&ds, ModelKind::Gcn, 16, 2, 4, cfg).and_then(|mut e| e.train_epoch());
+        assert!(
+            matches!(r, Err(SimError::OutOfMemory { .. })),
+            "expected OOM, got ok"
+        );
     }
 
     #[test]
@@ -896,8 +1004,18 @@ mod tests {
 
     #[test]
     fn bucket_delta_subtracts_componentwise() {
-        let before = TimeBuckets { h2d: 1.0, gpu: 2.0, bytes_h2d: 100, ..Default::default() };
-        let now = TimeBuckets { h2d: 3.0, gpu: 2.5, bytes_h2d: 150, ..Default::default() };
+        let before = TimeBuckets {
+            h2d: 1.0,
+            gpu: 2.0,
+            bytes_h2d: 100,
+            ..Default::default()
+        };
+        let now = TimeBuckets {
+            h2d: 3.0,
+            gpu: 2.5,
+            bytes_h2d: 150,
+            ..Default::default()
+        };
         let d = delta(now, before);
         assert_eq!(d.h2d, 2.0);
         assert_eq!(d.gpu, 0.5);

@@ -9,12 +9,14 @@
 //!
 //! Module map:
 //! - [`dedup`] — transition-set construction and the per-batch
-//!   communication plan (Algorithms 2 & 3, §5.1–5.2);
+//!   communication plan (Algorithms 2 & 3, §5.1–5.2); lives in
+//!   `hongtu-partition`, re-exported here for back-compat;
 //! - [`cost`] — the communication cost model (Equation 4);
 //! - [`reorg`] — cost-guided partition reorganization (Algorithm 4, §5.3);
 //! - [`buffers`] — in-place transition/neighbor buffer index planning
 //!   (§6: stable slots for reused vertices, freed-slot insertion,
-//!   merged-buffer deduplication);
+//!   merged-buffer deduplication); also re-exported from
+//!   `hongtu-partition`;
 //! - [`engine`] — the HongTu executor (Algorithm 1): partition-based
 //!   training with recomputation-caching-hybrid intermediate data
 //!   management and deduplicated communication;
@@ -25,15 +27,20 @@
 // Indexed loops are deliberate: indices double as GPU/batch identifiers.
 #![allow(clippy::needless_range_loop)]
 
-pub mod buffers;
 pub mod cost;
-pub mod dedup;
 pub mod engine;
 pub mod reorg;
 pub mod systems;
 
+// The plan-construction modules moved to `hongtu-partition` so that the
+// static verifier (`hongtu-verify`) can analyze plans without depending on
+// this crate. `crate::dedup::...` paths keep working via these re-exports.
+pub use hongtu_partition::{buffers, dedup};
+
 pub use buffers::GpuBufferPlan;
 pub use cost::{comm_cost, CommVolumes};
 pub use dedup::DedupPlan;
-pub use engine::{CommMode, EpochReport, HongTuConfig, HongTuEngine, MemoryStrategy};
+pub use engine::{
+    CommMode, EpochReport, HongTuConfig, HongTuEngine, MemoryStrategy, ValidationLevel,
+};
 pub use reorg::{reorganize, reorganize_guarded};

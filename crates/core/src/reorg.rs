@@ -21,9 +21,17 @@ use hongtu_sim::MachineConfig;
 /// regress on adversarial inputs; the guard makes the pass monotone.
 pub fn reorganize_guarded(plan: TwoLevelPartition, cfg: &MachineConfig) -> TwoLevelPartition {
     const ROW_BYTES: usize = 128; // any constant: cost is linear in row size
-    let before = comm_cost(CommVolumes::from_plan(&DedupPlan::build(&plan)), cfg, ROW_BYTES);
+    let before = comm_cost(
+        CommVolumes::from_plan(&DedupPlan::build(&plan)),
+        cfg,
+        ROW_BYTES,
+    );
     let cand = reorganize(plan.clone());
-    let after = comm_cost(CommVolumes::from_plan(&DedupPlan::build(&cand)), cfg, ROW_BYTES);
+    let after = comm_cost(
+        CommVolumes::from_plan(&DedupPlan::build(&cand)),
+        cfg,
+        ROW_BYTES,
+    );
     if after <= before {
         cand
     } else {
@@ -73,8 +81,10 @@ pub fn reorganize(plan: TwoLevelPartition) -> TwoLevelPartition {
 
     let mut reordered: Vec<Vec<ChunkSubgraph>> = (0..m).map(|_| Vec::with_capacity(n)).collect();
     // Drain grid columns in the chosen batch order.
-    let mut grid_opt: Vec<Vec<Option<ChunkSubgraph>>> =
-        grid.into_iter().map(|row| row.into_iter().map(Some).collect()).collect();
+    let mut grid_opt: Vec<Vec<Option<ChunkSubgraph>>> = grid
+        .into_iter()
+        .map(|row| row.into_iter().map(Some).collect())
+        .collect();
     for &j in &order {
         for (i, row) in grid_opt.iter_mut().enumerate() {
             reordered[i].push(row[j].take().expect("batch column drained twice"));
@@ -111,8 +121,8 @@ fn merge_sorted_into(target: &mut Vec<VertexId>, extra: &[VertexId]) {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use super::super::cost::{comm_cost, CommVolumes};
+    use super::*;
     use crate::dedup::DedupPlan;
     use hongtu_graph::generators;
     use hongtu_tensor::SeededRng;
@@ -178,7 +188,10 @@ mod tests {
         let before = cost_of(&scrambled);
         let reorg = reorganize_guarded(scrambled, &cfg);
         let after = cost_of(&reorg);
-        assert!(after <= before, "guarded cost regressed: {before} -> {after}");
+        assert!(
+            after <= before,
+            "guarded cost regressed: {before} -> {after}"
+        );
         assert!(reorg.validate(&g).is_ok());
     }
 

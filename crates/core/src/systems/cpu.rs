@@ -52,7 +52,11 @@ impl CpuSystem {
                 replication_factor(&dataset.graph, &a)
             }
         };
-        CpuSystem { kind, cluster, alpha }
+        CpuSystem {
+            kind,
+            cluster,
+            alpha,
+        }
     }
 
     /// Replication factor in use.
@@ -73,11 +77,11 @@ impl CpuSystem {
         // Replicas (representations of every layer) + send/recv buffers.
         let replica_rows = ((self.alpha - 1.0).max(0.0) * v as f64 / nodes as f64) as usize;
         let replica = replica_rows * dim_sum * F32 * 2; // reps + comm buffers
-        // Edge-softmax models cannot use DistGNN's in-place CPU
-        // aggregation: per-edge attention scalars (score + weight) are
-        // retained for every layer's backward pass, and a double-buffered
-        // per-edge message tensor is live during aggregation — this is
-        // what blows past 16 × 512 GB in Table 7.
+                                                        // Edge-softmax models cannot use DistGNN's in-place CPU
+                                                        // aggregation: per-edge attention scalars (score + weight) are
+                                                        // retained for every layer's backward pass, and a double-buffered
+                                                        // per-edge message tensor is live during aggregation — this is
+                                                        // what blows past 16 × 512 GB in Table 7.
         let edge_state = if w.kind == ModelKind::Gat {
             let retained = 2 * (e / nodes) * F32 * w.layers;
             // Forward message tensor, its gradient, and double buffering
@@ -156,7 +160,11 @@ mod tests {
     fn cpu_is_order_of_magnitude_slower_than_gpu() {
         let ds = rdt();
         let w = Workload::new(&ds, ModelKind::Gcn, 16, 2);
-        let cpu = CpuSystem::new(CpuSystemKind::SingleNode, CpuClusterConfig::scaled(1, 1 << 34), &ds);
+        let cpu = CpuSystem::new(
+            CpuSystemKind::SingleNode,
+            CpuClusterConfig::scaled(1, 1 << 34),
+            &ds,
+        );
         let gpu = super::super::SingleGpuFullGraph::new(MachineConfig::scaled(1, 1 << 30));
         let tc = cpu.epoch_time(&w).unwrap();
         let tg = gpu.epoch_time(&w).unwrap();
@@ -166,37 +174,66 @@ mod tests {
     #[test]
     fn gat_penalty_is_larger_on_cpu() {
         let ds = rdt();
-        let cpu = CpuSystem::new(CpuSystemKind::SingleNode, CpuClusterConfig::scaled(1, 1 << 34), &ds);
-        let gcn = cpu.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2)).unwrap();
-        let gat = cpu.epoch_time(&Workload::new(&ds, ModelKind::Gat, 16, 2)).unwrap();
+        let cpu = CpuSystem::new(
+            CpuSystemKind::SingleNode,
+            CpuClusterConfig::scaled(1, 1 << 34),
+            &ds,
+        );
+        let gcn = cpu
+            .epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2))
+            .unwrap();
+        let gat = cpu
+            .epoch_time(&Workload::new(&ds, ModelKind::Gat, 16, 2))
+            .unwrap();
         assert!(gat > gcn * 2.0, "GAT {gat} vs GCN {gcn}");
     }
 
     #[test]
     fn cluster_alpha_exceeds_one() {
         let ds = load(DatasetKey::Fds, &mut SeededRng::new(2));
-        let sys = CpuSystem::new(CpuSystemKind::Cluster, CpuClusterConfig::scaled(16, 1 << 34), &ds);
+        let sys = CpuSystem::new(
+            CpuSystemKind::Cluster,
+            CpuClusterConfig::scaled(16, 1 << 34),
+            &ds,
+        );
         assert!(sys.alpha() > 1.5, "cluster α {}", sys.alpha());
     }
 
     #[test]
     fn cluster_ooms_on_gat_with_tight_nodes() {
         let ds = load(DatasetKey::Opr, &mut SeededRng::new(3));
-        let sys = CpuSystem::new(CpuSystemKind::Cluster, CpuClusterConfig::scaled(16, 3 << 20), &ds);
+        let sys = CpuSystem::new(
+            CpuSystemKind::Cluster,
+            CpuClusterConfig::scaled(16, 3 << 20),
+            &ds,
+        );
         let gat = sys.epoch_time(&Workload::new(&ds, ModelKind::Gat, 32, 3));
         assert!(matches!(gat, Err(SimError::OutOfMemory { .. })));
         // With much larger nodes, it fits.
-        let big = CpuSystem::new(CpuSystemKind::Cluster, CpuClusterConfig::scaled(16, 1 << 34), &ds);
-        assert!(big.epoch_time(&Workload::new(&ds, ModelKind::Gat, 32, 3)).is_ok());
+        let big = CpuSystem::new(
+            CpuSystemKind::Cluster,
+            CpuClusterConfig::scaled(16, 1 << 34),
+            &ds,
+        );
+        assert!(big
+            .epoch_time(&Workload::new(&ds, ModelKind::Gat, 32, 3))
+            .is_ok());
     }
 
     #[test]
     fn more_nodes_are_faster_but_replicate_more() {
         let ds = load(DatasetKey::It, &mut SeededRng::new(4));
         let w = Workload::new(&ds, ModelKind::Gcn, 32, 2);
-        let one = CpuSystem::new(CpuSystemKind::SingleNode, CpuClusterConfig::scaled(1, 1 << 34), &ds);
-        let sixteen =
-            CpuSystem::new(CpuSystemKind::Cluster, CpuClusterConfig::scaled(16, 1 << 34), &ds);
+        let one = CpuSystem::new(
+            CpuSystemKind::SingleNode,
+            CpuClusterConfig::scaled(1, 1 << 34),
+            &ds,
+        );
+        let sixteen = CpuSystem::new(
+            CpuSystemKind::Cluster,
+            CpuClusterConfig::scaled(16, 1 << 34),
+            &ds,
+        );
         assert!(sixteen.alpha() > one.alpha());
         let t1 = one.epoch_time(&w).unwrap();
         let t16 = sixteen.epoch_time(&w).unwrap();

@@ -36,7 +36,12 @@ pub struct MiniBatchSystem {
 impl MiniBatchSystem {
     /// A system with the paper's fanout-10 default.
     pub fn new(machine: MachineConfig, batch_size: usize, seed: u64) -> Self {
-        MiniBatchSystem { fanout: 10, batch_size, machine, seed }
+        MiniBatchSystem {
+            fanout: 10,
+            batch_size,
+            machine,
+            seed,
+        }
     }
 
     /// Samples the layered blocks for one batch of `seeds`. Returns blocks
@@ -84,7 +89,9 @@ impl MiniBatchSystem {
                 let d = dests[k];
                 let dv = (1 + g.in_degree(d)) as f32;
                 for &u in picked {
-                    let pos = neighbors.binary_search(&u).expect("sampled neighbor present");
+                    let pos = neighbors
+                        .binary_search(&u)
+                        .expect("sampled neighbor present");
                     nbr_index.push(pos as u32);
                     let du = (1 + g.out_degree(u)) as f32;
                     weights.push(1.0 / (du * dv).sqrt());
@@ -136,8 +143,11 @@ impl MiniBatchSystem {
             let mut batch_bytes = 0usize;
             let mut sampled_edges = 0usize;
             for (l, blk) in blocks.iter().enumerate() {
-                let (v, e, nbr) =
-                    (blk.num_dests() as f64, blk.num_edges() as f64, blk.num_neighbors() as f64);
+                let (v, e, nbr) = (
+                    blk.num_dests() as f64,
+                    blk.num_edges() as f64,
+                    blk.num_neighbors() as f64,
+                );
                 let flops = w.layer_flops(l, v, e, nbr).scale(3.0);
                 probe_time += flops.dense / self.machine.gpu_dense_flops
                     + flops.edge / self.machine.gpu_edge_flops;
@@ -217,7 +227,12 @@ impl MiniBatchSystem {
                 let map: Vec<usize> = blocks[l + 1]
                     .neighbors
                     .iter()
-                    .map(|v| blocks[l].dests.binary_search(v).expect("block chaining broken"))
+                    .map(|v| {
+                        blocks[l]
+                            .dests
+                            .binary_search(v)
+                            .expect("block chaining broken")
+                    })
                     .collect();
                 inputs.push(out.gather_rows(&map));
             } else {
@@ -234,14 +249,23 @@ impl MiniBatchSystem {
         let mut grads = model.zero_grads();
         let mut grad_out = loss.grad.clone();
         for l in (0..l_count).rev() {
-            let grad_nbr =
-                model.layer(l).backward_from_input(&blocks[l], &inputs[l], &grad_out, &mut grads[l]);
+            let grad_nbr = model.layer(l).backward_from_input(
+                &blocks[l],
+                &inputs[l],
+                &grad_out,
+                &mut grads[l],
+            );
             if l > 0 {
                 let mut prev = Matrix::zeros(blocks[l - 1].num_dests(), model.layer(l).in_dim());
                 let map: Vec<usize> = blocks[l]
                     .neighbors
                     .iter()
-                    .map(|v| blocks[l - 1].dests.binary_search(v).expect("block chaining broken"))
+                    .map(|v| {
+                        blocks[l - 1]
+                            .dests
+                            .binary_search(v)
+                            .expect("block chaining broken")
+                    })
                     .collect();
                 prev.scatter_add_rows(&map, &grad_nbr);
                 grad_out = prev;
@@ -316,8 +340,12 @@ mod tests {
         // it-2004 proxy (dense RDT saturates at |V| after two hops).
         let ds = load(DatasetKey::It, &mut SeededRng::new(9));
         let s = MiniBatchSystem::new(MachineConfig::scaled(1, 1 << 30), 128, 7);
-        let t2 = s.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2)).unwrap();
-        let t4 = s.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 4)).unwrap();
+        let t2 = s
+            .epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2))
+            .unwrap();
+        let t4 = s
+            .epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 4))
+            .unwrap();
         assert!(t4 > 2.5 * t2, "t2 {t2} t4 {t4}");
     }
 

@@ -41,7 +41,12 @@ pub struct Workload<'a> {
 impl<'a> Workload<'a> {
     /// Convenience constructor.
     pub fn new(dataset: &'a Dataset, kind: ModelKind, hidden: usize, layers: usize) -> Self {
-        Workload { dataset, kind, hidden, layers }
+        Workload {
+            dataset,
+            kind,
+            hidden,
+            layers,
+        }
     }
 
     /// Layer dimension boundaries.
@@ -56,17 +61,25 @@ impl<'a> Workload<'a> {
         let dims = self.dims();
         let (d_in, d_out) = (dims[l] as f64, dims[l + 1] as f64);
         match self.kind {
-            ModelKind::Gcn => LayerFlops { dense: 2.0 * v * d_in * d_out, edge: 2.0 * e * d_in },
+            ModelKind::Gcn => LayerFlops {
+                dense: 2.0 * v * d_in * d_out,
+                edge: 2.0 * e * d_in,
+            },
             ModelKind::Gat => LayerFlops {
                 dense: 2.0 * nbr * d_in * d_out,
                 edge: 6.0 * e * (2.0 * d_out + 8.0) + 2.0 * nbr * d_out,
             },
-            ModelKind::Sage | ModelKind::CommNet => {
-                LayerFlops { dense: 4.0 * v * d_in * d_out, edge: 2.0 * e * d_in }
-            }
-            ModelKind::Gin => LayerFlops { dense: 2.0 * v * d_in * d_out, edge: e * d_in },
+            ModelKind::Sage | ModelKind::CommNet => LayerFlops {
+                dense: 4.0 * v * d_in * d_out,
+                edge: 2.0 * e * d_in,
+            },
+            ModelKind::Gin => LayerFlops {
+                dense: 2.0 * v * d_in * d_out,
+                edge: e * d_in,
+            },
             ModelKind::Ggnn => LayerFlops {
-                dense: 2.0 * v * d_in * d_out * 2.0 + 2.0 * v * d_out * d_out * 6.0
+                dense: 2.0 * v * d_in * d_out * 2.0
+                    + 2.0 * v * d_out * d_out * 6.0
                     + 10.0 * v * d_out,
                 edge: e * d_in,
             },
@@ -102,7 +115,9 @@ impl<'a> Workload<'a> {
     /// Total intermediate bytes across all layers (what an in-memory
     /// system must keep resident between forward and backward).
     pub fn total_intermediate_bytes(&self, v: usize, e: usize, nbr: usize) -> usize {
-        (0..self.layers).map(|l| self.layer_intermediate_bytes(l, v, e, nbr)).sum()
+        (0..self.layers)
+            .map(|l| self.layer_intermediate_bytes(l, v, e, nbr))
+            .sum()
     }
 
     /// Vertex-data bytes: representations and gradients of every layer.
@@ -146,8 +161,11 @@ mod tests {
         let chunk = hongtu_nn::model::whole_graph_chunk(&ds.graph);
         let mut rng = SeededRng::new(2);
         let model = hongtu_nn::GnnModel::new(ModelKind::Gcn, &w.dims(), &mut rng);
-        let (v, e, nbr) =
-            (chunk.num_dests() as f64, chunk.num_edges() as f64, chunk.num_neighbors() as f64);
+        let (v, e, nbr) = (
+            chunk.num_dests() as f64,
+            chunk.num_edges() as f64,
+            chunk.num_neighbors() as f64,
+        );
         for l in 0..2 {
             let analytic = w.layer_flops(l, v, e, nbr);
             let real = model.layer(l).forward_flops(&chunk);
@@ -159,7 +177,12 @@ mod tests {
     fn intermediate_bytes_match_real_layers() {
         let ds = ds();
         let chunk = hongtu_nn::model::whole_graph_chunk(&ds.graph);
-        for kind in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Sage, ModelKind::Gin] {
+        for kind in [
+            ModelKind::Gcn,
+            ModelKind::Gat,
+            ModelKind::Sage,
+            ModelKind::Gin,
+        ] {
             let w = Workload::new(&ds, kind, 16, 2);
             let mut rng = SeededRng::new(3);
             let model = hongtu_nn::GnnModel::new(kind, &w.dims(), &mut rng);

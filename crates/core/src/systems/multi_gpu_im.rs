@@ -72,14 +72,24 @@ impl MultiGpuInMemory {
                 owned[p] += 1;
                 edges[p] += g.in_degree(v as VertexId);
                 for &u in g.in_neighbors(v as VertexId) {
-                    if assignment.partition_of[u as usize] as usize != p && mark[u as usize] != p as u32 {
+                    if assignment.partition_of[u as usize] as usize != p
+                        && mark[u as usize] != p as u32
+                    {
                         mark[u as usize] = p as u32;
                         remote[p] += 1;
                     }
                 }
             }
         }
-        MultiGpuInMemory { kind, machine, stats: PartitionStats { owned, edges, remote } }
+        MultiGpuInMemory {
+            kind,
+            machine,
+            stats: PartitionStats {
+                owned,
+                edges,
+                remote,
+            },
+        }
     }
 
     /// Resident bytes on the most-loaded GPU.
@@ -167,8 +177,7 @@ mod tests {
         let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, cfg.clone(), &ds, 1);
         let w = Workload::new(&ds, ModelKind::Gcn, 16, 4);
         let t4 = im.epoch_time(&w).unwrap();
-        let single =
-            super::super::SingleGpuFullGraph::new(MachineConfig::scaled(1, 1 << 30));
+        let single = super::super::SingleGpuFullGraph::new(MachineConfig::scaled(1, 1 << 30));
         let t1 = single.epoch_time(&w).unwrap();
         assert!(t4 < t1, "4-GPU {t4} must beat 1-GPU {t1}");
     }
@@ -201,7 +210,10 @@ mod tests {
         let cfg = MachineConfig::scaled(4, 4 << 20);
         let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, cfg, &ds, 1);
         let w = Workload::new(&ds, ModelKind::Gcn, 32, 3);
-        assert!(matches!(im.epoch_time(&w), Err(SimError::OutOfMemory { .. })));
+        assert!(matches!(
+            im.epoch_time(&w),
+            Err(SimError::OutOfMemory { .. })
+        ));
     }
 
     #[test]

@@ -85,8 +85,8 @@ impl NeutronStyle {
             .map(|&d| 2.0 * alpha * v as f64 * (d * F32) as f64)
             .sum();
         let flops = w.epoch_flops(v as f64, e as f64, v as f64, false);
-        let compute = flops.dense / self.machine.gpu_dense_flops
-            + flops.edge / self.machine.gpu_edge_flops;
+        let compute =
+            flops.dense / self.machine.gpu_dense_flops + flops.edge / self.machine.gpu_edge_flops;
         Ok(compute / m as f64 + streamed / (self.machine.pcie_bw * m as f64))
     }
 }
@@ -110,9 +110,8 @@ impl RocStyle {
         let m = self.machine.num_gpus;
         let (v, e) = (ds.num_vertices(), ds.num_edges());
         // Vertex data must be fully resident (partitioned across GPUs).
-        let vertex_share = w.vertex_data_bytes(v) / m
-            + ds.graph.topology_bytes() / m
-            + 3 * w.param_bytes();
+        let vertex_share =
+            w.vertex_data_bytes(v) / m + ds.graph.topology_bytes() / m + 3 * w.param_bytes();
         if vertex_share > self.machine.gpu_memory {
             return Err(Limitation::OutOfMemory(SimError::OutOfMemory {
                 device: "GPU (ROC-style)".into(),
@@ -142,8 +141,8 @@ impl RocStyle {
         let total_inter = w.total_intermediate_bytes(v, e, v) / m;
         let swapped = total_inter.saturating_sub(budget);
         let flops = w.epoch_flops(v as f64, e as f64, v as f64, false);
-        let compute = flops.dense / self.machine.gpu_dense_flops
-            + flops.edge / self.machine.gpu_edge_flops;
+        let compute =
+            flops.dense / self.machine.gpu_dense_flops + flops.edge / self.machine.gpu_edge_flops;
         Ok(compute / m as f64 + (2.0 * swapped as f64) / self.machine.pcie_bw)
     }
 }
@@ -162,7 +161,9 @@ mod tests {
     fn neutron_style_rejects_gat() {
         let d = ds(DatasetKey::Rdt);
         let sys = NeutronStyle::new(MachineConfig::scaled(4, 1 << 30));
-        let err = sys.epoch_time(&Workload::new(&d, ModelKind::Gat, 32, 2)).unwrap_err();
+        let err = sys
+            .epoch_time(&Workload::new(&d, ModelKind::Gat, 32, 2))
+            .unwrap_err();
         assert!(matches!(err, Limitation::Unsupported(_)), "{err}");
         assert!(err.to_string().contains("softmax"));
     }
@@ -171,7 +172,9 @@ mod tests {
     fn neutron_style_runs_gcn_on_small_graphs() {
         let d = ds(DatasetKey::Rdt);
         let sys = NeutronStyle::new(MachineConfig::scaled(4, 34 << 20));
-        let t = sys.epoch_time(&Workload::new(&d, ModelKind::Gcn, 32, 2)).unwrap();
+        let t = sys
+            .epoch_time(&Workload::new(&d, ModelKind::Gcn, 32, 2))
+            .unwrap();
         assert!(t > 0.0);
     }
 
@@ -181,7 +184,9 @@ mod tests {
         // resident intermediates blow the budget.
         let d = ds(DatasetKey::Opr);
         let sys = NeutronStyle::new(MachineConfig::scaled(4, 34 << 20));
-        let err = sys.epoch_time(&Workload::new(&d, ModelKind::Gcn, 32, 4)).unwrap_err();
+        let err = sys
+            .epoch_time(&Workload::new(&d, ModelKind::Gcn, 32, 4))
+            .unwrap_err();
         assert!(matches!(err, Limitation::OutOfMemory(_)), "{err}");
     }
 
@@ -189,7 +194,9 @@ mod tests {
     fn roc_style_ooms_on_resident_vertex_data() {
         let d = ds(DatasetKey::Opr);
         let sys = RocStyle::new(MachineConfig::scaled(4, 34 << 20));
-        let err = sys.epoch_time(&Workload::new(&d, ModelKind::Gcn, 32, 3)).unwrap_err();
+        let err = sys
+            .epoch_time(&Workload::new(&d, ModelKind::Gcn, 32, 3))
+            .unwrap_err();
         match err {
             Limitation::OutOfMemory(SimError::OutOfMemory { label, .. }) => {
                 assert!(label.contains("vertex data"), "{label}");
@@ -204,8 +211,12 @@ mod tests {
         // heavy swap traffic relative to GCN.
         let d = ds(DatasetKey::Rdt);
         let sys = RocStyle::new(MachineConfig::scaled(4, 8 << 20));
-        let gcn = sys.epoch_time(&Workload::new(&d, ModelKind::Gcn, 32, 4)).unwrap();
-        let gat = sys.epoch_time(&Workload::new(&d, ModelKind::Gat, 32, 4)).unwrap();
+        let gcn = sys
+            .epoch_time(&Workload::new(&d, ModelKind::Gcn, 32, 4))
+            .unwrap();
+        let gat = sys
+            .epoch_time(&Workload::new(&d, ModelKind::Gat, 32, 4))
+            .unwrap();
         assert!(gat > 2.0 * gcn, "GAT {gat} vs GCN {gcn}");
     }
 

@@ -70,7 +70,9 @@ mod tests {
     fn small_graph_fits_and_reports_time() {
         let ds = rdt();
         let sys = SingleGpuFullGraph::new(MachineConfig::scaled(1, 256 << 20));
-        let t = sys.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2)).unwrap();
+        let t = sys
+            .epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2))
+            .unwrap();
         assert!(t > 0.0 && t.is_finite());
     }
 
@@ -78,9 +80,15 @@ mod tests {
     fn runtime_grows_with_layers_and_model_weight() {
         let ds = rdt();
         let sys = SingleGpuFullGraph::new(MachineConfig::scaled(1, 1 << 30));
-        let t2 = sys.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2)).unwrap();
-        let t4 = sys.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 4)).unwrap();
-        let gat2 = sys.epoch_time(&Workload::new(&ds, ModelKind::Gat, 16, 2)).unwrap();
+        let t2 = sys
+            .epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 2))
+            .unwrap();
+        let t4 = sys
+            .epoch_time(&Workload::new(&ds, ModelKind::Gcn, 16, 4))
+            .unwrap();
+        let gat2 = sys
+            .epoch_time(&Workload::new(&ds, ModelKind::Gat, 16, 2))
+            .unwrap();
         assert!(t4 > t2 * 1.5);
         assert!(gat2 > t2, "GAT must be slower than GCN");
     }

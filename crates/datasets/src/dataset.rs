@@ -161,8 +161,15 @@ impl Dataset {
         if self.labels.len() != self.graph.num_vertices() {
             return Err("label count != vertex count".into());
         }
-        if let Some(&l) = self.labels.iter().find(|&&l| l as usize >= self.num_classes) {
-            return Err(format!("label {l} out of range ({} classes)", self.num_classes));
+        if let Some(&l) = self
+            .labels
+            .iter()
+            .find(|&&l| l as usize >= self.num_classes)
+        {
+            return Err(format!(
+                "label {l} out of range ({} classes)",
+                self.num_classes
+            ));
         }
         // Every vertex must have a self-loop (layers rely on it).
         for v in 0..self.graph.num_vertices() as u32 {

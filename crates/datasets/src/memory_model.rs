@@ -35,7 +35,13 @@ pub struct PaperScale {
 pub fn table1_datasets() -> [(PaperScale, [u64; 4]); 3] {
     [
         (
-            PaperScale { name: "it-2004", vertices: 41_000_000, edges: 1_200_000_000, feat_dim: 256, labels: 64 },
+            PaperScale {
+                name: "it-2004",
+                vertices: 41_000_000,
+                edges: 1_200_000_000,
+                feat_dim: 256,
+                labels: 64,
+            },
             [256, 128, 128, 64],
         ),
         (
@@ -83,7 +89,11 @@ impl MemoryModel {
         let vertex_data = 2 * vertices * dim_sum * F;
         let inter_sum: u64 = dims.windows(2).map(|w| w[0] + w[1]).sum();
         let intermediate = vertices * inter_sum * F;
-        MemoryModel { topology, vertex_data, intermediate }
+        MemoryModel {
+            topology,
+            vertex_data,
+            intermediate,
+        }
     }
 
     /// Evaluates the model for a GAT of the same shape. The footnote to
@@ -100,7 +110,10 @@ impl MemoryModel {
             .windows(2)
             .map(|w| (vertices * w[1] * 2 + edges * (w[1] + 2)) * F)
             .sum();
-        MemoryModel { intermediate, ..base }
+        MemoryModel {
+            intermediate,
+            ..base
+        }
     }
 
     /// Total bytes.

@@ -11,7 +11,13 @@ use hongtu_tensor::{Matrix, SeededRng};
 
 /// All five dataset keys, in the paper's order.
 pub fn all_keys() -> [DatasetKey; 5] {
-    [DatasetKey::Rdt, DatasetKey::Opt, DatasetKey::It, DatasetKey::Opr, DatasetKey::Fds]
+    [
+        DatasetKey::Rdt,
+        DatasetKey::Opt,
+        DatasetKey::It,
+        DatasetKey::Opr,
+        DatasetKey::Fds,
+    ]
 }
 
 /// The two small (GPU-resident) datasets.
@@ -30,10 +36,34 @@ pub fn load(key: DatasetKey, rng: &mut SeededRng) -> Dataset {
     match key {
         // reddit: 0.23M vertices, 114M edges (avg deg ~500), 602 features,
         // 41 labels, ~66% train split. Proxy: dense labelled community graph.
-        DatasetKey::Rdt => labelled(key, 3000, 8, 40.0, 0.62, 48, 0.10, 0.07, (0.66, 0.10), seed, rng),
+        DatasetKey::Rdt => labelled(
+            key,
+            3000,
+            8,
+            40.0,
+            0.62,
+            48,
+            0.10,
+            0.07,
+            (0.66, 0.10),
+            seed,
+            rng,
+        ),
         // ogbn-products: 2.4M vertices, 62M edges (avg deg ~26), 100
         // features, 47 labels, ~8% train split.
-        DatasetKey::Opt => labelled(key, 6000, 8, 22.0, 0.55, 24, 0.18, 0.0, (0.08, 0.02), seed, rng),
+        DatasetKey::Opt => labelled(
+            key,
+            6000,
+            8,
+            22.0,
+            0.55,
+            24,
+            0.18,
+            0.0,
+            (0.08, 0.02),
+            seed,
+            rng,
+        ),
         // it-2004: 41M vertices, 1.2B edges, web crawl with strong id
         // locality and hub pages — lowest replication factor of the three.
         DatasetKey::It => {
@@ -93,11 +123,23 @@ fn labelled(
     // full-graph and sampled training curves.
     let mut frng = rng.fork(2);
     let features = Matrix::from_fn(n, feat_dim, |v, c| {
-        let s = if c % classes == labels[v] as usize { signal } else { 0.0 };
+        let s = if c % classes == labels[v] as usize {
+            signal
+        } else {
+            0.0
+        };
         s as f32 + frng.normal()
     });
     let splits = Splits::random(n, split.0, split.1, &mut rng.fork(3));
-    Dataset { key, graph, features, labels, splits, num_classes: classes, seed }
+    Dataset {
+        key,
+        graph,
+        features,
+        labels,
+        splits,
+        num_classes: classes,
+        seed,
+    }
 }
 
 /// Unlabelled large graph: random features/labels, 25/25/50 split
@@ -132,7 +174,15 @@ fn unlabelled_with_split(
     let mut lrng = rng.fork(3);
     let labels: Vec<u32> = (0..n).map(|_| lrng.index(classes) as u32).collect();
     let splits = Splits::random(n, split.0, split.1, &mut rng.fork(4));
-    Dataset { key, graph, features, labels, splits, num_classes: classes, seed }
+    Dataset {
+        key,
+        graph,
+        features,
+        labels,
+        splits,
+        num_classes: classes,
+        seed,
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +194,12 @@ mod tests {
         for key in all_keys() {
             let mut rng = SeededRng::new(42);
             let ds = load(key, &mut rng);
-            assert!(ds.validate().is_ok(), "{}: {:?}", key.abbrev(), ds.validate());
+            assert!(
+                ds.validate().is_ok(),
+                "{}: {:?}",
+                key.abbrev(),
+                ds.validate()
+            );
             assert!(ds.num_vertices() > 1000, "{} too small", key.abbrev());
         }
     }

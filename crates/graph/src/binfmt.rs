@@ -61,7 +61,9 @@ pub fn read_graph(mut r: impl Read) -> Result<Graph, BinGraphError> {
     let n = read_u64(&mut r)? as usize;
     let m = read_u64(&mut r)? as usize;
     if n > u32::MAX as usize {
-        return Err(BinGraphError::Format(format!("vertex count {n} exceeds u32 ids")));
+        return Err(BinGraphError::Format(format!(
+            "vertex count {n} exceeds u32 ids"
+        )));
     }
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
@@ -116,13 +118,19 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic_and_truncation() {
-        assert!(matches!(read_graph(&b"XXXX"[..]), Err(BinGraphError::Format(_))));
+        assert!(matches!(
+            read_graph(&b"XXXX"[..]),
+            Err(BinGraphError::Format(_))
+        ));
         let mut rng = SeededRng::new(4);
         let g = generators::erdos_renyi(50, 3.0, &mut rng);
         let mut buf = Vec::new();
         write_graph(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 2);
-        assert!(matches!(read_graph(buf.as_slice()), Err(BinGraphError::Io(_))));
+        assert!(matches!(
+            read_graph(buf.as_slice()),
+            Err(BinGraphError::Io(_))
+        ));
     }
 
     #[test]
@@ -134,7 +142,10 @@ mod tests {
         // Corrupt a target id to be out of range.
         let last = buf.len() - 4;
         buf[last..].copy_from_slice(&10_000u32.to_le_bytes());
-        assert!(matches!(read_graph(buf.as_slice()), Err(BinGraphError::Format(_))));
+        assert!(matches!(
+            read_graph(buf.as_slice()),
+            Err(BinGraphError::Format(_))
+        ));
     }
 
     #[test]

@@ -14,7 +14,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph over vertices `0..n`.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), allow_self_loops: false }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            allow_self_loops: false,
+        }
     }
 
     /// Keep self-loops instead of dropping them (dropped by default, as GNN

@@ -30,7 +30,10 @@ pub type Csc = Csr;
 impl Csr {
     /// An adjacency structure with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        Csr { offsets: vec![0; n + 1], targets: Vec::new() }
+        Csr {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -62,7 +65,9 @@ impl Csr {
     /// Iterates `(source, target)` pairs in storage order.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices()).flat_map(move |v| {
-            self.neighbors(v as VertexId).iter().map(move |&t| (v as VertexId, t))
+            self.neighbors(v as VertexId)
+                .iter()
+                .map(move |&t| (v as VertexId, t))
         })
     }
 
@@ -257,11 +262,20 @@ mod tests {
     fn validate_accepts_good_and_rejects_bad() {
         let g = toy();
         assert!(g.validate().is_ok());
-        let bad = Csr { offsets: vec![0, 2], targets: vec![0, 5] };
+        let bad = Csr {
+            offsets: vec![0, 2],
+            targets: vec![0, 5],
+        };
         assert!(bad.validate().unwrap_err().contains("out of range"));
-        let bad2 = Csr { offsets: vec![1, 2], targets: vec![0, 0] };
+        let bad2 = Csr {
+            offsets: vec![1, 2],
+            targets: vec![0, 0],
+        };
         assert!(bad2.validate().is_err());
-        let bad3 = Csr { offsets: vec![0, 3, 1], targets: vec![0; 1] };
+        let bad3 = Csr {
+            offsets: vec![0, 3, 1],
+            targets: vec![0; 1],
+        };
         assert!(bad3.validate().is_err());
     }
 
@@ -276,7 +290,10 @@ mod tests {
 
     #[test]
     fn byte_size_accounts_offsets_and_targets() {
-        let c = Csr { offsets: vec![0, 1, 2], targets: vec![1, 0] };
+        let c = Csr {
+            offsets: vec![0, 1, 2],
+            targets: vec![1, 0],
+        };
         assert_eq!(c.byte_size(), 3 * 8 + 2 * 4);
     }
 }

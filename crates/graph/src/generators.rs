@@ -47,12 +47,22 @@ impl RmatParams {
     /// The classical Graph500 parameterization — strong degree skew,
     /// friendster/social-network-like expansion.
     pub fn social() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 
     /// Milder skew, web-graph-like.
     pub fn web() -> Self {
-        RmatParams { a: 0.45, b: 0.22, c: 0.22, d: 0.11 }
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+        }
     }
 }
 
@@ -60,7 +70,10 @@ impl RmatParams {
 pub fn rmat(scale: u32, edges: usize, params: RmatParams, rng: &mut SeededRng) -> Graph {
     let n = 1usize << scale;
     let sum = params.a + params.b + params.c + params.d;
-    assert!((sum - 1.0).abs() < 1e-6, "RmatParams must sum to 1 (got {sum})");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "RmatParams must sum to 1 (got {sum})"
+    );
     let mut b = GraphBuilder::new(n);
     for _ in 0..edges {
         let (mut lo_s, mut hi_s) = (0usize, n);
@@ -227,7 +240,10 @@ mod tests {
     fn rmat_produces_skewed_degrees() {
         let g = rmat(10, 8192, RmatParams::social(), &mut rng());
         assert!(g.validate().is_ok());
-        let max_deg = (0..g.num_vertices()).map(|v| g.out_degree(v as u32)).max().unwrap();
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.out_degree(v as u32))
+            .max()
+            .unwrap();
         let avg = g.num_edges() as f64 / g.num_vertices() as f64;
         assert!(
             (max_deg as f64) > avg * 10.0,
@@ -238,17 +254,27 @@ mod tests {
     #[test]
     fn rmat_social_is_more_skewed_than_web() {
         let gini = |g: &Graph| {
-            let mut degs: Vec<usize> = (0..g.num_vertices()).map(|v| g.in_degree(v as u32)).collect();
+            let mut degs: Vec<usize> = (0..g.num_vertices())
+                .map(|v| g.in_degree(v as u32))
+                .collect();
             degs.sort_unstable();
             let n = degs.len() as f64;
             let sum: f64 = degs.iter().map(|&d| d as f64).sum();
-            let weighted: f64 =
-                degs.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
+            let weighted: f64 = degs
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
             (2.0 * weighted) / (n * sum) - (n + 1.0) / n
         };
         let gs = rmat(11, 20_000, RmatParams::social(), &mut rng());
         let gw = rmat(11, 20_000, RmatParams::web(), &mut rng());
-        assert!(gini(&gs) > gini(&gw), "social {} vs web {}", gini(&gs), gini(&gw));
+        assert!(
+            gini(&gs) > gini(&gw),
+            "social {} vs web {}",
+            gini(&gs),
+            gini(&gw)
+        );
     }
 
     #[test]

@@ -55,10 +55,19 @@ pub fn read_edge_list(reader: impl Read) -> Result<Graph, EdgeListError> {
                 max_id = max_id.max(s).max(t);
                 edges.push((s, t));
             }
-            _ => return Err(EdgeListError::Parse { line: i + 1, content: line.clone() }),
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line: i + 1,
+                    content: line.clone(),
+                })
+            }
         }
     }
-    let n = if edges.is_empty() { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = GraphBuilder::new(n);
     b.extend(edges);
     Ok(b.build())
@@ -73,7 +82,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Graph, EdgeListErro
 /// Writes `g` as an edge list with a header comment.
 pub fn write_edge_list(g: &Graph, writer: impl Write) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# directed edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# directed edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (s, t) in g.csr.edges() {
         writeln!(w, "{s} {t}")?;
     }

@@ -34,12 +34,20 @@ impl DegreeStats {
 
     /// In-degree statistics of `g`.
     pub fn in_degrees(g: &Graph) -> Self {
-        Self::from_degrees((0..g.num_vertices()).map(|v| g.in_degree(v as VertexId)).collect())
+        Self::from_degrees(
+            (0..g.num_vertices())
+                .map(|v| g.in_degree(v as VertexId))
+                .collect(),
+        )
     }
 
     /// Out-degree statistics of `g`.
     pub fn out_degrees(g: &Graph) -> Self {
-        Self::from_degrees((0..g.num_vertices()).map(|v| g.out_degree(v as VertexId)).collect())
+        Self::from_degrees(
+            (0..g.num_vertices())
+                .map(|v| g.out_degree(v as VertexId))
+                .collect(),
+        )
     }
 }
 
@@ -48,7 +56,11 @@ impl DegreeStats {
 pub fn log_degree_histogram(degrees: impl Iterator<Item = usize>) -> Vec<usize> {
     let mut hist = Vec::new();
     for d in degrees {
-        let bucket = if d == 0 { 0 } else { (usize::BITS - d.leading_zeros()) as usize };
+        let bucket = if d == 0 {
+            0
+        } else {
+            (usize::BITS - d.leading_zeros()) as usize
+        };
         if hist.len() <= bucket {
             hist.resize(bucket + 1, 0);
         }

@@ -14,7 +14,9 @@
 
 use crate::layer::{self, Activation, GnnLayer, LayerFlops, LayerForward, LayerGrads};
 use hongtu_partition::ChunkSubgraph;
-use hongtu_tensor::ops::{leaky_relu, leaky_relu_backward, softmax_backward_segment, softmax_in_place};
+use hongtu_tensor::ops::{
+    leaky_relu, leaky_relu_backward, softmax_backward_segment, softmax_in_place,
+};
 use hongtu_tensor::{Matrix, SeededRng};
 
 /// One single-head GAT layer.
@@ -31,11 +33,11 @@ pub struct GatLayer {
 
 /// Forward-pass internals reused by the backward pass.
 struct GatInternals {
-    g: Matrix,        // W-projected neighbor reps, N × out
+    g: Matrix, // W-projected neighbor reps, N × out
     self_pos: Vec<usize>,
-    pre: Vec<f32>,    // per-edge pre-activation s_v + t_u
-    alpha: Vec<f32>,  // per-edge attention weight (post softmax)
-    z: Matrix,        // pre-ReLU aggregation, D × out
+    pre: Vec<f32>,   // per-edge pre-activation s_v + t_u
+    alpha: Vec<f32>, // per-edge attention weight (post softmax)
+    z: Matrix,       // pre-ReLU aggregation, D × out
 }
 
 impl GatLayer {
@@ -50,8 +52,16 @@ impl GatLayer {
     }
 
     fn run_forward(&self, chunk: &ChunkSubgraph, h_nbr: &Matrix) -> GatInternals {
-        assert_eq!(h_nbr.cols(), self.in_dim(), "GatLayer::forward: input dim mismatch");
-        assert_eq!(h_nbr.rows(), chunk.num_neighbors(), "GatLayer::forward: neighbor count");
+        assert_eq!(
+            h_nbr.cols(),
+            self.in_dim(),
+            "GatLayer::forward: input dim mismatch"
+        );
+        assert_eq!(
+            h_nbr.rows(),
+            chunk.num_neighbors(),
+            "GatLayer::forward: neighbor count"
+        );
         let out_dim = self.out_dim();
         let g = h_nbr.matmul(&self.w);
         let self_pos = layer::self_positions(chunk);
@@ -80,7 +90,13 @@ impl GatLayer {
                 }
             }
         }
-        GatInternals { g, self_pos, pre, alpha, z }
+        GatInternals {
+            g,
+            self_pos,
+            pre,
+            alpha,
+            z,
+        }
     }
 }
 
@@ -112,7 +128,10 @@ impl GnnLayer for GatLayer {
 
     fn forward(&self, chunk: &ChunkSubgraph, h_nbr: &Matrix) -> LayerForward {
         let internals = self.run_forward(chunk, h_nbr);
-        LayerForward { out: self.act.apply(&internals.z), agg: None }
+        LayerForward {
+            out: self.act.apply(&internals.z),
+            agg: None,
+        }
     }
 
     fn backward_from_input(
@@ -122,7 +141,13 @@ impl GnnLayer for GatLayer {
         grad_out: &Matrix,
         grads: &mut LayerGrads,
     ) -> Matrix {
-        let GatInternals { g, self_pos, pre, alpha, z } = self.run_forward(chunk, h_nbr);
+        let GatInternals {
+            g,
+            self_pos,
+            pre,
+            alpha,
+            z,
+        } = self.run_forward(chunk, h_nbr);
         let out_dim = self.out_dim();
         let dz = self.act.backward(&z, grad_out);
 
@@ -164,8 +189,10 @@ impl GnnLayer for GatLayer {
             let sp = self_pos[k];
             let g_dest_row: Vec<f32> = g.row(sp).to_vec();
             let gd = grad_g.row_mut(sp);
-            for ((o, &al), (ga, &gv)) in
-                gd.iter_mut().zip(self.a_l.row(0)).zip(grad_al.iter_mut().zip(&g_dest_row))
+            for ((o, &al), (ga, &gv)) in gd
+                .iter_mut()
+                .zip(self.a_l.row(0))
+                .zip(grad_al.iter_mut().zip(&g_dest_row))
             {
                 *o += d_s * al;
                 *ga += d_s * gv;
@@ -178,8 +205,10 @@ impl GnnLayer for GatLayer {
                 continue;
             }
             let row = grad_g.row_mut(u);
-            for ((o, &ar), (gar, &gv)) in
-                row.iter_mut().zip(self.a_r.row(0)).zip(grad_ar.iter_mut().zip(g.row(u)))
+            for ((o, &ar), (gar, &gv)) in row
+                .iter_mut()
+                .zip(self.a_r.row(0))
+                .zip(grad_ar.iter_mut().zip(g.row(u)))
             {
                 *o += tgrad * ar;
                 *gar += tgrad * gv;
@@ -238,7 +267,9 @@ mod tests {
     }
 
     fn inputs(chunk: &ChunkSubgraph, dim: usize) -> Matrix {
-        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| ((r * 5 + c * 3) as f32 * 0.23).sin())
+        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| {
+            ((r * 5 + c * 3) as f32 * 0.23).sin()
+        })
     }
 
     #[test]
@@ -292,7 +323,11 @@ mod tests {
             h.row_mut(i).copy_from_slice(&[base * 0.1, -base * 0.2]);
         }
         let out = layer.forward(&chunk, &h).out;
-        assert!(out.row(0).iter().zip(out.row(1)).all(|(a, b)| (a - b).abs() < 1e-6));
+        assert!(out
+            .row(0)
+            .iter()
+            .zip(out.row(1))
+            .all(|(a, b)| (a - b).abs() < 1e-6));
     }
 
     #[test]

@@ -26,7 +26,11 @@ impl MultiHeadGatLayer {
     /// Panics if `out_dim` is not divisible by `heads` or `heads == 0`.
     pub fn new(in_dim: usize, out_dim: usize, heads: usize, rng: &mut SeededRng) -> Self {
         assert!(heads > 0, "need at least one head");
-        assert_eq!(out_dim % heads, 0, "out_dim {out_dim} must divide into {heads} heads");
+        assert_eq!(
+            out_dim % heads,
+            0,
+            "out_dim {out_dim} must divide into {heads} heads"
+        );
         let head_dim = out_dim / heads;
         let heads = (0..heads)
             .map(|h| {
@@ -86,7 +90,11 @@ impl GnnLayer for MultiHeadGatLayer {
         grad_out: &Matrix,
         grads: &mut LayerGrads,
     ) -> Matrix {
-        assert_eq!(grad_out.cols(), self.out_dim(), "multi-head grad width mismatch");
+        assert_eq!(
+            grad_out.cols(),
+            self.out_dim(),
+            "multi-head grad width mismatch"
+        );
         let per_head_params = self.heads[0].params().len();
         let mut grad_nbr = Matrix::zeros(h_nbr.rows(), self.in_dim());
         for (h, head) in self.heads.iter().enumerate() {
@@ -98,8 +106,9 @@ impl GnnLayer for MultiHeadGatLayer {
                 grads: grads.grads[h * per_head_params..(h + 1) * per_head_params].to_vec(),
             };
             let gn = head.backward_from_input(chunk, h_nbr, &head_grad, &mut head_grads);
-            for (slot, g) in
-                grads.grads[h * per_head_params..(h + 1) * per_head_params].iter_mut().zip(head_grads.grads)
+            for (slot, g) in grads.grads[h * per_head_params..(h + 1) * per_head_params]
+                .iter_mut()
+                .zip(head_grads.grads)
             {
                 *slot = g;
             }
@@ -109,7 +118,9 @@ impl GnnLayer for MultiHeadGatLayer {
     }
 
     fn forward_flops(&self, chunk: &ChunkSubgraph) -> LayerFlops {
-        self.heads.iter().fold(LayerFlops::default(), |acc, h| acc.add(h.forward_flops(chunk)))
+        self.heads.iter().fold(LayerFlops::default(), |acc, h| {
+            acc.add(h.forward_flops(chunk))
+        })
     }
 
     fn intermediate_bytes(&self, chunk: &ChunkSubgraph) -> usize {
@@ -136,7 +147,9 @@ mod tests {
     }
 
     fn inputs(chunk: &ChunkSubgraph, dim: usize) -> Matrix {
-        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| ((r * 7 + c) as f32 * 0.17).sin())
+        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| {
+            ((r * 7 + c) as f32 * 0.17).sin()
+        })
     }
 
     #[test]

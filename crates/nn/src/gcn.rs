@@ -22,7 +22,10 @@ pub struct GcnLayer {
 impl GcnLayer {
     /// A layer with Xavier-initialized `in_dim × out_dim` weights.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut SeededRng) -> Self {
-        GcnLayer { w: hongtu_tensor::xavier_uniform(in_dim, out_dim, rng), act: Activation::Relu }
+        GcnLayer {
+            w: hongtu_tensor::xavier_uniform(in_dim, out_dim, rng),
+            act: Activation::Relu,
+        }
     }
 
     /// Weighted neighbor aggregation: `a[k] = Σ_e d_uv · h_nbr[src(e)]` for
@@ -94,11 +97,22 @@ impl GnnLayer for GcnLayer {
     }
 
     fn forward(&self, chunk: &ChunkSubgraph, h_nbr: &Matrix) -> LayerForward {
-        assert_eq!(h_nbr.cols(), self.in_dim(), "GcnLayer::forward: input dim mismatch");
-        assert_eq!(h_nbr.rows(), chunk.num_neighbors(), "GcnLayer::forward: neighbor count");
+        assert_eq!(
+            h_nbr.cols(),
+            self.in_dim(),
+            "GcnLayer::forward: input dim mismatch"
+        );
+        assert_eq!(
+            h_nbr.rows(),
+            chunk.num_neighbors(),
+            "GcnLayer::forward: neighbor count"
+        );
         let a = self.aggregate(chunk, h_nbr);
         let z = a.matmul(&self.w);
-        LayerForward { out: self.act.apply(&z), agg: Some(a) }
+        LayerForward {
+            out: self.act.apply(&z),
+            agg: Some(a),
+        }
     }
 
     fn backward_from_input(
@@ -157,7 +171,9 @@ mod tests {
     }
 
     fn inputs(chunk: &ChunkSubgraph, dim: usize) -> Matrix {
-        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| ((r * 3 + c) as f32 * 0.17).sin())
+        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| {
+            ((r * 3 + c) as f32 * 0.17).sin()
+        })
     }
 
     #[test]
@@ -189,7 +205,11 @@ mod tests {
                 *o += chunk.gcn_weights[e] * x;
             }
         }
-        assert!(agg.row(k).iter().zip(&expect).all(|(a, b)| (a - b).abs() < 1e-6));
+        assert!(agg
+            .row(k)
+            .iter()
+            .zip(&expect)
+            .all(|(a, b)| (a - b).abs() < 1e-6));
         drop(g);
     }
 
@@ -205,7 +225,8 @@ mod tests {
         let mut g1 = LayerGrads::zeros_for(&layer);
         let grad_nbr1 = layer.backward_from_input(&chunk, &h, &grad_out, &mut g1);
         let mut g2 = LayerGrads::zeros_for(&layer);
-        let grad_nbr2 = layer.backward_from_agg(&chunk, f.agg.as_ref().unwrap(), &grad_out, &mut g2);
+        let grad_nbr2 =
+            layer.backward_from_agg(&chunk, f.agg.as_ref().unwrap(), &grad_out, &mut g2);
 
         // Identical op order → bit-identical results.
         assert_eq!(grad_nbr1, grad_nbr2);

@@ -94,10 +94,16 @@ impl GgnnLayer {
         let mut h_prime = s.clone();
         for i in 0..h_prime.len() {
             let zi = z.as_slice()[i];
-            h_prime.as_mut_slice()[i] =
-                (1.0 - zi) * s.as_slice()[i] + zi * h_tilde.as_slice()[i];
+            h_prime.as_mut_slice()[i] = (1.0 - zi) * s.as_slice()[i] + zi * h_tilde.as_slice()[i];
         }
-        GruForward { a, s, z, r, h_tilde, h_prime }
+        GruForward {
+            a,
+            s,
+            z,
+            r,
+            h_tilde,
+            h_prime,
+        }
     }
 
     /// Backward through the GRU given upstream `g = ∂L/∂h'` (pre-act
@@ -111,7 +117,14 @@ impl GgnnLayer {
         g: &Matrix,
         grads: &mut LayerGrads,
     ) -> (Matrix, Matrix) {
-        let GruForward { a, s, z, r, h_tilde, .. } = fwd;
+        let GruForward {
+            a,
+            s,
+            z,
+            r,
+            h_tilde,
+            ..
+        } = fwd;
         // Output combination.
         let dz = g.hadamard(&h_tilde.sub(s)); // ∂L/∂z
         let dh_tilde = g.hadamard(z);
@@ -140,7 +153,10 @@ impl GgnnLayer {
         // Projections a = m·W_m, s = h_dest·W_s.
         grads.grads[0].add_assign(&m.transpose_matmul(&da)); // ∇W_m
         grads.grads[1].add_assign(&h_dest.transpose_matmul(&ds)); // ∇W_s
-        (da.matmul_transpose(&self.w_m), ds.matmul_transpose(&self.w_s))
+        (
+            da.matmul_transpose(&self.w_m),
+            ds.matmul_transpose(&self.w_s),
+        )
     }
 
     /// Scatters `(grad_m, grad_dest)` back onto neighbor rows.
@@ -192,7 +208,9 @@ impl GnnLayer for GgnnLayer {
     }
 
     fn params(&self) -> Vec<&Matrix> {
-        vec![&self.w_m, &self.w_s, &self.w_z, &self.u_z, &self.w_r, &self.u_r, &self.w_h, &self.u_h]
+        vec![
+            &self.w_m, &self.w_s, &self.w_z, &self.u_z, &self.w_r, &self.u_r, &self.w_h, &self.u_h,
+        ]
     }
 
     fn params_mut(&mut self) -> Vec<&mut Matrix> {
@@ -213,11 +231,18 @@ impl GnnLayer for GgnnLayer {
     }
 
     fn forward(&self, chunk: &ChunkSubgraph, h_nbr: &Matrix) -> LayerForward {
-        assert_eq!(h_nbr.cols(), self.in_dim(), "GgnnLayer::forward: input dim mismatch");
+        assert_eq!(
+            h_nbr.cols(),
+            self.in_dim(),
+            "GgnnLayer::forward: input dim mismatch"
+        );
         let (m, h_dest) = self.aggregate(chunk, h_nbr);
         let fwd = self.gru_forward(&m, &h_dest);
         let checkpoint = m.hstack(&h_dest);
-        LayerForward { out: self.act.apply(&fwd.h_prime), agg: Some(checkpoint) }
+        LayerForward {
+            out: self.act.apply(&fwd.h_prime),
+            agg: Some(checkpoint),
+        }
     }
 
     fn backward_from_input(
@@ -285,7 +310,9 @@ mod tests {
     }
 
     fn inputs(chunk: &ChunkSubgraph, dim: usize) -> Matrix {
-        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| ((r * 3 + c * 5) as f32 * 0.23).sin())
+        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| {
+            ((r * 3 + c * 5) as f32 * 0.23).sin()
+        })
     }
 
     #[test]
@@ -299,7 +326,11 @@ mod tests {
         assert_eq!(fwd.h_prime.shape(), (4, 4));
         assert!(fwd.z.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!(fwd.r.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
-        assert!(fwd.h_tilde.as_slice().iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        assert!(fwd
+            .h_tilde
+            .as_slice()
+            .iter()
+            .all(|&v| (-1.0..=1.0).contains(&v)));
         let f = layer.forward(&chunk, &h);
         assert_eq!(f.out.shape(), (4, 4));
         assert_eq!(f.agg.unwrap().shape(), (4, 6));

@@ -105,10 +105,17 @@ impl GnnLayer for GinLayer {
     }
 
     fn forward(&self, chunk: &ChunkSubgraph, h_nbr: &Matrix) -> LayerForward {
-        assert_eq!(h_nbr.cols(), self.in_dim(), "GinLayer::forward: input dim mismatch");
+        assert_eq!(
+            h_nbr.cols(),
+            self.in_dim(),
+            "GinLayer::forward: input dim mismatch"
+        );
         let a = self.aggregate(chunk, h_nbr);
         let z = a.matmul(&self.w);
-        LayerForward { out: self.act.apply(&z), agg: Some(a) }
+        LayerForward {
+            out: self.act.apply(&z),
+            agg: Some(a),
+        }
     }
 
     fn backward_from_input(
@@ -139,7 +146,10 @@ impl GnnLayer for GinLayer {
         let d_out = self.out_dim() as f64;
         let v = chunk.num_dests() as f64;
         let e = chunk.num_edges() as f64;
-        LayerFlops { dense: 2.0 * v * d_in * d_out, edge: e * d_in }
+        LayerFlops {
+            dense: 2.0 * v * d_in * d_out,
+            edge: e * d_in,
+        }
     }
 
     fn intermediate_bytes(&self, chunk: &ChunkSubgraph) -> usize {
@@ -166,7 +176,9 @@ mod tests {
     }
 
     fn inputs(chunk: &ChunkSubgraph, dim: usize) -> Matrix {
-        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| ((r + c * 5) as f32 * 0.27).sin())
+        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| {
+            ((r + c * 5) as f32 * 0.27).sin()
+        })
     }
 
     #[test]

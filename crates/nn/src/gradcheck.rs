@@ -14,7 +14,9 @@ use hongtu_tensor::Matrix;
 
 /// Deterministic coefficient matrix decorrelated from typical inputs.
 fn coeffs(rows: usize, cols: usize) -> Matrix {
-    Matrix::from_fn(rows, cols, |r, c| (((r * 31 + c * 17 + 7) % 13) as f32 - 6.0) * 0.11)
+    Matrix::from_fn(rows, cols, |r, c| {
+        (((r * 31 + c * 17 + 7) % 13) as f32 - 6.0) * 0.11
+    })
 }
 
 fn objective(layer: &dyn GnnLayer, chunk: &ChunkSubgraph, h: &Matrix, c: &Matrix) -> f32 {
@@ -32,7 +34,11 @@ pub fn check_layer(layer: &mut dyn GnnLayer, chunk: &ChunkSubgraph, h_nbr: &Matr
     let c = coeffs(chunk.num_dests(), layer.out_dim());
     let mut grads = LayerGrads::zeros_for(layer);
     let grad_nbr = layer.backward_from_input(chunk, h_nbr, &c, &mut grads);
-    assert_eq!(grad_nbr.shape(), h_nbr.shape(), "grad_nbr must match input shape");
+    assert_eq!(
+        grad_nbr.shape(),
+        h_nbr.shape(),
+        "grad_nbr must match input shape"
+    );
 
     let mut failures: Vec<String> = Vec::new();
     let mut checked = 0usize;
@@ -52,7 +58,9 @@ pub fn check_layer(layer: &mut dyn GnnLayer, chunk: &ChunkSubgraph, h_nbr: &Matr
         let analytic = grad_nbr.as_slice()[i];
         checked += 1;
         if !close(numeric, analytic, tol) {
-            failures.push(format!("input[{i}]: numeric {numeric} vs analytic {analytic}"));
+            failures.push(format!(
+                "input[{i}]: numeric {numeric} vs analytic {analytic}"
+            ));
         }
     }
 
@@ -74,7 +82,9 @@ pub fn check_layer(layer: &mut dyn GnnLayer, chunk: &ChunkSubgraph, h_nbr: &Matr
             let analytic = grads.grads[pi].as_slice()[i];
             checked += 1;
             if !close(numeric, analytic, tol) {
-                failures.push(format!("param{pi}[{i}]: numeric {numeric} vs analytic {analytic}"));
+                failures.push(format!(
+                    "param{pi}[{i}]: numeric {numeric} vs analytic {analytic}"
+                ));
             }
         }
     }

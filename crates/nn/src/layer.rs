@@ -26,13 +26,21 @@ impl LayerGrads {
     /// Zero gradients matching `layer`'s parameter shapes.
     pub fn zeros_for(layer: &dyn GnnLayer) -> Self {
         LayerGrads {
-            grads: layer.params().iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect(),
+            grads: layer
+                .params()
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect(),
         }
     }
 
     /// Element-wise accumulation of another gradient set.
     pub fn add(&mut self, other: &LayerGrads) {
-        assert_eq!(self.grads.len(), other.grads.len(), "LayerGrads::add: arity mismatch");
+        assert_eq!(
+            self.grads.len(),
+            other.grads.len(),
+            "LayerGrads::add: arity mismatch"
+        );
         for (a, b) in self.grads.iter_mut().zip(&other.grads) {
             a.add_assign(b);
         }
@@ -61,12 +69,18 @@ pub struct LayerFlops {
 impl LayerFlops {
     /// Component-wise sum.
     pub fn add(self, other: LayerFlops) -> LayerFlops {
-        LayerFlops { dense: self.dense + other.dense, edge: self.edge + other.edge }
+        LayerFlops {
+            dense: self.dense + other.dense,
+            edge: self.edge + other.edge,
+        }
     }
 
     /// Multiplies both components (e.g. backward ≈ 2× forward).
     pub fn scale(self, s: f64) -> LayerFlops {
-        LayerFlops { dense: self.dense * s, edge: self.edge * s }
+        LayerFlops {
+            dense: self.dense * s,
+            edge: self.edge * s,
+        }
     }
 }
 
@@ -234,9 +248,27 @@ mod tests {
 
     #[test]
     fn layer_flops_arithmetic() {
-        let a = LayerFlops { dense: 2.0, edge: 3.0 };
-        let b = LayerFlops { dense: 1.0, edge: 1.0 };
-        assert_eq!(a.add(b), LayerFlops { dense: 3.0, edge: 4.0 });
-        assert_eq!(a.scale(2.0), LayerFlops { dense: 4.0, edge: 6.0 });
+        let a = LayerFlops {
+            dense: 2.0,
+            edge: 3.0,
+        };
+        let b = LayerFlops {
+            dense: 1.0,
+            edge: 1.0,
+        };
+        assert_eq!(
+            a.add(b),
+            LayerFlops {
+                dense: 3.0,
+                edge: 4.0
+            }
+        );
+        assert_eq!(
+            a.scale(2.0),
+            LayerFlops {
+                dense: 4.0,
+                edge: 6.0
+            }
+        );
     }
 }

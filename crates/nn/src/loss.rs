@@ -58,7 +58,11 @@ pub fn masked_cross_entropy(logits: &Matrix, labels: &[u32], mask: &[bool]) -> M
             *gj = inv * (pj - if j == y { 1.0 } else { 0.0 });
         }
     }
-    MaskedLoss { loss: loss * inv, grad, accuracy: correct as f32 / count as f32 }
+    MaskedLoss {
+        loss: loss * inv,
+        grad,
+        accuracy: correct as f32 / count as f32,
+    }
 }
 
 /// Accuracy of `logits` against `labels` over `mask`, without gradients.

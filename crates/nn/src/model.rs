@@ -77,7 +77,11 @@ impl GnnModel {
                 let mut layer_rng = rng.fork(1000 + l as u64);
                 // Hidden layers use ReLU; the output layer stays linear so
                 // classifier logits can go negative.
-                let act = if l == last { Activation::Identity } else { Activation::Relu };
+                let act = if l == last {
+                    Activation::Identity
+                } else {
+                    Activation::Relu
+                };
                 match kind {
                     ModelKind::Gcn => {
                         let mut layer = GcnLayer::new(w[0], w[1], &mut layer_rng);
@@ -114,7 +118,11 @@ impl GnnModel {
                 }
             })
             .collect();
-        GnnModel { kind, dims: dims.to_vec(), layers }
+        GnnModel {
+            kind,
+            dims: dims.to_vec(),
+            layers,
+        }
     }
 
     /// Builds a model from caller-constructed layers (e.g.
@@ -161,7 +169,11 @@ impl GnnModel {
 
     /// Total trainable parameter count.
     pub fn param_count(&self) -> usize {
-        self.layers.iter().flat_map(|l| l.params()).map(|p| p.len()).sum()
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(|p| p.len())
+            .sum()
     }
 
     /// Total parameter bytes (replicated per GPU in HongTu; synchronized
@@ -172,12 +184,19 @@ impl GnnModel {
 
     /// Zero gradient holders for every layer.
     pub fn zero_grads(&self) -> Vec<LayerGrads> {
-        self.layers.iter().map(|l| LayerGrads::zeros_for(l.as_ref())).collect()
+        self.layers
+            .iter()
+            .map(|l| LayerGrads::zeros_for(l.as_ref()))
+            .collect()
     }
 
     /// Applies accumulated gradients with `opt` and advances its step.
     pub fn apply_grads(&mut self, grads: &[LayerGrads], opt: &mut dyn Optimizer) {
-        assert_eq!(grads.len(), self.layers.len(), "apply_grads: layer count mismatch");
+        assert_eq!(
+            grads.len(),
+            self.layers.len(),
+            "apply_grads: layer count mismatch"
+        );
         for (l, (layer, g)) in self.layers.iter_mut().zip(grads).enumerate() {
             for (pi, (param, grad)) in layer.params_mut().into_iter().zip(&g.grads).enumerate() {
                 opt.step(l * 8 + pi, param, grad);
@@ -191,7 +210,11 @@ impl GnnModel {
     /// `[h^1, …, h^L]` (each `|V| × dims[l]`).
     pub fn forward_reference(&self, chunk: &ChunkSubgraph, features: &Matrix) -> Vec<Matrix> {
         let n = features.rows();
-        assert_eq!(chunk.num_dests(), n, "reference forward needs a whole-graph chunk");
+        assert_eq!(
+            chunk.num_dests(),
+            n,
+            "reference forward needs a whole-graph chunk"
+        );
         let nbr_idx: Vec<usize> = chunk.neighbors.iter().map(|&v| v as usize).collect();
         let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
         let mut outs = Vec::with_capacity(self.layers.len());
@@ -247,7 +270,13 @@ pub fn whole_graph_chunk(g: &Graph) -> ChunkSubgraph {
 
 impl std::fmt::Debug for GnnModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "GnnModel({:?}, dims={:?}, params={})", self.kind, self.dims, self.param_count())
+        write!(
+            f,
+            "GnnModel({:?}, dims={:?}, params={})",
+            self.kind,
+            self.dims,
+            self.param_count()
+        )
     }
 }
 
@@ -273,7 +302,11 @@ mod tests {
         // features: noisy one-hot of the label
         let mut frng = SeededRng::new(8);
         let feats = Matrix::from_fn(120, 6, |v, c| {
-            let base = if labels[v] as usize == c % 3 { 1.0 } else { 0.0 };
+            let base = if labels[v] as usize == c % 3 {
+                1.0
+            } else {
+                0.0
+            };
             base + 0.3 * frng.normal()
         });
         let mask: Vec<bool> = (0..120).map(|v| v % 2 == 0).collect();
@@ -316,7 +349,12 @@ mod tests {
         for _ in 0..60 {
             last = m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt);
         }
-        assert!(last.loss < first.loss * 0.5, "loss {} -> {}", first.loss, last.loss);
+        assert!(
+            last.loss < first.loss * 0.5,
+            "loss {} -> {}",
+            first.loss,
+            last.loss
+        );
         assert!(last.accuracy > 0.8, "train accuracy {}", last.accuracy);
     }
 
@@ -360,7 +398,10 @@ mod tests {
             let mut opt = Adam::new(0.01);
             let mut losses = Vec::new();
             for _ in 0..5 {
-                losses.push(m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt).loss);
+                losses.push(
+                    m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt)
+                        .loss,
+                );
             }
             losses
         };
@@ -384,7 +425,12 @@ mod tests {
         for _ in 0..20 {
             last = m.train_epoch_reference(&chunk, &feats, &labels, &mask, &mut opt);
         }
-        assert!(last.loss < first.loss, "loss {} -> {}", first.loss, last.loss);
+        assert!(
+            last.loss < first.loss,
+            "loss {} -> {}",
+            first.loss,
+            last.loss
+        );
     }
 
     #[test]

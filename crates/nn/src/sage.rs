@@ -63,7 +63,10 @@ impl SageLayer {
         let dz = self.act.backward(&z, grad_out);
         grads.grads[0].add_assign(&h_dest.transpose_matmul(&dz));
         grads.grads[1].add_assign(&agg.transpose_matmul(&dz));
-        (dz.matmul_transpose(&self.w_nbr), dz.matmul_transpose(&self.w_self))
+        (
+            dz.matmul_transpose(&self.w_nbr),
+            dz.matmul_transpose(&self.w_self),
+        )
     }
 
     /// Scatters `(grad_agg, grad_dest)` back onto neighbor rows.
@@ -115,11 +118,18 @@ impl GnnLayer for SageLayer {
     }
 
     fn forward(&self, chunk: &ChunkSubgraph, h_nbr: &Matrix) -> LayerForward {
-        assert_eq!(h_nbr.cols(), self.in_dim(), "SageLayer::forward: input dim mismatch");
+        assert_eq!(
+            h_nbr.cols(),
+            self.in_dim(),
+            "SageLayer::forward: input dim mismatch"
+        );
         let (agg, h_dest) = self.aggregate(chunk, h_nbr);
         let z = h_dest.matmul(&self.w_self).add(&agg.matmul(&self.w_nbr));
         let checkpoint = agg.hstack(&h_dest);
-        LayerForward { out: self.act.apply(&z), agg: Some(checkpoint) }
+        LayerForward {
+            out: self.act.apply(&z),
+            agg: Some(checkpoint),
+        }
     }
 
     fn backward_from_input(
@@ -153,7 +163,10 @@ impl GnnLayer for SageLayer {
         let d_out = self.out_dim() as f64;
         let v = chunk.num_dests() as f64;
         let e = chunk.num_edges() as f64;
-        LayerFlops { dense: 4.0 * v * d_in * d_out, edge: 2.0 * e * d_in }
+        LayerFlops {
+            dense: 4.0 * v * d_in * d_out,
+            edge: 2.0 * e * d_in,
+        }
     }
 
     fn intermediate_bytes(&self, chunk: &ChunkSubgraph) -> usize {
@@ -185,7 +198,9 @@ mod tests {
     }
 
     fn inputs(chunk: &ChunkSubgraph, dim: usize) -> Matrix {
-        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| ((r * 2 + c * 7) as f32 * 0.31).sin())
+        Matrix::from_fn(chunk.num_neighbors(), dim, |r, c| {
+            ((r * 2 + c * 7) as f32 * 0.31).sin()
+        })
     }
 
     #[test]
@@ -196,7 +211,11 @@ mod tests {
         let h = inputs(&chunk, 3);
         let f = layer.forward(&chunk, &h);
         assert_eq!(f.out.shape(), (4, 5));
-        assert_eq!(f.agg.unwrap().shape(), (4, 6), "checkpoint is [agg | h_dest]");
+        assert_eq!(
+            f.agg.unwrap().shape(),
+            (4, 6),
+            "checkpoint is [agg | h_dest]"
+        );
         assert_eq!(layer.agg_cache_bytes(&chunk), 4 * 6 * 4);
     }
 

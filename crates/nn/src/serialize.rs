@@ -58,7 +58,11 @@ fn kind_from_tag(tag: u8) -> Result<ModelKind, ModelIoError> {
         3 => ModelKind::Gin,
         4 => ModelKind::CommNet,
         5 => ModelKind::Ggnn,
-        other => return Err(ModelIoError::Format(format!("unknown model kind tag {other}"))),
+        other => {
+            return Err(ModelIoError::Format(format!(
+                "unknown model kind tag {other}"
+            )))
+        }
     })
 }
 
@@ -94,18 +98,24 @@ pub fn load_model(mut r: impl Read) -> Result<GnnModel, ModelIoError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(ModelIoError::Format("bad magic (not a HongTu model file)".into()));
+        return Err(ModelIoError::Format(
+            "bad magic (not a HongTu model file)".into(),
+        ));
     }
     let version = read_u32(&mut r)?;
     if version != VERSION {
-        return Err(ModelIoError::Format(format!("unsupported version {version}")));
+        return Err(ModelIoError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     let kind = kind_from_tag(tag[0])?;
     let dim_count = read_u32(&mut r)? as usize;
     if !(2..=64).contains(&dim_count) {
-        return Err(ModelIoError::Format(format!("implausible dim count {dim_count}")));
+        return Err(ModelIoError::Format(format!(
+            "implausible dim count {dim_count}"
+        )));
     }
     let mut dims = Vec::with_capacity(dim_count);
     for _ in 0..dim_count {
@@ -125,7 +135,9 @@ pub fn load_model(mut r: impl Read) -> Result<GnnModel, ModelIoError> {
         let rows = read_u64(&mut r)? as usize;
         let cols = read_u64(&mut r)? as usize;
         if rows.saturating_mul(cols) > (1 << 28) {
-            return Err(ModelIoError::Format(format!("implausible tensor {rows}x{cols}")));
+            return Err(ModelIoError::Format(format!(
+                "implausible tensor {rows}x{cols}"
+            )));
         }
         let mut data = vec![0f32; rows * cols];
         let mut buf = [0u8; 4];
@@ -227,7 +239,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(load_model(&b"NOPE"[..]), Err(ModelIoError::Format(_))));
+        assert!(matches!(
+            load_model(&b"NOPE"[..]),
+            Err(ModelIoError::Format(_))
+        ));
         assert!(load_model(&b"HT"[..]).is_err()); // truncated
         let mut buf = Vec::new();
         save_model(&model(ModelKind::Gcn), &mut buf).unwrap();

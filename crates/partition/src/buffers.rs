@@ -20,8 +20,8 @@
 //! positions and is verified against direct gathers by the test suite.
 
 use crate::dedup::DedupPlan;
+use crate::TwoLevelPartition;
 use hongtu_graph::VertexId;
-use hongtu_partition::TwoLevelPartition;
 use hongtu_tensor::Matrix;
 use std::collections::HashMap;
 
@@ -118,9 +118,18 @@ impl GpuBufferPlan {
                     position[t]
                 })
                 .collect();
-            batches.push(BatchIndices { merged, position, incoming, nbr_slot });
+            batches.push(BatchIndices {
+                merged,
+                position,
+                incoming,
+                nbr_slot,
+            });
         }
-        GpuBufferPlan { gpu, capacity, batches }
+        GpuBufferPlan {
+            gpu,
+            capacity,
+            batches,
+        }
     }
 
     /// Builds the plans for every GPU of the machine.
@@ -199,14 +208,20 @@ impl GpuBufferPlan {
             // Neighbor slots point at the right data.
             let chunk = &plan.chunks[self.gpu][j];
             for (t, &nv) in chunk.neighbors.iter().enumerate() {
-                let ti = b.merged.binary_search(&nv).map_err(|_| {
-                    format!("batch {j}: neighbor {nv} missing from merged set")
-                })?;
+                let ti = b
+                    .merged
+                    .binary_search(&nv)
+                    .map_err(|_| format!("batch {j}: neighbor {nv} missing from merged set"))?;
                 if b.nbr_slot[t] != b.position[ti] {
                     return Err(format!("batch {j}: neighbor {nv} slot mismatch"));
                 }
             }
-            prev = b.merged.iter().copied().zip(b.position.iter().copied()).collect();
+            prev = b
+                .merged
+                .iter()
+                .copied()
+                .zip(b.position.iter().copied())
+                .collect();
         }
         Ok(())
     }

@@ -8,7 +8,11 @@
 /// Every range is non-empty provided `items.len() >= n`.
 pub fn balanced_ranges(costs: &[u64], n: usize) -> Vec<std::ops::Range<usize>> {
     assert!(n >= 1, "need at least one chunk");
-    assert!(costs.len() >= n, "fewer items ({}) than chunks ({n})", costs.len());
+    assert!(
+        costs.len() >= n,
+        "fewer items ({}) than chunks ({n})",
+        costs.len()
+    );
     let total: u64 = costs.iter().sum();
     let mut ranges = Vec::with_capacity(n);
     let mut start = 0usize;
@@ -80,7 +84,11 @@ mod tests {
         // remaining chunks split the rest.
         let c0 = range_cost(&costs, &ranges[0]);
         assert!(c0 >= 50, "first chunk cost {c0}");
-        let rest_max = ranges[1..].iter().map(|r| range_cost(&costs, r)).max().unwrap();
+        let rest_max = ranges[1..]
+            .iter()
+            .map(|r| range_cost(&costs, r))
+            .max()
+            .unwrap();
         assert!(rest_max <= 60, "rest max {rest_max}");
     }
 

@@ -16,8 +16,8 @@
 //! The plan is pure metadata; the engine uses it for simulator accounting,
 //! and `v_ori`/`v_p2p`/`v_ru` reproduce the volume columns of Table 8.
 
+use crate::TwoLevelPartition;
 use hongtu_graph::VertexId;
-use hongtu_partition::TwoLevelPartition;
 
 /// Communication plan for one batch.
 #[derive(Debug, Clone)]
@@ -93,7 +93,12 @@ impl DedupPlan {
                 }
             }
             prev_transition = Some(transition.clone());
-            batches.push(BatchPlan { transition, new_from_cpu, reused, fetch });
+            batches.push(BatchPlan {
+                transition,
+                new_from_cpu,
+                reused,
+                fetch,
+            });
         }
         DedupPlan { m, n, batches }
     }
@@ -101,19 +106,28 @@ impl DedupPlan {
     /// `V_ori = Σ_ij |N_ij|`: host→GPU volume (in vertices) of the vanilla
     /// per-chunk transfer scheme.
     pub fn v_ori(&self) -> usize {
-        self.batches.iter().map(|b| b.fetch.iter().flatten().sum::<usize>()).sum()
+        self.batches
+            .iter()
+            .map(|b| b.fetch.iter().flatten().sum::<usize>())
+            .sum()
     }
 
     /// `V_+p2p = Σ_j |∪_i N_ij|`: host→GPU volume with inter-GPU
     /// deduplication only.
     pub fn v_p2p(&self) -> usize {
-        self.batches.iter().map(|b| b.transition.iter().map(Vec::len).sum::<usize>()).sum()
+        self.batches
+            .iter()
+            .map(|b| b.transition.iter().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// `V_+ru`: host→GPU volume with both inter-GPU deduplication and
     /// intra-GPU reuse between adjacent batches.
     pub fn v_ru(&self) -> usize {
-        self.batches.iter().map(|b| b.new_from_cpu.iter().map(Vec::len).sum::<usize>()).sum()
+        self.batches
+            .iter()
+            .map(|b| b.new_from_cpu.iter().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// Inter-GPU rows actually fetched remotely (`k ≠ i`), per epoch layer.
@@ -125,7 +139,11 @@ impl DedupPlan {
                     .iter()
                     .enumerate()
                     .map(|(i, row)| {
-                        row.iter().enumerate().filter(|&(k, _)| k != i).map(|(_, &c)| c).sum::<usize>()
+                        row.iter()
+                            .enumerate()
+                            .filter(|&(k, _)| k != i)
+                            .map(|(_, &c)| c)
+                            .sum::<usize>()
                     })
                     .sum::<usize>()
             })
@@ -212,7 +230,12 @@ mod tests {
     use hongtu_graph::generators;
     use hongtu_tensor::SeededRng;
 
-    fn plan(n_vertices: usize, m: usize, n: usize, seed: u64) -> (hongtu_graph::Graph, TwoLevelPartition) {
+    fn plan(
+        n_vertices: usize,
+        m: usize,
+        n: usize,
+        seed: u64,
+    ) -> (hongtu_graph::Graph, TwoLevelPartition) {
         let mut rng = SeededRng::new(seed);
         let g = generators::erdos_renyi(n_vertices, 6.0, &mut rng);
         let p = TwoLevelPartition::build(&g, m, n, seed);

@@ -15,12 +15,23 @@
 //! - [`two_level::TwoLevelPartition`] — the full 2-level plan with per-chunk
 //!   subgraphs ([`subgraph::ChunkSubgraph`]);
 //! - [`replication`] — the neighbor replication factor α (paper Table 3);
-//! - [`metrics`] — edge-cut and balance quality measures.
+//! - [`metrics`] — edge-cut and balance quality measures;
+//! - [`dedup`] — transition-set construction and the per-batch
+//!   communication plan (Algorithms 2 & 3, §5.1–5.2);
+//! - [`buffers`] — in-place transition/neighbor buffer index planning
+//!   (§6: stable slots for reused vertices, freed-slot insertion,
+//!   merged-buffer deduplication).
+//!
+//! `dedup` and `buffers` live here (rather than in `hongtu-core`) so that
+//! the static plan verifier (`hongtu-verify`) can see every plan type
+//! without depending on the engine.
 
 // Indexed loops are deliberate: indices double as vertex/partition ids.
 #![allow(clippy::needless_range_loop)]
 
+pub mod buffers;
 pub mod chunking;
+pub mod dedup;
 pub mod metrics;
 pub mod multilevel;
 pub mod replication;
@@ -28,7 +39,9 @@ pub mod simple;
 pub mod subgraph;
 pub mod two_level;
 
+pub use buffers::{BatchIndices, GpuBufferPlan};
 pub use chunking::balanced_ranges;
+pub use dedup::{BatchPlan, DedupPlan};
 pub use metrics::PartitionQuality;
 pub use multilevel::MultilevelPartitioner;
 pub use replication::replication_factor;

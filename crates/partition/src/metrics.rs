@@ -19,7 +19,11 @@ pub struct PartitionQuality {
 impl PartitionQuality {
     /// Measures `a` against `g`.
     pub fn measure(g: &Graph, a: &Assignment) -> Self {
-        assert_eq!(a.partition_of.len(), g.num_vertices(), "assignment/graph size mismatch");
+        assert_eq!(
+            a.partition_of.len(),
+            g.num_vertices(),
+            "assignment/graph size mismatch"
+        );
         let cut_edges = g
             .csr
             .edges()
@@ -30,7 +34,11 @@ impl PartitionQuality {
         let ideal = g.num_vertices() as f64 / a.num_parts as f64;
         PartitionQuality {
             cut_edges,
-            cut_fraction: if g.num_edges() == 0 { 0.0 } else { cut_edges as f64 / g.num_edges() as f64 },
+            cut_fraction: if g.num_edges() == 0 {
+                0.0
+            } else {
+                cut_edges as f64 / g.num_edges() as f64
+            },
             imbalance: if ideal == 0.0 { 0.0 } else { max / ideal },
             sizes,
         }
@@ -63,7 +71,10 @@ mod tests {
         let mut b = GraphBuilder::new(4);
         b.add_edge(0, 1);
         let g = b.build();
-        let a = Assignment { partition_of: vec![0, 0, 0, 1], num_parts: 2 };
+        let a = Assignment {
+            partition_of: vec![0, 0, 0, 1],
+            num_parts: 2,
+        };
         let q = PartitionQuality::measure(&g, &a);
         assert!((q.imbalance - 1.5).abs() < 1e-9);
     }

@@ -33,7 +33,10 @@ impl WorkGraph {
 
     fn neighbors(&self, v: usize) -> impl Iterator<Item = (u32, u64)> + '_ {
         let r = self.offsets[v]..self.offsets[v + 1];
-        self.nbrs[r.clone()].iter().copied().zip(self.weights[r].iter().copied())
+        self.nbrs[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[r].iter().copied())
     }
 
     fn total_vwgt(&self) -> u64 {
@@ -69,7 +72,12 @@ impl WorkGraph {
         for v in 0..n {
             offsets[v + 1] += offsets[v];
         }
-        WorkGraph { offsets, nbrs, weights, vwgt: vec![1; n] }
+        WorkGraph {
+            offsets,
+            nbrs,
+            weights,
+            vwgt: vec![1; n],
+        }
     }
 }
 
@@ -88,7 +96,12 @@ pub struct MultilevelPartitioner {
 
 impl Default for MultilevelPartitioner {
     fn default() -> Self {
-        MultilevelPartitioner { balance_eps: 0.10, coarsen_per_part: 24, refine_passes: 4, seed: 1 }
+        MultilevelPartitioner {
+            balance_eps: 0.10,
+            coarsen_per_part: 24,
+            refine_passes: 4,
+            seed: 1,
+        }
     }
 }
 
@@ -98,7 +111,10 @@ impl Partitioner for MultilevelPartitioner {
         assert!(parts >= 1, "need at least one partition");
         assert!(parts <= n, "more partitions ({parts}) than vertices ({n})");
         if parts == 1 {
-            return Assignment { partition_of: vec![0; n], num_parts: 1 };
+            return Assignment {
+                partition_of: vec![0; n],
+                num_parts: 1,
+            };
         }
         let mut rng = SeededRng::new(self.seed);
         let base = WorkGraph::from_graph(g);
@@ -119,7 +135,13 @@ impl Partitioner for MultilevelPartitioner {
 
         // Phase 2: initial partition on the coarsest graph.
         let mut labels = greedy_grow(&cur, parts, self.balance_eps, &mut rng);
-        refine(&cur, &mut labels, parts, self.balance_eps, self.refine_passes);
+        refine(
+            &cur,
+            &mut labels,
+            parts,
+            self.balance_eps,
+            self.refine_passes,
+        );
 
         // Phase 3: project back with refinement at every level.
         while let Some((fine, map)) = levels.pop() {
@@ -127,12 +149,21 @@ impl Partitioner for MultilevelPartitioner {
             for (v, l) in fine_labels.iter_mut().enumerate() {
                 *l = labels[map[v] as usize];
             }
-            refine(&fine, &mut fine_labels, parts, self.balance_eps, self.refine_passes);
+            refine(
+                &fine,
+                &mut fine_labels,
+                parts,
+                self.balance_eps,
+                self.refine_passes,
+            );
             labels = fine_labels;
         }
 
         ensure_no_empty_parts(&mut labels, parts);
-        let a = Assignment { partition_of: labels, num_parts: parts };
+        let a = Assignment {
+            partition_of: labels,
+            num_parts: parts,
+        };
         debug_assert!(a.validate().is_ok());
         a
     }
@@ -217,7 +248,15 @@ fn coarsen_once(g: &WorkGraph, rng: &mut SeededRng) -> (WorkGraph, Vec<u32>) {
     for v in 0..cn {
         offsets[v + 1] += offsets[v];
     }
-    (WorkGraph { offsets, nbrs, weights, vwgt }, map)
+    (
+        WorkGraph {
+            offsets,
+            nbrs,
+            weights,
+            vwgt,
+        },
+        map,
+    )
 }
 
 /// Greedy region growing over the (coarse) graph.
@@ -343,7 +382,12 @@ fn ensure_no_empty_parts(labels: &mut [u32], parts: usize) {
     }
     for p in 0..parts {
         if sizes[p] == 0 {
-            let donor = sizes.iter().enumerate().max_by_key(|&(_, &s)| s).map(|(i, _)| i).unwrap();
+            let donor = sizes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &s)| s)
+                .map(|(i, _)| i)
+                .unwrap();
             let v = labels.iter().position(|&l| l as usize == donor).unwrap();
             labels[v] = p as u32;
             sizes[donor] -= 1;
@@ -354,7 +398,11 @@ fn ensure_no_empty_parts(labels: &mut [u32], parts: usize) {
 
 /// Convenience: partition `g` into `parts` with default settings and `seed`.
 pub fn metis_like(g: &Graph, parts: usize, seed: u64) -> Assignment {
-    MultilevelPartitioner { seed, ..Default::default() }.partition(g, parts)
+    MultilevelPartitioner {
+        seed,
+        ..Default::default()
+    }
+    .partition(g, parts)
 }
 
 /// Portfolio partitioning: runs the multilevel partitioner *and* the
@@ -384,7 +432,9 @@ pub fn best_of(g: &Graph, parts: usize, seed: u64) -> Assignment {
 ///
 /// HongTu's range-based chunking assumes each partition occupies a
 /// contiguous id range (Figure 5); this produces that layout.
-pub fn contiguous_relabel(a: &Assignment) -> (Vec<VertexId>, Vec<VertexId>, Vec<std::ops::Range<usize>>) {
+pub fn contiguous_relabel(
+    a: &Assignment,
+) -> (Vec<VertexId>, Vec<VertexId>, Vec<std::ops::Range<usize>>) {
     let members = a.members();
     let n = a.partition_of.len();
     let mut new_id_of = vec![0 as VertexId; n];
@@ -496,7 +546,10 @@ mod tests {
             assert_eq!(old_id[new_id[v] as usize] as usize, v);
         }
         // Ranges tile 0..n and match partition sizes.
-        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), g.num_vertices());
+        assert_eq!(
+            ranges.iter().map(|r| r.len()).sum::<usize>(),
+            g.num_vertices()
+        );
         let sizes = a.sizes();
         for (p, r) in ranges.iter().enumerate() {
             assert_eq!(r.len(), sizes[p]);

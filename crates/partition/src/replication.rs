@@ -14,7 +14,11 @@ use hongtu_graph::{Graph, VertexId};
 /// distinct in-neighbor set `N_p = {u : ∃ u→v, v ∈ p}` is counted, and the
 /// total is normalized by `|V|`.
 pub fn replication_factor(g: &Graph, a: &Assignment) -> f64 {
-    assert_eq!(a.partition_of.len(), g.num_vertices(), "assignment/graph size mismatch");
+    assert_eq!(
+        a.partition_of.len(),
+        g.num_vertices(),
+        "assignment/graph size mismatch"
+    );
     let mut total = 0usize;
     // Mark-array reused across partitions, versioned by partition id + 1.
     let mut mark = vec![0u32; g.num_vertices()];
@@ -56,8 +60,10 @@ mod tests {
         let g = generators::erdos_renyi(200, 4.0, &mut rng);
         let a = range_partition(200, 1);
         let alpha = replication_factor(&g, &a);
-        let sources =
-            (0..200).filter(|&v| g.out_degree(v as VertexId) > 0).count() as f64 / 200.0;
+        let sources = (0..200)
+            .filter(|&v| g.out_degree(v as VertexId) > 0)
+            .count() as f64
+            / 200.0;
         assert!((alpha - sources).abs() < 1e-9);
         assert!(alpha <= 1.0);
     }

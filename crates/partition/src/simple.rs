@@ -7,7 +7,10 @@ use hongtu_graph::Graph;
 
 /// Assigns vertex `v` to partition `hash(v) % parts`.
 pub fn hash_partition(n: usize, parts: usize) -> Assignment {
-    assert!(parts >= 1 && parts <= n, "hash_partition: need 1 <= parts <= n");
+    assert!(
+        parts >= 1 && parts <= n,
+        "hash_partition: need 1 <= parts <= n"
+    );
     let partition_of = (0..n)
         .map(|v| {
             // Fibonacci hashing of the vertex id.
@@ -15,14 +18,20 @@ pub fn hash_partition(n: usize, parts: usize) -> Assignment {
             (h % parts as u64) as u32
         })
         .collect();
-    let a = Assignment { partition_of, num_parts: parts };
+    let a = Assignment {
+        partition_of,
+        num_parts: parts,
+    };
     debug_assert!(a.validate().is_ok());
     a
 }
 
 /// Splits `0..n` into `parts` contiguous, near-equal ranges.
 pub fn range_partition(n: usize, parts: usize) -> Assignment {
-    assert!(parts >= 1 && parts <= n, "range_partition: need 1 <= parts <= n");
+    assert!(
+        parts >= 1 && parts <= n,
+        "range_partition: need 1 <= parts <= n"
+    );
     let mut partition_of = vec![0u32; n];
     let base = n / parts;
     let extra = n % parts;
@@ -34,7 +43,10 @@ pub fn range_partition(n: usize, parts: usize) -> Assignment {
             v += 1;
         }
     }
-    Assignment { partition_of, num_parts: parts }
+    Assignment {
+        partition_of,
+        num_parts: parts,
+    }
 }
 
 /// Hash partitioner as a [`Partitioner`].

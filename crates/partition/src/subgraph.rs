@@ -33,7 +33,10 @@ impl ChunkSubgraph {
     /// Builds the chunk subgraph for destination set `dests` (must be sorted
     /// and unique) against the full graph `g`.
     pub fn build(g: &Graph, part: usize, chunk: usize, dests: Vec<VertexId>) -> Self {
-        debug_assert!(dests.windows(2).all(|w| w[0] < w[1]), "dests must be sorted & unique");
+        debug_assert!(
+            dests.windows(2).all(|w| w[0] < w[1]),
+            "dests must be sorted & unique"
+        );
         // Collect the union of in-neighbors.
         let mut neighbors: Vec<VertexId> = Vec::new();
         for &d in &dests {
@@ -49,14 +52,24 @@ impl ChunkSubgraph {
         for &d in &dests {
             let dv = (1 + g.in_degree(d)) as f32;
             for &u in g.in_neighbors(d) {
-                let local = neighbors.binary_search(&u).expect("neighbor present by construction");
+                let local = neighbors
+                    .binary_search(&u)
+                    .expect("neighbor present by construction");
                 nbr_index.push(local as u32);
                 let du = (1 + g.out_degree(u)) as f32;
                 gcn_weights.push(1.0 / (du * dv).sqrt());
             }
             offsets.push(nbr_index.len());
         }
-        ChunkSubgraph { part, chunk, dests, neighbors, offsets, nbr_index, gcn_weights }
+        ChunkSubgraph {
+            part,
+            chunk,
+            dests,
+            neighbors,
+            offsets,
+            nbr_index,
+            gcn_weights,
+        }
     }
 
     /// Number of destination vertices `|V_ij|`.
@@ -121,7 +134,11 @@ impl ChunkSubgraph {
             let expect = g.in_neighbors(d);
             let got = &self.nbr_index[self.in_edges_of(k)];
             if expect.len() != got.len() {
-                return Err(format!("dest {d}: edge count {} != {}", got.len(), expect.len()));
+                return Err(format!(
+                    "dest {d}: edge count {} != {}",
+                    got.len(),
+                    expect.len()
+                ));
             }
             for (&want, &li) in expect.iter().zip(got) {
                 if self.neighbors[li as usize] != want {
@@ -173,8 +190,10 @@ mod tests {
         let c = ChunkSubgraph::build(&g, 1, 3, vec![0, 2]);
         assert_eq!((c.part, c.chunk), (1, 3));
         for (k, &d) in c.dests.iter().enumerate() {
-            let resolved: Vec<VertexId> =
-                c.nbr_index[c.in_edges_of(k)].iter().map(|&i| c.neighbors[i as usize]).collect();
+            let resolved: Vec<VertexId> = c.nbr_index[c.in_edges_of(k)]
+                .iter()
+                .map(|&i| c.neighbors[i as usize])
+                .collect();
             assert_eq!(resolved, g.in_neighbors(d));
         }
     }

@@ -52,8 +52,10 @@ impl TwoLevelPartition {
             );
             // Balance chunks by aggregation work = in-edge count (+1 so
             // isolated vertices still carry weight for the UPDATE matmul).
-            let costs: Vec<u64> =
-                part_members.iter().map(|&v| 1 + g.in_degree(v) as u64).collect();
+            let costs: Vec<u64> = part_members
+                .iter()
+                .map(|&v| 1 + g.in_degree(v) as u64)
+                .collect();
             let ranges = balanced_ranges(&costs, n);
             let part_chunks: Vec<ChunkSubgraph> = ranges
                 .into_iter()
@@ -62,7 +64,12 @@ impl TwoLevelPartition {
                 .collect();
             chunks.push(part_chunks);
         }
-        TwoLevelPartition { m, n, assignment, chunks }
+        TwoLevelPartition {
+            m,
+            n,
+            assignment,
+            chunks,
+        }
     }
 
     /// All subgraphs of batch `j` (one per partition).
@@ -181,8 +188,9 @@ mod tests {
         let plan = TwoLevelPartition::build(&g, 4, 4, 3);
         // V_ori counts each chunk's neighbor set; must be at least the
         // number of distinct sources in the whole graph.
-        let distinct_sources =
-            (0..g.num_vertices()).filter(|&v| g.out_degree(v as VertexId) > 0).count();
+        let distinct_sources = (0..g.num_vertices())
+            .filter(|&v| g.out_degree(v as VertexId) > 0)
+            .count();
         assert!(plan.v_ori() >= distinct_sources);
     }
 

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace must build and test with **no registry access**, so the
+//! real proptest cannot be a dependency. This crate implements the subset
+//! of its API that the workspace's property tests use — the `proptest!`
+//! macro, range/tuple/`collection::vec` strategies, `prop_assert*`, and
+//! `ProptestConfig` — with deterministic per-case seeding.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports its case number and the
+//!   sampled arguments; re-running is deterministic, so the failure
+//!   reproduces exactly.
+//! - Sampling is seeded from the test name and case index, not an entropy
+//!   source, so runs are stable across machines and invocations.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything the `proptest!` macro and its bodies need in scope.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Supported grammar (a subset of the real one):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0u32..9, 0..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng =
+                        $crate::test_runner::SampleRng::for_case(stringify!($name), case);
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    // Rendered before the body, which takes the args by value.
+                    let __args_desc = format!(
+                        concat!($(stringify!($arg), " = {:?}  "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property `{}` failed at case {}/{}: {}\n  args: {}",
+                                stringify!($name),
+                                case,
+                                config.cases,
+                                msg,
+                                __args_desc,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{} ({:?} != {:?})", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "{} ({:?} == {:?})", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Skips the current case (counted as passed) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -4i32..9, f in 0.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..9).contains(&y));
+            prop_assert!((0.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in crate::collection::vec((0u32..5, 0u32..5), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&(a, b)| a < 5 && b < 5));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        use crate::strategy::Strategy;
+        let a: Vec<u64> = (0..8)
+            .map(|c| (0u64..1000).sample(&mut crate::test_runner::SampleRng::for_case("t", c)))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|c| (0u64..1000).sample(&mut crate::test_runner::SampleRng::for_case("t", c)))
+            .collect();
+        assert_eq!(a, b);
+        // Different cases draw different values (overwhelmingly likely).
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(false, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,91 @@
+//! Value-generation strategies: the sampled counterpart of proptest's
+//! `Strategy` trait, without shrink trees.
+
+use crate::test_runner::SampleRng;
+use std::ops::Range;
+
+/// Something that can produce a value from a deterministic RNG.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+}
+
+/// A strategy that always yields a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SampleRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128) * span) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range {:?}", self);
+                let unit = ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+                let v = (self.start as f64 + (self.end as f64 - self.start as f64) * unit) as $t;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= self.end { self.end.next_down().max(self.start) } else { v }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut SampleRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "empty strategy range");
+        loop {
+            let span = (hi - lo) as u128;
+            let off = (((rng.next_u64() as u128) * span) >> 64) as u32;
+            if let Some(c) = char::from_u32(lo + off) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+}

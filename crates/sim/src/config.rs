@@ -1,6 +1,8 @@
 //! Hardware configuration presets.
-
-use serde::{Deserialize, Serialize};
+//!
+//! Configs round-trip through a hand-rolled `key = value` text format
+//! ([`MachineConfig::emit`] / [`MachineConfig::parse`]) so no serialization
+//! crate is needed and the workspace builds offline.
 
 /// Parameters of the simulated single-node multi-GPU machine.
 ///
@@ -8,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// throughputs FLOP/second. Defaults mirror the paper's testbed (§7.1):
 /// 4×A100-80GB, NVLink 3.0 (200 GB/s), PCIe 4.0 (32 GB/s), two NUMA
 /// sockets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of GPUs.
     pub num_gpus: usize,
@@ -106,6 +108,86 @@ impl MachineConfig {
         base * (local + (1.0 - local) * self.numa_remote_factor)
     }
 
+    /// Emits the config as `key = value` lines (one field per line), the
+    /// inverse of [`MachineConfig::parse`].
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in self.fields() {
+            out.push_str(&format!("{key} = {value}\n"));
+        }
+        out
+    }
+
+    /// Parses the `key = value` format produced by [`MachineConfig::emit`].
+    /// Unknown keys are rejected; missing keys keep the `a100_4x` default,
+    /// so partial configs are valid overrides. Lines that are empty or
+    /// start with `#` are skipped.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = Self::a100_4x();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let parse_usize = || -> Result<usize, String> {
+                value
+                    .parse()
+                    .map_err(|e| format!("line {}: {key}: {e}", lineno + 1))
+            };
+            let parse_f64 = || -> Result<f64, String> {
+                value
+                    .parse()
+                    .map_err(|e| format!("line {}: {key}: {e}", lineno + 1))
+            };
+            match key {
+                "num_gpus" => cfg.num_gpus = parse_usize()?,
+                "gpu_memory" => cfg.gpu_memory = parse_usize()?,
+                "host_memory" => cfg.host_memory = parse_usize()?,
+                "num_sockets" => cfg.num_sockets = parse_usize()?,
+                "pcie_bw" => cfg.pcie_bw = parse_f64()?,
+                "nvlink_bw" => cfg.nvlink_bw = parse_f64()?,
+                "hbm_bw" => cfg.hbm_bw = parse_f64()?,
+                "host_mem_bw" => cfg.host_mem_bw = parse_f64()?,
+                "numa_remote_factor" => cfg.numa_remote_factor = parse_f64()?,
+                "pcie_latency" => cfg.pcie_latency = parse_f64()?,
+                "nvlink_latency" => cfg.nvlink_latency = parse_f64()?,
+                "gpu_dense_flops" => cfg.gpu_dense_flops = parse_f64()?,
+                "gpu_edge_flops" => cfg.gpu_edge_flops = parse_f64()?,
+                "cpu_flops" => cfg.cpu_flops = parse_f64()?,
+                other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// `(key, rendered value)` pairs, in emit order.
+    fn fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("num_gpus", self.num_gpus.to_string()),
+            ("gpu_memory", self.gpu_memory.to_string()),
+            ("host_memory", self.host_memory.to_string()),
+            ("num_sockets", self.num_sockets.to_string()),
+            ("pcie_bw", format!("{:?}", self.pcie_bw)),
+            ("nvlink_bw", format!("{:?}", self.nvlink_bw)),
+            ("hbm_bw", format!("{:?}", self.hbm_bw)),
+            ("host_mem_bw", format!("{:?}", self.host_mem_bw)),
+            (
+                "numa_remote_factor",
+                format!("{:?}", self.numa_remote_factor),
+            ),
+            ("pcie_latency", format!("{:?}", self.pcie_latency)),
+            ("nvlink_latency", format!("{:?}", self.nvlink_latency)),
+            ("gpu_dense_flops", format!("{:?}", self.gpu_dense_flops)),
+            ("gpu_edge_flops", format!("{:?}", self.gpu_edge_flops)),
+            ("cpu_flops", format!("{:?}", self.cpu_flops)),
+        ]
+    }
+
     /// Basic sanity checks; call after hand-editing a config.
     pub fn validate(&self) -> Result<(), String> {
         if self.num_gpus == 0 {
@@ -136,7 +218,7 @@ impl MachineConfig {
 
 /// A shared-nothing CPU cluster (the DistGNN comparator, §7.1: 16 ECS
 /// nodes, 20 Gbps network).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuClusterConfig {
     /// Number of nodes.
     pub num_nodes: usize,
@@ -176,8 +258,16 @@ impl CpuClusterConfig {
 
     /// Scaled-down variant holding `mem_bytes` per node.
     pub fn scaled(num_nodes: usize, mem_bytes: usize) -> Self {
-        let base = if num_nodes == 1 { Self::single_node() } else { Self::ecs_16() };
-        CpuClusterConfig { num_nodes, node_memory: mem_bytes, ..base }
+        let base = if num_nodes == 1 {
+            Self::single_node()
+        } else {
+            Self::ecs_16()
+        };
+        CpuClusterConfig {
+            num_nodes,
+            node_memory: mem_bytes,
+            ..base
+        }
     }
 }
 
@@ -235,6 +325,38 @@ mod tests {
         let mut c = MachineConfig::a100_4x();
         c.numa_remote_factor = 0.5;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        for cfg in [
+            MachineConfig::a100_4x(),
+            MachineConfig::scaled(2, 64 << 20),
+            MachineConfig::a100_4x().pcie_only(),
+        ] {
+            let text = cfg.emit();
+            let back = MachineConfig::parse(&text).expect("parse emitted config");
+            assert_eq!(back, cfg, "roundtrip failed for:\n{text}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_partial_overrides_and_comments() {
+        let cfg = MachineConfig::parse("# testbed override\nnum_gpus = 2\n\npcie_bw = 16e9\n")
+            .expect("partial config");
+        assert_eq!(cfg.num_gpus, 2);
+        assert_eq!(cfg.pcie_bw, 16e9);
+        // Unset keys keep the a100_4x defaults.
+        assert_eq!(cfg.nvlink_bw, MachineConfig::a100_4x().nvlink_bw);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(MachineConfig::parse("not a key-value line").is_err());
+        assert!(MachineConfig::parse("mystery_knob = 4").is_err());
+        assert!(MachineConfig::parse("num_gpus = many").is_err());
+        // Parsed configs are validated: zero GPUs must be rejected.
+        assert!(MachineConfig::parse("num_gpus = 0").is_err());
     }
 
     #[test]

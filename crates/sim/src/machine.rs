@@ -72,13 +72,22 @@ impl Machine {
     /// # Panics
     /// Panics if the config is invalid (see [`MachineConfig::validate`]).
     pub fn new(config: MachineConfig) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("invalid MachineConfig: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid MachineConfig: {e}"));
         let gpus = (0..config.num_gpus)
             .map(|i| MemoryTracker::new(format!("GPU{i}"), config.gpu_memory))
             .collect();
         let host = MemoryTracker::new("host", config.host_memory);
         let clocks = vec![0.0; config.num_gpus];
-        Machine { config, gpus, host, clocks, buckets: TimeBuckets::default(), trace: Trace::disabled() }
+        Machine {
+            config,
+            gpus,
+            host,
+            clocks,
+            buckets: TimeBuckets::default(),
+            trace: Trace::disabled(),
+        }
     }
 
     /// The machine configuration.
@@ -103,15 +112,28 @@ impl Machine {
 
     fn check_gpu(&self, gpu: usize) -> Result<(), SimError> {
         if gpu >= self.gpus.len() {
-            Err(SimError::NoSuchDevice { index: gpu, available: self.gpus.len() })
+            Err(SimError::NoSuchDevice {
+                index: gpu,
+                available: self.gpus.len(),
+            })
         } else {
             Ok(())
         }
     }
 
     fn record(&mut self, kind: EventKind, device: usize, bytes: usize, seconds: f64) {
-        let at = if device < self.clocks.len() { self.clocks[device] } else { 0.0 };
-        self.trace.record(Event { kind, device, bytes, seconds, at });
+        let at = if device < self.clocks.len() {
+            self.clocks[device]
+        } else {
+            0.0
+        };
+        self.trace.record(Event {
+            kind,
+            device,
+            bytes,
+            seconds,
+            at,
+        });
     }
 
     // ---- memory ----
@@ -384,7 +406,10 @@ mod tests {
         let mut m = machine();
         assert!(matches!(
             m.alloc(9, 1, "x"),
-            Err(SimError::NoSuchDevice { index: 9, available: 4 })
+            Err(SimError::NoSuchDevice {
+                index: 9,
+                available: 4
+            })
         ));
     }
 
@@ -421,7 +446,11 @@ mod tests {
     #[test]
     fn buckets_add_combines() {
         let mut a = TimeBuckets::default();
-        let b = TimeBuckets { h2d: 1.0, bytes_h2d: 5, ..Default::default() };
+        let b = TimeBuckets {
+            h2d: 1.0,
+            bytes_h2d: 5,
+            ..Default::default()
+        };
         a.add(&b);
         a.add(&b);
         assert_eq!(a.h2d, 2.0);

@@ -26,18 +26,35 @@ pub enum SimError {
         /// Number of devices configured.
         available: usize,
     },
+    /// A precomputed execution plan failed static verification (the
+    /// engine refuses to run a plan that would corrupt training data).
+    InvalidPlan {
+        /// The first diagnostic's stable code (e.g. `B201`).
+        code: String,
+        /// Rendered diagnostic report.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::OutOfMemory { device, label, requested, in_use, capacity } => write!(
+            SimError::OutOfMemory {
+                device,
+                label,
+                requested,
+                in_use,
+                capacity,
+            } => write!(
                 f,
                 "{device}: out of memory allocating {requested} B for {label} \
                  ({in_use} B in use of {capacity} B)"
             ),
             SimError::NoSuchDevice { index, available } => {
                 write!(f, "device {index} does not exist ({available} configured)")
+            }
+            SimError::InvalidPlan { code, message } => {
+                write!(f, "invalid execution plan [{code}]: {message}")
             }
         }
     }
@@ -57,7 +74,12 @@ pub struct MemoryTracker {
 impl MemoryTracker {
     /// A tracker for device `name` with `capacity` bytes.
     pub fn new(name: impl Into<String>, capacity: usize) -> Self {
-        MemoryTracker { name: name.into(), capacity, in_use: 0, peak: 0 }
+        MemoryTracker {
+            name: name.into(),
+            capacity,
+            in_use: 0,
+            peak: 0,
+        }
     }
 
     /// Charges `bytes`; fails with [`SimError::OutOfMemory`] if it exceeds
@@ -144,7 +166,13 @@ mod tests {
         t.alloc(80, "base").unwrap();
         let err = t.alloc(30, "intermediate").unwrap_err();
         match &err {
-            SimError::OutOfMemory { device, label, requested, in_use, capacity } => {
+            SimError::OutOfMemory {
+                device,
+                label,
+                requested,
+                in_use,
+                capacity,
+            } => {
                 assert_eq!(device, "GPU1");
                 assert_eq!(label, "intermediate");
                 assert_eq!((*requested, *in_use, *capacity), (30, 80, 100));

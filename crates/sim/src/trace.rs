@@ -48,12 +48,22 @@ pub struct Trace {
 impl Trace {
     /// A disabled trace (records nothing).
     pub fn disabled() -> Self {
-        Trace { events: Default::default(), capacity: 0, enabled: false, dropped: 0 }
+        Trace {
+            events: Default::default(),
+            capacity: 0,
+            enabled: false,
+            dropped: 0,
+        }
     }
 
     /// An enabled trace holding up to `capacity` recent events.
     pub fn with_capacity(capacity: usize) -> Self {
-        Trace { events: Default::default(), capacity, enabled: true, dropped: 0 }
+        Trace {
+            events: Default::default(),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
     }
 
     /// Whether events are being recorded.
@@ -95,7 +105,13 @@ mod tests {
     use super::*;
 
     fn ev(kind: EventKind, bytes: usize) -> Event {
-        Event { kind, device: 0, bytes, seconds: 1e-6, at: 0.0 }
+        Event {
+            kind,
+            device: 0,
+            bytes,
+            seconds: 1e-6,
+            at: 0.0,
+        }
     }
 
     #[test]

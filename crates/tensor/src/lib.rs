@@ -9,7 +9,7 @@
 //! Design notes:
 //! - Everything is `f32`, matching the paper's training precision.
 //! - Matrix multiplication is blocked and parallelized across rows with
-//!   crossbeam scoped threads; GNN workloads multiply `(#vertices × dim)` by
+//!   std scoped threads; GNN workloads multiply `(#vertices × dim)` by
 //!   `(dim × dim)` matrices, so row-parallelism is the right axis.
 //! - Shape mismatches are programming errors and panic with a descriptive
 //!   message, mirroring the behaviour of mainstream numeric libraries.

@@ -31,12 +31,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix { rows, cols, data: vec![value; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a matrix from a flat row-major buffer.
@@ -136,14 +144,24 @@ impl Matrix {
     /// Borrow of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
-        debug_assert!(r < self.rows, "row {} out of bounds (rows={})", r, self.rows);
+        debug_assert!(
+            r < self.rows,
+            "row {} out of bounds (rows={})",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Mutable borrow of row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        debug_assert!(r < self.rows, "row {} out of bounds (rows={})", r, self.rows);
+        debug_assert!(
+            r < self.rows,
+            "row {} out of bounds (rows={})",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -166,7 +184,11 @@ impl Matrix {
     /// Scatter-adds each row `i` of `src` into row `indices[i]` of `self`.
     /// This is the gradient-accumulation primitive of the backward pass.
     pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Matrix) {
-        assert_eq!(indices.len(), src.rows(), "scatter_add_rows: index/row count mismatch");
+        assert_eq!(
+            indices.len(),
+            src.rows(),
+            "scatter_add_rows: index/row count mismatch"
+        );
         assert_eq!(self.cols, src.cols(), "scatter_add_rows: column mismatch");
         for (i, &dst) in indices.iter().enumerate() {
             let row = src.row(i);
@@ -179,7 +201,11 @@ impl Matrix {
 
     /// Copies each row `i` of `src` over row `indices[i]` of `self`.
     pub fn scatter_rows(&mut self, indices: &[usize], src: &Matrix) {
-        assert_eq!(indices.len(), src.rows(), "scatter_rows: index/row count mismatch");
+        assert_eq!(
+            indices.len(),
+            src.rows(),
+            "scatter_rows: index/row count mismatch"
+        );
         assert_eq!(self.cols, src.cols(), "scatter_rows: column mismatch");
         for (i, &dst) in indices.iter().enumerate() {
             self.row_mut(dst).copy_from_slice(src.row(i));
@@ -324,7 +350,12 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
         matmul_into(
-            &self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data,
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
         );
         out
     }
@@ -395,16 +426,15 @@ fn matmul_into(a: &[f32], a_rows: usize, a_cols: usize, b: &[f32], b_cols: usize
     let n_workers = threads.min(a_rows / PAR_MIN_ROWS_PER_THREAD).max(1);
     let rows_per = a_rows.div_ceil(n_workers);
     let chunks: Vec<&mut [f32]> = out.chunks_mut(rows_per * b_cols).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (w, chunk) in chunks.into_iter().enumerate() {
             let start = w * rows_per;
             let end = (start + rows_per).min(a_rows);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 matmul_rows(a, a_cols, b, b_cols, chunk, start, end);
             });
         }
-    })
-    .expect("matmul worker panicked");
+    });
 }
 
 /// Sequential row-range matmul: fills `out` (rows `start..end` of the result,
@@ -435,16 +465,27 @@ fn matmul_rows(
 
 /// Number of worker threads for parallel kernels.
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Matrix {
     fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "element-wise op: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "element-wise op: shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 }
@@ -501,7 +542,15 @@ mod tests {
         let b = Matrix::from_fn(33, 29, |r, c| ((r * 3 + c * 5) % 11) as f32 - 5.0);
         let par = a.matmul(&b);
         let mut seq = Matrix::zeros(512, 29);
-        matmul_rows(a.as_slice(), 33, b.as_slice(), 29, seq.as_mut_slice(), 0, 512);
+        matmul_rows(
+            a.as_slice(),
+            33,
+            b.as_slice(),
+            29,
+            seq.as_mut_slice(),
+            0,
+            512,
+        );
         assert_eq!(par, seq);
     }
 

@@ -58,8 +58,11 @@ pub fn sigmoid(x: &Matrix) -> Matrix {
 pub fn sigmoid_backward_from_output(y: &Matrix, grad: &Matrix) -> Matrix {
     assert_eq!(y.shape(), grad.shape(), "sigmoid_backward: shape mismatch");
     let mut out = y.clone();
-    for ((o, &yv), &g) in
-        out.as_mut_slice().iter_mut().zip(y.as_slice()).zip(grad.as_slice())
+    for ((o, &yv), &g) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(y.as_slice())
+        .zip(grad.as_slice())
     {
         *o = g * yv * (1.0 - yv);
     }
@@ -75,8 +78,11 @@ pub fn tanh(x: &Matrix) -> Matrix {
 pub fn tanh_backward_from_output(y: &Matrix, grad: &Matrix) -> Matrix {
     assert_eq!(y.shape(), grad.shape(), "tanh_backward: shape mismatch");
     let mut out = y.clone();
-    for ((o, &yv), &g) in
-        out.as_mut_slice().iter_mut().zip(y.as_slice()).zip(grad.as_slice())
+    for ((o, &yv), &g) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(y.as_slice())
+        .zip(grad.as_slice())
     {
         *o = g * (1.0 - yv * yv);
     }
@@ -151,7 +157,10 @@ mod tests {
     fn relu_backward_masks_by_preactivation() {
         let pre = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 1.0, 2.0]);
         let grad = Matrix::from_vec(1, 4, vec![10.0, 10.0, 10.0, 10.0]);
-        assert_eq!(relu_backward(&pre, &grad).as_slice(), &[0.0, 0.0, 10.0, 10.0]);
+        assert_eq!(
+            relu_backward(&pre, &grad).as_slice(),
+            &[0.0, 0.0, 10.0, 10.0]
+        );
     }
 
     #[test]
@@ -186,8 +195,8 @@ mod tests {
             xp.as_mut_slice()[i] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= eps;
-            let num = (sigmoid(&xp).hadamard(&g).sum() - sigmoid(&xm).hadamard(&g).sum())
-                / (2.0 * eps);
+            let num =
+                (sigmoid(&xp).hadamard(&g).sum() - sigmoid(&xm).hadamard(&g).sum()) / (2.0 * eps);
             assert!((num - ana.as_slice()[i]).abs() < 1e-3, "coord {i}");
         }
     }
@@ -204,8 +213,7 @@ mod tests {
             xp.as_mut_slice()[i] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[i] -= eps;
-            let num =
-                (tanh(&xp).hadamard(&g).sum() - tanh(&xm).hadamard(&g).sum()) / (2.0 * eps);
+            let num = (tanh(&xp).hadamard(&g).sum() - tanh(&xm).hadamard(&g).sum()) / (2.0 * eps);
             assert!((num - ana.as_slice()[i]).abs() < 1e-3, "coord {i}");
         }
     }

@@ -34,7 +34,10 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -73,7 +76,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard hyper-parameters (β₁=0.9, β₂=0.999, ε=1e-8).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, moments: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            moments: Vec::new(),
+        }
     }
 
     /// Number of completed steps.
@@ -89,9 +100,16 @@ impl Optimizer for Adam {
             self.moments.resize_with(slot + 1, || None);
         }
         let (m, v) = self.moments[slot].get_or_insert_with(|| {
-            (Matrix::zeros(param.rows(), param.cols()), Matrix::zeros(param.rows(), param.cols()))
+            (
+                Matrix::zeros(param.rows(), param.cols()),
+                Matrix::zeros(param.rows(), param.cols()),
+            )
         });
-        assert_eq!(m.shape(), param.shape(), "Adam::step: slot {slot} reused with a different shape");
+        assert_eq!(
+            m.shape(),
+            param.shape(),
+            "Adam::step: slot {slot} reused with a different shape"
+        );
         let t = (self.t + 1) as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);

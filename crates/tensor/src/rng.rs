@@ -5,20 +5,37 @@
 //! independent components (feature init, weight init, graph generation)
 //! derive decorrelated-but-reproducible streams from a single master seed.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 /// A seedable RNG with stream forking.
+///
+/// The generator is xoshiro256++ with its state expanded from the 64-bit
+/// seed by SplitMix64 — self-contained so the workspace builds without any
+/// external crate, and with well-studied statistical quality.
 #[derive(Debug)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step: advances `x` and returns the next output.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed), seed }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        SeededRng { state, seed }
     }
 
     /// The master seed this stream was created with.
@@ -50,7 +67,8 @@ impl SeededRng {
 
     /// Uniform `f32` in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.inner.random()
+        // 24 high bits → the full f32 mantissa resolution in [0, 1).
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 
     /// Uniform `f32` in `[lo, hi)`.
@@ -61,17 +79,29 @@ impl SeededRng {
     /// Uniform `usize` in `[0, n)`. `n` must be positive.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "SeededRng::index: empty range");
-        self.inner.random_range(0..n)
+        // Lemire's widening-multiply range reduction (bias < 2^-64).
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.random_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        // 53 high bits → uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
     }
 
     /// Standard normal sample (Box–Muller).

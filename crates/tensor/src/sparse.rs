@@ -35,13 +35,22 @@ impl CsrMatrix {
         let mut values = Vec::with_capacity(nnz);
         for entries in row_entries {
             for &(c, v) in entries {
-                assert!((c as usize) < cols, "column {c} out of range (cols = {cols})");
+                assert!(
+                    (c as usize) < cols,
+                    "column {c} out of range (cols = {cols})"
+                );
                 indices.push(c);
                 values.push(v);
             }
             offsets.push(indices.len());
         }
-        CsrMatrix { rows, cols, offsets, indices, values }
+        CsrMatrix {
+            rows,
+            cols,
+            offsets,
+            indices,
+            values,
+        }
     }
 
     /// Builds the CSR matrix directly from raw parts (validated).
@@ -54,11 +63,31 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(offsets.len(), rows + 1, "offsets length must be rows + 1");
         assert_eq!(offsets[0], 0, "offsets must start at 0");
-        assert_eq!(*offsets.last().unwrap(), indices.len(), "offsets must end at nnz");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
-        assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of range");
-        CsrMatrix { rows, cols, offsets, indices, values }
+        assert_eq!(
+            *offsets.last().unwrap(),
+            indices.len(),
+            "offsets must end at nnz"
+        );
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert!(
+            indices.iter().all(|&c| (c as usize) < cols),
+            "column index out of range"
+        );
+        CsrMatrix {
+            rows,
+            cols,
+            offsets,
+            indices,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -138,7 +167,13 @@ impl CsrMatrix {
                 cursor[c] += 1;
             }
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, offsets, indices, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            offsets,
+            indices,
+            values,
+        }
     }
 
     /// Densifies (tests / small problems only).

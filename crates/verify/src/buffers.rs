@@ -1,0 +1,323 @@
+//! Pass 3 — in-place buffer plan (paper §6): a borrow checker for device
+//! buffer slots.
+//!
+//! The engine never compacts the merged buffer `M_ij`; it trusts the
+//! precomputed slot indices completely. A wrong slot is silent data
+//! corruption, not a crash — exactly the class of bug worth a static
+//! checker. This pass replays every [`BatchIndices`] with a symbolic
+//! buffer (slot → vertex), checking that:
+//!
+//! - every slot a batch uses lies below the declared capacity (B204);
+//! - no two live vertices share a slot within a batch (B201);
+//! - a vertex *not* in the batch's incoming list really is resident at
+//!   its claimed slot from the previous batch — anything else is a read
+//!   of never-written or stale data (B202 / B203);
+//! - `nbr_slot` routes every neighbor access to the slot that actually
+//!   holds that neighbor's row (B202);
+//! - `M_ij`, `position`, `incoming`, and `nbr_slot` are mutually
+//!   consistent and equal to `ℕ_ij ∪ N_ij` (B205).
+
+use crate::diag::{push, DiagCode, Diagnostic, Location};
+use hongtu_graph::VertexId;
+use hongtu_partition::{DedupPlan, GpuBufferPlan, TwoLevelPartition};
+use std::collections::{HashMap, HashSet};
+
+/// Checks one GPU's buffer plan by symbolic execution.
+pub fn verify_buffers(
+    plan: &TwoLevelPartition,
+    dedup: &DedupPlan,
+    bp: &GpuBufferPlan,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let gpu = bp.gpu;
+    if gpu >= plan.m || bp.batches.len() != plan.n || dedup.batches.len() != plan.n {
+        push(
+            &mut diags,
+            Diagnostic::new(
+                DiagCode::MergedSetWrong,
+                Location::gpu(gpu),
+                format!(
+                    "buffer plan shape: gpu {gpu} (m = {}), {} batches (n = {})",
+                    plan.m,
+                    bp.batches.len(),
+                    plan.n
+                ),
+            ),
+        );
+        return diags;
+    }
+
+    // Symbolic buffer: which vertex each slot currently holds. A slot not
+    // in the map holds no live data (never written, or freed).
+    let mut live: HashMap<u32, VertexId> = HashMap::new();
+    // Vertices that were resident at some earlier batch and then evicted —
+    // used to tell use-after-free (B203) from never-written (B202).
+    let mut evicted: HashSet<VertexId> = HashSet::new();
+
+    for (j, b) in bp.batches.iter().enumerate() {
+        let loc = Location::gpu_batch(gpu, j);
+        let chunk = &plan.chunks[gpu][j];
+        let transition = &dedup.batches[j].transition[gpu];
+
+        // ---- index-vector consistency (B205) ----
+        let expected_merged = union_sorted(transition, &chunk.neighbors);
+        if b.merged != expected_merged {
+            push(
+                &mut diags,
+                Diagnostic::new(
+                    DiagCode::MergedSetWrong,
+                    loc,
+                    format!(
+                        "M_ij has {} vertices, expected |ℕ_ij ∪ N_ij| = {}",
+                        b.merged.len(),
+                        expected_merged.len()
+                    ),
+                ),
+            );
+        }
+        if b.position.len() != b.merged.len() {
+            push(
+                &mut diags,
+                Diagnostic::new(
+                    DiagCode::MergedSetWrong,
+                    loc,
+                    format!(
+                        "{} positions for {} merged vertices",
+                        b.position.len(),
+                        b.merged.len()
+                    ),
+                ),
+            );
+            continue; // the replay below would index out of bounds
+        }
+        if b.nbr_slot.len() != chunk.neighbors.len() {
+            push(
+                &mut diags,
+                Diagnostic::new(
+                    DiagCode::MergedSetWrong,
+                    loc,
+                    format!(
+                        "{} neighbor slots for {} neighbors",
+                        b.nbr_slot.len(),
+                        chunk.neighbors.len()
+                    ),
+                ),
+            );
+        }
+        let mut incoming_idx: HashSet<u32> = HashSet::new();
+        let mut incoming_ok = true;
+        for &(t, slot) in &b.incoming {
+            if t as usize >= b.merged.len() {
+                push(
+                    &mut diags,
+                    Diagnostic::new(
+                        DiagCode::MergedSetWrong,
+                        loc,
+                        format!(
+                            "incoming index {t} out of range (|M_ij| = {})",
+                            b.merged.len()
+                        ),
+                    ),
+                );
+                incoming_ok = false;
+                continue;
+            }
+            if b.position[t as usize] != slot {
+                push(
+                    &mut diags,
+                    Diagnostic::new(
+                        DiagCode::MergedSetWrong,
+                        loc.with_vertex(b.merged[t as usize]),
+                        format!(
+                            "incoming row targets slot {slot} but position[{t}] = {}",
+                            b.position[t as usize]
+                        ),
+                    ),
+                );
+            }
+            if !incoming_idx.insert(t) {
+                push(
+                    &mut diags,
+                    Diagnostic::new(
+                        DiagCode::SlotAliased,
+                        loc.with_vertex(b.merged[t as usize]),
+                        format!("vertex {} written twice in one batch", b.merged[t as usize]),
+                    ),
+                );
+            }
+        }
+        if !incoming_ok {
+            continue;
+        }
+
+        // ---- capacity (B204) ----
+        for (t, &slot) in b.position.iter().enumerate() {
+            if slot as usize >= bp.capacity {
+                push(
+                    &mut diags,
+                    Diagnostic::new(
+                        DiagCode::CapacityExceeded,
+                        loc.with_vertex(b.merged[t]),
+                        format!("slot {slot} beyond declared capacity {}", bp.capacity),
+                    ),
+                );
+            }
+        }
+
+        // ---- per-batch slot uniqueness (B201) ----
+        let mut slot_claims: HashMap<u32, VertexId> = HashMap::new();
+        for (t, &slot) in b.position.iter().enumerate() {
+            let v = b.merged[t];
+            if let Some(&w) = slot_claims.get(&slot) {
+                push(
+                    &mut diags,
+                    Diagnostic::new(
+                        DiagCode::SlotAliased,
+                        loc.with_vertex(v),
+                        format!("vertices {w} and {v} both live in slot {slot}"),
+                    ),
+                );
+            } else {
+                slot_claims.insert(slot, v);
+            }
+        }
+
+        // ---- reuse claims: non-incoming rows must already be resident ----
+        for (t, (&v, &slot)) in b.merged.iter().zip(&b.position).enumerate() {
+            if incoming_idx.contains(&(t as u32)) {
+                continue; // written this batch
+            }
+            match live.get(&slot) {
+                Some(&resident) if resident == v => {} // genuine in-place reuse
+                _ => {
+                    // Distinguish how the plan went wrong for the message.
+                    let prev_slot = live.iter().find(|&(_, &r)| r == v).map(|(&s, _)| s);
+                    let (code, why) = match prev_slot {
+                        Some(s) => (
+                            DiagCode::SlotMoved,
+                            format!("vertex {v} is resident at slot {s}, not {slot} (moved without rewrite)"),
+                        ),
+                        None if evicted.contains(&v) => (
+                            DiagCode::SlotMoved,
+                            format!("vertex {v} was evicted earlier; reading slot {slot} is use-after-free"),
+                        ),
+                        None => (
+                            DiagCode::ReadUnwritten,
+                            format!("vertex {v} claims in-place reuse of slot {slot}, which never held it"),
+                        ),
+                    };
+                    push(&mut diags, Diagnostic::new(code, loc.with_vertex(v), why));
+                }
+            }
+        }
+
+        // ---- neighbor reads route to the right slots (B202) ----
+        for (t, &nv) in chunk.neighbors.iter().enumerate() {
+            if t >= b.nbr_slot.len() {
+                break; // length mismatch reported above
+            }
+            match b.merged.binary_search(&nv) {
+                Err(_) => push(
+                    &mut diags,
+                    Diagnostic::new(
+                        DiagCode::MergedSetWrong,
+                        loc.with_vertex(nv),
+                        format!("neighbor {nv} missing from M_ij"),
+                    ),
+                ),
+                Ok(ti) => {
+                    if b.nbr_slot[t] != b.position[ti] {
+                        push(
+                            &mut diags,
+                            Diagnostic::new(
+                                DiagCode::ReadUnwritten,
+                                loc.with_vertex(nv),
+                                format!(
+                                    "neighbor {nv} read from slot {} but its row lives in slot {}",
+                                    b.nbr_slot[t], b.position[ti]
+                                ),
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // ---- commit the batch: new residency map, track evictions ----
+        let next: HashMap<u32, VertexId> = b
+            .position
+            .iter()
+            .copied()
+            .zip(b.merged.iter().copied())
+            .collect();
+        for &v in live.values() {
+            if b.merged.binary_search(&v).is_err() {
+                evicted.insert(v);
+            }
+        }
+        evicted.retain(|v| b.merged.binary_search(v).is_err());
+        live = next;
+    }
+    diags
+}
+
+/// Checks every GPU's buffer plan (plus the collection's shape).
+pub fn verify_all_buffers(
+    plan: &TwoLevelPartition,
+    dedup: &DedupPlan,
+    bufplans: &[GpuBufferPlan],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if bufplans.len() != plan.m {
+        push(
+            &mut diags,
+            Diagnostic::new(
+                DiagCode::MergedSetWrong,
+                Location::default(),
+                format!("{} buffer plans for {} GPUs", bufplans.len(), plan.m),
+            ),
+        );
+        return diags;
+    }
+    for (i, bp) in bufplans.iter().enumerate() {
+        if bp.gpu != i {
+            push(
+                &mut diags,
+                Diagnostic::new(
+                    DiagCode::MergedSetWrong,
+                    Location::gpu(i),
+                    format!("plan at index {i} claims GPU {}", bp.gpu),
+                ),
+            );
+            continue;
+        }
+        diags.extend(verify_buffers(plan, dedup, bp));
+    }
+    diags
+}
+
+/// Union of two sorted, deduplicated slices (mirror of the planner's).
+fn union_sorted(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut k) = (0usize, 0usize);
+    while i < a.len() && k < b.len() {
+        match a[i].cmp(&b[k]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[k]);
+                k += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                k += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[k..]);
+    out
+}

@@ -1,0 +1,131 @@
+//! Static verification of HongTu execution plans.
+//!
+//! The engine executes three precomputed artifacts — the 2-level
+//! partition (§4.1), the dedup communication plan (§5.1–5.2), and the
+//! in-place buffer index plan (§6) — with **no runtime checks**: a wrong
+//! slot index or a mis-routed transition vertex silently corrupts
+//! training data rather than crashing. This crate is the borrow checker
+//! for those artifacts: it statically analyzes a
+//! `(TwoLevelPartition, DedupPlan, Vec<GpuBufferPlan>)` triple and
+//! returns typed diagnostics (code + GPU/batch/vertex location +
+//! message) instead of panicking.
+//!
+//! Four passes, upstream to downstream:
+//!
+//! 1. [`verify_partition`] — chunks tile `V` disjointly, every in-edge is
+//!    present, local CSC structure is sound (codes `P001`–`P005`);
+//! 2. [`verify_dedup`] — transition sets are sorted, owner-routed,
+//!    pairwise disjoint, and tile the batch neighbor union; CPU-load
+//!    splits, reuse counts, and the fetch matrix are exact
+//!    (`D101`–`D109`);
+//! 3. [`verify_buffers`] — symbolic replay of the slot plan: no
+//!    aliasing, no reads of never-written slots, no use-after-free, no
+//!    capacity overrun (`B201`–`B205`);
+//! 4. [`verify_volumes`] — `V_ori`/`V_+p2p`/`V_+ru` recomputed
+//!    independently and cross-checked (`V301`–`V303`).
+//!
+//! See `DESIGN.md` ("Checked invariants") for the full code catalogue.
+
+pub mod buffers;
+pub mod dedup;
+pub mod diag;
+pub mod partition;
+pub mod volumes;
+
+pub use buffers::{verify_all_buffers, verify_buffers};
+pub use dedup::verify_dedup;
+pub use diag::{DiagCode, Diagnostic, Location, Report, ValidationLevel};
+pub use partition::verify_partition;
+pub use volumes::{expected_volumes, verify_volumes};
+
+use hongtu_graph::Graph;
+use hongtu_partition::{DedupPlan, GpuBufferPlan, TwoLevelPartition};
+
+/// Runs all four passes against a complete plan triple.
+pub fn verify_all(
+    g: &Graph,
+    plan: &TwoLevelPartition,
+    dedup: &DedupPlan,
+    bufplans: &[GpuBufferPlan],
+) -> Report {
+    let mut report = Report::default();
+    report.extend_pass(verify_partition(g, plan));
+    report.extend_pass(verify_dedup(plan, dedup));
+    report.extend_pass(verify_all_buffers(plan, dedup, bufplans));
+    report.extend_pass(verify_volumes(plan, dedup));
+    report
+}
+
+/// Runs the graph-free passes (dedup, buffers, volumes) — what the
+/// engine's `Paranoid` level re-checks per epoch, when the source graph
+/// is no longer at hand.
+pub fn verify_runtime(
+    plan: &TwoLevelPartition,
+    dedup: &DedupPlan,
+    bufplans: &[GpuBufferPlan],
+) -> Report {
+    let mut report = Report::default();
+    report.extend_pass(verify_dedup(plan, dedup));
+    report.extend_pass(verify_all_buffers(plan, dedup, bufplans));
+    report.extend_pass(verify_volumes(plan, dedup));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_graph::generators;
+    use hongtu_tensor::SeededRng;
+
+    fn triple(
+        n_vertices: usize,
+        m: usize,
+        n: usize,
+        seed: u64,
+    ) -> (Graph, TwoLevelPartition, DedupPlan, Vec<GpuBufferPlan>) {
+        let mut rng = SeededRng::new(seed);
+        let g = generators::web_hybrid(n_vertices, 6.0, 0.9, 30.0, &mut rng);
+        let plan = TwoLevelPartition::build(&g, m, n, seed);
+        let dedup = DedupPlan::build(&plan);
+        let bufs = GpuBufferPlan::build_all(&plan, &dedup);
+        (g, plan, dedup, bufs)
+    }
+
+    #[test]
+    fn well_formed_plans_verify_clean() {
+        for (seed, m, n) in [(1u64, 2, 3), (2, 4, 4), (3, 1, 5), (4, 3, 1)] {
+            let (g, plan, dedup, bufs) = triple(900, m, n, seed);
+            let report = verify_all(&g, &plan, &dedup, &bufs);
+            assert!(
+                report.is_ok(),
+                "seed {seed} m {m} n {n}:\n{}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_subset_is_clean_too() {
+        let (_, plan, dedup, bufs) = triple(700, 3, 3, 9);
+        assert!(verify_runtime(&plan, &dedup, &bufs).is_ok());
+    }
+
+    #[test]
+    fn reorganized_plans_also_verify() {
+        // The reorg pass permutes chunks; rebuilt downstream plans must
+        // still satisfy every invariant.
+        let mut rng = SeededRng::new(11);
+        let g = generators::rmat(10, 8000, generators::RmatParams::social(), &mut rng);
+        let plan = TwoLevelPartition::build(&g, 4, 6, 1);
+        // Simulate a batch permutation like reorganization performs.
+        let mut grid = plan.chunks.clone();
+        for row in &mut grid {
+            row.reverse();
+        }
+        let plan = plan.with_chunks(grid);
+        let dedup = DedupPlan::build(&plan);
+        let bufs = GpuBufferPlan::build_all(&plan, &dedup);
+        let report = verify_all(&g, &plan, &dedup, &bufs);
+        assert!(report.is_ok(), "{}", report.render());
+    }
+}

@@ -13,9 +13,15 @@ use hongtu::tensor::SeededRng;
 fn main() {
     let dataset = load(DatasetKey::Opt, &mut SeededRng::new(42));
     let machine = MachineConfig::scaled(4, 256 << 20);
-    let mut engine =
-        HongTuEngine::new(&dataset, ModelKind::Sage, 32, 2, 4, HongTuConfig::full(machine))
-            .expect("engine");
+    let mut engine = HongTuEngine::new(
+        &dataset,
+        ModelKind::Sage,
+        32,
+        2,
+        4,
+        HongTuConfig::full(machine),
+    )
+    .expect("engine");
 
     println!("training GraphSAGE on the ogbn-products proxy ...");
     for epoch in 1..=100 {
@@ -41,10 +47,16 @@ fn main() {
 
     // Full-neighbor inference with the restored model must match.
     let chunk = whole_graph_chunk(&dataset.graph);
-    let logits = restored.forward_reference(&chunk, &dataset.features).pop().unwrap();
+    let logits = restored
+        .forward_reference(&chunk, &dataset.features)
+        .pop()
+        .unwrap();
     let val_restored = masked_accuracy(&logits, &dataset.labels, &dataset.splits.val);
     println!("restored validation accuracy: {val_restored:.3}");
-    assert!((val - val_restored).abs() < 1e-6, "restored model must match exactly");
+    assert!(
+        (val - val_restored).abs() < 1e-6,
+        "restored model must match exactly"
+    );
     println!("round trip verified: identical inference.");
     std::fs::remove_file(&path).ok();
 }

@@ -17,7 +17,11 @@ fn main() {
     // A hub-heavy social graph: lots of duplicated neighbor accesses.
     let mut rng = SeededRng::new(3);
     let g = rmat(14, 200_000, RmatParams::social(), &mut rng);
-    println!("graph: {} vertices, {} edges (R-MAT social)", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges (R-MAT social)",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let cfg = MachineConfig::a100_4x();
     let bytes_per_row = 128 * 4; // a 128-dim f32 representation

@@ -22,8 +22,7 @@ fn run(kind: ModelKind, chunks: usize) {
     // Hybrid is requested for both; GAT layers decline aggregate caching
     // and the engine recomputes instead.
     cfg.memory = MemoryStrategy::Hybrid;
-    let mut engine =
-        HongTuEngine::new(&dataset, kind, 32, 2, chunks, cfg).expect("engine");
+    let mut engine = HongTuEngine::new(&dataset, kind, 32, 2, chunks, cfg).expect("engine");
     let r = engine.train_epoch().expect("epoch");
     let b = r.buckets;
     let total = b.total_time();

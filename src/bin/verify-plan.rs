@@ -1,0 +1,146 @@
+//! `verify-plan` — run the static plan verifier against a dataset/partition
+//! configuration and print the diagnostic report.
+//!
+//! Usage:
+//!   verify-plan [--dataset rdt|opt|it|opr|fds|all] [--gpus M] [--chunks N] [--seed S]
+//!
+//! Builds the full execution-plan triple (two-level partition, dedup plan,
+//! per-GPU buffer plans) exactly as the engine would, then runs all four
+//! verifier passes. Exits 0 if every plan is clean, 1 if any diagnostic
+//! fires (or on bad arguments).
+
+use hongtu_datasets::{all_keys, load, DatasetKey};
+use hongtu_partition::{DedupPlan, GpuBufferPlan, TwoLevelPartition};
+use hongtu_tensor::SeededRng;
+use hongtu_verify::verify_all;
+
+struct Args {
+    datasets: Vec<DatasetKey>,
+    gpus: usize,
+    chunks: usize,
+    seed: u64,
+}
+
+const USAGE: &str = "usage: verify-plan [--dataset rdt|opt|it|opr|fds|all] \
+                     [--gpus M] [--chunks N] [--seed S]";
+
+fn parse_dataset(s: &str) -> Result<Vec<DatasetKey>, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "rdt" => Ok(vec![DatasetKey::Rdt]),
+        "opt" => Ok(vec![DatasetKey::Opt]),
+        "it" => Ok(vec![DatasetKey::It]),
+        "opr" => Ok(vec![DatasetKey::Opr]),
+        "fds" => Ok(vec![DatasetKey::Fds]),
+        "all" => Ok(all_keys().to_vec()),
+        other => Err(format!(
+            "unknown dataset {other:?} (want rdt|opt|it|opr|fds|all)"
+        )),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        datasets: vec![DatasetKey::It],
+        gpus: 4,
+        chunks: 4,
+        seed: 42,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--dataset" => args.datasets = parse_dataset(&value("--dataset")?)?,
+            "--gpus" => {
+                args.gpus = value("--gpus")?
+                    .parse()
+                    .map_err(|e| format!("--gpus: {e}"))?
+            }
+            "--chunks" => {
+                args.chunks = value("--chunks")?
+                    .parse()
+                    .map_err(|e| format!("--chunks: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.gpus == 0 || args.chunks == 0 {
+        return Err("--gpus and --chunks must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut any_bad = false;
+    for key in &args.datasets {
+        let mut rng = SeededRng::new(args.seed);
+        let ds = load(*key, &mut rng);
+        println!(
+            "{} ({}): |V| = {}, |E| = {}, {} GPUs x {} chunks, seed {}",
+            key.abbrev(),
+            key.real_name(),
+            ds.num_vertices(),
+            ds.num_edges(),
+            args.gpus,
+            args.chunks,
+            args.seed
+        );
+
+        // The planner asserts every partition has at least `chunks`
+        // vertices; turn that panic into a clean CLI error (hook swapped
+        // out so the backtrace doesn't hit stderr).
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let built = std::panic::catch_unwind(|| {
+            TwoLevelPartition::build(&ds.graph, args.gpus, args.chunks, ds.seed)
+        });
+        std::panic::set_hook(hook);
+        let plan = match built {
+            Ok(p) => p,
+            Err(_) => {
+                eprintln!(
+                    "  cannot build a {} x {} plan for this graph \
+                     (each partition needs at least {} vertices)",
+                    args.gpus, args.chunks, args.chunks
+                );
+                std::process::exit(1);
+            }
+        };
+        let dedup = DedupPlan::build(&plan);
+        let bufplans = GpuBufferPlan::build_all(&plan, &dedup);
+        let report = verify_all(&ds.graph, &plan, &dedup, &bufplans);
+
+        if report.is_ok() {
+            println!("  all four passes clean (partition, dedup, buffers, volumes)\n");
+        } else {
+            any_bad = true;
+            println!("  {} diagnostic(s):", report.diagnostics.len());
+            for line in report.render().lines() {
+                println!("    {line}");
+            }
+            println!();
+        }
+    }
+    std::process::exit(if any_bad { 1 } else { 0 });
+}

@@ -3,8 +3,8 @@
 //! configuration.
 
 use hongtu::core::systems::{
-    CpuSystem, CpuSystemKind, InMemoryKind, MiniBatchSystem, MultiGpuInMemory,
-    SingleGpuFullGraph, Workload,
+    CpuSystem, CpuSystemKind, InMemoryKind, MiniBatchSystem, MultiGpuInMemory, SingleGpuFullGraph,
+    Workload,
 };
 use hongtu::core::{HongTuConfig, HongTuEngine};
 use hongtu::datasets::{load, DatasetKey};
@@ -32,7 +32,10 @@ fn memory_wall_matches_paper() {
         let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, machine(4), &d, 1);
         for layers in [2usize, 4, 8] {
             let w = Workload::new(&d, ModelKind::Gcn, 32, layers);
-            assert!(im.epoch_time(&w).is_ok(), "{key:?} GCN-{layers} should fit in memory");
+            assert!(
+                im.epoch_time(&w).is_ok(),
+                "{key:?} GCN-{layers} should fit in memory"
+            );
         }
     }
     for key in [DatasetKey::It, DatasetKey::Opr, DatasetKey::Fds] {
@@ -43,9 +46,15 @@ fn memory_wall_matches_paper() {
         assert!(im.epoch_time(&w).is_err(), "{key:?} must OOM in-memory");
         assert!(sancus.epoch_time(&w).is_err(), "{key:?} must OOM on Sancus");
         // ...but HongTu trains it.
-        let mut engine =
-            HongTuEngine::new(&d, ModelKind::Gcn, 32, 2, 32, HongTuConfig::full(machine(4)))
-                .expect("HongTu engine must fit");
+        let mut engine = HongTuEngine::new(
+            &d,
+            ModelKind::Gcn,
+            32,
+            2,
+            32,
+            HongTuConfig::full(machine(4)),
+        )
+        .expect("HongTu engine must fit");
         assert!(engine.train_epoch().is_ok(), "{key:?} HongTu epoch");
     }
 }
@@ -57,9 +66,13 @@ fn memory_wall_matches_paper() {
 fn small_graph_system_ordering() {
     let d = ds(DatasetKey::Rdt);
     let w = Workload::new(&d, ModelKind::Gcn, 32, 2);
-    let cpu = CpuSystem::new(CpuSystemKind::SingleNode, CpuClusterConfig::scaled(1, 1 << 34), &d)
-        .epoch_time(&w)
-        .unwrap();
+    let cpu = CpuSystem::new(
+        CpuSystemKind::SingleNode,
+        CpuClusterConfig::scaled(1, 1 << 34),
+        &d,
+    )
+    .epoch_time(&w)
+    .unwrap();
     let dgl = SingleGpuFullGraph::new(machine(1)).epoch_time(&w).unwrap();
     let im = MultiGpuInMemory::new(InMemoryKind::HongTuIm, machine(4), &d, 1)
         .epoch_time(&w)
@@ -70,8 +83,14 @@ fn small_graph_system_ordering() {
         .unwrap()
         .time;
     assert!(cpu > 10.0 * dgl, "CPU {cpu} vs DGL {dgl}");
-    assert!(hongtu > im, "offloading must cost something: {hongtu} vs {im}");
-    assert!(hongtu < 10.0 * im, "offloading overhead is bounded: {hongtu} vs {im}");
+    assert!(
+        hongtu > im,
+        "offloading must cost something: {hongtu} vs {im}"
+    );
+    assert!(
+        hongtu < 10.0 * im,
+        "offloading overhead is bounded: {hongtu} vs {im}"
+    );
 }
 
 /// Table 6's DistDGL behaviour: neighbor explosion makes deep sampled
@@ -81,18 +100,31 @@ fn small_graph_system_ordering() {
 fn minibatch_explosion_and_opr_win() {
     let it = ds(DatasetKey::It);
     let mb = MiniBatchSystem::new(machine(4), 64, SEED);
-    let t2 = mb.epoch_time(&Workload::new(&it, ModelKind::Gcn, 32, 2)).unwrap();
-    let t4 = mb.epoch_time(&Workload::new(&it, ModelKind::Gcn, 32, 4)).unwrap();
+    let t2 = mb
+        .epoch_time(&Workload::new(&it, ModelKind::Gcn, 32, 2))
+        .unwrap();
+    let t4 = mb
+        .epoch_time(&Workload::new(&it, ModelKind::Gcn, 32, 4))
+        .unwrap();
     assert!(t4 > 2.5 * t2, "neighbor explosion: {t2} vs {t4}");
 
     let opr = ds(DatasetKey::Opr);
-    let mb_time =
-        mb.epoch_time(&Workload::new(&opr, ModelKind::Gcn, 32, 2)).unwrap() / 4.0;
-    let hongtu = HongTuEngine::new(&opr, ModelKind::Gcn, 32, 2, 32, HongTuConfig::full(machine(4)))
+    let mb_time = mb
+        .epoch_time(&Workload::new(&opr, ModelKind::Gcn, 32, 2))
         .unwrap()
-        .train_epoch()
-        .unwrap()
-        .time;
+        / 4.0;
+    let hongtu = HongTuEngine::new(
+        &opr,
+        ModelKind::Gcn,
+        32,
+        2,
+        32,
+        HongTuConfig::full(machine(4)),
+    )
+    .unwrap()
+    .train_epoch()
+    .unwrap()
+    .time;
     assert!(
         mb_time < hongtu,
         "DistDGL must win on OPR (1.1% train split): {mb_time} vs {hongtu}"
@@ -105,9 +137,11 @@ fn minibatch_explosion_and_opr_win() {
 #[test]
 fn distgnn_cluster_pattern() {
     let cluster = CpuClusterConfig::scaled(16, 100 << 20);
-    for (key, gcn4_ok) in
-        [(DatasetKey::It, true), (DatasetKey::Opr, false), (DatasetKey::Fds, true)]
-    {
+    for (key, gcn4_ok) in [
+        (DatasetKey::It, true),
+        (DatasetKey::Opr, false),
+        (DatasetKey::Fds, true),
+    ] {
         let d = ds(key);
         let sys = CpuSystem::new(CpuSystemKind::Cluster, cluster.clone(), &d);
         let gcn2 = sys.epoch_time(&Workload::new(&d, ModelKind::Gcn, 32, 2));
@@ -116,15 +150,28 @@ fn distgnn_cluster_pattern() {
         assert_eq!(gcn4.is_ok(), gcn4_ok, "{key:?} GCN-4 cluster feasibility");
         // GAT on FDS/OPR must OOM; on IT the 2-layer config runs.
         let gat2 = sys.epoch_time(&Workload::new(&d, ModelKind::Gat, 32, 2));
-        assert_eq!(gat2.is_ok(), key == DatasetKey::It, "{key:?} GAT-2 cluster feasibility");
+        assert_eq!(
+            gat2.is_ok(),
+            key == DatasetKey::It,
+            "{key:?} GAT-2 cluster feasibility"
+        );
         if let Ok(dist) = gcn2 {
-            let hongtu =
-                HongTuEngine::new(&d, ModelKind::Gcn, 32, 2, 32, HongTuConfig::full(machine(4)))
-                    .unwrap()
-                    .train_epoch()
-                    .unwrap()
-                    .time;
-            assert!(hongtu < dist, "{key:?}: HongTu {hongtu} must beat DistGNN {dist}");
+            let hongtu = HongTuEngine::new(
+                &d,
+                ModelKind::Gcn,
+                32,
+                2,
+                32,
+                HongTuConfig::full(machine(4)),
+            )
+            .unwrap()
+            .train_epoch()
+            .unwrap()
+            .time;
+            assert!(
+                hongtu < dist,
+                "{key:?}: HongTu {hongtu} must beat DistGNN {dist}"
+            );
         }
     }
 }

@@ -1,14 +1,23 @@
 //! Property-based integration tests over the partition → dedup → reorg
-//! pipeline on randomly generated graphs.
+//! pipeline on randomly generated graphs. The static verifier
+//! (`hongtu-verify`) is the oracle: every generated or reorganized plan
+//! must pass all four passes.
 
 use hongtu::core::{comm_cost, reorganize, reorganize_guarded, CommVolumes, DedupPlan};
 use hongtu::graph::generators;
-use hongtu::partition::TwoLevelPartition;
+use hongtu::partition::{GpuBufferPlan, TwoLevelPartition};
 use hongtu::sim::MachineConfig;
 use hongtu::tensor::SeededRng;
+use hongtu::verify::verify_all;
 use proptest::prelude::*;
 
-fn random_plan(seed: u64, n_vertices: usize, deg: f64, m: usize, n: usize) -> (hongtu::graph::Graph, TwoLevelPartition) {
+fn random_plan(
+    seed: u64,
+    n_vertices: usize,
+    deg: f64,
+    m: usize,
+    n: usize,
+) -> (hongtu::graph::Graph, TwoLevelPartition) {
     let mut rng = SeededRng::new(seed);
     let g = generators::erdos_renyi(n_vertices, deg, &mut rng);
     let plan = TwoLevelPartition::build(&g, m, n, seed);
@@ -32,6 +41,11 @@ proptest! {
         prop_assert!(plan.validate(&g).is_ok());
         let d = DedupPlan::build(&plan);
         prop_assert!(d.validate(&plan).is_ok(), "{:?}", d.validate(&plan));
+        // The verifier is the stronger oracle: all four passes, including
+        // the buffer slot-interpreter and the volume cross-check.
+        let bufs = GpuBufferPlan::build_all(&plan, &d);
+        let report = verify_all(&g, &plan, &d, &bufs);
+        prop_assert!(report.is_ok(), "{}", report.render());
         let v = CommVolumes::from_plan(&d);
         prop_assert!(v.v_ori >= v.v_p2p);
         prop_assert!(v.v_p2p >= v.v_ru);
@@ -55,7 +69,11 @@ proptest! {
 
         let reorg = reorganize(plan.clone());
         prop_assert!(reorg.validate(&g).is_ok());
-        let v_after = CommVolumes::from_plan(&DedupPlan::build(&reorg));
+        let d_after = DedupPlan::build(&reorg);
+        let bufs = GpuBufferPlan::build_all(&reorg, &d_after);
+        let report = verify_all(&g, &reorg, &d_after, &bufs);
+        prop_assert!(report.is_ok(), "reorganized plan: {}", report.render());
+        let v_after = CommVolumes::from_plan(&d_after);
         prop_assert_eq!(v_after.v_ori, v_before.v_ori, "total accesses must be preserved");
 
         let guarded = reorganize_guarded(plan, &cfg);

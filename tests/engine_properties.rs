@@ -22,7 +22,15 @@ fn random_dataset(seed: u64, n: usize, deg: f64, classes: usize) -> Dataset {
     let mut lrng = rng.fork(3);
     let labels: Vec<u32> = (0..n).map(|_| lrng.index(classes) as u32).collect();
     let splits = Splits::random(n, 0.4, 0.2, &mut rng.fork(4));
-    Dataset { key: DatasetKey::Rdt, graph, features, labels, splits, num_classes: classes, seed }
+    Dataset {
+        key: DatasetKey::Rdt,
+        graph,
+        features,
+        labels,
+        splits,
+        num_classes: classes,
+        seed,
+    }
 }
 
 proptest! {
@@ -90,6 +98,57 @@ proptest! {
     }
 }
 
+/// The engine refuses a corrupted plan at construction: the verifier runs
+/// under the default `ValidationLevel::Plan` and surfaces the diagnostic
+/// code instead of silently training on wrong data.
+#[test]
+fn corrupted_plan_is_rejected_with_diagnostic_code() {
+    use hongtu::partition::TwoLevelPartition;
+    use hongtu::sim::SimError;
+
+    let ds = random_dataset(55, 250, 5.0, 3);
+    let machine = MachineConfig::scaled(2, 256 << 20);
+    let mut plan = TwoLevelPartition::build(&ds.graph, 2, 2, ds.seed);
+    // Drop one destination vertex: a coverage gap (P002) — that vertex
+    // would simply never be aggregated, with no crash.
+    let dests = {
+        let mut d = plan.chunks[0][0].dests.clone();
+        d.remove(d.len() / 2);
+        d
+    };
+    plan.chunks[0][0] = hongtu::partition::subgraph::ChunkSubgraph::build(&ds.graph, 0, 0, dests);
+
+    let mut config = HongTuConfig::full(machine);
+    config.reorganize = false; // keep the corruption byte-identical
+    let err = match HongTuEngine::with_plan(&ds, ModelKind::Gcn, 8, 2, plan, config) {
+        Err(e) => e,
+        Ok(_) => panic!("corrupted plan must be rejected"),
+    };
+    match err {
+        SimError::InvalidPlan { code, message } => {
+            assert_eq!(code, "P002", "{message}");
+            assert!(message.contains("owned by no chunk"), "{message}");
+        }
+        other => panic!("expected InvalidPlan, got {other:?}"),
+    }
+}
+
+/// `Paranoid` keeps the buffer plans alive and re-verifies them each
+/// epoch (in debug builds); a healthy engine must train unaffected.
+#[test]
+fn paranoid_validation_trains_normally() {
+    use hongtu::core::ValidationLevel;
+
+    let ds = random_dataset(66, 200, 5.0, 3);
+    let machine = MachineConfig::scaled(2, 256 << 20);
+    let mut config = HongTuConfig::full(machine);
+    config.validation = ValidationLevel::Paranoid;
+    let mut engine = HongTuEngine::new(&ds, ModelKind::Gcn, 8, 2, 3, config).expect("engine");
+    for _ in 0..2 {
+        engine.train_epoch().expect("paranoid epoch");
+    }
+}
+
 /// Saved models round-trip through the checkpoint format and keep the
 /// engine-trained accuracy.
 #[test]
@@ -105,7 +164,14 @@ fn trained_model_checkpoint_roundtrip() {
     hongtu::nn::save_model(engine.model(), &mut buf).unwrap();
     let restored = hongtu::nn::load_model(buf.as_slice()).unwrap();
     let chunk = whole_graph_chunk(&ds.graph);
-    let logits_trained = engine.model().forward_reference(&chunk, &ds.features).pop().unwrap();
-    let logits_restored = restored.forward_reference(&chunk, &ds.features).pop().unwrap();
+    let logits_trained = engine
+        .model()
+        .forward_reference(&chunk, &ds.features)
+        .pop()
+        .unwrap();
+    let logits_restored = restored
+        .forward_reference(&chunk, &ds.features)
+        .pop()
+        .unwrap();
     assert_eq!(logits_trained, logits_restored);
 }

@@ -31,7 +31,13 @@ fn construction_oom_reports_device_and_label() {
         })
         .expect("a 4 KB GPU cannot run this workload");
     match err {
-        SimError::OutOfMemory { device, label, requested, capacity, .. } => {
+        SimError::OutOfMemory {
+            device,
+            label,
+            requested,
+            capacity,
+            ..
+        } => {
             assert!(!device.is_empty() && !label.is_empty());
             assert!(requested > capacity || requested > 0);
         }
@@ -67,8 +73,15 @@ fn epoch_oom_is_an_error_not_a_panic() {
 #[test]
 fn comparator_oom_is_descriptive() {
     let ds = load(DatasetKey::Fds, &mut SeededRng::new(5));
-    let im = MultiGpuInMemory::new(InMemoryKind::Sancus, MachineConfig::scaled(4, 8 << 20), &ds, 1);
-    let err = im.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 32, 2)).unwrap_err();
+    let im = MultiGpuInMemory::new(
+        InMemoryKind::Sancus,
+        MachineConfig::scaled(4, 8 << 20),
+        &ds,
+        1,
+    );
+    let err = im
+        .epoch_time(&Workload::new(&ds, ModelKind::Gcn, 32, 2))
+        .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("out of memory"), "{msg}");
     assert!(msg.contains("in-memory training data"), "{msg}");

@@ -22,7 +22,12 @@ fn machine() -> MachineConfig {
 #[test]
 fn engine_matches_reference_for_every_model() {
     let ds = dataset();
-    for kind in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Sage, ModelKind::Gin] {
+    for kind in [
+        ModelKind::Gcn,
+        ModelKind::Gat,
+        ModelKind::Sage,
+        ModelKind::Gin,
+    ] {
         let mut engine =
             HongTuEngine::new(&ds, kind, 16, 2, 3, HongTuConfig::full(machine())).unwrap();
         let mut rng = SeededRng::new(ds.seed ^ 0x686F6E67);
@@ -64,7 +69,10 @@ fn all_configurations_agree_numerically() {
         }
     }
     for l in &losses[1..] {
-        assert_eq!(*l, losses[0], "losses diverged across configurations: {losses:?}");
+        assert_eq!(
+            *l, losses[0],
+            "losses diverged across configurations: {losses:?}"
+        );
     }
     // Full dedup + hybrid must be the fastest configuration.
     let full = times[5];
@@ -96,7 +104,10 @@ fn epoch_time_is_deterministic() {
     let t1 = e.train_epoch().unwrap().time;
     let t2 = e.train_epoch().unwrap().time;
     let t3 = e.train_epoch().unwrap().time;
-    assert!((t1 - t2).abs() < 1e-12 && (t2 - t3).abs() < 1e-12, "{t1} {t2} {t3}");
+    assert!(
+        (t1 - t2).abs() < 1e-12 && (t2 - t3).abs() < 1e-12,
+        "{t1} {t2} {t3}"
+    );
 }
 
 /// Two engines constructed identically produce bit-identical training.
@@ -104,9 +115,18 @@ fn epoch_time_is_deterministic() {
 fn training_is_reproducible_across_engines() {
     let ds = dataset();
     let run = || {
-        let mut e = HongTuEngine::new(&ds, ModelKind::Sage, 16, 2, 3, HongTuConfig::full(machine()))
-            .unwrap();
-        (0..4).map(|_| e.train_epoch().unwrap().loss.loss).collect::<Vec<_>>()
+        let mut e = HongTuEngine::new(
+            &ds,
+            ModelKind::Sage,
+            16,
+            2,
+            3,
+            HongTuConfig::full(machine()),
+        )
+        .unwrap();
+        (0..4)
+            .map(|_| e.train_epoch().unwrap().loss.loss)
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }
