@@ -27,7 +27,9 @@ use crate::reorg::reorganize_guarded;
 use hongtu_datasets::Dataset;
 use hongtu_nn::{masked_cross_entropy, GnnModel, LayerGrads, MaskedLoss, ModelKind};
 use hongtu_partition::TwoLevelPartition;
-use hongtu_sim::{Machine, MachineConfig, SimError, TimeBuckets};
+use hongtu_sim::{
+    Access, BarrierScope, Machine, MachineConfig, Region, ResourceId, SimError, TimeBuckets, Trace,
+};
 use hongtu_tensor::{Adam, Matrix, SeededRng};
 use hongtu_verify::Report;
 pub use hongtu_verify::ValidationLevel;
@@ -120,6 +122,53 @@ fn invalid_plan(report: &Report) -> SimError {
     SimError::InvalidPlan {
         code,
         message: report.render(),
+    }
+}
+
+/// Converts a failed trace-certification report into the engine error.
+fn invalid_schedule(report: &Report) -> SimError {
+    let code = report
+        .first()
+        .map(|d| d.code.code().to_string())
+        .unwrap_or_default();
+    SimError::InvalidSchedule {
+        code,
+        message: report.render(),
+    }
+}
+
+/// Annotation helpers: the logical resources of §4–§6 as seen by the
+/// schedule checker.
+fn rep(layer: usize) -> ResourceId {
+    ResourceId::Rep {
+        layer: layer as u32,
+    }
+}
+fn grad(layer: usize) -> ResourceId {
+    ResourceId::Grad {
+        layer: layer as u32,
+    }
+}
+fn dev_rep(gpu: usize) -> ResourceId {
+    ResourceId::DevRep { gpu: gpu as u32 }
+}
+fn dev_grad(gpu: usize) -> ResourceId {
+    ResourceId::DevGrad { gpu: gpu as u32 }
+}
+fn topology(gpu: usize) -> ResourceId {
+    ResourceId::Topology { gpu: gpu as u32 }
+}
+fn agg_slot(layer: usize, gpu: usize, chunk: usize) -> ResourceId {
+    ResourceId::AggCache {
+        layer: layer as u32,
+        gpu: gpu as u32,
+        chunk: chunk as u32,
+    }
+}
+fn chunk_region(gpu: usize, chunk: usize) -> Region {
+    Region::Chunk {
+        gpu: gpu as u32,
+        chunk: chunk as u32,
     }
 }
 
@@ -398,11 +447,19 @@ impl HongTuEngine {
 
     /// Runs one full training epoch (Algorithm 1). Returns the loss and the
     /// simulated time spent.
+    ///
+    /// Under [`ValidationLevel::Paranoid`] (debug builds), the epoch is
+    /// additionally *schedule-certified*: it runs under an unbounded event
+    /// trace and the happens-before checker (`hongtu-verify`'s trace pass)
+    /// must find no race or ordering hazard, else the epoch fails with
+    /// [`SimError::InvalidSchedule`].
     pub fn train_epoch(&mut self) -> Result<EpochReport, SimError> {
         // Paranoid: re-run the graph-free verifier passes before touching
         // the plans again (catches accidental in-training mutation).
         // Debug builds only — release epochs stay full speed.
-        if cfg!(debug_assertions) && self.config.validation == ValidationLevel::Paranoid {
+        let paranoid =
+            cfg!(debug_assertions) && self.config.validation == ValidationLevel::Paranoid;
+        if paranoid {
             if let Some(bufs) = &self.paranoid_bufs {
                 let report = hongtu_verify::verify_runtime(&self.plan, &self.dedup, bufs);
                 if !report.is_ok() {
@@ -410,23 +467,67 @@ impl HongTuEngine {
                 }
             }
         }
+        if !paranoid {
+            return self.train_epoch_inner();
+        }
+        // Schedule certification: run under an unbounded trace (the checker
+        // refuses pruned traces), then replay the epoch's events into the
+        // user's trace so external tracing still observes them.
+        let mut user = self.machine.replace_trace(Trace::unbounded());
+        let result = self.train_epoch_inner();
+        if user.is_enabled() {
+            for e in self.machine.trace().events() {
+                user.record(e.clone());
+            }
+        }
+        let certified = self.machine.replace_trace(user);
+        if result.is_ok() {
+            let report = hongtu_verify::verify_trace(&certified);
+            if !report.is_ok() {
+                return Err(invalid_schedule(&report));
+            }
+        }
+        result
+    }
+
+    fn train_epoch_inner(&mut self) -> Result<EpochReport, SimError> {
         let t0 = self.machine.elapsed();
         let b0 = self.machine.buckets();
         let l_count = self.model.num_layers();
         let m = self.plan.m;
         let n = self.plan.n;
+        // Non-vanilla batches have cross-GPU data dependencies inside a
+        // batch (P2P fetches read what owners loaded; evictions read what
+        // remote GPUs pushed); those windows are separated by phase
+        // barriers. Vanilla batches touch only per-GPU state.
+        let phased = self.config.comm != CommMode::Vanilla;
 
         for g in &mut self.grad_h {
             g.fill_zero();
         }
+        // Zero-initializing the host gradient stores is a (cost-free)
+        // write the schedule checker needs to see: every later gradient
+        // accumulate/read is ordered after it.
+        self.machine
+            .tag((0..=l_count).map(|l| Access::write(grad(l), Region::All)));
+        self.machine.cpu_compute(0, 0.0);
 
         // ---- forward pass (Alg 1, lines 4–9) ----
         for l in 0..l_count {
             for j in 0..n {
+                let mut loads = Vec::with_capacity(m);
                 for i in 0..m {
-                    self.forward_chunk(l, i, j)?;
+                    loads.push(self.forward_load(l, i, j)?);
                 }
-                self.machine.barrier();
+                if phased {
+                    // Host loads populate the transition rows that remote
+                    // GPUs fetch over P2P in the next phase.
+                    self.machine.sync(BarrierScope::Phase);
+                }
+                for (i, load) in loads.iter().enumerate() {
+                    self.forward_compute(l, i, j, load.buf_bytes)?;
+                }
+                self.machine.sync(BarrierScope::Batch);
             }
         }
 
@@ -434,17 +535,40 @@ impl HongTuEngine {
         let loss = masked_cross_entropy(self.h.last().unwrap(), &self.labels, &self.train_mask);
         let v = self.labels.len();
         let classes = self.h.last().unwrap().cols();
+        self.machine.tag([
+            Access::read(rep(l_count), Region::All),
+            Access::write(grad(l_count), Region::All),
+        ]);
         self.machine.cpu_compute(0, (v * classes * 8) as f64);
         *self.grad_h.last_mut().unwrap() = loss.grad.clone();
+        // The loss gradient is written on GPU 0's timeline; every GPU's
+        // backward pass reads it, so the batch loop must not start before
+        // a barrier.
+        self.machine.sync(BarrierScope::Batch);
 
         // ---- backward pass (lines 12–19) ----
         let mut grads: Vec<Vec<LayerGrads>> = (0..m).map(|_| self.model.zero_grads()).collect();
         for l in (0..l_count).rev() {
             for j in 0..n {
+                let mut loads = Vec::with_capacity(m);
                 for i in 0..m {
-                    self.backward_chunk(l, i, j, &mut grads[i][l])?;
+                    loads.push(self.backward_load(l, i, j)?);
                 }
-                self.machine.barrier();
+                if phased {
+                    self.machine.sync(BarrierScope::Phase);
+                }
+                for (i, load) in loads.iter().enumerate() {
+                    self.backward_compute(l, i, j, load, &mut grads[i][l])?;
+                }
+                if phased {
+                    // Evictions read the transition-gradient buffers that
+                    // remote GPUs accumulate into during the compute phase.
+                    self.machine.sync(BarrierScope::Phase);
+                }
+                for (i, load) in loads.iter().enumerate() {
+                    self.backward_evict(l, i, j, load);
+                }
+                self.machine.sync(BarrierScope::Batch);
             }
         }
 
@@ -452,12 +576,14 @@ impl HongTuEngine {
         let param_bytes = self.model.param_bytes();
         for i in 0..m {
             // Ring all-reduce: 2·(m−1)/m of the parameter volume per GPU.
+            // Modeled as an internally-ordered collective, so it carries no
+            // access annotations.
             let ring = 2 * param_bytes * (m.saturating_sub(1)) / m.max(1);
             self.machine.d2d((i + 1) % m, i, ring);
             self.machine
                 .gpu_dense(i, 2.0 * self.model.param_count() as f64);
         }
-        self.machine.barrier();
+        self.machine.sync(BarrierScope::Epoch);
         let mut total = self.model.zero_grads();
         for gpu_grads in &grads {
             for (t, g) in total.iter_mut().zip(gpu_grads) {
@@ -474,27 +600,42 @@ impl HongTuEngine {
         })
     }
 
-    /// Forward execution of chunk `(i, j)` at layer `l`.
-    fn forward_chunk(&mut self, l: usize, i: usize, j: usize) -> Result<(), SimError> {
-        let chunk = &self.plan.chunks[i][j];
-        let layer = self.model.layer(l);
-        let in_dim = layer.in_dim();
-        let out_dim = layer.out_dim();
-        let row = in_dim * F32;
-
-        // -- communication: load h^l_{N_ij} (Algorithm 2) --
-        let buf_rows = charge_neighbor_load(
+    /// Load phase of forward batch `j` at layer `l` for GPU `i`:
+    /// Algorithm 2's host-side loads (ℕ^cpu over PCIe, ℕ^gpu in-place
+    /// reuse). Inter-GPU fetches wait for the phase barrier.
+    fn forward_load(&mut self, l: usize, i: usize, j: usize) -> Result<FwLoad, SimError> {
+        let row = self.model.layer(l).in_dim() * F32;
+        let rows = charge_neighbor_host_load(
             &mut self.machine,
             &self.plan,
             &self.dedup,
             self.buffer_comm.as_deref(),
             self.config.comm,
-            self.config.interleaved,
+            l,
             i,
             j,
             row,
         )?;
-        let buf_bytes = buf_rows * row;
+        Ok(FwLoad {
+            buf_bytes: rows * row,
+        })
+    }
+
+    /// Compute phase of forward batch `j` at layer `l` for GPU `i`:
+    /// inter-GPU fetches, the real layer numerics, and the `h^{l+1}`
+    /// writeback (Alg 1 line 9) plus the hybrid checkpoint store.
+    fn forward_compute(
+        &mut self,
+        l: usize,
+        i: usize,
+        j: usize,
+        buf_bytes: usize,
+    ) -> Result<(), SimError> {
+        let chunk = &self.plan.chunks[i][j];
+        let layer = self.model.layer(l);
+        let in_dim = layer.in_dim();
+        let out_dim = layer.out_dim();
+        let row = in_dim * F32;
 
         // -- GPU memory for this batch --
         let topo = chunk.topology_bytes();
@@ -505,8 +646,23 @@ impl HongTuEngine {
         self.machine.alloc(i, inter, "intermediate data")?;
         if l == 0 {
             // Topology streamed in once per epoch (reused across layers).
+            self.machine
+                .tag([Access::write(topology(i), chunk_region(i, j))]);
             self.machine.h2d(i, topo);
         }
+
+        // -- inter-GPU fetches (Algorithm 2): sources resident post-barrier --
+        charge_neighbor_fetch(
+            &mut self.machine,
+            &self.plan,
+            &self.dedup,
+            self.buffer_comm.as_deref(),
+            self.config.comm,
+            self.config.interleaved,
+            i,
+            j,
+            row,
+        );
 
         // -- real numerics --
         let h_nbr = self.h[l].gather_rows(
@@ -518,17 +674,25 @@ impl HongTuEngine {
         );
         let f = layer.forward(chunk, &h_nbr);
         let flops = layer.forward_flops(chunk);
+        self.machine.tag([
+            Access::read(dev_rep(i), Region::All),
+            Access::read(topology(i), chunk_region(i, j)),
+        ]);
         self.machine.gpu_dense(i, flops.dense);
         self.machine.gpu_edge(i, flops.edge);
 
         // -- write back h^{l+1}_{V_ij} (line 9) --
         let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
         self.h[l + 1].scatter_rows(&dest_idx, &f.out);
+        self.machine
+            .tag([Access::write(rep(l + 1), chunk_region(i, j))]);
         self.machine.d2h(i, out_bytes);
 
         // -- hybrid checkpoint --
         if self.config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache() {
             let agg = f.agg.expect("cache-capable layer must emit an aggregate");
+            self.machine
+                .tag([Access::write(agg_slot(l, i, j), Region::All)]);
             self.machine.d2h(i, agg.byte_size());
             self.agg_cache[l][i][j] = Some(agg);
         }
@@ -539,15 +703,11 @@ impl HongTuEngine {
         Ok(())
     }
 
-    /// Backward execution of chunk `(i, j)` at layer `l` (Algorithm 3 +
-    /// lines 14–19 of Algorithm 1).
-    fn backward_chunk(
-        &mut self,
-        l: usize,
-        i: usize,
-        j: usize,
-        grads: &mut LayerGrads,
-    ) -> Result<(), SimError> {
+    /// Load phase of backward batch `j` at layer `l` for GPU `i`
+    /// (Alg 1 lines 14–16): the `∇h^{l+1}` load plus the
+    /// strategy-dependent checkpoint reload (cached aggregate for the
+    /// hybrid path, dedup neighbor reload for recomputation).
+    fn backward_load(&mut self, l: usize, i: usize, j: usize) -> Result<BwLoad, SimError> {
         let chunk = &self.plan.chunks[i][j];
         let layer = self.model.layer(l);
         let in_dim = layer.in_dim();
@@ -557,33 +717,87 @@ impl HongTuEngine {
 
         // -- load ∇h^{l+1}_{V_ij} from CPU (line 16) --
         let grad_out_bytes = chunk.num_dests() * out_dim * F32;
+        self.machine.tag([Access::read(grad(l + 1), Region::All)]);
         self.machine.h2d(i, grad_out_bytes);
         let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
         let grad_out = self.grad_h[l + 1].gather_rows(&dest_idx);
 
-        // -- checkpoint load + recompute + gradient computation --
         let topo = chunk.topology_bytes();
         self.machine.alloc(i, topo, "chunk topology (bwd)")?;
         let inter = layer.intermediate_bytes(chunk);
         self.machine.alloc(i, inter, "regenerated intermediates")?;
+
+        let buf_bytes = if use_hybrid {
+            // Load the cached aggregate (O(|V_ij|) H2D).
+            let bytes = self.agg_cache[l][i][j]
+                .as_ref()
+                .expect("hybrid checkpoint missing — was forward run?")
+                .byte_size();
+            self.machine.alloc(i, bytes, "aggregate checkpoint")?;
+            self.machine
+                .tag([Access::read(agg_slot(l, i, j), Region::All)]);
+            self.machine.h2d(i, bytes);
+            bytes
+        } else {
+            // Reload h^l_{N_ij} through dedup comm (host half).
+            let rows = charge_neighbor_host_load(
+                &mut self.machine,
+                &self.plan,
+                &self.dedup,
+                self.buffer_comm.as_deref(),
+                self.config.comm,
+                l,
+                i,
+                j,
+                row,
+            )?;
+            rows * row
+        };
+        Ok(BwLoad {
+            grad_out,
+            topo,
+            inter,
+            buf_bytes,
+        })
+    }
+
+    /// Compute phase of backward batch `j` at layer `l` for GPU `i`
+    /// (Algorithm 3): recompute + gradient numerics, local gradient
+    /// accumulation into the merged transition-gradient buffer, and the
+    /// inter-GPU gradient pushes.
+    fn backward_compute(
+        &mut self,
+        l: usize,
+        i: usize,
+        j: usize,
+        load: &BwLoad,
+        grads: &mut LayerGrads,
+    ) -> Result<(), SimError> {
+        let chunk = &self.plan.chunks[i][j];
+        let layer = self.model.layer(l);
+        let row = layer.in_dim() * F32;
+        let use_hybrid = self.config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
         let fwd = layer.forward_flops(chunk);
         let bwd = layer.backward_flops(chunk);
+        // Neighbor gradients land in the merged transition-gradient buffer
+        // via atomic accumulation, which commutes with remote pushes
+        // arriving during the same phase.
+        let acc = Access::accum(dev_grad(i), Region::All).with_gen(j as u32);
 
-        let (grad_nbr, buf_bytes) = if use_hybrid {
-            // Load the cached aggregate (O(|V_ij|) H2D), recompute UPDATE only.
+        let grad_nbr = if use_hybrid {
+            // Recompute UPDATE only from the cached aggregate.
             let agg = self.agg_cache[l][i][j]
                 .as_ref()
                 .expect("hybrid checkpoint missing — was forward run?");
-            let bytes = agg.byte_size();
-            self.machine.alloc(i, bytes, "aggregate checkpoint")?;
-            self.machine.h2d(i, bytes);
+            self.machine
+                .tag([Access::read(topology(i), chunk_region(i, j)), acc]);
             self.machine.gpu_dense(i, fwd.dense); // UPDATE recompute
             self.machine.gpu_dense(i, bwd.dense);
             self.machine.gpu_edge(i, bwd.edge);
-            (layer.backward_from_agg(chunk, agg, &grad_out, grads), bytes)
+            layer.backward_from_agg(chunk, agg, &load.grad_out, grads)
         } else {
-            // Reload h^l_{N_ij} through dedup comm and recompute everything.
-            let rows = charge_neighbor_load(
+            // Inter-GPU half of the neighbor reload, then full re-forward.
+            charge_neighbor_fetch(
                 &mut self.machine,
                 &self.plan,
                 &self.dedup,
@@ -593,8 +807,7 @@ impl HongTuEngine {
                 i,
                 j,
                 row,
-            )?;
-            let bytes = rows * row;
+            );
             let h_nbr = self.h[l].gather_rows(
                 &chunk
                     .neighbors
@@ -602,22 +815,24 @@ impl HongTuEngine {
                     .map(|&v| v as usize)
                     .collect::<Vec<_>>(),
             );
+            self.machine.tag([
+                Access::read(dev_rep(i), Region::All),
+                Access::read(topology(i), chunk_region(i, j)),
+                acc,
+            ]);
             self.machine.gpu_dense(i, fwd.dense); // full re-forward
             self.machine.gpu_edge(i, fwd.edge);
             self.machine.gpu_dense(i, bwd.dense);
             self.machine.gpu_edge(i, bwd.edge);
-            (
-                layer.backward_from_input(chunk, &h_nbr, &grad_out, grads),
-                bytes,
-            )
+            layer.backward_from_input(chunk, &h_nbr, &load.grad_out, grads)
         };
 
         // -- numerics: accumulate ∇h^l over neighbor replicas --
         let nbr_idx: Vec<usize> = chunk.neighbors.iter().map(|&v| v as usize).collect();
         self.grad_h[l].scatter_add_rows(&nbr_idx, &grad_nbr);
 
-        // -- communication accounting for gradient writeback (Algorithm 3) --
-        charge_gradient_store(
+        // -- push remote transition gradients to their owner GPUs --
+        charge_gradient_push(
             &mut self.machine,
             &self.plan,
             &self.dedup,
@@ -626,23 +841,63 @@ impl HongTuEngine {
             j,
             row,
         );
-
-        self.machine.free(i, topo + inter + buf_bytes);
         Ok(())
+    }
+
+    /// Evict phase of backward batch `j` at layer `l` for GPU `i`: all
+    /// pushes into this GPU's gradient buffer have landed (phase
+    /// barrier), so evict to the host store and release batch memory.
+    fn backward_evict(&mut self, l: usize, i: usize, j: usize, load: &BwLoad) {
+        let row = self.model.layer(l).in_dim() * F32;
+        charge_gradient_evict(
+            &mut self.machine,
+            &self.plan,
+            &self.dedup,
+            self.config.comm,
+            l,
+            i,
+            j,
+            row,
+        );
+        self.machine
+            .free(i, load.topo + load.inter + load.buf_bytes);
+    }
+
+    /// Mutable access to the simulated machine, e.g. to enable the
+    /// unbounded event trace before certifying an epoch schedule.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
     }
 }
 
-/// Charges the communication of loading `h_{N_ij}` according to the
-/// configured [`CommMode`]; returns the rows resident in GPU `i`'s
-/// buffer for this batch (for memory accounting).
+/// Per-GPU scratch carried from the load phase to the compute phase of a
+/// forward batch.
+struct FwLoad {
+    buf_bytes: usize,
+}
+
+/// Per-GPU scratch carried across the load/compute/evict phases of a
+/// backward batch.
+struct BwLoad {
+    grad_out: Matrix,
+    topo: usize,
+    inter: usize,
+    buf_bytes: usize,
+}
+
+/// Charges the host half of loading `h^l_{N_ij}` (Algorithm 2 phase A):
+/// PCIe loads of the rows this GPU owns plus ℕ^gpu in-place reuse.
+/// Returns the rows resident in GPU `i`'s merged buffer for this batch
+/// (for memory accounting). The inter-GPU half runs after the phase
+/// barrier in [`charge_neighbor_fetch`].
 #[allow(clippy::too_many_arguments)]
-fn charge_neighbor_load(
+fn charge_neighbor_host_load(
     machine: &mut Machine,
     plan: &TwoLevelPartition,
     dedup: &DedupPlan,
     buffer_comm: Option<&[Vec<BatchComm>]>,
     comm: CommMode,
-    interleaved: bool,
+    l: usize,
     i: usize,
     j: usize,
     row: usize,
@@ -656,23 +911,20 @@ fn charge_neighbor_load(
             // the QPI link (partitions map to sockets pairwise).
             let sockets = machine.config().num_sockets;
             let remote = remote_socket_rows(&batch.fetch[i], i, plan.m, sockets);
+            machine.tag([
+                Access::read(rep(l), Region::All),
+                Access::write(dev_rep(i), Region::All).with_gen(j as u32),
+            ]);
             machine.h2d_mixed(i, rows * row, remote * row);
             rows
         }
         CommMode::P2p => {
             // Host→GPU: the transition subset this GPU owns.
+            machine.tag([
+                Access::read(rep(l), Region::All),
+                Access::write(dev_rep(i), Region::Owned).with_gen(j as u32),
+            ]);
             machine.h2d(i, batch.transition[i].len() * row);
-            // Inter-GPU: fetch remote transition rows (interleaved
-            // schedule: charged to the pulling GPU).
-            for k in 0..plan.m {
-                if k != i && batch.fetch[i][k] > 0 {
-                    machine.d2d(k, i, batch.fetch[i][k] * row);
-                    if !interleaved {
-                        // Naive schedule: the serving GPU stalls too.
-                        machine.d2d(k, k, batch.fetch[i][k] * row);
-                    }
-                }
-            }
             // Merged transition+neighbor buffer (§6 "data buffer
             // deduplication"): |ℕ_ij ∪ N_ij|.
             batch.transition[i].len() + chunk.num_neighbors() - batch.fetch[i][i]
@@ -683,17 +935,24 @@ fn charge_neighbor_load(
             // over PCIe or NVLink — is reused in place across adjacent
             // batches; only genuinely new rows move.
             let bc = &buffer_comm.expect("buffer plan built for P2pRu")[i][j];
+            machine.tag([
+                Access::read(rep(l), Region::All),
+                Access::write(dev_rep(i), Region::Owned).with_gen(j as u32),
+            ]);
             machine.h2d(i, bc.h2d_rows * row);
             if bc.reused_rows > 0 {
+                // ℕ^gpu rows deposited by the previous batch stay resident
+                // in the merged buffer and are promoted to this batch.
+                let prev = Access::read(dev_rep(i), Region::Owned);
+                machine.tag([
+                    if j > 0 {
+                        prev.with_gen(j as u32 - 1)
+                    } else {
+                        prev
+                    },
+                    Access::write(dev_rep(i), Region::Owned).with_gen(j as u32),
+                ]);
                 machine.reuse(i, bc.reused_rows * row);
-            }
-            for k in 0..plan.m {
-                if k != i && bc.d2d_rows[k] > 0 {
-                    machine.d2d(k, i, bc.d2d_rows[k] * row);
-                    if !interleaved {
-                        machine.d2d(k, k, bc.d2d_rows[k] * row);
-                    }
-                }
             }
             bc.buffer_rows
         }
@@ -702,13 +961,86 @@ fn charge_neighbor_load(
     Ok(rows)
 }
 
-/// Charges the backward gradient movement (Algorithm 3): inter-GPU
-/// pushes, eviction D2H, and CPU-side accumulation.
-fn charge_gradient_store(
+/// Charges the inter-GPU half of loading `h^l_{N_ij}` (Algorithm 2
+/// phase B): fetch remote transition rows into GPU `i`'s merged buffer.
+/// Must run after the phase barrier so every source GPU's owned rows are
+/// resident (otherwise the schedule checker reports a W→R race).
+#[allow(clippy::too_many_arguments)]
+fn charge_neighbor_fetch(
+    machine: &mut Machine,
+    plan: &TwoLevelPartition,
+    dedup: &DedupPlan,
+    buffer_comm: Option<&[Vec<BatchComm>]>,
+    comm: CommMode,
+    interleaved: bool,
+    i: usize,
+    j: usize,
+    row: usize,
+) {
+    let batch = &dedup.batches[j];
+    let fetch_rows = |k: usize| -> usize {
+        match comm {
+            CommMode::Vanilla => 0,
+            CommMode::P2p => batch.fetch[i][k],
+            CommMode::P2pRu => buffer_comm.expect("buffer plan built for P2pRu")[i][j].d2d_rows[k],
+        }
+    };
+    if comm == CommMode::Vanilla {
+        return;
+    }
+    for k in 0..plan.m {
+        let rows = fetch_rows(k);
+        if k != i && rows > 0 {
+            // Interleaved schedule: charged to the pulling GPU only.
+            machine.tag([
+                Access::read(dev_rep(k), Region::Owned).with_gen(j as u32),
+                Access::write(dev_rep(i), Region::Fetched).with_gen(j as u32),
+            ]);
+            machine.d2d(k, i, rows * row);
+            if !interleaved {
+                // Naive schedule: the serving GPU stalls too.
+                machine.d2d(k, k, rows * row);
+            }
+        }
+    }
+}
+
+/// Charges the inter-GPU gradient pushes of Algorithm 3: remote
+/// transition-vertex gradients are atomically added into the owning
+/// GPUs' merged gradient buffers (time charged to the pusher).
+fn charge_gradient_push(
     machine: &mut Machine,
     plan: &TwoLevelPartition,
     dedup: &DedupPlan,
     comm: CommMode,
+    i: usize,
+    j: usize,
+    row: usize,
+) {
+    if comm == CommMode::Vanilla {
+        return;
+    }
+    let batch = &dedup.batches[j];
+    for k in 0..plan.m {
+        if k != i && batch.fetch[i][k] > 0 {
+            machine.tag([Access::accum(dev_grad(k), Region::All).with_gen(j as u32)]);
+            machine.d2d(k, i, batch.fetch[i][k] * row);
+            machine.gpu_edge(i, (batch.fetch[i][k] * row / F32) as f64);
+        }
+    }
+}
+
+/// Charges the gradient eviction of Algorithm 3: accumulated chunk
+/// gradients leave the GPU over PCIe and are added into the host store
+/// `∇h^l`. Must run after the phase barrier so every remote push into
+/// this GPU's buffer has landed.
+#[allow(clippy::too_many_arguments)]
+fn charge_gradient_evict(
+    machine: &mut Machine,
+    plan: &TwoLevelPartition,
+    dedup: &DedupPlan,
+    comm: CommMode,
+    l: usize,
     i: usize,
     j: usize,
     row: usize,
@@ -720,18 +1052,14 @@ fn charge_gradient_store(
             let rows = chunk.num_neighbors();
             let sockets = machine.config().num_sockets;
             let remote = remote_socket_rows(&batch.fetch[i], i, plan.m, sockets);
+            machine.tag([Access::read(dev_grad(i), Region::All).with_gen(j as u32)]);
             machine.d2h_mixed(i, rows * row, remote * row);
+            // Replica gradients of the full neighbor set overlap across
+            // GPUs; host-side accumulation commutes.
+            machine.tag([Access::accum(grad(l), Region::All)]);
             machine.cpu_accumulate(i, rows * row);
         }
         CommMode::P2p | CommMode::P2pRu => {
-            // Push remote rows to the owning GPUs' transition buffers
-            // (atomicAdd over NVLink; time charged to the pusher).
-            for k in 0..plan.m {
-                if k != i && batch.fetch[i][k] > 0 {
-                    machine.d2d(k, i, batch.fetch[i][k] * row);
-                    machine.gpu_edge(i, (batch.fetch[i][k] * row / F32) as f64);
-                }
-            }
             // Evicted transition gradients go D2H and are accumulated on
             // the CPU; reused rows stay resident for the next batch.
             let evicted = if comm == CommMode::P2pRu {
@@ -744,7 +1072,11 @@ fn charge_gradient_store(
             } else {
                 batch.transition[i].len()
             };
+            machine.tag([Access::read(dev_grad(i), Region::All).with_gen(j as u32)]);
             machine.d2h(i, evicted * row);
+            // Each GPU evicts its owned transition partition — disjoint
+            // slices of the host store.
+            machine.tag([Access::accum(grad(l), Region::Part(i as u32))]);
             machine.cpu_accumulate(i, evicted * row);
         }
     }

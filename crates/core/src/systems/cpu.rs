@@ -11,7 +11,10 @@
 use super::Workload;
 use hongtu_nn::ModelKind;
 use hongtu_partition::{replication_factor, simple::hash_partition};
-use hongtu_sim::{CpuClusterConfig, SimError};
+use hongtu_sim::{
+    Access, BarrierScope, CpuClusterConfig, Device, Event, EventKind, Region, ResourceId, SimError,
+    Trace,
+};
 
 const F32: usize = std::mem::size_of::<f32>();
 
@@ -143,6 +146,84 @@ impl CpuSystem {
         let model_penalty = if w.kind == ModelKind::Gat { 2.0 } else { 1.0 };
         Ok((compute + comm) * model_penalty)
     }
+
+    /// The annotated execution schedule of one epoch, for the
+    /// happens-before checker. There is no GPU: cluster nodes appear as
+    /// logical *streams* of the host device, each aggregating its own
+    /// partition of every layer into `h^{l+1}` (disjoint `Part` regions),
+    /// with replica representations crossing the network between layers
+    /// and a bulk-synchronous barrier closing each one.
+    pub fn epoch_schedule(&self, w: &Workload<'_>) -> Result<Trace, SimError> {
+        self.epoch_time(w)?;
+        let nodes = self.cluster.num_nodes;
+        let dims = w.dims();
+        let v = w.dataset.num_vertices();
+        let mut t = Trace::unbounded();
+        let stream_of = |s: usize| (s & 0xFF) as u8;
+        let rep = |l: usize| ResourceId::Rep { layer: l as u32 };
+        let grad = |l: usize| ResourceId::Grad { layer: l as u32 };
+        let barrier = |t: &mut Trace, scope| {
+            t.record(Event::new(
+                EventKind::Barrier(scope),
+                Device::Host,
+                0,
+                0.0,
+                0.0,
+            ));
+        };
+        for l in 0..w.layers {
+            for s in 0..nodes {
+                if nodes > 1 {
+                    // Replica exchange: this node receives the layer-l rows
+                    // of vertices replicated onto it.
+                    t.record(
+                        Event::new(
+                            EventKind::D2D,
+                            Device::Host,
+                            (v / nodes) * dims[l] * F32,
+                            0.0,
+                            0.0,
+                        )
+                        .on_stream(stream_of(s))
+                        .with_accesses(vec![Access::read(rep(l), Region::All)]),
+                    );
+                }
+                t.record(
+                    Event::new(EventKind::CpuCompute, Device::Host, 0, 0.0, 0.0)
+                        .on_stream(stream_of(s))
+                        .with_accesses(vec![
+                            Access::read(rep(l), Region::All),
+                            Access::write(rep(l + 1), Region::Part(s as u32)),
+                        ]),
+                );
+            }
+            barrier(&mut t, BarrierScope::Batch);
+        }
+        // Downstream loss on node 0, then bulk-synchronous backward.
+        t.record(
+            Event::new(EventKind::CpuCompute, Device::Host, 0, 0.0, 0.0).with_accesses(vec![
+                Access::read(rep(w.layers), Region::All),
+                Access::write(grad(w.layers), Region::All),
+            ]),
+        );
+        barrier(&mut t, BarrierScope::Batch);
+        for l in (0..w.layers).rev() {
+            for s in 0..nodes {
+                t.record(
+                    Event::new(EventKind::CpuCompute, Device::Host, 0, 0.0, 0.0)
+                        .on_stream(stream_of(s))
+                        .with_accesses(vec![
+                            Access::read(rep(l), Region::All),
+                            Access::read(grad(l + 1), Region::All),
+                            Access::accum(grad(l), Region::All),
+                        ]),
+                );
+            }
+            barrier(&mut t, BarrierScope::Batch);
+        }
+        barrier(&mut t, BarrierScope::Epoch);
+        Ok(t)
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +299,19 @@ mod tests {
         assert!(big
             .epoch_time(&Workload::new(&ds, ModelKind::Gat, 32, 3))
             .is_ok());
+    }
+
+    #[test]
+    fn epoch_schedule_certifies_clean_single_node_and_cluster() {
+        let ds = rdt();
+        let w = Workload::new(&ds, ModelKind::Gcn, 16, 2);
+        for (kind, nodes) in [(CpuSystemKind::SingleNode, 1), (CpuSystemKind::Cluster, 4)] {
+            let sys = CpuSystem::new(kind, CpuClusterConfig::scaled(nodes, 1 << 34), &ds);
+            let trace = sys.epoch_schedule(&w).unwrap();
+            assert!(!trace.is_empty());
+            let report = hongtu_verify::verify_trace(&trace);
+            assert!(report.is_ok(), "{kind:?}: {}", report.render());
+        }
     }
 
     #[test]

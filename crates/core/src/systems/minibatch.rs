@@ -15,7 +15,10 @@ use hongtu_datasets::Dataset;
 use hongtu_graph::VertexId;
 use hongtu_nn::{masked_cross_entropy, GnnModel};
 use hongtu_partition::ChunkSubgraph;
-use hongtu_sim::{MachineConfig, SimError};
+use hongtu_sim::{
+    Access, BarrierScope, Device, Event, EventKind, MachineConfig, Region, ResourceId, SimError,
+    Trace,
+};
 use hongtu_tensor::{Matrix, Optimizer, SeededRng};
 
 const F32: usize = std::mem::size_of::<f32>();
@@ -178,6 +181,69 @@ impl MiniBatchSystem {
             });
         }
         Ok(probe_time * num_batches as f64 / probe.max(1) as f64)
+    }
+
+    /// The annotated execution schedule of the probe batches, for the
+    /// happens-before checker. Each batch is: CPU-side sampling, a
+    /// feature/block H2D tagged with the batch generation, per-layer
+    /// compute on the sampled blocks, and a batch barrier — the sampled
+    /// world never writes back to the host layer stores, so only the
+    /// input features (`h^0`) and the GPU-resident block buffer appear.
+    pub fn epoch_schedule(&self, w: &Workload<'_>) -> Result<Trace, SimError> {
+        self.epoch_time(w)?;
+        let ds = w.dataset;
+        let train: Vec<VertexId> = ds
+            .splits
+            .train
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(v, _)| v as VertexId)
+            .collect();
+        let probe = self.batches_per_epoch(ds).min(3);
+        let mut rng = SeededRng::new(self.seed);
+        let mut t = Trace::unbounded();
+        let gpu = Device::Gpu(0);
+        let buf = ResourceId::DevRep { gpu: 0 };
+        for b in 0..probe {
+            let start = b * self.batch_size;
+            let end = (start + self.batch_size).min(train.len());
+            let blocks = self.sample_blocks(ds, &train[start..end], w.layers, &mut rng);
+            // CPU-side neighborhood sampling (reads only the topology).
+            t.record(Event::new(EventKind::CpuCompute, Device::Host, 0, 0.0, 0.0));
+            // Input features of the widest block move host→GPU into the
+            // batch's block buffer.
+            let feat_bytes = blocks[0].num_neighbors() * ds.feat_dim() * F32;
+            t.record(
+                Event::new(EventKind::H2D, gpu, feat_bytes, 0.0, 0.0).with_accesses(vec![
+                    Access::read(ResourceId::Rep { layer: 0 }, Region::All),
+                    Access::write(buf, Region::All).with_gen(b as u32),
+                ]),
+            );
+            // Per-layer compute over the sampled blocks (forward +
+            // backward + optimizer step, all GPU-resident).
+            for blk in &blocks {
+                t.record(
+                    Event::new(EventKind::GpuCompute, gpu, blk.topology_bytes(), 0.0, 0.0)
+                        .with_accesses(vec![Access::read(buf, Region::All).with_gen(b as u32)]),
+                );
+            }
+            t.record(Event::new(
+                EventKind::Barrier(BarrierScope::Batch),
+                Device::Host,
+                0,
+                0.0,
+                0.0,
+            ));
+        }
+        t.record(Event::new(
+            EventKind::Barrier(BarrierScope::Epoch),
+            Device::Host,
+            0,
+            0.0,
+            0.0,
+        ));
+        Ok(t)
     }
 
     /// Real mini-batch training for one epoch (Figure 8). Performs an
@@ -376,6 +442,18 @@ mod tests {
         let logits = model.forward_reference(&chunk, &ds.features).pop().unwrap();
         let acc = hongtu_nn::loss::masked_accuracy(&logits, &ds.labels, &ds.splits.val);
         assert!(acc > 0.5, "val accuracy {acc}");
+    }
+
+    #[test]
+    fn epoch_schedule_certifies_clean() {
+        let ds = rdt();
+        let s = sys();
+        let trace = s
+            .epoch_schedule(&Workload::new(&ds, ModelKind::Gcn, 16, 2))
+            .unwrap();
+        assert!(!trace.is_empty());
+        let report = hongtu_verify::verify_trace(&trace);
+        assert!(report.is_ok(), "{}", report.render());
     }
 
     #[test]

@@ -15,7 +15,10 @@
 use super::Workload;
 use hongtu_graph::VertexId;
 use hongtu_partition::multilevel::metis_like;
-use hongtu_sim::{MachineConfig, SimError};
+use hongtu_sim::{
+    Access, BarrierScope, Device, Event, EventKind, MachineConfig, Region, ResourceId, SimError,
+    Trace,
+};
 
 const F32: usize = std::mem::size_of::<f32>();
 
@@ -157,6 +160,124 @@ impl MultiGpuInMemory {
         }
         Ok(worst)
     }
+
+    /// The annotated execution schedule of one epoch, for the
+    /// happens-before checker. Forward layers alternate a replica
+    /// exchange (Sancus broadcasts everything; HongTu-IM fetches the
+    /// needed remote neighbors) with partition-local compute, each closed
+    /// by a barrier; backward layers accumulate gradients into each
+    /// owner's buffer (local compute + remote pushes commute) before the
+    /// owner applies them.
+    pub fn epoch_schedule(&self, w: &Workload<'_>) -> Result<Trace, SimError> {
+        self.epoch_time(w)?;
+        let m = self.machine.num_gpus;
+        let dims = w.dims();
+        let mut t = Trace::unbounded();
+        let rep = |p: usize| ResourceId::DevRep { gpu: p as u32 };
+        let grad = |p: usize| ResourceId::DevGrad { gpu: p as u32 };
+        let barrier = |t: &mut Trace, scope| {
+            t.record(Event::new(
+                EventKind::Barrier(scope),
+                Device::Host,
+                0,
+                0.0,
+                0.0,
+            ));
+        };
+        // One-time feature load: each GPU populates the owned region of
+        // its resident representation buffer (generation 0 = layer 0).
+        for p in 0..m {
+            let bytes = self.stats.owned[p] * dims[0] * F32;
+            t.record(
+                Event::new(EventKind::H2D, Device::Gpu(p as u32), bytes, 0.0, 0.0).with_accesses(
+                    vec![
+                        Access::read(ResourceId::Rep { layer: 0 }, Region::All),
+                        Access::write(rep(p), Region::Owned).with_gen(0),
+                    ],
+                ),
+            );
+        }
+        barrier(&mut t, BarrierScope::Batch);
+        for l in 0..w.layers {
+            // Replica exchange: every GPU pulls the remote layer-l rows it
+            // needs from their owners' buffers.
+            for p in 0..m {
+                let replicas = match self.kind {
+                    InMemoryKind::Sancus => w.dataset.num_vertices() - self.stats.owned[p],
+                    InMemoryKind::HongTuIm => self.stats.remote[p],
+                };
+                let per_src = replicas.div_ceil(m.max(1));
+                for k in 0..m {
+                    if k == p || per_src == 0 {
+                        continue;
+                    }
+                    t.record(
+                        Event::new(
+                            EventKind::D2D,
+                            Device::Gpu(p as u32),
+                            per_src * dims[l] * F32,
+                            0.0,
+                            0.0,
+                        )
+                        .with_accesses(vec![
+                            Access::read(rep(k), Region::Owned).with_gen(l as u32),
+                            Access::write(rep(p), Region::Fetched).with_gen(l as u32),
+                        ]),
+                    );
+                }
+            }
+            barrier(&mut t, BarrierScope::Batch);
+            // Partition-local aggregation + update of layer l.
+            for p in 0..m {
+                t.record(
+                    Event::new(EventKind::GpuCompute, Device::Gpu(p as u32), 0, 0.0, 0.0)
+                        .with_accesses(vec![
+                            Access::read(rep(p), Region::All),
+                            Access::write(rep(p), Region::Owned).with_gen(l as u32 + 1),
+                        ]),
+                );
+            }
+            barrier(&mut t, BarrierScope::Batch);
+        }
+        // Backward: per layer, local gradient compute accumulates into the
+        // owner buffer while remote partitions push their contributions.
+        for l in (0..w.layers).rev() {
+            for p in 0..m {
+                t.record(
+                    Event::new(EventKind::GpuCompute, Device::Gpu(p as u32), 0, 0.0, 0.0)
+                        .with_accesses(vec![
+                            Access::read(rep(p), Region::All),
+                            Access::accum(grad(p), Region::All),
+                        ]),
+                );
+                for k in 0..m {
+                    if k == p {
+                        continue;
+                    }
+                    t.record(
+                        Event::new(
+                            EventKind::D2D,
+                            Device::Gpu(p as u32),
+                            dims[l] * F32,
+                            0.0,
+                            0.0,
+                        )
+                        .with_accesses(vec![Access::accum(grad(k), Region::All)]),
+                    );
+                }
+            }
+            barrier(&mut t, BarrierScope::Batch);
+        }
+        // Owners apply the fully-accumulated gradients.
+        for p in 0..m {
+            t.record(
+                Event::new(EventKind::GpuCompute, Device::Gpu(p as u32), 0, 0.0, 0.0)
+                    .with_accesses(vec![Access::read(grad(p), Region::All)]),
+            );
+        }
+        barrier(&mut t, BarrierScope::Epoch);
+        Ok(t)
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +335,20 @@ mod tests {
             im.epoch_time(&w),
             Err(SimError::OutOfMemory { .. })
         ));
+    }
+
+    #[test]
+    fn epoch_schedule_certifies_clean_for_both_kinds() {
+        let ds = rdt();
+        let cfg = MachineConfig::scaled(4, 1 << 30);
+        let w = Workload::new(&ds, ModelKind::Gcn, 16, 2);
+        for kind in [InMemoryKind::Sancus, InMemoryKind::HongTuIm] {
+            let im = MultiGpuInMemory::new(kind, cfg.clone(), &ds, 1);
+            let trace = im.epoch_schedule(&w).unwrap();
+            assert!(!trace.is_empty());
+            let report = hongtu_verify::verify_trace(&trace);
+            assert!(report.is_ok(), "{kind:?}: {}", report.render());
+        }
     }
 
     #[test]

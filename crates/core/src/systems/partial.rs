@@ -15,7 +15,10 @@
 
 use super::Workload;
 use hongtu_nn::ModelKind;
-use hongtu_sim::{MachineConfig, SimError};
+use hongtu_sim::{
+    Access, BarrierScope, Device, Event, EventKind, MachineConfig, Region, ResourceId, SimError,
+    Trace,
+};
 
 const F32: usize = std::mem::size_of::<f32>();
 
@@ -89,6 +92,85 @@ impl NeutronStyle {
             flops.dense / self.machine.gpu_dense_flops + flops.edge / self.machine.gpu_edge_flops;
         Ok(compute / m as f64 + streamed / (self.machine.pcie_bw * m as f64))
     }
+
+    /// The annotated execution schedule of one epoch, for the
+    /// happens-before checker. Vertex data streams host→GPU per layer
+    /// chunk (no deduplication — every GPU loads its full 2-D neighbor
+    /// slice), intermediates stay resident, and layer results go back to
+    /// the host store per-partition.
+    pub fn epoch_schedule(&self, w: &Workload<'_>) -> Result<Trace, Limitation> {
+        self.epoch_time(w)?;
+        let m = self.machine.num_gpus;
+        let dims = w.dims();
+        let v = w.dataset.num_vertices();
+        let mut t = Trace::unbounded();
+        let rep = |l: usize| ResourceId::Rep { layer: l as u32 };
+        let grad = |l: usize| ResourceId::Grad { layer: l as u32 };
+        let dev = |g: usize| ResourceId::DevRep { gpu: g as u32 };
+        let barrier = |t: &mut Trace, scope| {
+            t.record(Event::new(
+                EventKind::Barrier(scope),
+                Device::Host,
+                0,
+                0.0,
+                0.0,
+            ));
+        };
+        for l in 0..w.layers {
+            for g in 0..m {
+                let bytes = (v / m) * dims[l] * F32;
+                t.record(
+                    Event::new(EventKind::H2D, Device::Gpu(g as u32), bytes, 0.0, 0.0)
+                        .with_accesses(vec![
+                            Access::read(rep(l), Region::All),
+                            Access::write(dev(g), Region::All).with_gen(l as u32),
+                        ]),
+                );
+                t.record(
+                    Event::new(EventKind::GpuCompute, Device::Gpu(g as u32), 0, 0.0, 0.0)
+                        .with_accesses(vec![Access::read(dev(g), Region::All).with_gen(l as u32)]),
+                );
+                t.record(
+                    Event::new(EventKind::D2H, Device::Gpu(g as u32), bytes, 0.0, 0.0)
+                        .with_accesses(vec![Access::write(rep(l + 1), Region::Part(g as u32))]),
+                );
+            }
+            barrier(&mut t, BarrierScope::Batch);
+        }
+        t.record(
+            Event::new(EventKind::GpuCompute, Device::Gpu(0), 0, 0.0, 0.0).with_accesses(vec![
+                Access::read(rep(w.layers), Region::All),
+                Access::write(grad(w.layers), Region::All),
+            ]),
+        );
+        barrier(&mut t, BarrierScope::Batch);
+        for l in (0..w.layers).rev() {
+            for g in 0..m {
+                let bytes = (v / m) * dims[l + 1] * F32;
+                t.record(
+                    Event::new(EventKind::H2D, Device::Gpu(g as u32), bytes, 0.0, 0.0)
+                        .with_accesses(vec![
+                            Access::read(grad(l + 1), Region::All),
+                            Access::read(rep(l), Region::All),
+                        ]),
+                );
+                t.record(Event::new(
+                    EventKind::GpuCompute,
+                    Device::Gpu(g as u32),
+                    0,
+                    0.0,
+                    0.0,
+                ));
+                t.record(
+                    Event::new(EventKind::D2H, Device::Gpu(g as u32), bytes, 0.0, 0.0)
+                        .with_accesses(vec![Access::accum(grad(l), Region::All)]),
+                );
+            }
+            barrier(&mut t, BarrierScope::Batch);
+        }
+        barrier(&mut t, BarrierScope::Epoch);
+        Ok(t)
+    }
 }
 
 /// ROC-style partial offloading: resident vertex data, swapped
@@ -144,6 +226,103 @@ impl RocStyle {
         let compute =
             flops.dense / self.machine.gpu_dense_flops + flops.edge / self.machine.gpu_edge_flops;
         Ok(compute / m as f64 + (2.0 * swapped as f64) / self.machine.pcie_bw)
+    }
+
+    /// The annotated execution schedule of one epoch, for the
+    /// happens-before checker. Vertex data is loaded once and stays
+    /// resident; per-layer intermediate tensors are checkpointed to the
+    /// host at whole-graph granularity on the way forward and reloaded on
+    /// the way back — the same store/reload pattern HongTu's hybrid
+    /// strategy applies per chunk.
+    pub fn epoch_schedule(&self, w: &Workload<'_>) -> Result<Trace, Limitation> {
+        self.epoch_time(w)?;
+        let m = self.machine.num_gpus;
+        let dims = w.dims();
+        let v = w.dataset.num_vertices();
+        let (ve, ee) = (v, w.dataset.num_edges());
+        let mut t = Trace::unbounded();
+        let dev = |g: usize| ResourceId::DevRep { gpu: g as u32 };
+        let dgrad = |g: usize| ResourceId::DevGrad { gpu: g as u32 };
+        let swap = |l: usize, g: usize| ResourceId::AggCache {
+            layer: l as u32,
+            gpu: g as u32,
+            chunk: 0,
+        };
+        let barrier = |t: &mut Trace, scope| {
+            t.record(Event::new(
+                EventKind::Barrier(scope),
+                Device::Host,
+                0,
+                0.0,
+                0.0,
+            ));
+        };
+        // One-time resident vertex-data load.
+        for g in 0..m {
+            t.record(
+                Event::new(
+                    EventKind::H2D,
+                    Device::Gpu(g as u32),
+                    (v / m) * dims[0] * F32,
+                    0.0,
+                    0.0,
+                )
+                .with_accesses(vec![
+                    Access::read(ResourceId::Rep { layer: 0 }, Region::All),
+                    Access::write(dev(g), Region::All).with_gen(0),
+                ]),
+            );
+        }
+        barrier(&mut t, BarrierScope::Batch);
+        for l in 0..w.layers {
+            for g in 0..m {
+                t.record(
+                    Event::new(EventKind::GpuCompute, Device::Gpu(g as u32), 0, 0.0, 0.0)
+                        .with_accesses(vec![
+                            Access::read(dev(g), Region::All),
+                            Access::write(dev(g), Region::All).with_gen(l as u32 + 1),
+                        ]),
+                );
+                // Whole-tensor intermediate swap-out under the cost model.
+                let bytes = w.layer_intermediate_bytes(l, ve, ee, ve) / m;
+                t.record(
+                    Event::new(EventKind::D2H, Device::Gpu(g as u32), bytes, 0.0, 0.0)
+                        .with_accesses(vec![Access::write(swap(l, g), Region::All)]),
+                );
+            }
+            barrier(&mut t, BarrierScope::Batch);
+        }
+        for g in 0..m {
+            t.record(
+                Event::new(EventKind::GpuCompute, Device::Gpu(g as u32), 0, 0.0, 0.0)
+                    .with_accesses(vec![
+                        Access::read(dev(g), Region::All),
+                        Access::write(dgrad(g), Region::All),
+                    ]),
+            );
+        }
+        barrier(&mut t, BarrierScope::Batch);
+        for l in (0..w.layers).rev() {
+            for g in 0..m {
+                // Reload the layer's swapped intermediates, then run the
+                // layer backward against the resident gradient state.
+                let bytes = w.layer_intermediate_bytes(l, ve, ee, ve) / m;
+                t.record(
+                    Event::new(EventKind::H2D, Device::Gpu(g as u32), bytes, 0.0, 0.0)
+                        .with_accesses(vec![Access::read(swap(l, g), Region::All)]),
+                );
+                t.record(
+                    Event::new(EventKind::GpuCompute, Device::Gpu(g as u32), 0, 0.0, 0.0)
+                        .with_accesses(vec![
+                            Access::read(dev(g), Region::All),
+                            Access::accum(dgrad(g), Region::All),
+                        ]),
+                );
+            }
+            barrier(&mut t, BarrierScope::Batch);
+        }
+        barrier(&mut t, BarrierScope::Epoch);
+        Ok(t)
     }
 }
 
@@ -218,6 +397,33 @@ mod tests {
             .epoch_time(&Workload::new(&d, ModelKind::Gat, 32, 4))
             .unwrap();
         assert!(gat > 2.0 * gcn, "GAT {gat} vs GCN {gcn}");
+    }
+
+    #[test]
+    fn epoch_schedules_certify_clean() {
+        let d = ds(DatasetKey::Rdt);
+        let machine = MachineConfig::scaled(4, 1 << 30);
+        let w = Workload::new(&d, ModelKind::Gcn, 16, 2);
+        let nt = NeutronStyle::new(machine.clone())
+            .epoch_schedule(&w)
+            .unwrap();
+        assert!(!nt.is_empty());
+        let report = hongtu_verify::verify_trace(&nt);
+        assert!(report.is_ok(), "neutron: {}", report.render());
+        let roc = RocStyle::new(machine).epoch_schedule(&w).unwrap();
+        assert!(!roc.is_empty());
+        let report = hongtu_verify::verify_trace(&roc);
+        assert!(report.is_ok(), "roc: {}", report.render());
+    }
+
+    #[test]
+    fn epoch_schedule_inherits_limitations() {
+        let d = ds(DatasetKey::Rdt);
+        let sys = NeutronStyle::new(MachineConfig::scaled(4, 1 << 30));
+        let err = sys
+            .epoch_schedule(&Workload::new(&d, ModelKind::Gat, 32, 2))
+            .unwrap_err();
+        assert!(matches!(err, Limitation::Unsupported(_)));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! OOM cells the paper reports for deep GAT configurations.
 
 use super::Workload;
-use hongtu_sim::{MachineConfig, SimError};
+use hongtu_sim::{
+    Access, BarrierScope, Device, Event, EventKind, MachineConfig, Region, ResourceId, SimError,
+    Trace,
+};
 
 /// The single-GPU full-graph system.
 #[derive(Debug, Clone)]
@@ -49,7 +52,64 @@ impl SingleGpuFullGraph {
         let flops = w.epoch_flops(v, e, v, false);
         Ok(flops.dense / self.machine.gpu_dense_flops + flops.edge / self.machine.gpu_edge_flops)
     }
+
+    /// The annotated execution schedule of one epoch, for the
+    /// happens-before checker (`hongtu-verify`'s trace pass). Purely
+    /// structural — timings live in [`SingleGpuFullGraph::epoch_time`],
+    /// which also gates this method on the memory check.
+    pub fn epoch_schedule(&self, w: &Workload<'_>) -> Result<Trace, SimError> {
+        self.epoch_time(w)?;
+        let mut t = Trace::unbounded();
+        let gpu = Device::Gpu(0);
+        let dims = w.dims();
+        let v = w.dataset.num_vertices();
+        let rep = |l: usize| ResourceId::Rep { layer: l as u32 };
+        let grad = |l: usize| ResourceId::Grad { layer: l as u32 };
+        // Everything is resident on the one GPU: each layer is a single
+        // compute reading h^l and producing h^{l+1}, program-ordered on
+        // the device with no communication and no barriers until the end.
+        for l in 0..w.layers {
+            t.record(
+                Event::new(EventKind::GpuCompute, gpu, 0, 0.0, 0.0).with_accesses(vec![
+                    Access::read(rep(l), Region::All),
+                    Access::write(rep(l + 1), Region::All),
+                ]),
+            );
+        }
+        t.record(
+            Event::new(
+                EventKind::GpuCompute,
+                gpu,
+                v * dims[w.layers] * F32,
+                0.0,
+                0.0,
+            )
+            .with_accesses(vec![
+                Access::read(rep(w.layers), Region::All),
+                Access::write(grad(w.layers), Region::All),
+            ]),
+        );
+        for l in (0..w.layers).rev() {
+            t.record(
+                Event::new(EventKind::GpuCompute, gpu, 0, 0.0, 0.0).with_accesses(vec![
+                    Access::read(rep(l), Region::All),
+                    Access::read(grad(l + 1), Region::All),
+                    Access::write(grad(l), Region::All),
+                ]),
+            );
+        }
+        t.record(Event::new(
+            EventKind::Barrier(BarrierScope::Epoch),
+            Device::Host,
+            0,
+            0.0,
+            0.0,
+        ));
+        Ok(t)
+    }
 }
+
+const F32: usize = std::mem::size_of::<f32>();
 
 #[cfg(test)]
 mod tests {
@@ -98,6 +158,26 @@ mod tests {
         let ds = fds();
         let sys = SingleGpuFullGraph::new(MachineConfig::scaled(1, 8 << 20));
         let r = sys.epoch_time(&Workload::new(&ds, ModelKind::Gcn, 32, 3));
+        assert!(matches!(r, Err(SimError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn epoch_schedule_certifies_clean() {
+        let ds = rdt();
+        let sys = SingleGpuFullGraph::new(MachineConfig::scaled(1, 256 << 20));
+        let trace = sys
+            .epoch_schedule(&Workload::new(&ds, ModelKind::Gcn, 16, 2))
+            .unwrap();
+        assert!(!trace.is_empty());
+        let report = hongtu_verify::verify_trace(&trace);
+        assert!(report.is_ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn epoch_schedule_inherits_oom_gate() {
+        let ds = fds();
+        let sys = SingleGpuFullGraph::new(MachineConfig::scaled(1, 8 << 20));
+        let r = sys.epoch_schedule(&Workload::new(&ds, ModelKind::Gcn, 32, 3));
         assert!(matches!(r, Err(SimError::OutOfMemory { .. })));
     }
 

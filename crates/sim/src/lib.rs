@@ -31,4 +31,6 @@ pub mod trace;
 pub use config::{CpuClusterConfig, MachineConfig};
 pub use machine::{Machine, TimeBuckets};
 pub use memory::{MemoryTracker, SimError};
-pub use trace::{Event, EventKind, Trace};
+pub use trace::{
+    Access, BarrierScope, Device, Event, EventKind, Intent, Region, ResourceId, Trace,
+};

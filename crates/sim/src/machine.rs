@@ -4,7 +4,7 @@
 
 use crate::config::MachineConfig;
 use crate::memory::{MemoryTracker, SimError};
-use crate::trace::{Event, EventKind, Trace};
+use crate::trace::{Access, BarrierScope, Device, Event, EventKind, Trace};
 
 /// Time attributed to each of the paper's breakdown components (Figure 9),
 /// in seconds, plus the transferred byte volumes.
@@ -64,6 +64,7 @@ pub struct Machine {
     clocks: Vec<f64>,
     buckets: TimeBuckets,
     trace: Trace,
+    pending: Vec<Access>,
 }
 
 impl Machine {
@@ -87,6 +88,7 @@ impl Machine {
             clocks,
             buckets: TimeBuckets::default(),
             trace: Trace::disabled(),
+            pending: Vec::new(),
         }
     }
 
@@ -105,9 +107,34 @@ impl Machine {
         self.trace = Trace::with_capacity(capacity);
     }
 
+    /// Enables unbounded event tracing (required for trace certification —
+    /// see [`Trace::unbounded`]).
+    pub fn enable_unbounded_trace(&mut self) {
+        self.trace = Trace::unbounded();
+    }
+
     /// The event trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Swaps in a different trace, returning the previous one. Lets a
+    /// verification run temporarily install an unbounded trace without
+    /// discarding the user's.
+    pub fn replace_trace(&mut self, trace: Trace) -> Trace {
+        self.pending.clear();
+        std::mem::replace(&mut self.trace, trace)
+    }
+
+    /// Stages access annotations for the *next* charged operation. The
+    /// annotations are attached to the next recorded event and cleared.
+    /// No-op while tracing is disabled, so annotation is free on the
+    /// benchmark path.
+    pub fn tag<I: IntoIterator<Item = Access>>(&mut self, accesses: I) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.pending.extend(accesses);
     }
 
     fn check_gpu(&self, gpu: usize) -> Result<(), SimError> {
@@ -121,19 +148,17 @@ impl Machine {
         }
     }
 
-    fn record(&mut self, kind: EventKind, device: usize, bytes: usize, seconds: f64) {
-        let at = if device < self.clocks.len() {
-            self.clocks[device]
-        } else {
-            0.0
+    fn record(&mut self, kind: EventKind, device: Device, bytes: usize, seconds: f64) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let at = match device {
+            Device::Gpu(g) if (g as usize) < self.clocks.len() => self.clocks[g as usize],
+            _ => 0.0,
         };
-        self.trace.record(Event {
-            kind,
-            device,
-            bytes,
-            seconds,
-            at,
-        });
+        let accesses = std::mem::take(&mut self.pending);
+        self.trace
+            .record(Event::new(kind, device, bytes, seconds, at).with_accesses(accesses));
     }
 
     // ---- memory ----
@@ -183,7 +208,7 @@ impl Machine {
         self.clocks[gpu] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_h2d += bytes as u64;
-        self.record(EventKind::H2D, gpu, bytes, t);
+        self.record(EventKind::H2D, Device::Gpu(gpu as u32), bytes, t);
         t
     }
 
@@ -201,7 +226,7 @@ impl Machine {
         self.clocks[gpu] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_h2d += bytes as u64;
-        self.record(EventKind::H2D, gpu, bytes, t);
+        self.record(EventKind::H2D, Device::Gpu(gpu as u32), bytes, t);
         t
     }
 
@@ -215,7 +240,7 @@ impl Machine {
         self.clocks[gpu] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_d2h += bytes as u64;
-        self.record(EventKind::D2H, gpu, bytes, t);
+        self.record(EventKind::D2H, Device::Gpu(gpu as u32), bytes, t);
         t
     }
 
@@ -225,7 +250,7 @@ impl Machine {
         self.clocks[gpu] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_d2h += bytes as u64;
-        self.record(EventKind::D2H, gpu, bytes, t);
+        self.record(EventKind::D2H, Device::Gpu(gpu as u32), bytes, t);
         t
     }
 
@@ -237,7 +262,7 @@ impl Machine {
         self.clocks[dst] += t;
         self.buckets.d2d += t;
         self.buckets.bytes_d2d += bytes as u64;
-        self.record(EventKind::D2D, dst, bytes, t);
+        self.record(EventKind::D2D, Device::Gpu(dst as u32), bytes, t);
         t
     }
 
@@ -248,7 +273,7 @@ impl Machine {
         self.clocks[gpu] += t;
         self.buckets.reuse += t;
         self.buckets.bytes_reuse += bytes as u64;
-        self.record(EventKind::Reuse, gpu, bytes, t);
+        self.record(EventKind::Reuse, Device::Gpu(gpu as u32), bytes, t);
         t
     }
 
@@ -257,7 +282,7 @@ impl Machine {
         let t = flops / self.config.gpu_dense_flops;
         self.clocks[gpu] += t;
         self.buckets.gpu += t;
-        self.record(EventKind::GpuCompute, gpu, 0, t);
+        self.record(EventKind::GpuCompute, Device::Gpu(gpu as u32), 0, t);
         t
     }
 
@@ -266,7 +291,7 @@ impl Machine {
         let t = flops / self.config.gpu_edge_flops;
         self.clocks[gpu] += t;
         self.buckets.gpu += t;
-        self.record(EventKind::GpuCompute, gpu, 0, t);
+        self.record(EventKind::GpuCompute, Device::Gpu(gpu as u32), 0, t);
         t
     }
 
@@ -279,7 +304,7 @@ impl Machine {
         let t = flops / (self.config.cpu_flops / self.config.num_gpus as f64);
         self.clocks[waiting_gpu] += t;
         self.buckets.cpu += t;
-        self.record(EventKind::CpuCompute, waiting_gpu, 0, t);
+        self.record(EventKind::CpuCompute, Device::Gpu(waiting_gpu as u32), 0, t);
         t
     }
 
@@ -293,17 +318,33 @@ impl Machine {
         let t = 3.0 * bytes as f64 / bw;
         self.clocks[waiting_gpu] += t;
         self.buckets.cpu += t;
-        self.record(EventKind::CpuCompute, waiting_gpu, bytes, t);
+        self.record(
+            EventKind::CpuCompute,
+            Device::Gpu(waiting_gpu as u32),
+            bytes,
+            t,
+        );
         t
     }
 
     /// Synchronizes all GPU clocks to the maximum (batch barrier).
+    /// Shorthand for [`Machine::sync`] with [`BarrierScope::Batch`].
     pub fn barrier(&mut self) {
+        self.sync(BarrierScope::Batch);
+    }
+
+    /// Synchronizes all GPU clocks to the maximum and records a barrier
+    /// event of the given scope. The scope does not change the timing
+    /// model — every barrier joins all clocks — but tells the schedule
+    /// checker what protocol role the barrier plays.
+    pub fn sync(&mut self, scope: BarrierScope) {
         let max = self.elapsed();
         for c in &mut self.clocks {
             *c = max;
         }
-        self.record(EventKind::Barrier, usize::MAX, 0, 0.0);
+        // Barriers synchronize devices; they carry no accesses of their own.
+        self.pending.clear();
+        self.record(EventKind::Barrier(scope), Device::Host, 0, 0.0);
     }
 
     /// Current simulated time: the furthest-ahead GPU clock.
@@ -440,7 +481,73 @@ mod tests {
         m.h2d(0, 10);
         m.barrier();
         let kinds: Vec<_> = m.trace().events().map(|e| e.kind).collect();
-        assert_eq!(kinds, vec![EventKind::H2D, EventKind::Barrier]);
+        assert_eq!(
+            kinds,
+            vec![EventKind::H2D, EventKind::Barrier(BarrierScope::Batch)]
+        );
+        let devices: Vec<_> = m.trace().events().map(|e| e.device).collect();
+        assert_eq!(devices, vec![Device::Gpu(0), Device::Host]);
+    }
+
+    #[test]
+    fn tag_annotates_exactly_the_next_event() {
+        use crate::trace::{Region, ResourceId};
+        let mut m = machine();
+        m.enable_unbounded_trace();
+        let a = Access::read(ResourceId::Rep { layer: 0 }, Region::All);
+        m.tag([a]);
+        m.h2d(0, 10);
+        m.h2d(1, 10);
+        let evs: Vec<_> = m.trace().events().collect();
+        assert_eq!(evs[0].accesses, vec![a]);
+        assert!(evs[1].accesses.is_empty());
+    }
+
+    #[test]
+    fn sync_scopes_are_recorded() {
+        let mut m = machine();
+        m.enable_unbounded_trace();
+        m.sync(BarrierScope::Phase);
+        m.sync(BarrierScope::Epoch);
+        let kinds: Vec<_> = m.trace().events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Barrier(BarrierScope::Phase),
+                EventKind::Barrier(BarrierScope::Epoch)
+            ]
+        );
+    }
+
+    #[test]
+    fn tag_is_dropped_without_tracing_and_by_barriers() {
+        use crate::trace::{Region, ResourceId};
+        let mut m = machine();
+        // Disabled trace: tag is a no-op (nothing staged, nothing leaks
+        // once tracing is enabled later).
+        m.tag([Access::write(ResourceId::DevRep { gpu: 0 }, Region::All)]);
+        m.enable_unbounded_trace();
+        // Barriers clear staged annotations rather than carrying them.
+        m.tag([Access::write(ResourceId::DevRep { gpu: 0 }, Region::All)]);
+        m.barrier();
+        m.h2d(0, 4);
+        let evs: Vec<_> = m.trace().events().collect();
+        assert!(evs.iter().all(|e| e.accesses.is_empty()));
+    }
+
+    #[test]
+    fn replace_trace_swaps_and_restores() {
+        let mut m = machine();
+        m.enable_trace(4);
+        m.h2d(0, 1);
+        let user = m.replace_trace(Trace::unbounded());
+        assert_eq!(user.len(), 1);
+        m.h2d(0, 2);
+        assert_eq!(m.trace().len(), 1);
+        assert!(m.trace().is_unbounded());
+        let verification = m.replace_trace(user);
+        assert_eq!(verification.len(), 1);
+        assert_eq!(m.trace().len(), 1);
     }
 
     #[test]

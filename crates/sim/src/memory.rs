@@ -34,6 +34,14 @@ pub enum SimError {
         /// Rendered diagnostic report.
         message: String,
     },
+    /// An executed schedule failed the happens-before trace checker (a
+    /// race or ordering hazard in the recorded multi-GPU event trace).
+    InvalidSchedule {
+        /// The first diagnostic's stable code (e.g. `R402`).
+        code: String,
+        /// Rendered diagnostic report.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +63,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidPlan { code, message } => {
                 write!(f, "invalid execution plan [{code}]: {message}")
+            }
+            SimError::InvalidSchedule { code, message } => {
+                write!(f, "invalid execution schedule [{code}]: {message}")
             }
         }
     }

@@ -1,5 +1,14 @@
-//! Optional event trace for debugging and for the bench harness's
-//! communication-volume reports.
+//! Event trace for debugging, the bench harness's communication-volume
+//! reports, and the happens-before schedule checker (`hongtu-verify`'s
+//! trace pass).
+//!
+//! Every charged operation can carry *access annotations*: which logical
+//! resource it touches (a host layer store, a GPU's merged neighbor
+//! buffer, a cached-aggregate checkpoint slot, …), over which region,
+//! with which intent (read / write / atomic accumulate), and optionally
+//! the batch generation that produced the data. The checker reconstructs
+//! a happens-before order from (device, stream, barrier) edges and
+//! verifies the schedule against those annotations.
 
 /// The kind of a simulated operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,8 +25,227 @@ pub enum EventKind {
     GpuCompute,
     /// CPU compute.
     CpuCompute,
-    /// Barrier synchronization.
-    Barrier,
+    /// Barrier synchronization (all device clocks joined).
+    Barrier(BarrierScope),
+}
+
+/// What a barrier separates. All scopes synchronize every clock; the
+/// scope records the *protocol* role so the schedule checker can verify
+/// batch coverage (`S501`) without hard-coding the engine's loop shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BarrierScope {
+    /// Intra-batch phase boundary (e.g. between the dedup H2D load phase
+    /// and the inter-GPU fetch phase of Algorithm 2).
+    Phase,
+    /// Batch boundary (Algorithm 1's per-batch synchronization).
+    Batch,
+    /// Epoch boundary (after the parameter all-reduce).
+    Epoch,
+}
+
+/// The device an event executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Device {
+    /// The host CPU.
+    Host,
+    /// GPU with the given index.
+    Gpu(u32),
+}
+
+impl Device {
+    /// GPU index, if this is a GPU.
+    pub fn gpu(self) -> Option<u32> {
+        match self {
+            Device::Host => None,
+            Device::Gpu(g) => Some(g),
+        }
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Device::Host => f.write_str("host"),
+            Device::Gpu(g) => write!(f, "gpu{g}"),
+        }
+    }
+}
+
+/// How an access touches its resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intent {
+    /// Plain read.
+    Read,
+    /// Plain write.
+    Write,
+    /// Atomic accumulate (`+=`). Two accumulates commute and therefore do
+    /// not race with each other, but an accumulate conflicts with both
+    /// plain reads and plain writes.
+    Accum,
+}
+
+/// A logical resource of the simulated training state. Identities are
+/// *logical* (what the data means), not physical addresses; the checker
+/// pairs them with [`Region`]s to reason about partial overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceId {
+    /// Host-resident layer representations `h^l` (layer 0 = input
+    /// features, which exist before the epoch starts).
+    Rep {
+        /// Layer index.
+        layer: u32,
+    },
+    /// Host-resident layer gradients `∇h^l`.
+    Grad {
+        /// Layer index.
+        layer: u32,
+    },
+    /// CPU-resident cached-aggregate checkpoint slot of the hybrid
+    /// strategy (§4.2), one per (layer, GPU, chunk).
+    AggCache {
+        /// Layer index.
+        layer: u32,
+        /// Owning GPU / partition.
+        gpu: u32,
+        /// Chunk (batch) index.
+        chunk: u32,
+    },
+    /// A GPU's merged transition/neighbor representation buffer (§6's
+    /// in-place `M_ij` buffer). Remote GPUs read the `Owned` region of
+    /// this buffer over P2P.
+    DevRep {
+        /// Owning GPU.
+        gpu: u32,
+    },
+    /// A GPU's transition-gradient accumulation buffer (Algorithm 3).
+    /// Remote GPUs `Accum` into it; the owner evicts it to the CPU.
+    DevGrad {
+        /// Owning GPU.
+        gpu: u32,
+    },
+    /// A GPU's resident chunk topology (CSC structure).
+    Topology {
+        /// Owning GPU.
+        gpu: u32,
+    },
+}
+
+impl ResourceId {
+    /// Resources whose contents are valid before the first event of a
+    /// trace (reads need no prior write): only the input features.
+    pub fn initially_valid(self) -> bool {
+        matches!(self, ResourceId::Rep { layer: 0 })
+    }
+}
+
+impl std::fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceId::Rep { layer } => write!(f, "h^{layer}"),
+            ResourceId::Grad { layer } => write!(f, "∇h^{layer}"),
+            ResourceId::AggCache { layer, gpu, chunk } => {
+                write!(f, "agg-cache[{layer}][{gpu}][{chunk}]")
+            }
+            ResourceId::DevRep { gpu } => write!(f, "gpu{gpu} rep buffer"),
+            ResourceId::DevGrad { gpu } => write!(f, "gpu{gpu} grad buffer"),
+            ResourceId::Topology { gpu } => write!(f, "gpu{gpu} topology"),
+        }
+    }
+}
+
+/// A sub-region of a resource. Regions let disjoint accesses (two chunks'
+/// destination rows, the owned vs fetched halves of a merged buffer)
+/// proceed concurrently without a false race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// The whole resource.
+    All,
+    /// The owner-populated part (e.g. a GPU's transition rows `ℕ_ij`).
+    Owned,
+    /// The part populated by remote fetches.
+    Fetched,
+    /// The rows owned by chunk `(gpu, chunk)` — disjoint across chunks
+    /// because chunks tile `V` (verified by the partition pass).
+    Chunk {
+        /// Owning GPU / partition.
+        gpu: u32,
+        /// Chunk index within the partition.
+        chunk: u32,
+    },
+    /// The rows owned by one partition — disjoint across partitions.
+    Part(u32),
+}
+
+impl Region {
+    /// Whether two regions can touch the same bytes. Conservative: only
+    /// provably-disjoint pairs return `false`.
+    pub fn overlaps(self, other: Region) -> bool {
+        use Region::*;
+        match (self, other) {
+            (All, _) | (_, All) => true,
+            (Owned, Owned) | (Fetched, Fetched) => true,
+            (Owned, Fetched) | (Fetched, Owned) => false,
+            (Chunk { gpu: a, chunk: b }, Chunk { gpu: c, chunk: d }) => (a, b) == (c, d),
+            (Part(a), Part(b)) => a == b,
+            // Cross-variant pairs (e.g. Chunk vs Part) have no defined
+            // disjointness proof — assume overlap.
+            _ => true,
+        }
+    }
+}
+
+/// One annotated access of an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Access {
+    /// What is touched.
+    pub resource: ResourceId,
+    /// Which part of it.
+    pub region: Region,
+    /// How.
+    pub intent: Intent,
+    /// Optional data generation (the batch index that produced/consumes
+    /// the bytes). A read tagged `Some(g)` demands a happens-before write
+    /// of generation `g` — this is what catches "slot not populated
+    /// *this batch*" staleness that plain write-before-read would miss.
+    pub gen: Option<u32>,
+}
+
+impl Access {
+    /// A read access.
+    pub fn read(resource: ResourceId, region: Region) -> Self {
+        Access {
+            resource,
+            region,
+            intent: Intent::Read,
+            gen: None,
+        }
+    }
+
+    /// A write access.
+    pub fn write(resource: ResourceId, region: Region) -> Self {
+        Access {
+            resource,
+            region,
+            intent: Intent::Write,
+            gen: None,
+        }
+    }
+
+    /// An atomic-accumulate access.
+    pub fn accum(resource: ResourceId, region: Region) -> Self {
+        Access {
+            resource,
+            region,
+            intent: Intent::Accum,
+            gen: None,
+        }
+    }
+
+    /// Attaches a data generation.
+    pub fn with_gen(mut self, gen: u32) -> Self {
+        self.gen = Some(gen);
+        self
+    }
 }
 
 /// One recorded operation.
@@ -25,18 +253,53 @@ pub enum EventKind {
 pub struct Event {
     /// Operation kind.
     pub kind: EventKind,
-    /// Device the time was charged to (GPU index; `usize::MAX` = host).
-    pub device: usize,
+    /// Device the time was charged to.
+    pub device: Device,
+    /// Logical stream on the device (0 = default stream). Events on the
+    /// same (device, stream) are program-ordered; distinct streams only
+    /// order through barriers.
+    pub stream: u8,
     /// Payload bytes (0 for compute/barrier).
     pub bytes: usize,
     /// Seconds charged.
     pub seconds: f64,
     /// Simulated timestamp at completion on the charged device.
     pub at: f64,
+    /// Resource accesses this operation performs (empty = unannotated).
+    pub accesses: Vec<Access>,
 }
 
-/// A bounded event log. Disabled by default; when enabled it keeps the most
-/// recent `capacity` events.
+impl Event {
+    /// An unannotated event on stream 0.
+    pub fn new(kind: EventKind, device: Device, bytes: usize, seconds: f64, at: f64) -> Self {
+        Event {
+            kind,
+            device,
+            stream: 0,
+            bytes,
+            seconds,
+            at,
+            accesses: Vec::new(),
+        }
+    }
+
+    /// Attaches access annotations.
+    pub fn with_accesses(mut self, accesses: Vec<Access>) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Attaches a stream id.
+    pub fn on_stream(mut self, stream: u8) -> Self {
+        self.stream = stream;
+        self
+    }
+}
+
+/// An event log. Disabled by default; when enabled with a capacity it
+/// keeps the most recent `capacity` events; [`Trace::unbounded`] keeps
+/// everything (required for verification — a trace that evicted events
+/// cannot be certified).
 #[derive(Debug, Clone)]
 pub struct Trace {
     events: std::collections::VecDeque<Event>,
@@ -66,9 +329,27 @@ impl Trace {
         }
     }
 
+    /// An enabled trace that never evicts. Verification runs must use
+    /// this: the happens-before checker refuses (diagnostic `R400`) to
+    /// certify a trace with `dropped() > 0`, because evicted events could
+    /// hide the very hazard being checked for.
+    pub fn unbounded() -> Self {
+        Trace {
+            events: Default::default(),
+            capacity: usize::MAX,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
     /// Whether events are being recorded.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether this trace never evicts events.
+    pub fn is_unbounded(&self) -> bool {
+        self.capacity == usize::MAX
     }
 
     /// Records an event (no-op when disabled).
@@ -88,6 +369,16 @@ impl Trace {
         self.events.iter()
     }
 
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
     /// Number of events evicted due to the capacity bound.
     pub fn dropped(&self) -> usize {
         self.dropped
@@ -105,13 +396,7 @@ mod tests {
     use super::*;
 
     fn ev(kind: EventKind, bytes: usize) -> Event {
-        Event {
-            kind,
-            device: 0,
-            bytes,
-            seconds: 1e-6,
-            at: 0.0,
-        }
+        Event::new(kind, Device::Gpu(0), bytes, 1e-6, 0.0)
     }
 
     #[test]
@@ -120,6 +405,7 @@ mod tests {
         t.record(ev(EventKind::H2D, 10));
         assert_eq!(t.events().count(), 0);
         assert!(!t.is_enabled());
+        assert!(t.is_empty());
     }
 
     #[test]
@@ -131,14 +417,73 @@ mod tests {
         let kinds: Vec<_> = t.events().map(|e| e.kind).collect();
         assert_eq!(kinds, vec![EventKind::D2D, EventKind::Reuse]);
         assert_eq!(t.dropped(), 1);
+        assert!(!t.is_unbounded());
+    }
+
+    #[test]
+    fn unbounded_trace_never_drops() {
+        let mut t = Trace::unbounded();
+        for i in 0..10_000 {
+            t.record(ev(EventKind::H2D, i));
+        }
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_unbounded());
     }
 
     #[test]
     fn clear_resets() {
         let mut t = Trace::with_capacity(4);
-        t.record(ev(EventKind::Barrier, 0));
+        t.record(ev(EventKind::Barrier(BarrierScope::Batch), 0));
         t.clear();
         assert_eq!(t.events().count(), 0);
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn region_overlap_rules() {
+        use Region::*;
+        assert!(All.overlaps(Owned));
+        assert!(Owned.overlaps(All));
+        assert!(!Owned.overlaps(Fetched));
+        assert!(Chunk { gpu: 1, chunk: 2 }.overlaps(Chunk { gpu: 1, chunk: 2 }));
+        assert!(!Chunk { gpu: 1, chunk: 2 }.overlaps(Chunk { gpu: 1, chunk: 3 }));
+        assert!(!Part(0).overlaps(Part(1)));
+        assert!(Part(2).overlaps(Part(2)));
+        // Cross-variant: conservatively overlapping.
+        assert!(Owned.overlaps(Chunk { gpu: 0, chunk: 0 }));
+    }
+
+    #[test]
+    fn access_builders() {
+        let r = ResourceId::DevRep { gpu: 3 };
+        let a = Access::read(r, Region::Owned).with_gen(7);
+        assert_eq!(a.intent, Intent::Read);
+        assert_eq!(a.gen, Some(7));
+        assert_eq!(Access::write(r, Region::All).intent, Intent::Write);
+        assert_eq!(Access::accum(r, Region::All).intent, Intent::Accum);
+    }
+
+    #[test]
+    fn device_display_and_gpu() {
+        assert_eq!(Device::Host.to_string(), "host");
+        assert_eq!(Device::Gpu(2).to_string(), "gpu2");
+        assert_eq!(Device::Gpu(2).gpu(), Some(2));
+        assert_eq!(Device::Host.gpu(), None);
+    }
+
+    #[test]
+    fn resource_display_mentions_identity() {
+        assert_eq!(ResourceId::Rep { layer: 1 }.to_string(), "h^1");
+        assert!(ResourceId::AggCache {
+            layer: 0,
+            gpu: 1,
+            chunk: 2
+        }
+        .to_string()
+        .contains("[0][1][2]"));
+        assert!(ResourceId::Rep { layer: 0 }.initially_valid());
+        assert!(!ResourceId::Rep { layer: 1 }.initially_valid());
+        assert!(!ResourceId::DevRep { gpu: 0 }.initially_valid());
     }
 }

@@ -76,6 +76,34 @@ pub enum DiagCode {
     VP2pMismatch,
     /// Reported `V_+ru` differs from the independently recomputed value.
     VRuMismatch,
+
+    // ---- trace race pass (R4xx) ----
+    /// The trace cannot be certified: tracing was disabled or the bounded
+    /// trace evicted events (`dropped() > 0`), so absence of hazards in
+    /// what remains proves nothing.
+    TraceIncomplete,
+    /// Two unordered writes touch overlapping regions of one resource.
+    RaceWriteWrite,
+    /// A write and a read of overlapping regions are unordered — e.g. a
+    /// checkpoint reloaded before its store, or the in-place `ℕ^gpu`
+    /// window overwritten while a remote P2P read is outstanding.
+    RaceWriteRead,
+    /// A read of a resource no happens-before write ever populated.
+    ReadUnpopulated,
+    /// A generation-tagged read has no happens-before write of that
+    /// generation: the slot holds another batch's (stale) data.
+    StaleGeneration,
+    /// An atomic accumulate is unordered with a plain read or write of an
+    /// overlapping region (accumulates commute only with each other).
+    RaceAccum,
+
+    // ---- trace schedule pass (S5xx) ----
+    /// A resource was rewritten for a new batch generation with no
+    /// batch-scope barrier since the previous generation's writes.
+    BatchNotBarriered,
+    /// Two traces of the same plan differ by more than commutable
+    /// reorderings (the schedule is not deterministic).
+    NonDeterministicSchedule,
 }
 
 impl DiagCode {
@@ -104,6 +132,14 @@ impl DiagCode {
             DiagCode::VOriMismatch => "V301",
             DiagCode::VP2pMismatch => "V302",
             DiagCode::VRuMismatch => "V303",
+            DiagCode::TraceIncomplete => "R400",
+            DiagCode::RaceWriteWrite => "R401",
+            DiagCode::RaceWriteRead => "R402",
+            DiagCode::ReadUnpopulated => "R403",
+            DiagCode::StaleGeneration => "R404",
+            DiagCode::RaceAccum => "R405",
+            DiagCode::BatchNotBarriered => "S501",
+            DiagCode::NonDeterministicSchedule => "S502",
         }
     }
 
@@ -129,6 +165,13 @@ impl DiagCode {
             | DiagCode::CapacityExceeded
             | DiagCode::MergedSetWrong => "§6",
             DiagCode::VOriMismatch | DiagCode::VP2pMismatch | DiagCode::VRuMismatch => "§5.3",
+            DiagCode::TraceIncomplete | DiagCode::BatchNotBarriered => "§4.1",
+            DiagCode::RaceWriteWrite | DiagCode::RaceWriteRead | DiagCode::ReadUnpopulated => {
+                "§4.2"
+            }
+            DiagCode::StaleGeneration => "§5.2",
+            DiagCode::RaceAccum => "§5.1",
+            DiagCode::NonDeterministicSchedule => "§6",
         }
     }
 }
@@ -350,6 +393,14 @@ mod tests {
             DiagCode::VOriMismatch,
             DiagCode::VP2pMismatch,
             DiagCode::VRuMismatch,
+            DiagCode::TraceIncomplete,
+            DiagCode::RaceWriteWrite,
+            DiagCode::RaceWriteRead,
+            DiagCode::ReadUnpopulated,
+            DiagCode::StaleGeneration,
+            DiagCode::RaceAccum,
+            DiagCode::BatchNotBarriered,
+            DiagCode::NonDeterministicSchedule,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {

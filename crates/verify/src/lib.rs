@@ -24,18 +24,28 @@
 //! 4. [`verify_volumes`] — `V_ori`/`V_+p2p`/`V_+ru` recomputed
 //!    independently and cross-checked (`V301`–`V303`).
 //!
-//! See `DESIGN.md` ("Checked invariants") for the full code catalogue.
+//! A fifth, *dynamic* pass family certifies executed schedules rather
+//! than plans: [`verify_trace`] runs a vector-clock happens-before
+//! analysis over a recorded simulator trace (races, write-before-read,
+//! stale generations, batch barrier coverage — `R400`–`R405`, `S501`) and
+//! [`verify_determinism`] compares two traces of the same plan modulo
+//! commutable reorderings (`S502`).
+//!
+//! See `DESIGN.md` ("Checked invariants" and "Happens-before invariants")
+//! for the full code catalogue.
 
 pub mod buffers;
 pub mod dedup;
 pub mod diag;
 pub mod partition;
+pub mod trace;
 pub mod volumes;
 
 pub use buffers::{verify_all_buffers, verify_buffers};
 pub use dedup::verify_dedup;
 pub use diag::{DiagCode, Diagnostic, Location, Report, ValidationLevel};
 pub use partition::verify_partition;
+pub use trace::{verify_determinism, verify_trace};
 pub use volumes::{expected_volumes, verify_volumes};
 
 use hongtu_graph::Graph;

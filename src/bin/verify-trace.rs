@@ -1,0 +1,269 @@
+//! `verify-trace` — run the happens-before schedule checker against a
+//! recorded execution trace of the HongTu engine and print the report.
+//!
+//! Usage:
+//!   verify-trace [--dataset rdt|opt|it|opr|fds|all] [--gpus M] [--chunks N]
+//!                [--seed S] [--model gcn|gat|sage|gin|commnet|ggnn]
+//!                [--hidden H] [--layers L] [--comm vanilla|p2p|p2pru]
+//!                [--memory recompute|hybrid] [--epochs E] [--determinism]
+//!
+//! Builds the engine exactly as training would, records one (or more)
+//! epochs into an unbounded event trace, and runs the vector-clock
+//! happens-before analysis over it: data races on shared buffers,
+//! reads of unpopulated or stale checkpoint slots, and batch barrier
+//! coverage (`R4xx`/`S5xx` codes). With `--determinism`, a second
+//! identical engine is traced and the two schedules are compared modulo
+//! commutable reorderings (`S502`). Exits 0 if every trace is clean,
+//! 1 if any diagnostic fires (or on bad arguments).
+
+use hongtu_core::{CommMode, HongTuConfig, HongTuEngine, MemoryStrategy};
+use hongtu_datasets::{all_keys, load, DatasetKey};
+use hongtu_nn::ModelKind;
+use hongtu_sim::{MachineConfig, Trace};
+use hongtu_tensor::SeededRng;
+use hongtu_verify::{verify_determinism, verify_trace};
+
+struct Args {
+    datasets: Vec<DatasetKey>,
+    gpus: usize,
+    chunks: usize,
+    seed: u64,
+    model: ModelKind,
+    hidden: usize,
+    layers: usize,
+    comm: CommMode,
+    memory: MemoryStrategy,
+    epochs: usize,
+    determinism: bool,
+}
+
+const USAGE: &str = "usage: verify-trace [--dataset rdt|opt|it|opr|fds|all] \
+                     [--gpus M] [--chunks N] [--seed S] \
+                     [--model gcn|gat|sage|gin|commnet|ggnn] [--hidden H] [--layers L] \
+                     [--comm vanilla|p2p|p2pru] [--memory recompute|hybrid] \
+                     [--epochs E] [--determinism]";
+
+fn parse_dataset(s: &str) -> Result<Vec<DatasetKey>, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "rdt" => Ok(vec![DatasetKey::Rdt]),
+        "opt" => Ok(vec![DatasetKey::Opt]),
+        "it" => Ok(vec![DatasetKey::It]),
+        "opr" => Ok(vec![DatasetKey::Opr]),
+        "fds" => Ok(vec![DatasetKey::Fds]),
+        "all" => Ok(all_keys().to_vec()),
+        other => Err(format!(
+            "unknown dataset {other:?} (want rdt|opt|it|opr|fds|all)"
+        )),
+    }
+}
+
+fn parse_model(s: &str) -> Result<ModelKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "gcn" => Ok(ModelKind::Gcn),
+        "gat" => Ok(ModelKind::Gat),
+        "sage" => Ok(ModelKind::Sage),
+        "gin" => Ok(ModelKind::Gin),
+        "commnet" => Ok(ModelKind::CommNet),
+        "ggnn" => Ok(ModelKind::Ggnn),
+        other => Err(format!(
+            "unknown model {other:?} (want gcn|gat|sage|gin|commnet|ggnn)"
+        )),
+    }
+}
+
+fn parse_comm(s: &str) -> Result<CommMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "vanilla" => Ok(CommMode::Vanilla),
+        "p2p" => Ok(CommMode::P2p),
+        "p2pru" | "p2p+ru" => Ok(CommMode::P2pRu),
+        other => Err(format!(
+            "unknown comm mode {other:?} (want vanilla|p2p|p2pru)"
+        )),
+    }
+}
+
+fn parse_memory(s: &str) -> Result<MemoryStrategy, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "recompute" => Ok(MemoryStrategy::Recompute),
+        "hybrid" => Ok(MemoryStrategy::Hybrid),
+        other => Err(format!(
+            "unknown memory strategy {other:?} (want recompute|hybrid)"
+        )),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        datasets: vec![DatasetKey::Rdt],
+        gpus: 4,
+        chunks: 4,
+        seed: 42,
+        model: ModelKind::Gcn,
+        hidden: 16,
+        layers: 2,
+        comm: CommMode::P2pRu,
+        memory: MemoryStrategy::Hybrid,
+        epochs: 1,
+        determinism: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--dataset" => args.datasets = parse_dataset(&value("--dataset")?)?,
+            "--gpus" => {
+                args.gpus = value("--gpus")?
+                    .parse()
+                    .map_err(|e| format!("--gpus: {e}"))?
+            }
+            "--chunks" => {
+                args.chunks = value("--chunks")?
+                    .parse()
+                    .map_err(|e| format!("--chunks: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--model" => args.model = parse_model(&value("--model")?)?,
+            "--hidden" => {
+                args.hidden = value("--hidden")?
+                    .parse()
+                    .map_err(|e| format!("--hidden: {e}"))?
+            }
+            "--layers" => {
+                args.layers = value("--layers")?
+                    .parse()
+                    .map_err(|e| format!("--layers: {e}"))?
+            }
+            "--comm" => args.comm = parse_comm(&value("--comm")?)?,
+            "--memory" => args.memory = parse_memory(&value("--memory")?)?,
+            "--epochs" => {
+                args.epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--determinism" => args.determinism = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.gpus == 0 || args.chunks == 0 || args.layers == 0 || args.epochs == 0 {
+        return Err("--gpus, --chunks, --layers and --epochs must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+/// Trains `epochs` epochs under an unbounded trace and returns it.
+fn traced_epochs(args: &Args, ds: &hongtu_datasets::Dataset) -> Result<Trace, String> {
+    let machine = MachineConfig::scaled(args.gpus, 1 << 30);
+    let config = HongTuConfig {
+        comm: args.comm,
+        memory: args.memory,
+        reorganize: args.comm != CommMode::Vanilla,
+        machine,
+        lr: 0.01,
+        interleaved: true,
+        validation: hongtu_core::ValidationLevel::Plan,
+    };
+    let mut engine = HongTuEngine::new(
+        ds,
+        args.model,
+        args.hidden,
+        args.layers,
+        args.chunks,
+        config,
+    )
+    .map_err(|e| format!("engine construction failed: {e}"))?;
+    engine.machine_mut().enable_unbounded_trace();
+    for _ in 0..args.epochs {
+        engine
+            .train_epoch()
+            .map_err(|e| format!("training failed: {e}"))?;
+    }
+    Ok(engine.machine().trace().clone())
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut any_bad = false;
+    for key in &args.datasets {
+        let mut rng = SeededRng::new(args.seed);
+        let ds = load(*key, &mut rng);
+        println!(
+            "{} ({}): |V| = {}, |E| = {}, {} {}x{} on {} GPUs x {} chunks, {:?}/{:?}, {} epoch(s)",
+            key.abbrev(),
+            key.real_name(),
+            ds.num_vertices(),
+            ds.num_edges(),
+            args.model.name(),
+            args.hidden,
+            args.layers,
+            args.gpus,
+            args.chunks,
+            args.comm,
+            args.memory,
+            args.epochs,
+        );
+
+        let trace = match traced_epochs(&args, &ds) {
+            Ok(t) => t,
+            Err(msg) => {
+                eprintln!("  {msg}");
+                std::process::exit(1);
+            }
+        };
+        let report = verify_trace(&trace);
+        if report.is_ok() {
+            println!("  {} events: schedule certified clean", trace.len());
+        } else {
+            any_bad = true;
+            println!(
+                "  {} events, {} diagnostic(s):",
+                trace.len(),
+                report.diagnostics.len()
+            );
+            for line in report.render().lines() {
+                println!("    {line}");
+            }
+        }
+
+        if args.determinism {
+            let second = match traced_epochs(&args, &ds) {
+                Ok(t) => t,
+                Err(msg) => {
+                    eprintln!("  {msg}");
+                    std::process::exit(1);
+                }
+            };
+            let report = verify_determinism(&trace, &second);
+            if report.is_ok() {
+                println!("  determinism: second run produced an equivalent schedule");
+            } else {
+                any_bad = true;
+                println!("  determinism: {} diagnostic(s):", report.diagnostics.len());
+                for line in report.render().lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+        println!();
+    }
+    std::process::exit(if any_bad { 1 } else { 0 });
+}

@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> verify-trace smoke run (happens-before schedule certification)"
+cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
