@@ -9,7 +9,7 @@
 //!     [--no-reorg] [--seed N] [--save model.htgm] [--quiet]
 //! ```
 
-use hongtu_core::{CommMode, HongTuConfig, HongTuEngine, MemoryStrategy};
+use hongtu_core::{CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy};
 use hongtu_datasets::{load, DatasetKey};
 use hongtu_nn::ModelKind;
 use hongtu_sim::MachineConfig;
@@ -31,6 +31,7 @@ struct Args {
     seed: u64,
     save: Option<String>,
     quiet: bool,
+    exec: ExecutionMode,
 }
 
 impl Default for Args {
@@ -50,6 +51,7 @@ impl Default for Args {
             seed: 42,
             save: None,
             quiet: false,
+            exec: ExecutionMode::Sequential,
         }
     }
 }
@@ -60,7 +62,7 @@ fn usage() -> ! {
          \x20            [--layers N] [--hidden N] [--epochs N] [--chunks N] [--gpus N]\n\
          \x20            [--gpu-mem-mb N] [--comm full|p2p|vanilla]\n\
          \x20            [--memory hybrid|recompute] [--no-reorg] [--seed N]\n\
-         \x20            [--save FILE] [--quiet]"
+         \x20            [--exec sequential|parallel] [--save FILE] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -123,6 +125,13 @@ fn parse_args() -> Args {
                     _ => bad("--memory", &value),
                 }
             }
+            "--exec" => {
+                args.exec = match value.to_lowercase().as_str() {
+                    "sequential" | "seq" => ExecutionMode::Sequential,
+                    "parallel" | "par" => ExecutionMode::Parallel,
+                    _ => bad("--exec", &value),
+                }
+            }
             "--save" => args.save = Some(value),
             "--layers" | "--hidden" | "--epochs" | "--chunks" | "--gpus" | "--gpu-mem-mb"
             | "--seed" => {
@@ -171,6 +180,7 @@ fn main() {
         lr: 0.01,
         interleaved: true,
         validation: hongtu_core::engine::ValidationLevel::Plan,
+        exec: args.exec,
     };
     let mut engine = match HongTuEngine::new(
         &dataset,

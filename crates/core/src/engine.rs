@@ -28,11 +28,13 @@ use hongtu_datasets::Dataset;
 use hongtu_nn::{masked_cross_entropy, GnnModel, LayerGrads, MaskedLoss, ModelKind};
 use hongtu_partition::TwoLevelPartition;
 use hongtu_sim::{
-    Access, BarrierScope, Machine, MachineConfig, Region, ResourceId, SimError, TimeBuckets, Trace,
+    Access, BarrierScope, Machine, MachineConfig, Region, ResourceId, SimError, TimeBuckets,
+    Timeline, Trace,
 };
 use hongtu_tensor::{Adam, Matrix, SeededRng};
 use hongtu_verify::Report;
 pub use hongtu_verify::ValidationLevel;
+use std::sync::mpsc::{self, Receiver, Sender};
 
 const F32: usize = std::mem::size_of::<f32>();
 
@@ -60,6 +62,20 @@ pub enum MemoryStrategy {
     Hybrid,
 }
 
+/// How the engine drives the m simulated GPUs of each batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One thread charges every GPU's work in program order — the
+    /// reference schedule, cheapest for tiny graphs.
+    Sequential,
+    /// One worker thread per simulated GPU on the `hongtu-parallel`
+    /// work-stealing pool, joined at the same phase/batch barriers the
+    /// sequential schedule uses. Losses, gradients, and simulated clocks
+    /// are bitwise identical to `Sequential` (and for interleaved
+    /// schedules the event trace is too); only host wall-clock changes.
+    Parallel,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct HongTuConfig {
@@ -79,8 +95,12 @@ pub struct HongTuConfig {
     pub interleaved: bool,
     /// Static plan verification (`hongtu-verify`). The default, `Plan`,
     /// checks all four passes once at construction; `Paranoid` re-checks
-    /// the graph-free passes every epoch in debug builds.
+    /// the graph-free passes every epoch and schedule-certifies each
+    /// epoch's event trace.
     pub validation: ValidationLevel,
+    /// Host-side execution of the per-GPU work. Does not change any
+    /// simulated quantity — only how many OS threads drive the epoch.
+    pub exec: ExecutionMode,
 }
 
 impl HongTuConfig {
@@ -94,6 +114,7 @@ impl HongTuConfig {
             lr: 0.01,
             interleaved: true,
             validation: ValidationLevel::Plan,
+            exec: ExecutionMode::Sequential,
         }
     }
 
@@ -109,6 +130,7 @@ impl HongTuConfig {
             lr: 0.01,
             interleaved: true,
             validation: ValidationLevel::Plan,
+            exec: ExecutionMode::Sequential,
         }
     }
 }
@@ -201,6 +223,43 @@ struct BatchComm {
     d2d_rows: Vec<usize>,
     reused_rows: usize,
     buffer_rows: usize,
+}
+
+/// Immutable view of the engine state a per-GPU step needs, split off
+/// from the engine so worker threads can share it while each thread
+/// mutates its own [`GpuShard`]. Built with the [`ctx!`] macro, whose
+/// field-by-field expansion gives the borrow checker disjoint borrows
+/// alongside `&mut self.machine`.
+struct StepCtx<'a> {
+    plan: &'a TwoLevelPartition,
+    dedup: &'a DedupPlan,
+    buffer_comm: Option<&'a [Vec<BatchComm>]>,
+    model: &'a GnnModel,
+    comm: CommMode,
+    memory: MemoryStrategy,
+    interleaved: bool,
+    h: &'a [Matrix],
+    grad_h: &'a [Matrix],
+    agg_cache: &'a [Vec<Vec<Option<Matrix>>>],
+}
+
+/// Builds a [`StepCtx`] from `&self` via direct field expressions, so the
+/// engine's `machine` field stays independently borrowable as `&mut`.
+macro_rules! ctx {
+    ($engine:expr) => {
+        StepCtx {
+            plan: &$engine.plan,
+            dedup: &$engine.dedup,
+            buffer_comm: $engine.buffer_comm.as_deref(),
+            model: &$engine.model,
+            comm: $engine.config.comm,
+            memory: $engine.config.memory,
+            interleaved: $engine.config.interleaved,
+            h: &$engine.h,
+            grad_h: &$engine.grad_h,
+            agg_cache: &$engine.agg_cache,
+        }
+    };
 }
 
 /// The HongTu training engine.
@@ -448,17 +507,17 @@ impl HongTuEngine {
     /// Runs one full training epoch (Algorithm 1). Returns the loss and the
     /// simulated time spent.
     ///
-    /// Under [`ValidationLevel::Paranoid`] (debug builds), the epoch is
-    /// additionally *schedule-certified*: it runs under an unbounded event
-    /// trace and the happens-before checker (`hongtu-verify`'s trace pass)
-    /// must find no race or ordering hazard, else the epoch fails with
-    /// [`SimError::InvalidSchedule`].
+    /// Under [`ValidationLevel::Paranoid`], the epoch is additionally
+    /// *schedule-certified*: it runs under an unbounded event trace and
+    /// the happens-before checker (`hongtu-verify`'s trace pass) must
+    /// find no race or ordering hazard, else the epoch fails with
+    /// [`SimError::InvalidSchedule`]. This applies in release builds too —
+    /// opting into `Paranoid` buys the certification, whatever the build
+    /// profile; it also certifies the parallel executor's schedules.
     pub fn train_epoch(&mut self) -> Result<EpochReport, SimError> {
         // Paranoid: re-run the graph-free verifier passes before touching
         // the plans again (catches accidental in-training mutation).
-        // Debug builds only — release epochs stay full speed.
-        let paranoid =
-            cfg!(debug_assertions) && self.config.validation == ValidationLevel::Paranoid;
+        let paranoid = self.config.validation == ValidationLevel::Paranoid;
         if paranoid {
             if let Some(bufs) = &self.paranoid_bufs {
                 let report = hongtu_verify::verify_runtime(&self.plan, &self.dedup, bufs);
@@ -501,6 +560,7 @@ impl HongTuEngine {
         // remote GPUs pushed); those windows are separated by phase
         // barriers. Vanilla batches touch only per-GPU state.
         let phased = self.config.comm != CommMode::Vanilla;
+        let parallel = self.config.exec == ExecutionMode::Parallel;
 
         for g in &mut self.grad_h {
             g.fill_zero();
@@ -515,19 +575,11 @@ impl HongTuEngine {
         // ---- forward pass (Alg 1, lines 4–9) ----
         for l in 0..l_count {
             for j in 0..n {
-                let mut loads = Vec::with_capacity(m);
-                for i in 0..m {
-                    loads.push(self.forward_load(l, i, j)?);
+                if parallel {
+                    self.forward_batch_parallel(l, j, phased)?;
+                } else {
+                    self.forward_batch_sequential(l, j, phased)?;
                 }
-                if phased {
-                    // Host loads populate the transition rows that remote
-                    // GPUs fetch over P2P in the next phase.
-                    self.machine.sync(BarrierScope::Phase);
-                }
-                for (i, load) in loads.iter().enumerate() {
-                    self.forward_compute(l, i, j, load.buf_bytes)?;
-                }
-                self.machine.sync(BarrierScope::Batch);
             }
         }
 
@@ -550,25 +602,11 @@ impl HongTuEngine {
         let mut grads: Vec<Vec<LayerGrads>> = (0..m).map(|_| self.model.zero_grads()).collect();
         for l in (0..l_count).rev() {
             for j in 0..n {
-                let mut loads = Vec::with_capacity(m);
-                for i in 0..m {
-                    loads.push(self.backward_load(l, i, j)?);
+                if parallel {
+                    self.backward_batch_parallel(l, j, phased, &mut grads)?;
+                } else {
+                    self.backward_batch_sequential(l, j, phased, &mut grads)?;
                 }
-                if phased {
-                    self.machine.sync(BarrierScope::Phase);
-                }
-                for (i, load) in loads.iter().enumerate() {
-                    self.backward_compute(l, i, j, load, &mut grads[i][l])?;
-                }
-                if phased {
-                    // Evictions read the transition-gradient buffers that
-                    // remote GPUs accumulate into during the compute phase.
-                    self.machine.sync(BarrierScope::Phase);
-                }
-                for (i, load) in loads.iter().enumerate() {
-                    self.backward_evict(l, i, j, load);
-                }
-                self.machine.sync(BarrierScope::Batch);
             }
         }
 
@@ -600,267 +638,324 @@ impl HongTuEngine {
         })
     }
 
-    /// Load phase of forward batch `j` at layer `l` for GPU `i`:
-    /// Algorithm 2's host-side loads (ℕ^cpu over PCIe, ℕ^gpu in-place
-    /// reuse). Inter-GPU fetches wait for the phase barrier.
-    fn forward_load(&mut self, l: usize, i: usize, j: usize) -> Result<FwLoad, SimError> {
-        let row = self.model.layer(l).in_dim() * F32;
-        let rows = charge_neighbor_host_load(
-            &mut self.machine,
-            &self.plan,
-            &self.dedup,
-            self.buffer_comm.as_deref(),
-            self.config.comm,
-            l,
-            i,
-            j,
-            row,
-        )?;
-        Ok(FwLoad {
-            buf_bytes: rows * row,
-        })
-    }
-
-    /// Compute phase of forward batch `j` at layer `l` for GPU `i`:
-    /// inter-GPU fetches, the real layer numerics, and the `h^{l+1}`
-    /// writeback (Alg 1 line 9) plus the hybrid checkpoint store.
-    fn forward_compute(
+    /// One forward batch on the sequential executor: per-GPU steps run in
+    /// GPU index order against the machine's own timeline. Host-store
+    /// writes are applied after the compute loop — a bitwise no-op
+    /// relative to inline application (destination rows are disjoint
+    /// across the batch's chunks and nothing reads `h^{l+1}` before the
+    /// batch barrier) that pins the write point to the same place the
+    /// parallel executor uses.
+    fn forward_batch_sequential(
         &mut self,
         l: usize,
-        i: usize,
         j: usize,
-        buf_bytes: usize,
+        phased: bool,
     ) -> Result<(), SimError> {
-        let chunk = &self.plan.chunks[i][j];
-        let layer = self.model.layer(l);
-        let in_dim = layer.in_dim();
-        let out_dim = layer.out_dim();
-        let row = in_dim * F32;
+        let m = self.plan.m;
+        let mut loads = Vec::with_capacity(m);
+        {
+            let ctx = ctx!(self);
+            for i in 0..m {
+                loads.push(forward_load_step(&ctx, &mut self.machine, l, i, j)?);
+            }
+        }
+        if phased {
+            // Host loads populate the transition rows that remote GPUs
+            // fetch over P2P in the next phase.
+            self.machine.sync(BarrierScope::Phase);
+        }
+        let mut outs = Vec::with_capacity(m);
+        {
+            let ctx = ctx!(self);
+            for (i, load) in loads.iter().enumerate() {
+                outs.push(forward_compute_step(
+                    &ctx,
+                    &mut self.machine,
+                    l,
+                    i,
+                    j,
+                    load.buf_bytes,
+                    &NbrFeed::Direct,
+                )?);
+            }
+        }
+        self.apply_forward_outs(l, j, outs);
+        self.machine.sync(BarrierScope::Batch);
+        Ok(())
+    }
 
-        // -- GPU memory for this batch --
-        let topo = chunk.topology_bytes();
-        let out_bytes = chunk.num_dests() * out_dim * F32;
-        let inter = layer.intermediate_bytes(chunk);
-        self.machine.alloc(i, topo, "chunk topology")?;
-        self.machine.alloc(i, out_bytes, "layer output")?;
-        self.machine.alloc(i, inter, "intermediate data")?;
-        if l == 0 {
-            // Topology streamed in once per epoch (reused across layers).
-            self.machine
-                .tag([Access::write(topology(i), chunk_region(i, j))]);
-            self.machine.h2d(i, topo);
+    /// One forward batch on the parallel executor: the m GPUs' load and
+    /// compute steps each run on worker threads against forked per-GPU
+    /// timeline shards, joined in GPU index order at exactly the points
+    /// where the sequential executor places its barriers. Owner GPUs hand
+    /// the neighbor rows they serve over typed channels during the load
+    /// phase, so the compute phase never blocks on a receive.
+    fn forward_batch_parallel(&mut self, l: usize, j: usize, phased: bool) -> Result<(), SimError> {
+        let m = self.plan.m;
+        // -- load phase (plus P2P serves into the per-GPU channels) --
+        let mut shards = self.machine.fork_shards();
+        let (txs, rxs): (Vec<Sender<ServeBlock>>, Vec<Receiver<ServeBlock>>) =
+            (0..m).map(|_| mpsc::channel()).unzip();
+        let mut load_slots: Vec<Option<Result<FwLoad, SimError>>> = (0..m).map(|_| None).collect();
+        {
+            let ctx = ctx!(self);
+            let ctx = &ctx;
+            let txs = &txs;
+            hongtu_parallel::global().scope(|s| {
+                for (shard, slot) in shards.iter_mut().zip(load_slots.iter_mut()) {
+                    let txs = txs.to_vec();
+                    s.spawn(move || {
+                        let i = shard.gpu();
+                        let r = forward_load_step(ctx, shard, l, i, j);
+                        if phased && r.is_ok() {
+                            serve_neighbor_rows(ctx, l, i, j, &txs);
+                        }
+                        *slot = Some(r);
+                    });
+                }
+            });
+        }
+        drop(txs);
+        self.machine.join_shards(shards);
+        let loads = collect_slots(load_slots)?;
+        if phased {
+            self.machine.sync(BarrierScope::Phase);
         }
 
-        // -- inter-GPU fetches (Algorithm 2): sources resident post-barrier --
-        charge_neighbor_fetch(
-            &mut self.machine,
-            &self.plan,
-            &self.dedup,
-            self.buffer_comm.as_deref(),
-            self.config.comm,
-            self.config.interleaved,
-            i,
-            j,
-            row,
-        );
+        // -- compute phase --
+        let mut shards = self.machine.fork_shards();
+        let mut out_slots: Vec<Option<Result<FwOut, SimError>>> = (0..m).map(|_| None).collect();
+        {
+            let ctx = ctx!(self);
+            let ctx = &ctx;
+            hongtu_parallel::global().scope(|s| {
+                for (((shard, slot), load), rx) in shards
+                    .iter_mut()
+                    .zip(out_slots.iter_mut())
+                    .zip(loads.iter())
+                    .zip(rxs)
+                {
+                    s.spawn(move || {
+                        let i = shard.gpu();
+                        let feed = if phased {
+                            NbrFeed::Served(rx.try_iter().collect())
+                        } else {
+                            NbrFeed::Direct
+                        };
+                        *slot = Some(forward_compute_step(
+                            ctx,
+                            shard,
+                            l,
+                            i,
+                            j,
+                            load.buf_bytes,
+                            &feed,
+                        ));
+                    });
+                }
+            });
+        }
+        self.machine.join_shards(shards);
+        let outs = collect_slots(out_slots)?;
+        self.apply_forward_outs(l, j, outs);
+        self.machine.sync(BarrierScope::Batch);
+        Ok(())
+    }
 
-        // -- real numerics --
-        let h_nbr = self.h[l].gather_rows(
-            &chunk
+    /// Applies a forward batch's host-store writes in GPU index order
+    /// (the fixed reduction order of the determinism contract): the
+    /// `h^{l+1}` scatter (Alg 1 line 9) and the hybrid checkpoint store.
+    fn apply_forward_outs(&mut self, l: usize, j: usize, outs: Vec<FwOut>) {
+        for (i, out) in outs.into_iter().enumerate() {
+            let dest_idx: Vec<usize> = self.plan.chunks[i][j]
+                .dests
+                .iter()
+                .map(|&v| v as usize)
+                .collect();
+            self.h[l + 1].scatter_rows(&dest_idx, &out.out);
+            if let Some(agg) = out.agg {
+                self.agg_cache[l][i][j] = Some(agg);
+            }
+        }
+    }
+
+    /// One backward batch on the sequential executor; like
+    /// [`HongTuEngine::forward_batch_sequential`], the overlapping
+    /// `∇h^l` accumulations are applied after the compute loop in GPU
+    /// index order (identical f32 summation order to inline application,
+    /// since the loop itself ran in that order and nothing in it reads
+    /// `∇h^l`).
+    fn backward_batch_sequential(
+        &mut self,
+        l: usize,
+        j: usize,
+        phased: bool,
+        grads: &mut [Vec<LayerGrads>],
+    ) -> Result<(), SimError> {
+        let m = self.plan.m;
+        let mut loads = Vec::with_capacity(m);
+        {
+            let ctx = ctx!(self);
+            for i in 0..m {
+                loads.push(backward_load_step(&ctx, &mut self.machine, l, i, j)?);
+            }
+        }
+        if phased {
+            self.machine.sync(BarrierScope::Phase);
+        }
+        let mut grad_nbrs = Vec::with_capacity(m);
+        {
+            let ctx = ctx!(self);
+            for (i, load) in loads.iter().enumerate() {
+                grad_nbrs.push(backward_compute_step(
+                    &ctx,
+                    &mut self.machine,
+                    l,
+                    i,
+                    j,
+                    load,
+                    &mut grads[i][l],
+                    &NbrFeed::Direct,
+                )?);
+            }
+        }
+        self.apply_backward_grads(l, j, grad_nbrs);
+        if phased {
+            // Evictions read the transition-gradient buffers that remote
+            // GPUs accumulate into during the compute phase.
+            self.machine.sync(BarrierScope::Phase);
+        }
+        {
+            let ctx = ctx!(self);
+            for (i, load) in loads.iter().enumerate() {
+                backward_evict_step(&ctx, &mut self.machine, l, i, j, load);
+            }
+        }
+        self.machine.sync(BarrierScope::Batch);
+        Ok(())
+    }
+
+    /// One backward batch on the parallel executor: load / compute /
+    /// evict sub-phases each fork per-GPU shards, and the recompute
+    /// path's neighbor reload is fed through the same typed serve
+    /// channels as the forward pass.
+    fn backward_batch_parallel(
+        &mut self,
+        l: usize,
+        j: usize,
+        phased: bool,
+        grads: &mut [Vec<LayerGrads>],
+    ) -> Result<(), SimError> {
+        let m = self.plan.m;
+        // The hybrid path reloads the cached aggregate instead of
+        // neighbor representations — no serves needed.
+        let serve = phased
+            && !(self.config.memory == MemoryStrategy::Hybrid
+                && self.model.layer(l).supports_agg_cache());
+
+        // -- load phase (plus serves for the recompute reload) --
+        let mut shards = self.machine.fork_shards();
+        let (txs, rxs): (Vec<Sender<ServeBlock>>, Vec<Receiver<ServeBlock>>) =
+            (0..m).map(|_| mpsc::channel()).unzip();
+        let mut load_slots: Vec<Option<Result<BwLoad, SimError>>> = (0..m).map(|_| None).collect();
+        {
+            let ctx = ctx!(self);
+            let ctx = &ctx;
+            let txs = &txs;
+            hongtu_parallel::global().scope(|s| {
+                for (shard, slot) in shards.iter_mut().zip(load_slots.iter_mut()) {
+                    let txs = txs.to_vec();
+                    s.spawn(move || {
+                        let i = shard.gpu();
+                        let r = backward_load_step(ctx, shard, l, i, j);
+                        if serve && r.is_ok() {
+                            serve_neighbor_rows(ctx, l, i, j, &txs);
+                        }
+                        *slot = Some(r);
+                    });
+                }
+            });
+        }
+        drop(txs);
+        self.machine.join_shards(shards);
+        let loads = collect_slots(load_slots)?;
+        if phased {
+            self.machine.sync(BarrierScope::Phase);
+        }
+
+        // -- compute phase --
+        let mut shards = self.machine.fork_shards();
+        let mut out_slots: Vec<Option<Result<Matrix, SimError>>> = (0..m).map(|_| None).collect();
+        {
+            let ctx = ctx!(self);
+            let ctx = &ctx;
+            hongtu_parallel::global().scope(|s| {
+                for ((((shard, slot), load), gpu_grads), rx) in shards
+                    .iter_mut()
+                    .zip(out_slots.iter_mut())
+                    .zip(loads.iter())
+                    .zip(grads.iter_mut())
+                    .zip(rxs)
+                {
+                    s.spawn(move || {
+                        let i = shard.gpu();
+                        let feed = if serve {
+                            NbrFeed::Served(rx.try_iter().collect())
+                        } else {
+                            NbrFeed::Direct
+                        };
+                        *slot = Some(backward_compute_step(
+                            ctx,
+                            shard,
+                            l,
+                            i,
+                            j,
+                            load,
+                            &mut gpu_grads[l],
+                            &feed,
+                        ));
+                    });
+                }
+            });
+        }
+        self.machine.join_shards(shards);
+        let grad_nbrs = collect_slots(out_slots)?;
+        self.apply_backward_grads(l, j, grad_nbrs);
+        if phased {
+            self.machine.sync(BarrierScope::Phase);
+        }
+
+        // -- evict phase --
+        let mut shards = self.machine.fork_shards();
+        {
+            let ctx = ctx!(self);
+            let ctx = &ctx;
+            hongtu_parallel::global().scope(|s| {
+                for (shard, load) in shards.iter_mut().zip(loads.iter()) {
+                    s.spawn(move || {
+                        let i = shard.gpu();
+                        backward_evict_step(ctx, shard, l, i, j, load);
+                    });
+                }
+            });
+        }
+        self.machine.join_shards(shards);
+        self.machine.sync(BarrierScope::Batch);
+        Ok(())
+    }
+
+    /// Accumulates a backward batch's neighbor gradients into the host
+    /// store in GPU index order — neighbor sets overlap across GPUs, so
+    /// this fixed order *is* the determinism contract for `∇h^l`.
+    fn apply_backward_grads(&mut self, l: usize, j: usize, grad_nbrs: Vec<Matrix>) {
+        for (i, grad_nbr) in grad_nbrs.into_iter().enumerate() {
+            let nbr_idx: Vec<usize> = self.plan.chunks[i][j]
                 .neighbors
                 .iter()
                 .map(|&v| v as usize)
-                .collect::<Vec<_>>(),
-        );
-        let f = layer.forward(chunk, &h_nbr);
-        let flops = layer.forward_flops(chunk);
-        self.machine.tag([
-            Access::read(dev_rep(i), Region::All),
-            Access::read(topology(i), chunk_region(i, j)),
-        ]);
-        self.machine.gpu_dense(i, flops.dense);
-        self.machine.gpu_edge(i, flops.edge);
-
-        // -- write back h^{l+1}_{V_ij} (line 9) --
-        let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
-        self.h[l + 1].scatter_rows(&dest_idx, &f.out);
-        self.machine
-            .tag([Access::write(rep(l + 1), chunk_region(i, j))]);
-        self.machine.d2h(i, out_bytes);
-
-        // -- hybrid checkpoint --
-        if self.config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache() {
-            let agg = f.agg.expect("cache-capable layer must emit an aggregate");
-            self.machine
-                .tag([Access::write(agg_slot(l, i, j), Region::All)]);
-            self.machine.d2h(i, agg.byte_size());
-            self.agg_cache[l][i][j] = Some(agg);
+                .collect();
+            self.grad_h[l].scatter_add_rows(&nbr_idx, &grad_nbr);
         }
-
-        // -- release this batch's data (checkpointed to CPU) --
-        self.machine.free(i, topo + out_bytes + inter + buf_bytes);
-        // Track the neighbor buffer inside the same alloc/free window.
-        Ok(())
-    }
-
-    /// Load phase of backward batch `j` at layer `l` for GPU `i`
-    /// (Alg 1 lines 14–16): the `∇h^{l+1}` load plus the
-    /// strategy-dependent checkpoint reload (cached aggregate for the
-    /// hybrid path, dedup neighbor reload for recomputation).
-    fn backward_load(&mut self, l: usize, i: usize, j: usize) -> Result<BwLoad, SimError> {
-        let chunk = &self.plan.chunks[i][j];
-        let layer = self.model.layer(l);
-        let in_dim = layer.in_dim();
-        let out_dim = layer.out_dim();
-        let row = in_dim * F32;
-        let use_hybrid = self.config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
-
-        // -- load ∇h^{l+1}_{V_ij} from CPU (line 16) --
-        let grad_out_bytes = chunk.num_dests() * out_dim * F32;
-        self.machine.tag([Access::read(grad(l + 1), Region::All)]);
-        self.machine.h2d(i, grad_out_bytes);
-        let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
-        let grad_out = self.grad_h[l + 1].gather_rows(&dest_idx);
-
-        let topo = chunk.topology_bytes();
-        self.machine.alloc(i, topo, "chunk topology (bwd)")?;
-        let inter = layer.intermediate_bytes(chunk);
-        self.machine.alloc(i, inter, "regenerated intermediates")?;
-
-        let buf_bytes = if use_hybrid {
-            // Load the cached aggregate (O(|V_ij|) H2D).
-            let bytes = self.agg_cache[l][i][j]
-                .as_ref()
-                .expect("hybrid checkpoint missing — was forward run?")
-                .byte_size();
-            self.machine.alloc(i, bytes, "aggregate checkpoint")?;
-            self.machine
-                .tag([Access::read(agg_slot(l, i, j), Region::All)]);
-            self.machine.h2d(i, bytes);
-            bytes
-        } else {
-            // Reload h^l_{N_ij} through dedup comm (host half).
-            let rows = charge_neighbor_host_load(
-                &mut self.machine,
-                &self.plan,
-                &self.dedup,
-                self.buffer_comm.as_deref(),
-                self.config.comm,
-                l,
-                i,
-                j,
-                row,
-            )?;
-            rows * row
-        };
-        Ok(BwLoad {
-            grad_out,
-            topo,
-            inter,
-            buf_bytes,
-        })
-    }
-
-    /// Compute phase of backward batch `j` at layer `l` for GPU `i`
-    /// (Algorithm 3): recompute + gradient numerics, local gradient
-    /// accumulation into the merged transition-gradient buffer, and the
-    /// inter-GPU gradient pushes.
-    fn backward_compute(
-        &mut self,
-        l: usize,
-        i: usize,
-        j: usize,
-        load: &BwLoad,
-        grads: &mut LayerGrads,
-    ) -> Result<(), SimError> {
-        let chunk = &self.plan.chunks[i][j];
-        let layer = self.model.layer(l);
-        let row = layer.in_dim() * F32;
-        let use_hybrid = self.config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
-        let fwd = layer.forward_flops(chunk);
-        let bwd = layer.backward_flops(chunk);
-        // Neighbor gradients land in the merged transition-gradient buffer
-        // via atomic accumulation, which commutes with remote pushes
-        // arriving during the same phase.
-        let acc = Access::accum(dev_grad(i), Region::All).with_gen(j as u32);
-
-        let grad_nbr = if use_hybrid {
-            // Recompute UPDATE only from the cached aggregate.
-            let agg = self.agg_cache[l][i][j]
-                .as_ref()
-                .expect("hybrid checkpoint missing — was forward run?");
-            self.machine
-                .tag([Access::read(topology(i), chunk_region(i, j)), acc]);
-            self.machine.gpu_dense(i, fwd.dense); // UPDATE recompute
-            self.machine.gpu_dense(i, bwd.dense);
-            self.machine.gpu_edge(i, bwd.edge);
-            layer.backward_from_agg(chunk, agg, &load.grad_out, grads)
-        } else {
-            // Inter-GPU half of the neighbor reload, then full re-forward.
-            charge_neighbor_fetch(
-                &mut self.machine,
-                &self.plan,
-                &self.dedup,
-                self.buffer_comm.as_deref(),
-                self.config.comm,
-                self.config.interleaved,
-                i,
-                j,
-                row,
-            );
-            let h_nbr = self.h[l].gather_rows(
-                &chunk
-                    .neighbors
-                    .iter()
-                    .map(|&v| v as usize)
-                    .collect::<Vec<_>>(),
-            );
-            self.machine.tag([
-                Access::read(dev_rep(i), Region::All),
-                Access::read(topology(i), chunk_region(i, j)),
-                acc,
-            ]);
-            self.machine.gpu_dense(i, fwd.dense); // full re-forward
-            self.machine.gpu_edge(i, fwd.edge);
-            self.machine.gpu_dense(i, bwd.dense);
-            self.machine.gpu_edge(i, bwd.edge);
-            layer.backward_from_input(chunk, &h_nbr, &load.grad_out, grads)
-        };
-
-        // -- numerics: accumulate ∇h^l over neighbor replicas --
-        let nbr_idx: Vec<usize> = chunk.neighbors.iter().map(|&v| v as usize).collect();
-        self.grad_h[l].scatter_add_rows(&nbr_idx, &grad_nbr);
-
-        // -- push remote transition gradients to their owner GPUs --
-        charge_gradient_push(
-            &mut self.machine,
-            &self.plan,
-            &self.dedup,
-            self.config.comm,
-            i,
-            j,
-            row,
-        );
-        Ok(())
-    }
-
-    /// Evict phase of backward batch `j` at layer `l` for GPU `i`: all
-    /// pushes into this GPU's gradient buffer have landed (phase
-    /// barrier), so evict to the host store and release batch memory.
-    fn backward_evict(&mut self, l: usize, i: usize, j: usize, load: &BwLoad) {
-        let row = self.model.layer(l).in_dim() * F32;
-        charge_gradient_evict(
-            &mut self.machine,
-            &self.plan,
-            &self.dedup,
-            self.config.comm,
-            l,
-            i,
-            j,
-            row,
-        );
-        self.machine
-            .free(i, load.topo + load.inter + load.buf_bytes);
     }
 
     /// Mutable access to the simulated machine, e.g. to enable the
@@ -885,46 +980,364 @@ struct BwLoad {
     buf_bytes: usize,
 }
 
+/// Output of one GPU's forward compute step. The `h^{l+1}` scatter and
+/// the hybrid checkpoint store are applied by the leader after the
+/// compute phase, in GPU index order, so worker threads never write the
+/// shared host store.
+struct FwOut {
+    out: Matrix,
+    agg: Option<Matrix>,
+}
+
+/// Rows of `h^l` that owner GPU `src` serves to a fetching GPU, handed
+/// through a typed channel during the load phase of a parallel batch.
+struct ServeBlock {
+    src: usize,
+    rows: Matrix,
+}
+
+/// Where a compute step's neighbor representations come from.
+enum NbrFeed {
+    /// Gather straight from the host store (sequential executor, and
+    /// parallel phases without inter-GPU serves).
+    Direct,
+    /// Blocks served by remote owner GPUs over typed channels; rows this
+    /// GPU owns still come from the host store.
+    Served(Vec<ServeBlock>),
+}
+
+/// Unwraps the per-GPU result slots filled by a parallel phase. Every
+/// worker runs to completion before the scope returns, so on error the
+/// machine state is consistent and the *lowest-indexed* failure is
+/// propagated (errors are terminal, so sequential/parallel machine-state
+/// parity is not required past this point).
+fn collect_slots<V>(slots: Vec<Option<Result<V, SimError>>>) -> Result<Vec<V>, SimError> {
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker task did not run"))
+        .collect()
+}
+
+/// Sends every neighbor row owned by `server` that a remote GPU needs for
+/// batch `j` down that GPU's channel, in neighbor order. All sends finish
+/// inside the load phase — before any compute step receives — so the
+/// compute-phase drain never blocks, at any pool size. The simulated
+/// *cost* of inter-GPU traffic is charged separately (per the dedup plan)
+/// by [`charge_neighbor_fetch`]; these channels only carry the data.
+fn serve_neighbor_rows(
+    ctx: &StepCtx,
+    l: usize,
+    server: usize,
+    j: usize,
+    txs: &[Sender<ServeBlock>],
+) {
+    let owner = &ctx.plan.assignment.partition_of;
+    for (i, tx) in txs.iter().enumerate() {
+        if i == server {
+            continue;
+        }
+        let idx: Vec<usize> = ctx.plan.chunks[i][j]
+            .neighbors
+            .iter()
+            .map(|&v| v as usize)
+            .filter(|&v| owner[v] as usize == server)
+            .collect();
+        if !idx.is_empty() {
+            // A fetcher that failed its load step may have dropped its
+            // receiver; a closed channel is not an error here.
+            let _ = tx.send(ServeBlock {
+                src: server,
+                rows: ctx.h[l].gather_rows(&idx),
+            });
+        }
+    }
+}
+
+/// Assembles `h^l_{N_ij}` for GPU `i`: directly from the host store, or
+/// by merging served blocks with locally-owned rows. Served rows are
+/// copies of the same host rows in the same neighbor-order sequence, so
+/// both paths produce bitwise-identical matrices.
+fn assemble_neighbors(ctx: &StepCtx, l: usize, i: usize, j: usize, feed: &NbrFeed) -> Matrix {
+    let chunk = &ctx.plan.chunks[i][j];
+    let nbr_idx: Vec<usize> = chunk.neighbors.iter().map(|&v| v as usize).collect();
+    let blocks = match feed {
+        NbrFeed::Direct => return ctx.h[l].gather_rows(&nbr_idx),
+        NbrFeed::Served(blocks) => blocks,
+    };
+    let m = ctx.plan.m;
+    let mut block_of: Vec<Option<&Matrix>> = vec![None; m];
+    for b in blocks {
+        debug_assert!(
+            block_of[b.src].is_none(),
+            "duplicate serve block from GPU {}",
+            b.src
+        );
+        block_of[b.src] = Some(&b.rows);
+    }
+    let owner = &ctx.plan.assignment.partition_of;
+    let mut out = Matrix::zeros(nbr_idx.len(), ctx.h[l].cols());
+    let mut cursor = vec![0usize; m];
+    for (r, &v) in nbr_idx.iter().enumerate() {
+        let o = owner[v] as usize;
+        let src_row = if o == i {
+            ctx.h[l].row(v)
+        } else {
+            let blk = block_of[o]
+                .unwrap_or_else(|| panic!("no serve block from GPU {o} for fetcher {i} batch {j}"));
+            let row = blk.row(cursor[o]);
+            cursor[o] += 1;
+            row
+        };
+        out.row_mut(r).copy_from_slice(src_row);
+    }
+    out
+}
+
+/// Load phase of forward batch `j` at layer `l` for GPU `i`:
+/// Algorithm 2's host-side loads (ℕ^cpu over PCIe, ℕ^gpu in-place
+/// reuse). Inter-GPU fetches wait for the phase barrier.
+fn forward_load_step<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+) -> Result<FwLoad, SimError> {
+    let row = ctx.model.layer(l).in_dim() * F32;
+    let rows = charge_neighbor_host_load(ctx, tl, l, i, j, row)?;
+    Ok(FwLoad {
+        buf_bytes: rows * row,
+    })
+}
+
+/// Compute phase of forward batch `j` at layer `l` for GPU `i`:
+/// inter-GPU fetches, the real layer numerics, and the cost of the
+/// `h^{l+1}` writeback (Alg 1 line 9) plus the hybrid checkpoint store.
+/// The host-store writes themselves are returned as a [`FwOut`] and
+/// applied by the leader.
+#[allow(clippy::too_many_arguments)]
+fn forward_compute_step<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+    buf_bytes: usize,
+    feed: &NbrFeed,
+) -> Result<FwOut, SimError> {
+    let chunk = &ctx.plan.chunks[i][j];
+    let layer = ctx.model.layer(l);
+    let out_dim = layer.out_dim();
+    let row = layer.in_dim() * F32;
+
+    // -- GPU memory for this batch --
+    let topo = chunk.topology_bytes();
+    let out_bytes = chunk.num_dests() * out_dim * F32;
+    let inter = layer.intermediate_bytes(chunk);
+    tl.alloc(i, topo, "chunk topology")?;
+    tl.alloc(i, out_bytes, "layer output")?;
+    tl.alloc(i, inter, "intermediate data")?;
+    if l == 0 {
+        // Topology streamed in once per epoch (reused across layers).
+        tl.tag([Access::write(topology(i), chunk_region(i, j))]);
+        tl.h2d(i, topo);
+    }
+
+    // -- inter-GPU fetches (Algorithm 2): sources resident post-barrier --
+    charge_neighbor_fetch(ctx, tl, i, j, row);
+
+    // -- real numerics --
+    let h_nbr = assemble_neighbors(ctx, l, i, j, feed);
+    let f = layer.forward(chunk, &h_nbr);
+    let flops = layer.forward_flops(chunk);
+    tl.tag([
+        Access::read(dev_rep(i), Region::All),
+        Access::read(topology(i), chunk_region(i, j)),
+    ]);
+    tl.gpu_dense(i, flops.dense);
+    tl.gpu_edge(i, flops.edge);
+
+    // -- write back h^{l+1}_{V_ij} (line 9): cost here, data via FwOut --
+    tl.tag([Access::write(rep(l + 1), chunk_region(i, j))]);
+    tl.d2h(i, out_bytes);
+
+    // -- hybrid checkpoint --
+    let mut agg = None;
+    if ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache() {
+        let a = f.agg.expect("cache-capable layer must emit an aggregate");
+        tl.tag([Access::write(agg_slot(l, i, j), Region::All)]);
+        tl.d2h(i, a.byte_size());
+        agg = Some(a);
+    }
+
+    // -- release this batch's data (checkpointed to CPU) --
+    // Track the neighbor buffer inside the same alloc/free window.
+    tl.free(i, topo + out_bytes + inter + buf_bytes);
+    Ok(FwOut { out: f.out, agg })
+}
+
+/// Load phase of backward batch `j` at layer `l` for GPU `i`
+/// (Alg 1 lines 14–16): the `∇h^{l+1}` load plus the
+/// strategy-dependent checkpoint reload (cached aggregate for the
+/// hybrid path, dedup neighbor reload for recomputation).
+fn backward_load_step<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+) -> Result<BwLoad, SimError> {
+    let chunk = &ctx.plan.chunks[i][j];
+    let layer = ctx.model.layer(l);
+    let out_dim = layer.out_dim();
+    let row = layer.in_dim() * F32;
+    let use_hybrid = ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+
+    // -- load ∇h^{l+1}_{V_ij} from CPU (line 16) --
+    let grad_out_bytes = chunk.num_dests() * out_dim * F32;
+    tl.tag([Access::read(grad(l + 1), Region::All)]);
+    tl.h2d(i, grad_out_bytes);
+    let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
+    let grad_out = ctx.grad_h[l + 1].gather_rows(&dest_idx);
+
+    let topo = chunk.topology_bytes();
+    tl.alloc(i, topo, "chunk topology (bwd)")?;
+    let inter = layer.intermediate_bytes(chunk);
+    tl.alloc(i, inter, "regenerated intermediates")?;
+
+    let buf_bytes = if use_hybrid {
+        // Load the cached aggregate (O(|V_ij|) H2D).
+        let bytes = ctx.agg_cache[l][i][j]
+            .as_ref()
+            .expect("hybrid checkpoint missing — was forward run?")
+            .byte_size();
+        tl.alloc(i, bytes, "aggregate checkpoint")?;
+        tl.tag([Access::read(agg_slot(l, i, j), Region::All)]);
+        tl.h2d(i, bytes);
+        bytes
+    } else {
+        // Reload h^l_{N_ij} through dedup comm (host half).
+        let rows = charge_neighbor_host_load(ctx, tl, l, i, j, row)?;
+        rows * row
+    };
+    Ok(BwLoad {
+        grad_out,
+        topo,
+        inter,
+        buf_bytes,
+    })
+}
+
+/// Compute phase of backward batch `j` at layer `l` for GPU `i`
+/// (Algorithm 3): recompute + gradient numerics, local gradient
+/// accumulation into the merged transition-gradient buffer, and the
+/// inter-GPU gradient pushes. Returns the neighbor gradients `∇h^l_{N_ij}`
+/// for the leader to accumulate into the host store.
+#[allow(clippy::too_many_arguments)]
+fn backward_compute_step<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+    load: &BwLoad,
+    grads: &mut LayerGrads,
+    feed: &NbrFeed,
+) -> Result<Matrix, SimError> {
+    let chunk = &ctx.plan.chunks[i][j];
+    let layer = ctx.model.layer(l);
+    let row = layer.in_dim() * F32;
+    let use_hybrid = ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+    let fwd = layer.forward_flops(chunk);
+    let bwd = layer.backward_flops(chunk);
+    // Neighbor gradients land in the merged transition-gradient buffer
+    // via atomic accumulation, which commutes with remote pushes
+    // arriving during the same phase.
+    let acc = Access::accum(dev_grad(i), Region::All).with_gen(j as u32);
+
+    let grad_nbr = if use_hybrid {
+        // Recompute UPDATE only from the cached aggregate.
+        let agg = ctx.agg_cache[l][i][j]
+            .as_ref()
+            .expect("hybrid checkpoint missing — was forward run?");
+        tl.tag([Access::read(topology(i), chunk_region(i, j)), acc]);
+        tl.gpu_dense(i, fwd.dense); // UPDATE recompute
+        tl.gpu_dense(i, bwd.dense);
+        tl.gpu_edge(i, bwd.edge);
+        layer.backward_from_agg(chunk, agg, &load.grad_out, grads)
+    } else {
+        // Inter-GPU half of the neighbor reload, then full re-forward.
+        charge_neighbor_fetch(ctx, tl, i, j, row);
+        let h_nbr = assemble_neighbors(ctx, l, i, j, feed);
+        tl.tag([
+            Access::read(dev_rep(i), Region::All),
+            Access::read(topology(i), chunk_region(i, j)),
+            acc,
+        ]);
+        tl.gpu_dense(i, fwd.dense); // full re-forward
+        tl.gpu_edge(i, fwd.edge);
+        tl.gpu_dense(i, bwd.dense);
+        tl.gpu_edge(i, bwd.edge);
+        layer.backward_from_input(chunk, &h_nbr, &load.grad_out, grads)
+    };
+
+    // -- push remote transition gradients to their owner GPUs --
+    charge_gradient_push(ctx, tl, i, j, row);
+    Ok(grad_nbr)
+}
+
+/// Evict phase of backward batch `j` at layer `l` for GPU `i`: all
+/// pushes into this GPU's gradient buffer have landed (phase
+/// barrier), so evict to the host store and release batch memory.
+fn backward_evict_step<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+    load: &BwLoad,
+) {
+    let row = ctx.model.layer(l).in_dim() * F32;
+    charge_gradient_evict(ctx, tl, l, i, j, row);
+    tl.free(i, load.topo + load.inter + load.buf_bytes);
+}
+
 /// Charges the host half of loading `h^l_{N_ij}` (Algorithm 2 phase A):
 /// PCIe loads of the rows this GPU owns plus ℕ^gpu in-place reuse.
 /// Returns the rows resident in GPU `i`'s merged buffer for this batch
 /// (for memory accounting). The inter-GPU half runs after the phase
 /// barrier in [`charge_neighbor_fetch`].
-#[allow(clippy::too_many_arguments)]
-fn charge_neighbor_host_load(
-    machine: &mut Machine,
-    plan: &TwoLevelPartition,
-    dedup: &DedupPlan,
-    buffer_comm: Option<&[Vec<BatchComm>]>,
-    comm: CommMode,
+fn charge_neighbor_host_load<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
     l: usize,
     i: usize,
     j: usize,
     row: usize,
 ) -> Result<usize, SimError> {
-    let chunk = &plan.chunks[i][j];
-    let batch = &dedup.batches[j];
-    let rows = match comm {
+    let chunk = &ctx.plan.chunks[i][j];
+    let batch = &ctx.dedup.batches[j];
+    let rows = match ctx.comm {
         CommMode::Vanilla => {
             let rows = chunk.num_neighbors();
             // Rows whose owner partition sits on the other socket cross
             // the QPI link (partitions map to sockets pairwise).
-            let sockets = machine.config().num_sockets;
-            let remote = remote_socket_rows(&batch.fetch[i], i, plan.m, sockets);
-            machine.tag([
+            let sockets = tl.machine_config().num_sockets;
+            let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
+            tl.tag([
                 Access::read(rep(l), Region::All),
                 Access::write(dev_rep(i), Region::All).with_gen(j as u32),
             ]);
-            machine.h2d_mixed(i, rows * row, remote * row);
+            tl.h2d_mixed(i, rows * row, remote * row);
             rows
         }
         CommMode::P2p => {
             // Host→GPU: the transition subset this GPU owns.
-            machine.tag([
+            tl.tag([
                 Access::read(rep(l), Region::All),
                 Access::write(dev_rep(i), Region::Owned).with_gen(j as u32),
             ]);
-            machine.h2d(i, batch.transition[i].len() * row);
+            tl.h2d(i, batch.transition[i].len() * row);
             // Merged transition+neighbor buffer (§6 "data buffer
             // deduplication"): |ℕ_ij ∪ N_ij|.
             batch.transition[i].len() + chunk.num_neighbors() - batch.fetch[i][i]
@@ -934,17 +1347,17 @@ fn charge_neighbor_host_load(
             // merged-buffer resident row — whether it originally arrived
             // over PCIe or NVLink — is reused in place across adjacent
             // batches; only genuinely new rows move.
-            let bc = &buffer_comm.expect("buffer plan built for P2pRu")[i][j];
-            machine.tag([
+            let bc = &ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j];
+            tl.tag([
                 Access::read(rep(l), Region::All),
                 Access::write(dev_rep(i), Region::Owned).with_gen(j as u32),
             ]);
-            machine.h2d(i, bc.h2d_rows * row);
+            tl.h2d(i, bc.h2d_rows * row);
             if bc.reused_rows > 0 {
                 // ℕ^gpu rows deposited by the previous batch stay resident
                 // in the merged buffer and are promoted to this batch.
                 let prev = Access::read(dev_rep(i), Region::Owned);
-                machine.tag([
+                tl.tag([
                     if j > 0 {
                         prev.with_gen(j as u32 - 1)
                     } else {
@@ -952,12 +1365,12 @@ fn charge_neighbor_host_load(
                     },
                     Access::write(dev_rep(i), Region::Owned).with_gen(j as u32),
                 ]);
-                machine.reuse(i, bc.reused_rows * row);
+                tl.reuse(i, bc.reused_rows * row);
             }
             bc.buffer_rows
         }
     };
-    machine.alloc(i, rows * row, "neighbor buffer")?;
+    tl.alloc(i, rows * row, "neighbor buffer")?;
     Ok(rows)
 }
 
@@ -965,41 +1378,33 @@ fn charge_neighbor_host_load(
 /// phase B): fetch remote transition rows into GPU `i`'s merged buffer.
 /// Must run after the phase barrier so every source GPU's owned rows are
 /// resident (otherwise the schedule checker reports a W→R race).
-#[allow(clippy::too_many_arguments)]
-fn charge_neighbor_fetch(
-    machine: &mut Machine,
-    plan: &TwoLevelPartition,
-    dedup: &DedupPlan,
-    buffer_comm: Option<&[Vec<BatchComm>]>,
-    comm: CommMode,
-    interleaved: bool,
-    i: usize,
-    j: usize,
-    row: usize,
-) {
-    let batch = &dedup.batches[j];
+fn charge_neighbor_fetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, row: usize) {
+    let batch = &ctx.dedup.batches[j];
     let fetch_rows = |k: usize| -> usize {
-        match comm {
+        match ctx.comm {
             CommMode::Vanilla => 0,
             CommMode::P2p => batch.fetch[i][k],
-            CommMode::P2pRu => buffer_comm.expect("buffer plan built for P2pRu")[i][j].d2d_rows[k],
+            CommMode::P2pRu => {
+                ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j].d2d_rows[k]
+            }
         }
     };
-    if comm == CommMode::Vanilla {
+    if ctx.comm == CommMode::Vanilla {
         return;
     }
-    for k in 0..plan.m {
+    for k in 0..ctx.plan.m {
         let rows = fetch_rows(k);
         if k != i && rows > 0 {
             // Interleaved schedule: charged to the pulling GPU only.
-            machine.tag([
+            tl.tag([
                 Access::read(dev_rep(k), Region::Owned).with_gen(j as u32),
                 Access::write(dev_rep(i), Region::Fetched).with_gen(j as u32),
             ]);
-            machine.d2d(k, i, rows * row);
-            if !interleaved {
-                // Naive schedule: the serving GPU stalls too.
-                machine.d2d(k, k, rows * row);
+            tl.d2d(k, i, rows * row);
+            if !ctx.interleaved {
+                // Naive schedule: the serving GPU stalls too (deferred to
+                // the join when running on a per-GPU shard).
+                tl.source_stall(k, rows * row);
             }
         }
     }
@@ -1008,24 +1413,16 @@ fn charge_neighbor_fetch(
 /// Charges the inter-GPU gradient pushes of Algorithm 3: remote
 /// transition-vertex gradients are atomically added into the owning
 /// GPUs' merged gradient buffers (time charged to the pusher).
-fn charge_gradient_push(
-    machine: &mut Machine,
-    plan: &TwoLevelPartition,
-    dedup: &DedupPlan,
-    comm: CommMode,
-    i: usize,
-    j: usize,
-    row: usize,
-) {
-    if comm == CommMode::Vanilla {
+fn charge_gradient_push<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, row: usize) {
+    if ctx.comm == CommMode::Vanilla {
         return;
     }
-    let batch = &dedup.batches[j];
-    for k in 0..plan.m {
+    let batch = &ctx.dedup.batches[j];
+    for k in 0..ctx.plan.m {
         if k != i && batch.fetch[i][k] > 0 {
-            machine.tag([Access::accum(dev_grad(k), Region::All).with_gen(j as u32)]);
-            machine.d2d(k, i, batch.fetch[i][k] * row);
-            machine.gpu_edge(i, (batch.fetch[i][k] * row / F32) as f64);
+            tl.tag([Access::accum(dev_grad(k), Region::All).with_gen(j as u32)]);
+            tl.d2d(k, i, batch.fetch[i][k] * row);
+            tl.gpu_edge(i, (batch.fetch[i][k] * row / F32) as f64);
         }
     }
 }
@@ -1034,37 +1431,34 @@ fn charge_gradient_push(
 /// gradients leave the GPU over PCIe and are added into the host store
 /// `∇h^l`. Must run after the phase barrier so every remote push into
 /// this GPU's buffer has landed.
-#[allow(clippy::too_many_arguments)]
-fn charge_gradient_evict(
-    machine: &mut Machine,
-    plan: &TwoLevelPartition,
-    dedup: &DedupPlan,
-    comm: CommMode,
+fn charge_gradient_evict<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
     l: usize,
     i: usize,
     j: usize,
     row: usize,
 ) {
-    let chunk = &plan.chunks[i][j];
-    let batch = &dedup.batches[j];
-    match comm {
+    let chunk = &ctx.plan.chunks[i][j];
+    let batch = &ctx.dedup.batches[j];
+    match ctx.comm {
         CommMode::Vanilla => {
             let rows = chunk.num_neighbors();
-            let sockets = machine.config().num_sockets;
-            let remote = remote_socket_rows(&batch.fetch[i], i, plan.m, sockets);
-            machine.tag([Access::read(dev_grad(i), Region::All).with_gen(j as u32)]);
-            machine.d2h_mixed(i, rows * row, remote * row);
+            let sockets = tl.machine_config().num_sockets;
+            let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
+            tl.tag([Access::read(dev_grad(i), Region::All).with_gen(j as u32)]);
+            tl.d2h_mixed(i, rows * row, remote * row);
             // Replica gradients of the full neighbor set overlap across
             // GPUs; host-side accumulation commutes.
-            machine.tag([Access::accum(grad(l), Region::All)]);
-            machine.cpu_accumulate(i, rows * row);
+            tl.tag([Access::accum(grad(l), Region::All)]);
+            tl.cpu_accumulate(i, rows * row);
         }
         CommMode::P2p | CommMode::P2pRu => {
             // Evicted transition gradients go D2H and are accumulated on
             // the CPU; reused rows stay resident for the next batch.
-            let evicted = if comm == CommMode::P2pRu {
-                let next_reused = if j + 1 < dedup.n {
-                    dedup.batches[j + 1].reused[i]
+            let evicted = if ctx.comm == CommMode::P2pRu {
+                let next_reused = if j + 1 < ctx.dedup.n {
+                    ctx.dedup.batches[j + 1].reused[i]
                 } else {
                     0
                 };
@@ -1072,12 +1466,12 @@ fn charge_gradient_evict(
             } else {
                 batch.transition[i].len()
             };
-            machine.tag([Access::read(dev_grad(i), Region::All).with_gen(j as u32)]);
-            machine.d2h(i, evicted * row);
+            tl.tag([Access::read(dev_grad(i), Region::All).with_gen(j as u32)]);
+            tl.d2h(i, evicted * row);
             // Each GPU evicts its owned transition partition — disjoint
             // slices of the host store.
-            machine.tag([Access::accum(grad(l), Region::Part(i as u32))]);
-            machine.cpu_accumulate(i, evicted * row);
+            tl.tag([Access::accum(grad(l), Region::Part(i as u32))]);
+            tl.cpu_accumulate(i, evicted * row);
         }
     }
 }

@@ -41,6 +41,7 @@ pub use buffers::GpuBufferPlan;
 pub use cost::{comm_cost, CommVolumes};
 pub use dedup::DedupPlan;
 pub use engine::{
-    CommMode, EpochReport, HongTuConfig, HongTuEngine, MemoryStrategy, ValidationLevel,
+    CommMode, EpochReport, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy,
+    ValidationLevel,
 };
 pub use reorg::{reorganize, reorganize_guarded};

@@ -63,34 +63,35 @@ impl MultiGpuInMemory {
         let m = machine.num_gpus;
         let g = &dataset.graph;
         let assignment = metis_like(g, m, seed);
-        let mut owned = vec![0usize; m];
-        let mut edges = vec![0usize; m];
-        let mut remote = vec![0usize; m];
-        let mut mark = vec![u32::MAX; g.num_vertices()];
-        for p in 0..m {
+        // Per-partition scans are independent (each worker keeps its own
+        // visited marks and writes one disjoint slot), so the result is
+        // deterministic at any pool size.
+        let mut per_part = vec![(0usize, 0usize, 0usize); m];
+        hongtu_parallel::global().for_each_indexed(&mut per_part, |p, slot| {
+            let (mut owned, mut edges, mut remote) = (0usize, 0usize, 0usize);
+            let mut mark = vec![false; g.num_vertices()];
             for v in 0..g.num_vertices() {
                 if assignment.partition_of[v] as usize != p {
                     continue;
                 }
-                owned[p] += 1;
-                edges[p] += g.in_degree(v as VertexId);
+                owned += 1;
+                edges += g.in_degree(v as VertexId);
                 for &u in g.in_neighbors(v as VertexId) {
-                    if assignment.partition_of[u as usize] as usize != p
-                        && mark[u as usize] != p as u32
-                    {
-                        mark[u as usize] = p as u32;
-                        remote[p] += 1;
+                    if assignment.partition_of[u as usize] as usize != p && !mark[u as usize] {
+                        mark[u as usize] = true;
+                        remote += 1;
                     }
                 }
             }
-        }
+            *slot = (owned, edges, remote);
+        });
         MultiGpuInMemory {
             kind,
             machine,
             stats: PartitionStats {
-                owned,
-                edges,
-                remote,
+                owned: per_part.iter().map(|s| s.0).collect(),
+                edges: per_part.iter().map(|s| s.1).collect(),
+                remote: per_part.iter().map(|s| s.2).collect(),
             },
         }
     }

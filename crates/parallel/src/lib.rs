@@ -1,0 +1,137 @@
+//! Work-stealing thread pool for HongTu's parallel execution layer.
+//!
+//! The original system overlaps the m partitions of a batch across m GPUs
+//! (paper §5, Fig. 9); this crate supplies the host-side concurrency that
+//! makes our simulated reproduction do the same for real: the engine runs
+//! each batch's per-GPU work on pool threads, and `hongtu-tensor` routes
+//! its row-parallel kernels (GEMM, SpMM, softmax) through the same pool.
+//!
+//! Like every dependency of this workspace, the crate is built entirely
+//! from `std` — no registry crates — so the workspace stays offline-
+//! buildable.
+//!
+//! ## Determinism contract
+//!
+//! Parallelism here never changes results:
+//!
+//! - scoped jobs own disjoint `&mut` data (enforced by the borrow checker),
+//! - row-parallel kernels compute each output row with the *same*
+//!   reduction order regardless of how rows are chunked across workers,
+//! - callers that need randomness fork one RNG stream per work item
+//!   *index* (not per thread), so draws are stable under any schedule.
+//!
+//! The pool size comes from `HONGTU_THREADS` (falling back to the number
+//! of available cores); see [`configured_threads`].
+
+mod pool;
+
+pub use pool::{Scope, ThreadPool};
+
+use std::sync::OnceLock;
+
+/// The process-wide pool used by tensor kernels and the parallel engine.
+/// Built lazily on first use, sized by [`configured_threads`].
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(configured_threads()))
+}
+
+/// Worker-thread count for the global pool: the `HONGTU_THREADS`
+/// environment variable when set to a positive integer, otherwise the
+/// machine's available parallelism. Invalid values fall back to the
+/// default rather than erroring, so misconfigured CI legs still run.
+pub fn configured_threads() -> usize {
+    std::env::var("HONGTU_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(available_threads)
+}
+
+/// Available hardware parallelism (1 if it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `data` into contiguous chunks of at most `chunk_len` elements
+/// and runs `f(start_offset, chunk)` for every chunk on the global pool
+/// (`start_offset` is the index of the chunk's first element in `data`).
+///
+/// Small inputs (a single chunk) run inline with zero pool traffic.
+/// Because each chunk is computed independently and chunk boundaries do
+/// not alter per-element results in any caller, output is bitwise
+/// identical for every thread count.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Send + Sync,
+{
+    assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    if data.len() <= chunk_len {
+        f(0, data);
+        return;
+    }
+    let f = &f;
+    global().scope(|s| {
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            s.spawn(move || f(ci * chunk_len, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_visits_every_element_once() {
+        let mut data = vec![0u32; 1000];
+        par_chunks_mut(&mut data, 64, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v += (start + k) as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_small_input_runs_inline() {
+        let mut data = vec![1u8; 3];
+        par_chunks_mut(&mut data, 64, |start, chunk| {
+            assert_eq!(start, 0);
+            assert_eq!(chunk.len(), 3);
+            chunk.fill(7);
+        });
+        assert_eq!(data, vec![7u8; 3]);
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_is_noop() {
+        let mut data: Vec<u8> = Vec::new();
+        par_chunks_mut(&mut data, 8, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn global_pool_is_reused() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(global().num_threads() >= 1);
+    }
+}

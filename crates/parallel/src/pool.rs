@@ -1,0 +1,380 @@
+//! The work-stealing thread pool and its structured-concurrency scope.
+//!
+//! Design (a miniature of rayon's core):
+//!
+//! - every worker owns a deque; `spawn` from a worker pushes onto its own
+//!   deque (LIFO for cache locality), `spawn` from outside goes to a shared
+//!   injector queue;
+//! - idle workers drain the injector FIFO, then steal the *oldest* job from
+//!   a sibling's deque;
+//! - [`ThreadPool::scope`] provides scoped (non-`'static`) jobs. The caller
+//!   **helps**: while waiting for its spawned jobs it executes queued work
+//!   instead of blocking, so nested scopes (a pool worker whose job opens
+//!   another scope) make progress even on a single-thread pool and can
+//!   never deadlock.
+//!
+//! Panics inside a spawned job are caught, the first one is stored, and it
+//! is re-thrown from `scope` on the spawning thread after every job of the
+//! scope has finished.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Pool ids disambiguate nested/multiple pools in the worker thread-local.
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// `(pool id, worker index)` when the current thread is a pool worker.
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+struct Shared {
+    id: usize,
+    injector: Mutex<VecDeque<Job>>,
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs currently sitting in any queue (wake-up signal, not a latch).
+    queued: AtomicUsize,
+    shutdown: AtomicBool,
+    idle: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// The current thread's worker index in *this* pool, if any.
+    fn me(&self) -> Option<usize> {
+        WORKER
+            .with(|w| w.get())
+            .filter(|&(pool, _)| pool == self.id)
+            .map(|(_, idx)| idx)
+    }
+
+    fn push(&self, job: Job) {
+        match self.me() {
+            Some(i) => self.locals[i].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        // Take the idle lock (empty critical section) so a worker between
+        // its queue check and `wait` cannot miss this notification.
+        let _guard = self.idle.lock().unwrap();
+        self.wake.notify_one();
+    }
+
+    fn pop(&self) -> Option<Job> {
+        let me = self.me();
+        if let Some(i) = me {
+            if let Some(job) = self.locals[i].lock().unwrap().pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        for (k, queue) in self.locals.iter().enumerate() {
+            if Some(k) == me {
+                continue;
+            }
+            if let Some(job) = queue.lock().unwrap().pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((shared.id, index))));
+    loop {
+        if let Some(job) = shared.pop() {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let guard = shared.idle.lock().unwrap();
+        if shared.queued.load(Ordering::SeqCst) == 0 && !shared.shutdown.load(Ordering::SeqCst) {
+            // Timed wait as a backstop against any wake-up race.
+            drop(
+                shared
+                    .wake
+                    .wait_timeout(guard, Duration::from_millis(20))
+                    .unwrap(),
+            );
+        }
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("hongtu-worker-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `body` with a [`Scope`] that can spawn borrowing jobs, and
+    /// returns only after every spawned job has finished. The calling
+    /// thread executes queued jobs while it waits (help-first), so scopes
+    /// nest safely at any pool size.
+    pub fn scope<'scope, OP, R>(&self, body: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope, '_>) -> R + 'scope,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+            }),
+            _marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| body(&scope)));
+        let mut misses = 0u32;
+        while scope.state.pending.load(Ordering::SeqCst) > 0 {
+            if let Some(job) = self.shared.pop() {
+                job();
+                misses = 0;
+            } else if misses < 64 {
+                misses += 1;
+                thread::yield_now();
+            } else {
+                thread::sleep(Duration::from_micros(50));
+            }
+        }
+        let job_panic = scope.state.panic.lock().unwrap().take();
+        match (result, job_panic) {
+            (Err(payload), _) => resume_unwind(payload),
+            (Ok(_), Some(payload)) => resume_unwind(payload),
+            (Ok(value), None) => value,
+        }
+    }
+
+    /// Runs `f(index, &mut item)` for every item, in parallel on this pool.
+    /// The per-item closures see disjoint `&mut` data, so no two workers
+    /// ever share state; completion of *all* items is awaited.
+    pub fn for_each_indexed<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Send + Sync,
+    {
+        let f = &f;
+        self.scope(|s| {
+            for (i, item) in items.iter_mut().enumerate() {
+                s.spawn(move || f(i, item));
+            }
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _guard = self.shared.idle.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct ScopeState {
+    /// Spawned-but-unfinished jobs of this scope (the completion latch).
+    pending: AtomicUsize,
+    /// First panic payload from any job of this scope.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`].
+pub struct Scope<'scope, 'pool> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope`, like `std::thread::Scope`.
+    _marker: PhantomData<std::cell::Cell<&'scope ()>>,
+}
+
+impl<'scope> Scope<'scope, '_> {
+    /// Spawns a job that may borrow data outliving the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                state.panic.lock().unwrap().get_or_insert(payload);
+            }
+            state.pending.fetch_sub(1, Ordering::SeqCst);
+        });
+        // SAFETY: `ThreadPool::scope` does not return (not even by panic)
+        // until `pending` reaches zero, i.e. until this job has run to
+        // completion, so every `'scope` borrow it captures stays live for
+        // the job's whole execution. Erasing the lifetime is therefore
+        // sound, exactly as in std's scoped threads.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.pool.shared.push(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn borrows_stack_data_mutably() {
+        let pool = ThreadPool::new(2);
+        let mut values = vec![0u64; 64];
+        pool.scope(|s| {
+            for (i, v) in values.iter_mut().enumerate() {
+                s.spawn(move || *v = (i * i) as u64);
+            }
+        });
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_complete_on_single_thread_pool() {
+        // One worker + helping caller: inner scopes spawned from pool jobs
+        // must not deadlock.
+        let pool = ThreadPool::new(1);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let pool = &pool;
+                let total = &total;
+                s.spawn(move || {
+                    pool.scope(|inner| {
+                        for j in 0..8 {
+                            inner.spawn(move || {
+                                total.fetch_add(j, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4 * (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn scope_returns_body_value() {
+        let pool = ThreadPool::new(2);
+        let r = pool.scope(|s| {
+            s.spawn(|| {});
+            42
+        });
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn job_panic_propagates_after_all_jobs_finish() {
+        let pool = ThreadPool::new(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&finished);
+        let f3 = Arc::clone(&finished);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+                s.spawn(move || {
+                    f2.fetch_add(1, Ordering::SeqCst);
+                });
+                s.spawn(move || {
+                    f3.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        assert!(r.is_err(), "scope must re-throw the job panic");
+        assert_eq!(finished.load(Ordering::SeqCst), 2, "siblings still run");
+        // The pool stays usable after a panic.
+        let ok = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn for_each_indexed_covers_every_item() {
+        let pool = ThreadPool::new(3);
+        let mut items = vec![0usize; 17];
+        pool.for_each_indexed(&mut items, |i, v| *v = i + 1);
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(v, i + 1);
+        }
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.num_threads(), 1);
+        let hit = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|| {
+                hit.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+}

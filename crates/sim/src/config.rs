@@ -108,6 +108,61 @@ impl MachineConfig {
         base * (local + (1.0 - local) * self.numa_remote_factor)
     }
 
+    // ---- cost formulas ----
+    //
+    // The analytic cost model lives here (not on `Machine`) so that both
+    // the sequential machine and the per-GPU `GpuShard` timelines of the
+    // parallel executor charge *exactly* the same float expressions.
+
+    /// Seconds for a host↔GPU transfer of `bytes` over PCIe.
+    pub fn pcie_transfer_seconds(&self, bytes: usize) -> f64 {
+        self.pcie_latency + bytes as f64 * self.pcie_seconds_per_byte()
+    }
+
+    /// Seconds for a host↔GPU transfer where `remote_bytes` of the payload
+    /// cross the inter-socket link and pay [`MachineConfig::numa_remote_factor`].
+    pub fn mixed_pcie_transfer_seconds(&self, bytes: usize, remote_bytes: usize) -> f64 {
+        debug_assert!(remote_bytes <= bytes);
+        let spb = self.pcie_seconds_per_byte();
+        self.pcie_latency
+            + (bytes - remote_bytes) as f64 * spb
+            + remote_bytes as f64 * spb * self.numa_remote_factor
+    }
+
+    /// Seconds for a GPU↔GPU transfer of `bytes` over NVLink.
+    pub fn nvlink_transfer_seconds(&self, bytes: usize) -> f64 {
+        self.nvlink_latency + bytes as f64 / self.nvlink_bw
+    }
+
+    /// Seconds for an intra-GPU buffer copy of `bytes` at HBM speed.
+    pub fn reuse_seconds(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.hbm_bw
+    }
+
+    /// Seconds for `flops` of dense (matmul-like) GPU work.
+    pub fn gpu_dense_seconds(&self, flops: f64) -> f64 {
+        flops / self.gpu_dense_flops
+    }
+
+    /// Seconds for `flops` of irregular edge-parallel GPU work.
+    pub fn gpu_edge_seconds(&self, flops: f64) -> f64 {
+        flops / self.gpu_edge_flops
+    }
+
+    /// Seconds for `flops` of host CPU work; throughput is divided by the
+    /// GPU count because every GPU's host-side work contends for the CPUs.
+    pub fn cpu_compute_seconds(&self, flops: f64) -> f64 {
+        flops / (self.cpu_flops / self.num_gpus as f64)
+    }
+
+    /// Seconds for a host-side gradient accumulation of `bytes` (read old,
+    /// add, write back — three memory touches per byte) at the per-GPU
+    /// share of host memory bandwidth.
+    pub fn cpu_accumulate_seconds(&self, bytes: usize) -> f64 {
+        let bw = self.host_mem_bw / self.num_gpus as f64;
+        3.0 * bytes as f64 / bw
+    }
+
     /// Emits the config as `key = value` lines (one field per line), the
     /// inverse of [`MachineConfig::parse`].
     pub fn emit(&self) -> String {

@@ -26,11 +26,13 @@
 pub mod config;
 pub mod machine;
 pub mod memory;
+pub mod shard;
 pub mod trace;
 
 pub use config::{CpuClusterConfig, MachineConfig};
 pub use machine::{Machine, TimeBuckets};
 pub use memory::{MemoryTracker, SimError};
+pub use shard::{GpuShard, Timeline};
 pub use trace::{
     Access, BarrierScope, Device, Event, EventKind, Intent, Region, ResourceId, Trace,
 };

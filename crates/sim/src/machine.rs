@@ -4,6 +4,7 @@
 
 use crate::config::MachineConfig;
 use crate::memory::{MemoryTracker, SimError};
+use crate::shard::{GpuShard, Timeline};
 use crate::trace::{Access, BarrierScope, Device, Event, EventKind, Trace};
 
 /// Time attributed to each of the paper's breakdown components (Figure 9),
@@ -204,7 +205,7 @@ impl Machine {
     /// Charges a host→GPU transfer of `bytes` to GPU `gpu`'s clock.
     /// Returns the seconds charged.
     pub fn h2d(&mut self, gpu: usize, bytes: usize) -> f64 {
-        let t = self.config.pcie_latency + bytes as f64 * self.config.pcie_seconds_per_byte();
+        let t = self.config.pcie_transfer_seconds(bytes);
         self.clocks[gpu] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_h2d += bytes as u64;
@@ -218,11 +219,7 @@ impl Machine {
     /// neighbors from whichever socket owns them (§7.3: deduplication
     /// "eliminates the remote neighbor access across CPUs").
     pub fn h2d_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
-        debug_assert!(remote_bytes <= bytes);
-        let spb = self.config.pcie_seconds_per_byte();
-        let t = self.config.pcie_latency
-            + (bytes - remote_bytes) as f64 * spb
-            + remote_bytes as f64 * spb * self.config.numa_remote_factor;
+        let t = self.config.mixed_pcie_transfer_seconds(bytes, remote_bytes);
         self.clocks[gpu] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_h2d += bytes as u64;
@@ -232,11 +229,7 @@ impl Machine {
 
     /// GPU→host counterpart of [`Machine::h2d_mixed`].
     pub fn d2h_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
-        debug_assert!(remote_bytes <= bytes);
-        let spb = self.config.pcie_seconds_per_byte();
-        let t = self.config.pcie_latency
-            + (bytes - remote_bytes) as f64 * spb
-            + remote_bytes as f64 * spb * self.config.numa_remote_factor;
+        let t = self.config.mixed_pcie_transfer_seconds(bytes, remote_bytes);
         self.clocks[gpu] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_d2h += bytes as u64;
@@ -246,7 +239,7 @@ impl Machine {
 
     /// Charges a GPU→host transfer of `bytes` to GPU `gpu`'s clock.
     pub fn d2h(&mut self, gpu: usize, bytes: usize) -> f64 {
-        let t = self.config.pcie_latency + bytes as f64 * self.config.pcie_seconds_per_byte();
+        let t = self.config.pcie_transfer_seconds(bytes);
         self.clocks[gpu] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_d2h += bytes as u64;
@@ -258,7 +251,7 @@ impl Machine {
     /// *initiating* GPU `dst` (pull semantics, matching the paper's
     /// forward-pass fetch_from_gpu).
     pub fn d2d(&mut self, _src: usize, dst: usize, bytes: usize) -> f64 {
-        let t = self.config.nvlink_latency + bytes as f64 / self.config.nvlink_bw;
+        let t = self.config.nvlink_transfer_seconds(bytes);
         self.clocks[dst] += t;
         self.buckets.d2d += t;
         self.buckets.bytes_d2d += bytes as u64;
@@ -269,7 +262,7 @@ impl Machine {
     /// Charges an intra-GPU reuse of `bytes` (buffer-local copy at HBM
     /// speed) to GPU `gpu`.
     pub fn reuse(&mut self, gpu: usize, bytes: usize) -> f64 {
-        let t = bytes as f64 / self.config.hbm_bw;
+        let t = self.config.reuse_seconds(bytes);
         self.clocks[gpu] += t;
         self.buckets.reuse += t;
         self.buckets.bytes_reuse += bytes as u64;
@@ -279,7 +272,7 @@ impl Machine {
 
     /// Charges `flops` of dense (matmul-like) GPU work to GPU `gpu`.
     pub fn gpu_dense(&mut self, gpu: usize, flops: f64) -> f64 {
-        let t = flops / self.config.gpu_dense_flops;
+        let t = self.config.gpu_dense_seconds(flops);
         self.clocks[gpu] += t;
         self.buckets.gpu += t;
         self.record(EventKind::GpuCompute, Device::Gpu(gpu as u32), 0, t);
@@ -288,7 +281,7 @@ impl Machine {
 
     /// Charges `flops` of irregular edge-parallel GPU work to GPU `gpu`.
     pub fn gpu_edge(&mut self, gpu: usize, flops: f64) -> f64 {
-        let t = flops / self.config.gpu_edge_flops;
+        let t = self.config.gpu_edge_seconds(flops);
         self.clocks[gpu] += t;
         self.buckets.gpu += t;
         self.record(EventKind::GpuCompute, Device::Gpu(gpu as u32), 0, t);
@@ -301,7 +294,7 @@ impl Machine {
     /// GPUs' host-side work contends for the same CPUs, so the effective
     /// throughput is divided by the GPU count.
     pub fn cpu_compute(&mut self, waiting_gpu: usize, flops: f64) -> f64 {
-        let t = flops / (self.config.cpu_flops / self.config.num_gpus as f64);
+        let t = self.config.cpu_compute_seconds(flops);
         self.clocks[waiting_gpu] += t;
         self.buckets.cpu += t;
         self.record(EventKind::CpuCompute, Device::Gpu(waiting_gpu as u32), 0, t);
@@ -314,8 +307,7 @@ impl Machine {
     /// GPUs' accumulation streams, which is why the paper measures the
     /// CPU component at 8–30% of the epoch.
     pub fn cpu_accumulate(&mut self, waiting_gpu: usize, bytes: usize) -> f64 {
-        let bw = self.config.host_mem_bw / self.config.num_gpus as f64;
-        let t = 3.0 * bytes as f64 / bw;
+        let t = self.config.cpu_accumulate_seconds(bytes);
         self.clocks[waiting_gpu] += t;
         self.buckets.cpu += t;
         self.record(
@@ -369,6 +361,140 @@ impl Machine {
         }
         self.buckets = TimeBuckets::default();
         self.trace.clear();
+    }
+
+    // ---- parallel execution ----
+
+    /// Splits the machine into one [`GpuShard`] per GPU so worker threads
+    /// can charge their GPU's timeline without sharing state. Each shard
+    /// takes ownership of its GPU's clock and memory tracker; the machine
+    /// keeps the host tracker, accumulated buckets, and the trace.
+    ///
+    /// Call only at a phase boundary (no staged annotations) and pair with
+    /// [`Machine::join_shards`] before any further charging.
+    pub fn fork_shards(&mut self) -> Vec<GpuShard> {
+        debug_assert!(
+            self.pending.is_empty(),
+            "fork_shards with staged access annotations"
+        );
+        let tracing = self.trace.is_enabled();
+        (0..self.config.num_gpus)
+            .map(|i| GpuShard {
+                gpu: i,
+                config: self.config.clone(),
+                clock: self.clocks[i],
+                buckets: TimeBuckets::default(),
+                memory: std::mem::replace(&mut self.gpus[i], MemoryTracker::new("forked", 0)),
+                tracing,
+                events: Vec::new(),
+                pending: Vec::new(),
+                deferred_stalls: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Merges shards produced by [`Machine::fork_shards`] back into the
+    /// machine **in GPU index order**: clocks and memory trackers are
+    /// restored, per-shard buckets accumulated, and each shard's events
+    /// appended to the trace GPU 0 first — the same order the sequential
+    /// executor emits them, so phased schedules produce bitwise-identical
+    /// traces. Deferred [`Timeline::source_stall`] charges are applied
+    /// last.
+    ///
+    /// # Panics
+    /// Panics if the shards are not exactly this machine's GPUs in order.
+    pub fn join_shards(&mut self, shards: Vec<GpuShard>) {
+        assert_eq!(
+            shards.len(),
+            self.config.num_gpus,
+            "join_shards: expected {} shards, got {}",
+            self.config.num_gpus,
+            shards.len()
+        );
+        let mut stalls = Vec::new();
+        for (i, shard) in shards.into_iter().enumerate() {
+            assert_eq!(shard.gpu, i, "join_shards: shard {i} out of order");
+            debug_assert!(
+                shard.pending.is_empty(),
+                "join_shards: shard {i} has staged annotations"
+            );
+            self.clocks[i] = shard.clock;
+            self.buckets.add(&shard.buckets);
+            self.gpus[i] = shard.memory;
+            if self.trace.is_enabled() {
+                for ev in shard.events {
+                    self.trace.record(ev);
+                }
+            }
+            stalls.extend(shard.deferred_stalls);
+        }
+        for (src, bytes) in stalls {
+            self.d2d(src, src, bytes);
+        }
+    }
+}
+
+/// [`Machine`] charges its own clocks directly; `source_stall` is the
+/// naive-schedule serving stall, charged inline as a `d2d(src, src, ·)`.
+impl Timeline for Machine {
+    fn machine_config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    fn tag<I: IntoIterator<Item = Access>>(&mut self, accesses: I) {
+        Machine::tag(self, accesses)
+    }
+
+    fn alloc(&mut self, gpu: usize, bytes: usize, label: &str) -> Result<(), SimError> {
+        Machine::alloc(self, gpu, bytes, label)
+    }
+
+    fn free(&mut self, gpu: usize, bytes: usize) {
+        Machine::free(self, gpu, bytes)
+    }
+
+    fn h2d(&mut self, gpu: usize, bytes: usize) -> f64 {
+        Machine::h2d(self, gpu, bytes)
+    }
+
+    fn h2d_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
+        Machine::h2d_mixed(self, gpu, bytes, remote_bytes)
+    }
+
+    fn d2h(&mut self, gpu: usize, bytes: usize) -> f64 {
+        Machine::d2h(self, gpu, bytes)
+    }
+
+    fn d2h_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
+        Machine::d2h_mixed(self, gpu, bytes, remote_bytes)
+    }
+
+    fn d2d(&mut self, src: usize, dst: usize, bytes: usize) -> f64 {
+        Machine::d2d(self, src, dst, bytes)
+    }
+
+    fn source_stall(&mut self, src: usize, bytes: usize) {
+        Machine::d2d(self, src, src, bytes);
+    }
+
+    fn reuse(&mut self, gpu: usize, bytes: usize) -> f64 {
+        Machine::reuse(self, gpu, bytes)
+    }
+
+    fn gpu_dense(&mut self, gpu: usize, flops: f64) -> f64 {
+        Machine::gpu_dense(self, gpu, flops)
+    }
+
+    fn gpu_edge(&mut self, gpu: usize, flops: f64) -> f64 {
+        Machine::gpu_edge(self, gpu, flops)
+    }
+
+    fn cpu_compute(&mut self, waiting_gpu: usize, flops: f64) -> f64 {
+        Machine::cpu_compute(self, waiting_gpu, flops)
+    }
+
+    fn cpu_accumulate(&mut self, waiting_gpu: usize, bytes: usize) -> f64 {
+        Machine::cpu_accumulate(self, waiting_gpu, bytes)
     }
 }
 
@@ -548,6 +674,93 @@ mod tests {
         let verification = m.replace_trace(user);
         assert_eq!(verification.len(), 1);
         assert_eq!(m.trace().len(), 1);
+    }
+
+    #[test]
+    fn forked_shards_replay_identically_to_sequential() {
+        // Charge the same per-GPU schedule once on the machine, once
+        // through shards; clocks, buckets, and trace must match bitwise.
+        let charge = |t: &mut dyn FnMut(usize)| {
+            for g in 0..4 {
+                t(g);
+            }
+        };
+        let mut seq = machine();
+        seq.enable_unbounded_trace();
+        charge(&mut |g| {
+            seq.h2d(g, 1000 * (g + 1));
+            seq.gpu_dense(g, 1e9 * (g + 1) as f64);
+            seq.d2h(g, 500);
+        });
+
+        let mut par = machine();
+        par.enable_unbounded_trace();
+        let mut shards = par.fork_shards();
+        // Charge shards in *reverse* GPU order to model an arbitrary
+        // thread schedule; the join restores GPU-index order.
+        for shard in shards.iter_mut().rev() {
+            let g = shard.gpu();
+            shard.h2d(g, 1000 * (g + 1));
+            shard.gpu_dense(g, 1e9 * (g + 1) as f64);
+            shard.d2h(g, 500);
+        }
+        par.join_shards(shards);
+
+        for g in 0..4 {
+            assert_eq!(seq.clock(g), par.clock(g), "clock of GPU {g}");
+        }
+        assert_eq!(seq.buckets(), par.buckets());
+        let seq_ev: Vec<_> = seq.trace().events().collect();
+        let par_ev: Vec<_> = par.trace().events().collect();
+        assert_eq!(seq_ev, par_ev);
+    }
+
+    #[test]
+    fn shards_own_memory_during_fork() {
+        let mut m = machine();
+        m.alloc(0, 100, "pre").unwrap();
+        let mut shards = m.fork_shards();
+        // The machine's tracker is a placeholder while forked.
+        assert!(m.alloc(0, 1, "denied").is_err());
+        shards[0].alloc(0, 50, "shard-side").unwrap();
+        let g = shards[1].gpu();
+        assert!(shards[1].alloc(g, usize::MAX / 2, "oom").is_err());
+        m.join_shards(shards);
+        assert_eq!(m.gpu_memory(0).in_use(), 150);
+        assert!(m.alloc(0, 1, "restored").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly per-GPU")]
+    fn shard_rejects_foreign_gpu_charges() {
+        let mut m = machine();
+        let mut shards = m.fork_shards();
+        shards[0].h2d(1, 10);
+    }
+
+    #[test]
+    fn deferred_source_stalls_apply_at_join() {
+        // GPU 1 fetching from GPU 0 in naive mode stalls GPU 0; the shard
+        // of GPU 1 cannot charge GPU 0, so the stall lands at the join.
+        let mut seq = machine();
+        seq.d2d(0, 0, 4096); // sequential form of the serving stall
+        let mut par = machine();
+        let mut shards = par.fork_shards();
+        shards[1].source_stall(0, 4096);
+        assert_eq!(shards[1].clock(), 0.0, "stall must not charge the fetcher");
+        par.join_shards(shards);
+        assert_eq!(par.clock(0), seq.clock(0));
+        assert_eq!(par.buckets(), seq.buckets());
+    }
+
+    #[test]
+    fn machine_timeline_source_stall_charges_source_inline() {
+        let mut a = machine();
+        Timeline::source_stall(&mut a, 2, 1 << 16);
+        let mut b = machine();
+        b.d2d(2, 2, 1 << 16);
+        assert_eq!(a.clock(2), b.clock(2));
+        assert_eq!(a.buckets(), b.buckets());
     }
 
     #[test]

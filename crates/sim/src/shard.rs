@@ -1,0 +1,274 @@
+//! Per-GPU timeline shards for the parallel epoch executor.
+//!
+//! The sequential engine charges every simulated operation to a single
+//! [`Machine`](crate::machine::Machine). The parallel executor instead runs
+//! the m GPUs of a batch on m worker threads; each thread owns a
+//! [`GpuShard`] — that GPU's clock, memory tracker, time buckets, and a
+//! private event log — so no charging method ever touches shared state.
+//! [`Machine::fork_shards`](crate::machine::Machine::fork_shards) splits the
+//! machine into shards at a phase boundary and
+//! [`Machine::join_shards`](crate::machine::Machine::join_shards) merges them
+//! back **in GPU index order**, which keeps clocks, buckets, and the trace
+//! bitwise identical to the sequential schedule for the phased execution
+//! modes.
+//!
+//! The [`Timeline`] trait abstracts over the two: engine step functions are
+//! written once, generic over `T: Timeline`, and run unchanged against the
+//! whole machine (sequential mode) or a single shard (parallel mode).
+//!
+//! One operation cannot be charged shard-locally: the *naive* schedule's
+//! source-side serving stall (`d2d(k, k, bytes)` — GPU `k` stalls while
+//! GPU `i` fetches from it). A shard for GPU `i` must not touch GPU `k`'s
+//! clock, so [`Timeline::source_stall`] defers the charge; the join applies
+//! deferred stalls after merging. Clock *sums* are unaffected (no barrier
+//! intervenes inside a phase), but event order in the trace differs from
+//! sequential in naive mode.
+
+use crate::config::MachineConfig;
+use crate::machine::TimeBuckets;
+use crate::memory::{MemoryTracker, SimError};
+use crate::trace::{Access, Device, Event, EventKind};
+
+/// The charging interface shared by [`Machine`](crate::machine::Machine)
+/// (sequential execution) and [`GpuShard`] (one worker thread of the
+/// parallel executor). Both implementations evaluate the *same* cost
+/// formulas — they live on [`MachineConfig`] — so a schedule charges
+/// identical times through either.
+pub trait Timeline {
+    /// The machine configuration (cost model parameters).
+    fn machine_config(&self) -> &MachineConfig;
+
+    /// Stages access annotations for the next charged operation.
+    fn tag<I: IntoIterator<Item = Access>>(&mut self, accesses: I);
+
+    /// Allocates `bytes` on GPU `gpu`.
+    fn alloc(&mut self, gpu: usize, bytes: usize, label: &str) -> Result<(), SimError>;
+
+    /// Frees `bytes` on GPU `gpu`.
+    fn free(&mut self, gpu: usize, bytes: usize);
+
+    /// Charges a host→GPU transfer of `bytes` to GPU `gpu`.
+    fn h2d(&mut self, gpu: usize, bytes: usize) -> f64;
+
+    /// Charges a host→GPU transfer with `remote_bytes` crossing sockets.
+    fn h2d_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64;
+
+    /// Charges a GPU→host transfer of `bytes` to GPU `gpu`.
+    fn d2h(&mut self, gpu: usize, bytes: usize) -> f64;
+
+    /// Charges a GPU→host transfer with `remote_bytes` crossing sockets.
+    fn d2h_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64;
+
+    /// Charges a GPU↔GPU transfer of `bytes` to the initiating GPU `dst`.
+    fn d2d(&mut self, src: usize, dst: usize, bytes: usize) -> f64;
+
+    /// Charges a source-side serving stall: GPU `src` is busy for the
+    /// duration of a `bytes` transfer it serves to another GPU (the naive
+    /// schedule's contention cost). On a [`GpuShard`] that does not own
+    /// `src` the charge is deferred to the join.
+    fn source_stall(&mut self, src: usize, bytes: usize);
+
+    /// Charges an intra-GPU buffer reuse of `bytes` to GPU `gpu`.
+    fn reuse(&mut self, gpu: usize, bytes: usize) -> f64;
+
+    /// Charges `flops` of dense GPU work to GPU `gpu`.
+    fn gpu_dense(&mut self, gpu: usize, flops: f64) -> f64;
+
+    /// Charges `flops` of irregular edge-parallel GPU work to GPU `gpu`.
+    fn gpu_edge(&mut self, gpu: usize, flops: f64) -> f64;
+
+    /// Charges `flops` of host CPU work serialized onto GPU `waiting_gpu`.
+    fn cpu_compute(&mut self, waiting_gpu: usize, flops: f64) -> f64;
+
+    /// Charges a host-side gradient accumulation of `bytes` onto GPU
+    /// `waiting_gpu`.
+    fn cpu_accumulate(&mut self, waiting_gpu: usize, bytes: usize) -> f64;
+}
+
+/// One GPU's private slice of the simulated machine, detached for the
+/// duration of a parallel phase. Built by
+/// [`Machine::fork_shards`](crate::machine::Machine::fork_shards); every
+/// charging method asserts it is addressed as its own GPU.
+#[derive(Debug)]
+pub struct GpuShard {
+    pub(crate) gpu: usize,
+    pub(crate) config: MachineConfig,
+    pub(crate) clock: f64,
+    pub(crate) buckets: TimeBuckets,
+    pub(crate) memory: MemoryTracker,
+    pub(crate) tracing: bool,
+    pub(crate) events: Vec<Event>,
+    pub(crate) pending: Vec<Access>,
+    /// `(src, bytes)` serving stalls to apply at the join.
+    pub(crate) deferred_stalls: Vec<(usize, usize)>,
+}
+
+impl GpuShard {
+    /// The GPU index this shard owns.
+    pub fn gpu(&self) -> usize {
+        self.gpu
+    }
+
+    /// The shard's current clock (seconds).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The shard's memory tracker.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    #[track_caller]
+    fn own(&self, gpu: usize) {
+        assert_eq!(
+            gpu, self.gpu,
+            "GpuShard for GPU {} charged as GPU {gpu}: shards are strictly per-GPU",
+            self.gpu
+        );
+    }
+
+    fn record(&mut self, kind: EventKind, bytes: usize, seconds: f64) {
+        if !self.tracing {
+            return;
+        }
+        let accesses = std::mem::take(&mut self.pending);
+        self.events.push(
+            Event::new(
+                kind,
+                Device::Gpu(self.gpu as u32),
+                bytes,
+                seconds,
+                self.clock,
+            )
+            .with_accesses(accesses),
+        );
+    }
+}
+
+impl Timeline for GpuShard {
+    fn machine_config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    fn tag<I: IntoIterator<Item = Access>>(&mut self, accesses: I) {
+        if !self.tracing {
+            return;
+        }
+        self.pending.extend(accesses);
+    }
+
+    fn alloc(&mut self, gpu: usize, bytes: usize, label: &str) -> Result<(), SimError> {
+        self.own(gpu);
+        self.memory.alloc(bytes, label)
+    }
+
+    fn free(&mut self, gpu: usize, bytes: usize) {
+        self.own(gpu);
+        self.memory.free(bytes);
+    }
+
+    fn h2d(&mut self, gpu: usize, bytes: usize) -> f64 {
+        self.own(gpu);
+        let t = self.config.pcie_transfer_seconds(bytes);
+        self.clock += t;
+        self.buckets.h2d += t;
+        self.buckets.bytes_h2d += bytes as u64;
+        self.record(EventKind::H2D, bytes, t);
+        t
+    }
+
+    fn h2d_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
+        self.own(gpu);
+        let t = self.config.mixed_pcie_transfer_seconds(bytes, remote_bytes);
+        self.clock += t;
+        self.buckets.h2d += t;
+        self.buckets.bytes_h2d += bytes as u64;
+        self.record(EventKind::H2D, bytes, t);
+        t
+    }
+
+    fn d2h(&mut self, gpu: usize, bytes: usize) -> f64 {
+        self.own(gpu);
+        let t = self.config.pcie_transfer_seconds(bytes);
+        self.clock += t;
+        self.buckets.h2d += t;
+        self.buckets.bytes_d2h += bytes as u64;
+        self.record(EventKind::D2H, bytes, t);
+        t
+    }
+
+    fn d2h_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
+        self.own(gpu);
+        let t = self.config.mixed_pcie_transfer_seconds(bytes, remote_bytes);
+        self.clock += t;
+        self.buckets.h2d += t;
+        self.buckets.bytes_d2h += bytes as u64;
+        self.record(EventKind::D2H, bytes, t);
+        t
+    }
+
+    fn d2d(&mut self, _src: usize, dst: usize, bytes: usize) -> f64 {
+        self.own(dst);
+        let t = self.config.nvlink_transfer_seconds(bytes);
+        self.clock += t;
+        self.buckets.d2d += t;
+        self.buckets.bytes_d2d += bytes as u64;
+        self.record(EventKind::D2D, bytes, t);
+        t
+    }
+
+    fn source_stall(&mut self, src: usize, bytes: usize) {
+        if src == self.gpu {
+            self.d2d(src, src, bytes);
+        } else {
+            self.deferred_stalls.push((src, bytes));
+        }
+    }
+
+    fn reuse(&mut self, gpu: usize, bytes: usize) -> f64 {
+        self.own(gpu);
+        let t = self.config.reuse_seconds(bytes);
+        self.clock += t;
+        self.buckets.reuse += t;
+        self.buckets.bytes_reuse += bytes as u64;
+        self.record(EventKind::Reuse, bytes, t);
+        t
+    }
+
+    fn gpu_dense(&mut self, gpu: usize, flops: f64) -> f64 {
+        self.own(gpu);
+        let t = self.config.gpu_dense_seconds(flops);
+        self.clock += t;
+        self.buckets.gpu += t;
+        self.record(EventKind::GpuCompute, 0, t);
+        t
+    }
+
+    fn gpu_edge(&mut self, gpu: usize, flops: f64) -> f64 {
+        self.own(gpu);
+        let t = self.config.gpu_edge_seconds(flops);
+        self.clock += t;
+        self.buckets.gpu += t;
+        self.record(EventKind::GpuCompute, 0, t);
+        t
+    }
+
+    fn cpu_compute(&mut self, waiting_gpu: usize, flops: f64) -> f64 {
+        self.own(waiting_gpu);
+        let t = self.config.cpu_compute_seconds(flops);
+        self.clock += t;
+        self.buckets.cpu += t;
+        self.record(EventKind::CpuCompute, 0, t);
+        t
+    }
+
+    fn cpu_accumulate(&mut self, waiting_gpu: usize, bytes: usize) -> f64 {
+        self.own(waiting_gpu);
+        let t = self.config.cpu_accumulate_seconds(bytes);
+        self.clock += t;
+        self.buckets.cpu += t;
+        self.record(EventKind::CpuCompute, bytes, t);
+        t
+    }
+}

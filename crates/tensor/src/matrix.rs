@@ -6,6 +6,10 @@ use std::fmt;
 /// Minimum number of rows per thread before the parallel matmul splits work.
 const PAR_MIN_ROWS_PER_THREAD: usize = 64;
 
+/// Rows per pool job for parallel row gathers (pure copies are cheap, so
+/// chunks are large to amortize scheduling).
+const PAR_GATHER_ROWS_PER_CHUNK: usize = 1024;
+
 /// A dense row-major `f32` matrix.
 ///
 /// The fundamental value type of the workspace: vertex representation blocks
@@ -172,12 +176,25 @@ impl Matrix {
 
     /// Gathers rows `indices[i]` of `self` into a new `indices.len() × cols`
     /// matrix. This is the sparse "mem_copy_sparse" primitive of the paper's
-    /// communication layer, expressed on host buffers.
+    /// communication layer, expressed on host buffers. Large gathers are
+    /// row-parallel: each output row is a plain copy, so the result is
+    /// identical for any worker count.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (dst, &src) in indices.iter().enumerate() {
-            out.row_mut(dst).copy_from_slice(self.row(src));
+        if self.cols == 0 {
+            return out;
         }
+        let cols = self.cols;
+        hongtu_parallel::par_chunks_mut(
+            &mut out.data,
+            PAR_GATHER_ROWS_PER_CHUNK * cols,
+            |start, chunk| {
+                let r0 = start / cols;
+                for (dst, row_out) in chunk.chunks_exact_mut(cols).enumerate() {
+                    row_out.copy_from_slice(self.row(indices[r0 + dst]));
+                }
+            },
+        );
         out
     }
 
@@ -415,25 +432,21 @@ impl Matrix {
 
 /// Parallel kernel: `out[a_rows × b_cols] = A[a_rows × a_cols] × B[a_cols × b_cols]`.
 ///
-/// Rows of `A` are split evenly across worker threads when the problem is big
-/// enough; each worker writes a disjoint slice of `out`.
+/// Rows of `A` are split across the work-stealing pool when the problem is
+/// big enough; each job writes a disjoint row-slice of `out`. Every output
+/// row runs the identical per-row reduction, so the split (and hence the
+/// thread count) never changes the result bitwise.
 fn matmul_into(a: &[f32], a_rows: usize, a_cols: usize, b: &[f32], b_cols: usize, out: &mut [f32]) {
-    let threads = available_threads();
-    if a_rows < PAR_MIN_ROWS_PER_THREAD * 2 || threads <= 1 {
+    let threads = hongtu_parallel::global().num_threads();
+    if a_rows < PAR_MIN_ROWS_PER_THREAD * 2 || threads <= 1 || b_cols == 0 {
         matmul_rows(a, a_cols, b, b_cols, out, 0, a_rows);
         return;
     }
     let n_workers = threads.min(a_rows / PAR_MIN_ROWS_PER_THREAD).max(1);
     let rows_per = a_rows.div_ceil(n_workers);
-    let chunks: Vec<&mut [f32]> = out.chunks_mut(rows_per * b_cols).collect();
-    std::thread::scope(|s| {
-        for (w, chunk) in chunks.into_iter().enumerate() {
-            let start = w * rows_per;
-            let end = (start + rows_per).min(a_rows);
-            s.spawn(move || {
-                matmul_rows(a, a_cols, b, b_cols, chunk, start, end);
-            });
-        }
+    hongtu_parallel::par_chunks_mut(out, rows_per * b_cols, |start, chunk| {
+        let r0 = start / b_cols;
+        matmul_rows(a, a_cols, b, b_cols, chunk, r0, r0 + chunk.len() / b_cols);
     });
 }
 
@@ -461,13 +474,6 @@ fn matmul_rows(
             }
         }
     }
-}
-
-/// Number of worker threads for parallel kernels.
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 impl Matrix {

@@ -9,6 +9,11 @@ use crate::matrix::Matrix;
 /// Slope used by GAT's LeakyReLU, matching the GAT reference implementation.
 pub const LEAKY_RELU_SLOPE: f32 = 0.2;
 
+/// Rows per pool job for the row-parallel softmax kernels. Each row is
+/// normalized independently with the same scalar reduction, so chunking
+/// never changes results bitwise.
+const PAR_SOFTMAX_ROWS_PER_CHUNK: usize = 256;
+
 /// `ReLU(x) = max(x, 0)`, element-wise.
 pub fn relu(x: &Matrix) -> Matrix {
     x.map(|v| if v > 0.0 { v } else { 0.0 })
@@ -89,26 +94,47 @@ pub fn tanh_backward_from_output(y: &Matrix, grad: &Matrix) -> Matrix {
     out
 }
 
-/// Numerically-stable softmax applied independently to every row.
+/// Numerically-stable softmax applied independently to every row
+/// (row-parallel on the global pool).
 pub fn softmax_rows(x: &Matrix) -> Matrix {
     let mut out = x.clone();
-    for r in 0..out.rows() {
-        softmax_in_place(out.row_mut(r));
+    let cols = out.cols();
+    if cols == 0 {
+        return out;
     }
+    hongtu_parallel::par_chunks_mut(
+        out.as_mut_slice(),
+        PAR_SOFTMAX_ROWS_PER_CHUNK * cols,
+        |_, chunk| {
+            for row in chunk.chunks_exact_mut(cols) {
+                softmax_in_place(row);
+            }
+        },
+    );
     out
 }
 
-/// Numerically-stable log-softmax applied independently to every row.
+/// Numerically-stable log-softmax applied independently to every row
+/// (row-parallel on the global pool).
 pub fn log_softmax_rows(x: &Matrix) -> Matrix {
     let mut out = x.clone();
-    for r in 0..out.rows() {
-        let row = out.row_mut(r);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
-        for v in row.iter_mut() {
-            *v -= log_sum;
-        }
+    let cols = out.cols();
+    if cols == 0 {
+        return out;
     }
+    hongtu_parallel::par_chunks_mut(
+        out.as_mut_slice(),
+        PAR_SOFTMAX_ROWS_PER_CHUNK * cols,
+        |_, chunk| {
+            for row in chunk.chunks_exact_mut(cols) {
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+                for v in row.iter_mut() {
+                    *v -= log_sum;
+                }
+            }
+        },
+    );
     out
 }
 

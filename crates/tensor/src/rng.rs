@@ -65,6 +65,15 @@ impl SeededRng {
         SeededRng::new(z)
     }
 
+    /// Derives `n` independent child streams, one per work-item index.
+    ///
+    /// This is the RNG discipline of the parallel executor: randomness is
+    /// keyed by *item index* (GPU id, chunk id, ...), never by thread id,
+    /// so draws are identical under any worker count or schedule.
+    pub fn streams(&self, n: usize) -> Vec<SeededRng> {
+        (0..n as u64).map(|i| self.fork(i)).collect()
+    }
+
     /// Uniform `f32` in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
         // 24 high bits → the full f32 mantissa resolution in [0, 1).
@@ -182,6 +191,31 @@ mod tests {
         let mut a = r.fork(0);
         let mut b = r.fork(1);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn streams_are_schedule_independent() {
+        // Draw from 4 item streams in two different "schedules" (orders);
+        // each stream's sequence must not depend on the order of use.
+        let master = SeededRng::new(99);
+        let mut forward: Vec<Vec<u64>> = master
+            .streams(4)
+            .into_iter()
+            .map(|mut s| (0..8).map(|_| s.next_u64()).collect())
+            .collect();
+        let mut reversed: Vec<(usize, Vec<u64>)> = master
+            .streams(4)
+            .into_iter()
+            .enumerate()
+            .rev()
+            .map(|(i, mut s)| (i, (0..8).map(|_| s.next_u64()).collect()))
+            .collect();
+        reversed.sort_by_key(|&(i, _)| i);
+        let reordered: Vec<Vec<u64>> = reversed.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(forward, reordered);
+        // And distinct items get distinct streams.
+        forward.dedup();
+        assert_eq!(forward.len(), 4);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 
 use crate::matrix::Matrix;
 
+/// Rows per pool job for the row-parallel SpMM. Each output row reduces its
+/// own non-zeros in CSR order, so the split never changes results bitwise.
+const PAR_SPMM_ROWS_PER_CHUNK: usize = 128;
+
 /// A sparse `rows × cols` matrix in compressed sparse row form.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
@@ -106,21 +110,33 @@ impl CsrMatrix {
     }
 
     /// Sparse × dense product `self · dense`
-    /// (`rows × cols` · `cols × d` → `rows × d`).
+    /// (`rows × cols` · `cols × d` → `rows × d`), row-parallel on the
+    /// global pool. Each output row accumulates its non-zeros in CSR
+    /// order, so the result is bitwise identical for any thread count.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
         assert_eq!(self.cols, dense.rows(), "spmm: inner dimensions differ");
         let d = dense.cols();
         let mut out = Matrix::zeros(self.rows, d);
-        for r in 0..self.rows {
-            let row_out = out.row_mut(r);
-            for k in self.offsets[r]..self.offsets[r + 1] {
-                let c = self.indices[k] as usize;
-                let w = self.values[k];
-                for (o, &x) in row_out.iter_mut().zip(dense.row(c)) {
-                    *o += w * x;
-                }
-            }
+        if d == 0 {
+            return out;
         }
+        hongtu_parallel::par_chunks_mut(
+            out.as_mut_slice(),
+            PAR_SPMM_ROWS_PER_CHUNK * d,
+            |start, chunk| {
+                let r0 = start / d;
+                for (dr, row_out) in chunk.chunks_exact_mut(d).enumerate() {
+                    let r = r0 + dr;
+                    for k in self.offsets[r]..self.offsets[r + 1] {
+                        let c = self.indices[k] as usize;
+                        let w = self.values[k];
+                        for (o, &x) in row_out.iter_mut().zip(dense.row(c)) {
+                            *o += w * x;
+                        }
+                    }
+                }
+            },
+        );
         out
     }
 

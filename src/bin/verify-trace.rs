@@ -16,7 +16,7 @@
 //! commutable reorderings (`S502`). Exits 0 if every trace is clean,
 //! 1 if any diagnostic fires (or on bad arguments).
 
-use hongtu_core::{CommMode, HongTuConfig, HongTuEngine, MemoryStrategy};
+use hongtu_core::{CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy};
 use hongtu_datasets::{all_keys, load, DatasetKey};
 use hongtu_nn::ModelKind;
 use hongtu_sim::{MachineConfig, Trace};
@@ -35,13 +35,14 @@ struct Args {
     memory: MemoryStrategy,
     epochs: usize,
     determinism: bool,
+    exec: ExecutionMode,
 }
 
 const USAGE: &str = "usage: verify-trace [--dataset rdt|opt|it|opr|fds|all] \
                      [--gpus M] [--chunks N] [--seed S] \
                      [--model gcn|gat|sage|gin|commnet|ggnn] [--hidden H] [--layers L] \
                      [--comm vanilla|p2p|p2pru] [--memory recompute|hybrid] \
-                     [--epochs E] [--determinism]";
+                     [--epochs E] [--determinism] [--exec sequential|parallel]";
 
 fn parse_dataset(s: &str) -> Result<Vec<DatasetKey>, String> {
     match s.to_ascii_lowercase().as_str() {
@@ -92,6 +93,16 @@ fn parse_memory(s: &str) -> Result<MemoryStrategy, String> {
     }
 }
 
+fn parse_exec(s: &str) -> Result<ExecutionMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "sequential" | "seq" => Ok(ExecutionMode::Sequential),
+        "parallel" | "par" => Ok(ExecutionMode::Parallel),
+        other => Err(format!(
+            "unknown execution mode {other:?} (want sequential|parallel)"
+        )),
+    }
+}
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         datasets: vec![DatasetKey::Rdt],
@@ -105,6 +116,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         memory: MemoryStrategy::Hybrid,
         epochs: 1,
         determinism: false,
+        exec: ExecutionMode::Sequential,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -149,6 +161,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--epochs: {e}"))?
             }
             "--determinism" => args.determinism = true,
+            "--exec" => args.exec = parse_exec(&value("--exec")?)?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -163,7 +176,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 /// Trains `epochs` epochs under an unbounded trace and returns it.
-fn traced_epochs(args: &Args, ds: &hongtu_datasets::Dataset) -> Result<Trace, String> {
+fn traced_epochs(
+    args: &Args,
+    ds: &hongtu_datasets::Dataset,
+    exec: ExecutionMode,
+) -> Result<Trace, String> {
     let machine = MachineConfig::scaled(args.gpus, 1 << 30);
     let config = HongTuConfig {
         comm: args.comm,
@@ -173,6 +190,7 @@ fn traced_epochs(args: &Args, ds: &hongtu_datasets::Dataset) -> Result<Trace, St
         lr: 0.01,
         interleaved: true,
         validation: hongtu_core::ValidationLevel::Plan,
+        exec,
     };
     let mut engine = HongTuEngine::new(
         ds,
@@ -207,7 +225,7 @@ fn main() {
         let mut rng = SeededRng::new(args.seed);
         let ds = load(*key, &mut rng);
         println!(
-            "{} ({}): |V| = {}, |E| = {}, {} {}x{} on {} GPUs x {} chunks, {:?}/{:?}, {} epoch(s)",
+            "{} ({}): |V| = {}, |E| = {}, {} {}x{} on {} GPUs x {} chunks, {:?}/{:?}/{:?}, {} epoch(s)",
             key.abbrev(),
             key.real_name(),
             ds.num_vertices(),
@@ -219,10 +237,11 @@ fn main() {
             args.chunks,
             args.comm,
             args.memory,
+            args.exec,
             args.epochs,
         );
 
-        let trace = match traced_epochs(&args, &ds) {
+        let trace = match traced_epochs(&args, &ds, args.exec) {
             Ok(t) => t,
             Err(msg) => {
                 eprintln!("  {msg}");
@@ -245,7 +264,16 @@ fn main() {
         }
 
         if args.determinism {
-            let second = match traced_epochs(&args, &ds) {
+            // Under the parallel executor, the reference run is the
+            // *sequential* schedule: equivalence then certifies that the
+            // worker-thread execution is a mere commutable reordering of
+            // the reference, i.e. race-free by construction.
+            let reference = if args.exec == ExecutionMode::Parallel {
+                ExecutionMode::Sequential
+            } else {
+                args.exec
+            };
+            let second = match traced_epochs(&args, &ds, reference) {
                 Ok(t) => t,
                 Err(msg) => {
                     eprintln!("  {msg}");
@@ -254,7 +282,13 @@ fn main() {
             };
             let report = verify_determinism(&trace, &second);
             if report.is_ok() {
-                println!("  determinism: second run produced an equivalent schedule");
+                if args.exec == ExecutionMode::Parallel {
+                    println!(
+                        "  determinism: parallel schedule equivalent to the sequential reference"
+                    );
+                } else {
+                    println!("  determinism: second run produced an equivalent schedule");
+                }
             } else {
                 any_bad = true;
                 println!("  determinism: {} diagnostic(s):", report.diagnostics.len());

@@ -13,6 +13,15 @@ cargo test -q
 echo "==> verify-trace smoke run (happens-before schedule certification)"
 cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism
 
+echo "==> verify-trace smoke run, parallel executor (certified against the sequential reference)"
+cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism --exec parallel
+
+echo "==> parallel executor certification, release profile"
+cargo test -q --release --test parallel_executor
+
+echo "==> bench smoke: sequential vs parallel wall-clock (BENCH_parallel.json)"
+cargo run -q --release -p hongtu-bench --bin bench_parallel -- --out BENCH_parallel.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
