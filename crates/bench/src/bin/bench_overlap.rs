@@ -1,0 +1,196 @@
+//! `bench_overlap` — simulated-time and peak-memory comparison of the
+//! additive (`Off`) and double-buffered (`DoubleBuffer`) schedules,
+//! emitted as machine-readable JSON for CI.
+//!
+//! For each model × comm mode × GPU count the same engine configuration
+//! is trained under both overlap modes; the report records *simulated*
+//! per-epoch seconds, peak GPU memory, the overlap speedup, and whether
+//! the training losses were bitwise identical — the overlap contract
+//! this repo certifies. The process exits 1 if any losses diverge, or if
+//! double buffering is not strictly faster on a multi-GPU dedup
+//! (P2P / P2P+RU) configuration.
+//!
+//! ```text
+//! cargo run -p hongtu-bench --bin bench_overlap -- [--out FILE] \
+//!     [--epochs N] [--dataset rdt|opt|it|opr|fds]
+//! ```
+//!
+//! Default output is `BENCH_overlap.json` in the current directory.
+
+use hongtu_core::{CommMode, HongTuConfig, HongTuEngine, OverlapMode};
+use hongtu_datasets::{load, DatasetKey};
+use hongtu_nn::ModelKind;
+use hongtu_sim::MachineConfig;
+use hongtu_tensor::SeededRng;
+
+struct Sample {
+    model: &'static str,
+    comm: &'static str,
+    gpus: usize,
+    off_epoch_s: f64,
+    db_epoch_s: f64,
+    off_peak_bytes: usize,
+    db_peak_bytes: usize,
+    losses_bitwise_equal: bool,
+    /// Whether this configuration must show a strict overlap win.
+    must_overlap: bool,
+}
+
+fn run_epochs(
+    ds: &hongtu_datasets::Dataset,
+    kind: ModelKind,
+    comm: CommMode,
+    gpus: usize,
+    overlap: OverlapMode,
+    epochs: usize,
+) -> (f64, usize, Vec<f32>) {
+    let mut cfg = HongTuConfig::full(MachineConfig::scaled(gpus, 512 << 20));
+    cfg.comm = comm;
+    cfg.reorganize = comm != CommMode::Vanilla;
+    cfg.overlap = overlap;
+    let mut engine = HongTuEngine::new(ds, kind, 32, 2, 4, cfg).expect("engine construction");
+    let mut losses = Vec::with_capacity(epochs);
+    let mut sim_s = 0.0;
+    for _ in 0..epochs {
+        let r = engine.train_epoch().expect("epoch");
+        sim_s += r.time;
+        losses.push(r.loss.loss);
+    }
+    (
+        sim_s / epochs as f64,
+        engine.machine().max_gpu_peak(),
+        losses,
+    )
+}
+
+fn comm_name(c: CommMode) -> &'static str {
+    match c {
+        CommMode::Vanilla => "vanilla",
+        CommMode::P2p => "p2p",
+        CommMode::P2pRu => "p2pru",
+    }
+}
+
+fn main() {
+    let mut out = String::from("BENCH_overlap.json");
+    let mut epochs = 2usize;
+    let mut dataset = DatasetKey::Rdt;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!(
+                "usage: bench_overlap [--out FILE] [--epochs N] [--dataset rdt|opt|it|opr|fds]"
+            );
+            std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--out" => out = value,
+            "--epochs" => epochs = value.parse().expect("--epochs: positive integer"),
+            "--dataset" => {
+                dataset = match value.to_lowercase().as_str() {
+                    "rdt" => DatasetKey::Rdt,
+                    "opt" => DatasetKey::Opt,
+                    "it" => DatasetKey::It,
+                    "opr" => DatasetKey::Opr,
+                    "fds" => DatasetKey::Fds,
+                    other => {
+                        eprintln!("unknown dataset {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ds = load(dataset, &mut SeededRng::new(99));
+    let mut samples = Vec::new();
+    for (kind, model) in [
+        (ModelKind::Gcn, "gcn"),
+        (ModelKind::Gat, "gat"),
+        (ModelKind::Sage, "sage"),
+    ] {
+        for comm in [CommMode::Vanilla, CommMode::P2p, CommMode::P2pRu] {
+            for gpus in [1usize, 2, 4] {
+                let (off_s, off_peak, off_losses) =
+                    run_epochs(&ds, kind, comm, gpus, OverlapMode::Off, epochs);
+                let (db_s, db_peak, db_losses) =
+                    run_epochs(&ds, kind, comm, gpus, OverlapMode::DoubleBuffer, epochs);
+                let equal = off_losses == db_losses;
+                println!(
+                    "{model}/{}/{gpus} GPUs: off {:.3} ms, doublebuffer {:.3} ms ({:.2}x), \
+                     peak {:.1} -> {:.1} MB, losses {}",
+                    comm_name(comm),
+                    off_s * 1e3,
+                    db_s * 1e3,
+                    off_s / db_s,
+                    off_peak as f64 / (1 << 20) as f64,
+                    db_peak as f64 / (1 << 20) as f64,
+                    if equal { "bitwise equal" } else { "DIVERGED" },
+                );
+                samples.push(Sample {
+                    model,
+                    comm: comm_name(comm),
+                    gpus,
+                    off_epoch_s: off_s,
+                    db_epoch_s: db_s,
+                    off_peak_bytes: off_peak,
+                    db_peak_bytes: db_peak,
+                    losses_bitwise_equal: equal,
+                    must_overlap: gpus > 1 && comm != CommMode::Vanilla,
+                });
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"dataset\": \"{}\",\n", dataset.abbrev()));
+    json.push_str(&format!("  \"epochs\": {epochs},\n"));
+    json.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"comm\": \"{}\", \"gpus\": {}, \
+             \"off_sim_epoch_s\": {:.9}, \"doublebuffer_sim_epoch_s\": {:.9}, \
+             \"overlap_speedup\": {:.4}, \"off_peak_bytes\": {}, \
+             \"doublebuffer_peak_bytes\": {}, \"losses_bitwise_equal\": {}}}{}\n",
+            s.model,
+            s.comm,
+            s.gpus,
+            s.off_epoch_s,
+            s.db_epoch_s,
+            s.off_epoch_s / s.db_epoch_s,
+            s.off_peak_bytes,
+            s.db_peak_bytes,
+            s.losses_bitwise_equal,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("writing report");
+    println!("wrote {out}");
+
+    let mut bad = false;
+    for s in &samples {
+        if !s.losses_bitwise_equal {
+            eprintln!(
+                "FAIL: {}/{}/{} GPUs: double-buffered losses diverged",
+                s.model, s.comm, s.gpus
+            );
+            bad = true;
+        }
+        if s.must_overlap && s.db_epoch_s >= s.off_epoch_s {
+            eprintln!(
+                "FAIL: {}/{}/{} GPUs: doublebuffer {} s not strictly below off {} s",
+                s.model, s.comm, s.gpus, s.db_epoch_s, s.off_epoch_s
+            );
+            bad = true;
+        }
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

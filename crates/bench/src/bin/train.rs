@@ -9,7 +9,9 @@
 //!     [--no-reorg] [--seed N] [--save model.htgm] [--quiet]
 //! ```
 
-use hongtu_core::{CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy};
+use hongtu_core::{
+    CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, OverlapMode,
+};
 use hongtu_datasets::{load, DatasetKey};
 use hongtu_nn::ModelKind;
 use hongtu_sim::MachineConfig;
@@ -32,6 +34,7 @@ struct Args {
     save: Option<String>,
     quiet: bool,
     exec: ExecutionMode,
+    overlap: OverlapMode,
 }
 
 impl Default for Args {
@@ -52,6 +55,7 @@ impl Default for Args {
             save: None,
             quiet: false,
             exec: ExecutionMode::Sequential,
+            overlap: OverlapMode::Off,
         }
     }
 }
@@ -62,7 +66,8 @@ fn usage() -> ! {
          \x20            [--layers N] [--hidden N] [--epochs N] [--chunks N] [--gpus N]\n\
          \x20            [--gpu-mem-mb N] [--comm full|p2p|vanilla]\n\
          \x20            [--memory hybrid|recompute] [--no-reorg] [--seed N]\n\
-         \x20            [--exec sequential|parallel] [--save FILE] [--quiet]"
+         \x20            [--exec sequential|parallel] [--overlap off|doublebuffer]\n\
+         \x20            [--save FILE] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -132,6 +137,13 @@ fn parse_args() -> Args {
                     _ => bad("--exec", &value),
                 }
             }
+            "--overlap" => {
+                args.overlap = match value.to_lowercase().as_str() {
+                    "off" => OverlapMode::Off,
+                    "doublebuffer" | "db" => OverlapMode::DoubleBuffer,
+                    _ => bad("--overlap", &value),
+                }
+            }
             "--save" => args.save = Some(value),
             "--layers" | "--hidden" | "--epochs" | "--chunks" | "--gpus" | "--gpu-mem-mb"
             | "--seed" => {
@@ -181,6 +193,7 @@ fn main() {
         interleaved: true,
         validation: hongtu_core::engine::ValidationLevel::Plan,
         exec: args.exec,
+        overlap: args.overlap,
     };
     let mut engine = match HongTuEngine::new(
         &dataset,

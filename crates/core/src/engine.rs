@@ -31,6 +31,8 @@ use hongtu_sim::{
     Access, BarrierScope, Machine, MachineConfig, Region, ResourceId, SimError, TimeBuckets,
     Timeline, Trace,
 };
+pub use hongtu_stream::OverlapMode;
+use hongtu_stream::{grad_slot, pipeline, rep_slot, StagingPlan, StreamId};
 use hongtu_tensor::{Adam, Matrix, SeededRng};
 use hongtu_verify::Report;
 pub use hongtu_verify::ValidationLevel;
@@ -101,6 +103,13 @@ pub struct HongTuConfig {
     /// Host-side execution of the per-GPU work. Does not change any
     /// simulated quantity — only how many OS threads drive the epoch.
     pub exec: ExecutionMode,
+    /// Copy/compute overlap (`hongtu-stream`). `Off` charges the load,
+    /// compute, and evict phases of a batch additively on the default
+    /// stream; `DoubleBuffer` software-pipelines batches over statically
+    /// allocated double-buffered staging, so transfers hide behind
+    /// compute and each segment costs the max of its streams. Changes
+    /// simulated time and peak memory, never results.
+    pub overlap: OverlapMode,
 }
 
 impl HongTuConfig {
@@ -115,6 +124,7 @@ impl HongTuConfig {
             interleaved: true,
             validation: ValidationLevel::Plan,
             exec: ExecutionMode::Sequential,
+            overlap: OverlapMode::Off,
         }
     }
 
@@ -131,6 +141,7 @@ impl HongTuConfig {
             interleaved: true,
             validation: ValidationLevel::Plan,
             exec: ExecutionMode::Sequential,
+            overlap: OverlapMode::Off,
         }
     }
 }
@@ -272,6 +283,9 @@ pub struct HongTuEngine {
     buffer_comm: Option<Vec<Vec<BatchComm>>>,
     /// Buffer index plans retained for `Paranoid` per-epoch re-checks.
     paranoid_bufs: Option<Vec<GpuBufferPlan>>,
+    /// Per-GPU double-buffered staging sizes (`DoubleBuffer` overlap
+    /// only; the buffers themselves are resident on the machine).
+    staging: Option<Vec<StagingPlan>>,
     model: GnnModel,
     opt: Adam,
     labels: Vec<u32>,
@@ -438,6 +452,23 @@ impl HongTuEngine {
             )?;
         }
 
+        // ---- double-buffered staging (overlap executor) ----
+        // Sized for the worst (layer, batch) footprint and pinned for the
+        // whole run, so the overlapped epochs have no per-batch allocation
+        // churn. An oversized configuration fails *here*, naming the
+        // staging slot and GPU.
+        let staging = if config.overlap == OverlapMode::DoubleBuffer {
+            let plans: Vec<StagingPlan> = (0..m)
+                .map(|gpu| plan_staging(gpu, &plan, &dedup, bufplans.as_deref(), &model, &config))
+                .collect();
+            for p in &plans {
+                p.install(&mut machine)?;
+            }
+            Some(plans)
+        } else {
+            None
+        };
+
         let lr = config.lr;
         let paranoid_bufs = if config.validation == ValidationLevel::Paranoid {
             bufplans
@@ -451,6 +482,7 @@ impl HongTuEngine {
             dedup,
             buffer_comm,
             paranoid_bufs,
+            staging,
             model,
             opt: Adam::new(lr),
             labels: dataset.labels.clone(),
@@ -481,6 +513,12 @@ impl HongTuEngine {
     /// The simulated machine (memory peaks, trace).
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// Per-GPU staging plans of the overlap executor (`None` when
+    /// overlap is off).
+    pub fn staging_plans(&self) -> Option<&[StagingPlan]> {
+        self.staging.as_deref()
     }
 
     /// The model under training.
@@ -561,6 +599,7 @@ impl HongTuEngine {
         // barriers. Vanilla batches touch only per-GPU state.
         let phased = self.config.comm != CommMode::Vanilla;
         let parallel = self.config.exec == ExecutionMode::Parallel;
+        let overlap = self.config.overlap == OverlapMode::DoubleBuffer;
 
         for g in &mut self.grad_h {
             g.fill_zero();
@@ -574,11 +613,19 @@ impl HongTuEngine {
 
         // ---- forward pass (Alg 1, lines 4–9) ----
         for l in 0..l_count {
-            for j in 0..n {
+            if overlap {
                 if parallel {
-                    self.forward_batch_parallel(l, j, phased)?;
+                    self.forward_layer_overlap_parallel(l);
                 } else {
-                    self.forward_batch_sequential(l, j, phased)?;
+                    self.forward_layer_overlap_sequential(l);
+                }
+            } else {
+                for j in 0..n {
+                    if parallel {
+                        self.forward_batch_parallel(l, j, phased)?;
+                    } else {
+                        self.forward_batch_sequential(l, j, phased)?;
+                    }
                 }
             }
         }
@@ -601,11 +648,19 @@ impl HongTuEngine {
         // ---- backward pass (lines 12–19) ----
         let mut grads: Vec<Vec<LayerGrads>> = (0..m).map(|_| self.model.zero_grads()).collect();
         for l in (0..l_count).rev() {
-            for j in 0..n {
+            if overlap {
                 if parallel {
-                    self.backward_batch_parallel(l, j, phased, &mut grads)?;
+                    self.backward_layer_overlap_parallel(l, &mut grads);
                 } else {
-                    self.backward_batch_sequential(l, j, phased, &mut grads)?;
+                    self.backward_layer_overlap_sequential(l, &mut grads);
+                }
+            } else {
+                for j in 0..n {
+                    if parallel {
+                        self.backward_batch_parallel(l, j, phased, &mut grads)?;
+                    } else {
+                        self.backward_batch_sequential(l, j, phased, &mut grads)?;
+                    }
                 }
             }
         }
@@ -955,6 +1010,252 @@ impl HongTuEngine {
                 .map(|&v| v as usize)
                 .collect();
             self.grad_h[l].scatter_add_rows(&nbr_idx, &grad_nbr);
+        }
+    }
+
+    /// One forward layer under the overlap executor, sequential host
+    /// execution: the segments of [`hongtu_stream::pipeline`] run their
+    /// three roles on the three per-GPU streams between batch barriers,
+    /// so a segment costs the *maximum* of prefetch, compute, and drain
+    /// instead of their sum. Host-store writes are still leader-applied
+    /// in GPU index order, so results are bitwise identical to the
+    /// non-overlapped executor.
+    fn forward_layer_overlap_sequential(&mut self, l: usize) {
+        let m = self.plan.m;
+        for seg in pipeline(self.plan.n) {
+            let mut outs = Vec::with_capacity(m);
+            {
+                let ctx = ctx!(self);
+                if let Some(p) = seg.prefetch {
+                    for i in 0..m {
+                        ov_forward_prefetch(&ctx, &mut self.machine, l, i, p);
+                    }
+                }
+                if let Some(c) = seg.compute {
+                    for i in 0..m {
+                        outs.push(ov_forward_compute(&ctx, &mut self.machine, l, i, c));
+                    }
+                }
+                if let Some(d) = seg.drain {
+                    for i in 0..m {
+                        ov_forward_drain(&ctx, &mut self.machine, l, i, d);
+                    }
+                }
+            }
+            if let Some(c) = seg.compute {
+                self.apply_forward_outs(l, c, outs);
+                self.machine.sync(BarrierScope::Batch);
+            } else {
+                // Prologue/epilogue segments only move data; a phase
+                // barrier publishes it without advancing the batch count.
+                self.machine.sync(BarrierScope::Phase);
+            }
+        }
+    }
+
+    /// One forward layer under the overlap executor, parallel host
+    /// execution: each segment's three roles fork per-GPU shards in
+    /// turn, joined in GPU index order, so clocks, traces, and results
+    /// are bitwise identical to the sequential overlap driver. `h^l` is
+    /// frozen for the whole layer (writes go to `h^{l+1}`), so workers
+    /// gather neighbor rows straight from the host store — no serve
+    /// channels needed.
+    fn forward_layer_overlap_parallel(&mut self, l: usize) {
+        let m = self.plan.m;
+        for seg in pipeline(self.plan.n) {
+            if let Some(p) = seg.prefetch {
+                let mut shards = self.machine.fork_shards();
+                {
+                    let ctx = ctx!(self);
+                    let ctx = &ctx;
+                    hongtu_parallel::global().scope(|s| {
+                        for shard in shards.iter_mut() {
+                            s.spawn(move || {
+                                let i = shard.gpu();
+                                ov_forward_prefetch(ctx, shard, l, i, p);
+                            });
+                        }
+                    });
+                }
+                self.machine.join_shards(shards);
+            }
+            let mut outs = Vec::new();
+            if let Some(c) = seg.compute {
+                let mut shards = self.machine.fork_shards();
+                let mut slots: Vec<Option<FwOut>> = (0..m).map(|_| None).collect();
+                {
+                    let ctx = ctx!(self);
+                    let ctx = &ctx;
+                    hongtu_parallel::global().scope(|s| {
+                        for (shard, slot) in shards.iter_mut().zip(slots.iter_mut()) {
+                            s.spawn(move || {
+                                let i = shard.gpu();
+                                *slot = Some(ov_forward_compute(ctx, shard, l, i, c));
+                            });
+                        }
+                    });
+                }
+                self.machine.join_shards(shards);
+                outs = slots
+                    .into_iter()
+                    .map(|s| s.expect("worker task did not run"))
+                    .collect();
+            }
+            if let Some(d) = seg.drain {
+                let mut shards = self.machine.fork_shards();
+                {
+                    let ctx = ctx!(self);
+                    let ctx = &ctx;
+                    hongtu_parallel::global().scope(|s| {
+                        for shard in shards.iter_mut() {
+                            s.spawn(move || {
+                                let i = shard.gpu();
+                                ov_forward_drain(ctx, shard, l, i, d);
+                            });
+                        }
+                    });
+                }
+                self.machine.join_shards(shards);
+            }
+            if let Some(c) = seg.compute {
+                self.apply_forward_outs(l, c, outs);
+                self.machine.sync(BarrierScope::Batch);
+            } else {
+                self.machine.sync(BarrierScope::Phase);
+            }
+        }
+    }
+
+    /// One backward layer under the overlap executor, sequential host
+    /// execution. The `∇h^{l+1}` gathers prefetched a segment early are
+    /// carried in a two-slot host staging mirror of the device slots.
+    fn backward_layer_overlap_sequential(&mut self, l: usize, grads: &mut [Vec<LayerGrads>]) {
+        let m = self.plan.m;
+        let mut staged: [Vec<Matrix>; 2] = [Vec::new(), Vec::new()];
+        for seg in pipeline(self.plan.n) {
+            let mut grad_nbrs = Vec::with_capacity(m);
+            {
+                let ctx = ctx!(self);
+                if let Some(p) = seg.prefetch {
+                    staged[p % 2] = (0..m)
+                        .map(|i| ov_backward_prefetch(&ctx, &mut self.machine, l, i, p))
+                        .collect();
+                }
+                if let Some(c) = seg.compute {
+                    for i in 0..m {
+                        grad_nbrs.push(ov_backward_compute(
+                            &ctx,
+                            &mut self.machine,
+                            l,
+                            i,
+                            c,
+                            &staged[c % 2][i],
+                            &mut grads[i][l],
+                        ));
+                    }
+                }
+                if let Some(d) = seg.drain {
+                    for i in 0..m {
+                        ov_backward_drain(&ctx, &mut self.machine, l, i, d);
+                    }
+                }
+            }
+            if let Some(c) = seg.compute {
+                self.apply_backward_grads(l, c, grad_nbrs);
+                self.machine.sync(BarrierScope::Batch);
+            } else {
+                self.machine.sync(BarrierScope::Phase);
+            }
+        }
+    }
+
+    /// One backward layer under the overlap executor, parallel host
+    /// execution; the per-segment fork/join structure mirrors
+    /// [`HongTuEngine::forward_layer_overlap_parallel`]. `∇h^{l+1}` is
+    /// frozen for the whole layer, so workers gather directly.
+    fn backward_layer_overlap_parallel(&mut self, l: usize, grads: &mut [Vec<LayerGrads>]) {
+        let m = self.plan.m;
+        let mut staged: [Vec<Matrix>; 2] = [Vec::new(), Vec::new()];
+        for seg in pipeline(self.plan.n) {
+            if let Some(p) = seg.prefetch {
+                let mut shards = self.machine.fork_shards();
+                let mut slots: Vec<Option<Matrix>> = (0..m).map(|_| None).collect();
+                {
+                    let ctx = ctx!(self);
+                    let ctx = &ctx;
+                    hongtu_parallel::global().scope(|s| {
+                        for (shard, slot) in shards.iter_mut().zip(slots.iter_mut()) {
+                            s.spawn(move || {
+                                let i = shard.gpu();
+                                *slot = Some(ov_backward_prefetch(ctx, shard, l, i, p));
+                            });
+                        }
+                    });
+                }
+                self.machine.join_shards(shards);
+                staged[p % 2] = slots
+                    .into_iter()
+                    .map(|s| s.expect("worker task did not run"))
+                    .collect();
+            }
+            let mut grad_nbrs = Vec::new();
+            if let Some(c) = seg.compute {
+                let mut shards = self.machine.fork_shards();
+                let mut slots: Vec<Option<Matrix>> = (0..m).map(|_| None).collect();
+                {
+                    let ctx = ctx!(self);
+                    let ctx = &ctx;
+                    let staged_c = &staged[c % 2];
+                    hongtu_parallel::global().scope(|s| {
+                        for (((shard, slot), go), gpu_grads) in shards
+                            .iter_mut()
+                            .zip(slots.iter_mut())
+                            .zip(staged_c.iter())
+                            .zip(grads.iter_mut())
+                        {
+                            s.spawn(move || {
+                                let i = shard.gpu();
+                                *slot = Some(ov_backward_compute(
+                                    ctx,
+                                    shard,
+                                    l,
+                                    i,
+                                    c,
+                                    go,
+                                    &mut gpu_grads[l],
+                                ));
+                            });
+                        }
+                    });
+                }
+                self.machine.join_shards(shards);
+                grad_nbrs = slots
+                    .into_iter()
+                    .map(|s| s.expect("worker task did not run"))
+                    .collect();
+            }
+            if let Some(d) = seg.drain {
+                let mut shards = self.machine.fork_shards();
+                {
+                    let ctx = ctx!(self);
+                    let ctx = &ctx;
+                    hongtu_parallel::global().scope(|s| {
+                        for shard in shards.iter_mut() {
+                            s.spawn(move || {
+                                let i = shard.gpu();
+                                ov_backward_drain(ctx, shard, l, i, d);
+                            });
+                        }
+                    });
+                }
+                self.machine.join_shards(shards);
+            }
+            if let Some(c) = seg.compute {
+                self.apply_backward_grads(l, c, grad_nbrs);
+                self.machine.sync(BarrierScope::Batch);
+            } else {
+                self.machine.sync(BarrierScope::Phase);
+            }
         }
     }
 
@@ -1476,6 +1777,372 @@ fn charge_gradient_evict<T: Timeline>(
     }
 }
 
+// ===================== overlap executor steps =====================
+//
+// Under `OverlapMode::DoubleBuffer` each layer runs as a software
+// pipeline over the batch sequence (`hongtu_stream::pipeline`): within a
+// segment, batch j+1's host loads are issued on the copy-in stream,
+// batch j computes on the compute stream, and batch j-1's stores drain
+// on the copy-out stream. Batches alternate between two statically
+// allocated staging slots (`rep_slot`/`grad_slot`, slot = batch % 2), so
+// a prefetch always targets the slot the computing batch is *not*
+// reading. The one same-segment cross-stream hazard left — the in-place
+// ℕ^gpu reuse refill writing the slot the prefetch H2D is also filling —
+// is ordered by an explicit `stream_wait` (the cudaStreamWaitEvent
+// analogue); the happens-before checker certifies exactly this.
+//
+// The step functions are infallible: all device memory is the staging
+// installed at construction, so there is no per-batch alloc to fail.
+
+/// Copy-in-stream prefetch of forward batch `j` at layer `l` for GPU
+/// `i`: the host half of the dedup load (Algorithm 2 phase A) into
+/// staging slot `j % 2`. The ℕ^gpu in-place reuse is *not* issued here —
+/// it runs on the compute stream of the previous batch, behind a stream
+/// wait (see [`ov_reuse_handoff`]).
+fn ov_forward_prefetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: usize) {
+    tl.set_stream(StreamId::CopyIn.id());
+    if l == 0 {
+        // Topology streamed in once per epoch (reused across layers).
+        let topo = ctx.plan.chunks[i][j].topology_bytes();
+        tl.tag([Access::write(topology(i), chunk_region(i, j))]);
+        tl.h2d(i, topo);
+    }
+    let row = ctx.model.layer(l).in_dim() * F32;
+    ov_host_load(ctx, tl, l, i, j, row);
+}
+
+/// The host half of the dedup neighbor load for batch `j` (Algorithm 2
+/// phase A), aimed at staging slot `j % 2`. Unlike the phased executor's
+/// [`charge_neighbor_host_load`], the ℕ^gpu reuse is deferred to the
+/// compute stream and nothing is allocated — batches live in the static
+/// staging slots.
+fn ov_host_load<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: usize, row: usize) {
+    let chunk = &ctx.plan.chunks[i][j];
+    let batch = &ctx.dedup.batches[j];
+    match ctx.comm {
+        CommMode::Vanilla => {
+            let rows = chunk.num_neighbors();
+            let sockets = tl.machine_config().num_sockets;
+            let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
+            tl.tag([
+                Access::read(rep(l), Region::All),
+                Access::write(rep_slot(i, j), Region::All).with_gen(j as u32),
+            ]);
+            tl.h2d_mixed(i, rows * row, remote * row);
+        }
+        CommMode::P2p => {
+            tl.tag([
+                Access::read(rep(l), Region::All),
+                Access::write(rep_slot(i, j), Region::Owned).with_gen(j as u32),
+            ]);
+            tl.h2d(i, batch.transition[i].len() * row);
+        }
+        CommMode::P2pRu => {
+            let bc = &ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j];
+            tl.tag([
+                Access::read(rep(l), Region::All),
+                Access::write(rep_slot(i, j), Region::Owned).with_gen(j as u32),
+            ]);
+            tl.h2d(i, bc.h2d_rows * row);
+        }
+    }
+}
+
+/// Compute-stream hand-off of the ℕ^gpu rows batch `j` leaves behind for
+/// batch `j + 1` (P2P+RU only): an in-place copy from the current slot
+/// into the slot the copy-in stream is concurrently prefetching. The
+/// stream wait orders it after that H2D — dropping the wait is exactly
+/// the eager-refill write/read race the schedule checker rejects.
+fn ov_reuse_handoff<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, row: usize) {
+    if ctx.comm != CommMode::P2pRu || j + 1 >= ctx.dedup.n {
+        return;
+    }
+    let bc = &ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j + 1];
+    if bc.reused_rows == 0 {
+        return;
+    }
+    tl.stream_wait(i, StreamId::CopyIn.id());
+    tl.tag([
+        Access::read(rep_slot(i, j), Region::Owned).with_gen(j as u32),
+        Access::write(rep_slot(i, j + 1), Region::Owned).with_gen(j as u32 + 1),
+    ]);
+    tl.reuse(i, bc.reused_rows * row);
+}
+
+/// Inter-GPU half of the neighbor load (Algorithm 2 phase B) on the
+/// compute stream, reading source slots the copy-in stream populated a
+/// segment earlier (barrier-ordered, so no stream wait is needed).
+fn ov_neighbor_fetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, row: usize) {
+    if ctx.comm == CommMode::Vanilla {
+        return;
+    }
+    let batch = &ctx.dedup.batches[j];
+    for k in 0..ctx.plan.m {
+        let rows = match ctx.comm {
+            CommMode::Vanilla => 0,
+            CommMode::P2p => batch.fetch[i][k],
+            CommMode::P2pRu => {
+                ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j].d2d_rows[k]
+            }
+        };
+        if k != i && rows > 0 {
+            tl.tag([
+                Access::read(rep_slot(k, j), Region::Owned).with_gen(j as u32),
+                Access::write(rep_slot(i, j), Region::Fetched).with_gen(j as u32),
+            ]);
+            tl.d2d(k, i, rows * row);
+            if !ctx.interleaved {
+                tl.source_stall(k, rows * row);
+            }
+        }
+    }
+}
+
+/// Compute-stream work of forward batch `j` at layer `l` for GPU `i`:
+/// inter-GPU fetches, the real layer numerics, and the reuse hand-off
+/// for batch `j + 1`. The `h^{l+1}` writeback cost is deferred to the
+/// copy-out drain one segment later ([`ov_forward_drain`]); the data
+/// itself is returned as a [`FwOut`] and leader-applied this segment,
+/// exactly as in the phased executor.
+fn ov_forward_compute<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+) -> FwOut {
+    tl.set_stream(StreamId::Compute.id());
+    let chunk = &ctx.plan.chunks[i][j];
+    let layer = ctx.model.layer(l);
+    let row = layer.in_dim() * F32;
+
+    ov_neighbor_fetch(ctx, tl, i, j, row);
+
+    let h_nbr = assemble_neighbors(ctx, l, i, j, &NbrFeed::Direct);
+    let f = layer.forward(chunk, &h_nbr);
+    let flops = layer.forward_flops(chunk);
+    tl.tag([
+        Access::read(rep_slot(i, j), Region::All),
+        Access::read(topology(i), chunk_region(i, j)),
+    ]);
+    tl.gpu_dense(i, flops.dense);
+    tl.gpu_edge(i, flops.edge);
+
+    ov_reuse_handoff(ctx, tl, i, j, row);
+
+    let agg = (ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache())
+        .then(|| f.agg.expect("cache-capable layer must emit an aggregate"));
+    FwOut { out: f.out, agg }
+}
+
+/// Copy-out-stream drain of forward batch `j` at layer `l` for GPU `i`,
+/// one segment behind its compute: the `h^{l+1}` writeback (Alg 1
+/// line 9) and the hybrid checkpoint store.
+fn ov_forward_drain<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: usize) {
+    tl.set_stream(StreamId::CopyOut.id());
+    let chunk = &ctx.plan.chunks[i][j];
+    let layer = ctx.model.layer(l);
+    let out_bytes = chunk.num_dests() * layer.out_dim() * F32;
+    tl.tag([Access::write(rep(l + 1), chunk_region(i, j))]);
+    tl.d2h(i, out_bytes);
+    if ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache() {
+        let bytes = ctx.agg_cache[l][i][j]
+            .as_ref()
+            .expect("hybrid checkpoint missing — was the compute segment applied?")
+            .byte_size();
+        tl.tag([Access::write(agg_slot(l, i, j), Region::All)]);
+        tl.d2h(i, bytes);
+    }
+}
+
+/// Copy-in-stream prefetch of backward batch `j` at layer `l` for GPU
+/// `i` (Alg 1 lines 14–16): the `∇h^{l+1}` load plus the
+/// strategy-dependent checkpoint reload, staged into slot `j % 2`.
+/// Returns the gathered `∇h^{l+1}_{V_ij}` rows for the compute segment.
+fn ov_backward_prefetch<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+) -> Matrix {
+    tl.set_stream(StreamId::CopyIn.id());
+    let chunk = &ctx.plan.chunks[i][j];
+    let layer = ctx.model.layer(l);
+    let row = layer.in_dim() * F32;
+
+    let grad_out_bytes = chunk.num_dests() * layer.out_dim() * F32;
+    tl.tag([Access::read(grad(l + 1), Region::All)]);
+    tl.h2d(i, grad_out_bytes);
+    let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
+    let grad_out = ctx.grad_h[l + 1].gather_rows(&dest_idx);
+
+    if ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache() {
+        let bytes = ctx.agg_cache[l][i][j]
+            .as_ref()
+            .expect("hybrid checkpoint missing — was forward run?")
+            .byte_size();
+        tl.tag([Access::read(agg_slot(l, i, j), Region::All)]);
+        tl.h2d(i, bytes);
+    } else {
+        ov_host_load(ctx, tl, l, i, j, row);
+    }
+    grad_out
+}
+
+/// Compute-stream work of backward batch `j` at layer `l` for GPU `i`
+/// (Algorithm 3): recompute + gradient numerics, local accumulation
+/// into the staging gradient slot, the reuse hand-off, and the
+/// inter-GPU gradient pushes. Returns `∇h^l_{N_ij}` for the leader.
+fn ov_backward_compute<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+    grad_out: &Matrix,
+    grads: &mut LayerGrads,
+) -> Matrix {
+    tl.set_stream(StreamId::Compute.id());
+    let chunk = &ctx.plan.chunks[i][j];
+    let layer = ctx.model.layer(l);
+    let row = layer.in_dim() * F32;
+    let use_hybrid = ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+    let fwd = layer.forward_flops(chunk);
+    let bwd = layer.backward_flops(chunk);
+    let acc = Access::accum(grad_slot(i, j), Region::All).with_gen(j as u32);
+
+    let grad_nbr = if use_hybrid {
+        // Recompute UPDATE only from the cached aggregate.
+        let agg = ctx.agg_cache[l][i][j]
+            .as_ref()
+            .expect("hybrid checkpoint missing — was forward run?");
+        tl.tag([Access::read(topology(i), chunk_region(i, j)), acc]);
+        tl.gpu_dense(i, fwd.dense); // UPDATE recompute
+        tl.gpu_dense(i, bwd.dense);
+        tl.gpu_edge(i, bwd.edge);
+        layer.backward_from_agg(chunk, agg, grad_out, grads)
+    } else {
+        // Inter-GPU half of the neighbor reload, then full re-forward.
+        ov_neighbor_fetch(ctx, tl, i, j, row);
+        let h_nbr = assemble_neighbors(ctx, l, i, j, &NbrFeed::Direct);
+        tl.tag([
+            Access::read(rep_slot(i, j), Region::All),
+            Access::read(topology(i), chunk_region(i, j)),
+            acc,
+        ]);
+        tl.gpu_dense(i, fwd.dense); // full re-forward
+        tl.gpu_edge(i, fwd.edge);
+        tl.gpu_dense(i, bwd.dense);
+        tl.gpu_edge(i, bwd.edge);
+        let g = layer.backward_from_input(chunk, &h_nbr, grad_out, grads);
+        ov_reuse_handoff(ctx, tl, i, j, row);
+        g
+    };
+
+    // -- push remote transition gradients to their owner GPUs' slots --
+    if ctx.comm != CommMode::Vanilla {
+        let batch = &ctx.dedup.batches[j];
+        for k in 0..ctx.plan.m {
+            if k != i && batch.fetch[i][k] > 0 {
+                tl.tag([Access::accum(grad_slot(k, j), Region::All).with_gen(j as u32)]);
+                tl.d2d(k, i, batch.fetch[i][k] * row);
+                tl.gpu_edge(i, (batch.fetch[i][k] * row / F32) as f64);
+            }
+        }
+    }
+    grad_nbr
+}
+
+/// Copy-out-stream drain of backward batch `j` at layer `l` for GPU
+/// `i`, one segment behind its compute: all pushes into the staging
+/// gradient slot landed before the last batch barrier, so evict the
+/// accumulated chunk gradients to the host store (Algorithm 3).
+fn ov_backward_drain<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: usize) {
+    tl.set_stream(StreamId::CopyOut.id());
+    let chunk = &ctx.plan.chunks[i][j];
+    let row = ctx.model.layer(l).in_dim() * F32;
+    let batch = &ctx.dedup.batches[j];
+    match ctx.comm {
+        CommMode::Vanilla => {
+            let rows = chunk.num_neighbors();
+            let sockets = tl.machine_config().num_sockets;
+            let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
+            tl.tag([Access::read(grad_slot(i, j), Region::All).with_gen(j as u32)]);
+            tl.d2h_mixed(i, rows * row, remote * row);
+            tl.tag([Access::accum(grad(l), Region::All)]);
+            tl.cpu_accumulate(i, rows * row);
+        }
+        CommMode::P2p | CommMode::P2pRu => {
+            let evicted = if ctx.comm == CommMode::P2pRu {
+                let next_reused = if j + 1 < ctx.dedup.n {
+                    ctx.dedup.batches[j + 1].reused[i]
+                } else {
+                    0
+                };
+                batch.transition[i].len() - next_reused
+            } else {
+                batch.transition[i].len()
+            };
+            tl.tag([Access::read(grad_slot(i, j), Region::All).with_gen(j as u32)]);
+            tl.d2h(i, evicted * row);
+            tl.tag([Access::accum(grad(l), Region::Part(i as u32))]);
+            tl.cpu_accumulate(i, evicted * row);
+        }
+    }
+}
+
+/// Sizes GPU `gpu`'s double-buffered staging slots: the worst-case
+/// (layer, batch) *input* footprint (chunk topology plus the merged
+/// neighbor/transition buffer or checkpoint reload) and *output*
+/// footprint (layer output and intermediates awaiting their drain). Two
+/// slots of each are pinned for the whole run
+/// ([`StagingPlan::total_bytes`]).
+fn plan_staging(
+    gpu: usize,
+    plan: &TwoLevelPartition,
+    dedup: &DedupPlan,
+    bufplans: Option<&[GpuBufferPlan]>,
+    model: &GnnModel,
+    config: &HongTuConfig,
+) -> StagingPlan {
+    let mut in_slot = 0usize;
+    let mut out_slot = 0usize;
+    for l in 0..model.num_layers() {
+        let layer = model.layer(l);
+        let row = layer.in_dim() * F32;
+        let use_hybrid = config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+        for (j, chunk) in plan.chunks[gpu].iter().enumerate() {
+            let topo = chunk.topology_bytes();
+            let buf_bytes = match config.comm {
+                CommMode::Vanilla => chunk.num_neighbors() * row,
+                CommMode::P2p => {
+                    let b = &dedup.batches[j];
+                    (b.transition[gpu].len() + chunk.num_neighbors() - b.fetch[gpu][gpu]) * row
+                }
+                CommMode::P2pRu => {
+                    bufplans.expect("buffer plans built for P2pRu")[gpu].staging_bytes(row)
+                }
+            };
+            let out_bytes = chunk.num_dests() * layer.out_dim() * F32;
+            let inter = layer.intermediate_bytes(chunk);
+            // Forward batch footprint, and the backward one (checkpoint
+            // reload in; regenerated intermediates covered by `out_bytes
+            // + inter`).
+            in_slot = in_slot.max(topo + buf_bytes);
+            out_slot = out_slot.max(out_bytes + inter);
+            if use_hybrid {
+                in_slot = in_slot.max(topo + layer.agg_cache_bytes(chunk));
+            }
+        }
+    }
+    StagingPlan {
+        gpu,
+        in_slot_bytes: in_slot,
+        out_slot_bytes: out_slot,
+    }
+}
+
 /// Rows of GPU `i`'s neighbor set owned by partitions on a different NUMA
 /// socket (GPUs spread evenly over sockets, partitions pinned to their
 /// GPU's socket).
@@ -1746,6 +2413,74 @@ mod tests {
         assert_eq!(d.h2d, 2.0);
         assert_eq!(d.gpu, 0.5);
         assert_eq!(d.bytes_h2d, 50);
+    }
+
+    #[test]
+    fn overlap_same_numerics_faster_and_more_memory() {
+        let ds = small_dataset();
+        let mut off = engine(&ds, ModelKind::Gcn, HongTuConfig::full(machine()));
+        let mut cfg = HongTuConfig::full(machine());
+        cfg.overlap = OverlapMode::DoubleBuffer;
+        let mut db = engine(&ds, ModelKind::Gcn, cfg);
+        for _ in 0..3 {
+            let ro = off.train_epoch().unwrap();
+            let rd = db.train_epoch().unwrap();
+            // The determinism contract: overlap changes time and memory,
+            // never results.
+            assert_eq!(ro.loss.loss, rd.loss.loss);
+            assert_eq!(ro.loss.accuracy, rd.loss.accuracy);
+            assert!(
+                rd.time < ro.time,
+                "overlapped epoch {} !< additive epoch {}",
+                rd.time,
+                ro.time
+            );
+        }
+        // The speedup is bought with the second staging buffer.
+        assert!(db.machine().max_gpu_peak() > off.machine().max_gpu_peak());
+        let staging = db.staging_plans().expect("staging installed");
+        assert_eq!(staging.len(), 4);
+        assert!(staging.iter().all(|p| p.total_bytes() > 0));
+        assert!(off.staging_plans().is_none());
+    }
+
+    #[test]
+    fn overlap_parallel_matches_sequential_bitwise() {
+        let ds = small_dataset();
+        let mk = |exec| {
+            let mut cfg = HongTuConfig::full(machine());
+            cfg.overlap = OverlapMode::DoubleBuffer;
+            cfg.exec = exec;
+            engine(&ds, ModelKind::Gcn, cfg)
+        };
+        let mut seq = mk(ExecutionMode::Sequential);
+        let mut par = mk(ExecutionMode::Parallel);
+        for _ in 0..2 {
+            let rs = seq.train_epoch().unwrap();
+            let rp = par.train_epoch().unwrap();
+            assert_eq!(rs.loss.loss, rp.loss.loss);
+            assert_eq!(rs.time, rp.time);
+        }
+        for g in 0..4 {
+            assert_eq!(seq.machine().clock(g), par.machine().clock(g));
+        }
+    }
+
+    #[test]
+    fn overlap_schedules_certify_race_free() {
+        let ds = small_dataset();
+        for comm in [CommMode::Vanilla, CommMode::P2p, CommMode::P2pRu] {
+            for exec in [ExecutionMode::Sequential, ExecutionMode::Parallel] {
+                let mut cfg = HongTuConfig::full(machine());
+                cfg.comm = comm;
+                cfg.exec = exec;
+                cfg.overlap = OverlapMode::DoubleBuffer;
+                cfg.validation = ValidationLevel::Paranoid;
+                let mut e = engine(&ds, ModelKind::Gcn, cfg);
+                e.train_epoch()
+                    .unwrap_or_else(|err| panic!("{comm:?}/{exec:?}: {err}"));
+            }
+        }
     }
 
     #[test]

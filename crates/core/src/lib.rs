@@ -41,7 +41,7 @@ pub use buffers::GpuBufferPlan;
 pub use cost::{comm_cost, CommVolumes};
 pub use dedup::DedupPlan;
 pub use engine::{
-    CommMode, EpochReport, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy,
+    CommMode, EpochReport, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, OverlapMode,
     ValidationLevel,
 };
 pub use reorg::{reorganize, reorganize_guarded};

@@ -144,6 +144,16 @@ impl GpuBufferPlan {
         self.batches.iter().map(|b| b.incoming.len()).sum()
     }
 
+    /// Bytes one staging slot of the double-buffered overlap executor must
+    /// hold for this GPU's merged neighbor buffer: the full planned
+    /// capacity at `row_bytes` per row. The capacity (not the per-batch
+    /// merged size) is the right bound because in-place reuse pins slot
+    /// positions across batches — a staging slot that held only one
+    /// batch's rows would break the stable-position contract of §6.
+    pub fn staging_bytes(&self, row_bytes: usize) -> usize {
+        self.capacity * row_bytes
+    }
+
     /// Executes the plan for real data: for each batch, writes incoming
     /// rows from the host matrix `h` into the buffer, then materializes
     /// the chunk's neighbor representations by reading the planned slots.
@@ -357,6 +367,16 @@ mod tests {
             reused * 4 >= total,
             "expected ≥25% in-place reuse on a window graph: {reused}/{total}"
         );
+    }
+
+    #[test]
+    fn staging_bytes_scale_with_capacity_and_row_width() {
+        let (_, plan, dedup) = setup(23, 2, 4);
+        let bp = GpuBufferPlan::build(&plan, &dedup, 0);
+        assert_eq!(bp.staging_bytes(0), 0);
+        assert_eq!(bp.staging_bytes(64), bp.capacity * 64);
+        let peak = bp.batches.iter().map(|b| b.merged.len()).max().unwrap();
+        assert!(bp.staging_bytes(4) >= peak * 4);
     }
 
     #[test]

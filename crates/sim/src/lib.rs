@@ -30,7 +30,7 @@ pub mod shard;
 pub mod trace;
 
 pub use config::{CpuClusterConfig, MachineConfig};
-pub use machine::{Machine, TimeBuckets};
+pub use machine::{Machine, TimeBuckets, NUM_STREAMS};
 pub use memory::{MemoryTracker, SimError};
 pub use shard::{GpuShard, Timeline};
 pub use trace::{

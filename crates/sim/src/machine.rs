@@ -7,6 +7,15 @@ use crate::memory::{MemoryTracker, SimError};
 use crate::shard::{GpuShard, Timeline};
 use crate::trace::{Access, BarrierScope, Device, Event, EventKind, Trace};
 
+/// Number of hardware streams modeled per GPU. Stream 0 is the compute /
+/// default stream; the overlap executor issues H2D prefetches on stream 1
+/// (copy-in) and D2H drains on stream 2 (copy-out). Streams advance
+/// independent clocks that only join at cross-stream waits
+/// ([`EventKind::StreamWait`]) and barriers, so a GPU's time at a barrier
+/// is the *maximum* over its streams — `max(transfer, compute)` instead of
+/// their sum, the overlap discipline of the paper's §6 implementation.
+pub const NUM_STREAMS: usize = 3;
+
 /// Time attributed to each of the paper's breakdown components (Figure 9),
 /// in seconds, plus the transferred byte volumes.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -62,7 +71,8 @@ pub struct Machine {
     config: MachineConfig,
     gpus: Vec<MemoryTracker>,
     host: MemoryTracker,
-    clocks: Vec<f64>,
+    clocks: Vec<[f64; NUM_STREAMS]>,
+    stream: u8,
     buckets: TimeBuckets,
     trace: Trace,
     pending: Vec<Access>,
@@ -81,12 +91,13 @@ impl Machine {
             .map(|i| MemoryTracker::new(format!("GPU{i}"), config.gpu_memory))
             .collect();
         let host = MemoryTracker::new("host", config.host_memory);
-        let clocks = vec![0.0; config.num_gpus];
+        let clocks = vec![[0.0; NUM_STREAMS]; config.num_gpus];
         Machine {
             config,
             gpus,
             host,
             clocks,
+            stream: 0,
             buckets: TimeBuckets::default(),
             trace: Trace::disabled(),
             pending: Vec::new(),
@@ -153,13 +164,17 @@ impl Machine {
         if !self.trace.is_enabled() {
             return;
         }
+        let cur = self.stream as usize;
         let at = match device {
-            Device::Gpu(g) if (g as usize) < self.clocks.len() => self.clocks[g as usize],
+            Device::Gpu(g) if (g as usize) < self.clocks.len() => self.clocks[g as usize][cur],
             _ => 0.0,
         };
         let accesses = std::mem::take(&mut self.pending);
-        self.trace
-            .record(Event::new(kind, device, bytes, seconds, at).with_accesses(accesses));
+        self.trace.record(
+            Event::new(kind, device, bytes, seconds, at)
+                .on_stream(self.stream)
+                .with_accesses(accesses),
+        );
     }
 
     // ---- memory ----
@@ -206,7 +221,7 @@ impl Machine {
     /// Returns the seconds charged.
     pub fn h2d(&mut self, gpu: usize, bytes: usize) -> f64 {
         let t = self.config.pcie_transfer_seconds(bytes);
-        self.clocks[gpu] += t;
+        self.clocks[gpu][self.stream as usize] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_h2d += bytes as u64;
         self.record(EventKind::H2D, Device::Gpu(gpu as u32), bytes, t);
@@ -220,7 +235,7 @@ impl Machine {
     /// "eliminates the remote neighbor access across CPUs").
     pub fn h2d_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
         let t = self.config.mixed_pcie_transfer_seconds(bytes, remote_bytes);
-        self.clocks[gpu] += t;
+        self.clocks[gpu][self.stream as usize] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_h2d += bytes as u64;
         self.record(EventKind::H2D, Device::Gpu(gpu as u32), bytes, t);
@@ -230,7 +245,7 @@ impl Machine {
     /// GPU→host counterpart of [`Machine::h2d_mixed`].
     pub fn d2h_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
         let t = self.config.mixed_pcie_transfer_seconds(bytes, remote_bytes);
-        self.clocks[gpu] += t;
+        self.clocks[gpu][self.stream as usize] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_d2h += bytes as u64;
         self.record(EventKind::D2H, Device::Gpu(gpu as u32), bytes, t);
@@ -240,7 +255,7 @@ impl Machine {
     /// Charges a GPU→host transfer of `bytes` to GPU `gpu`'s clock.
     pub fn d2h(&mut self, gpu: usize, bytes: usize) -> f64 {
         let t = self.config.pcie_transfer_seconds(bytes);
-        self.clocks[gpu] += t;
+        self.clocks[gpu][self.stream as usize] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_d2h += bytes as u64;
         self.record(EventKind::D2H, Device::Gpu(gpu as u32), bytes, t);
@@ -252,7 +267,7 @@ impl Machine {
     /// forward-pass fetch_from_gpu).
     pub fn d2d(&mut self, _src: usize, dst: usize, bytes: usize) -> f64 {
         let t = self.config.nvlink_transfer_seconds(bytes);
-        self.clocks[dst] += t;
+        self.clocks[dst][self.stream as usize] += t;
         self.buckets.d2d += t;
         self.buckets.bytes_d2d += bytes as u64;
         self.record(EventKind::D2D, Device::Gpu(dst as u32), bytes, t);
@@ -263,7 +278,7 @@ impl Machine {
     /// speed) to GPU `gpu`.
     pub fn reuse(&mut self, gpu: usize, bytes: usize) -> f64 {
         let t = self.config.reuse_seconds(bytes);
-        self.clocks[gpu] += t;
+        self.clocks[gpu][self.stream as usize] += t;
         self.buckets.reuse += t;
         self.buckets.bytes_reuse += bytes as u64;
         self.record(EventKind::Reuse, Device::Gpu(gpu as u32), bytes, t);
@@ -273,7 +288,7 @@ impl Machine {
     /// Charges `flops` of dense (matmul-like) GPU work to GPU `gpu`.
     pub fn gpu_dense(&mut self, gpu: usize, flops: f64) -> f64 {
         let t = self.config.gpu_dense_seconds(flops);
-        self.clocks[gpu] += t;
+        self.clocks[gpu][self.stream as usize] += t;
         self.buckets.gpu += t;
         self.record(EventKind::GpuCompute, Device::Gpu(gpu as u32), 0, t);
         t
@@ -282,7 +297,7 @@ impl Machine {
     /// Charges `flops` of irregular edge-parallel GPU work to GPU `gpu`.
     pub fn gpu_edge(&mut self, gpu: usize, flops: f64) -> f64 {
         let t = self.config.gpu_edge_seconds(flops);
-        self.clocks[gpu] += t;
+        self.clocks[gpu][self.stream as usize] += t;
         self.buckets.gpu += t;
         self.record(EventKind::GpuCompute, Device::Gpu(gpu as u32), 0, t);
         t
@@ -295,7 +310,7 @@ impl Machine {
     /// throughput is divided by the GPU count.
     pub fn cpu_compute(&mut self, waiting_gpu: usize, flops: f64) -> f64 {
         let t = self.config.cpu_compute_seconds(flops);
-        self.clocks[waiting_gpu] += t;
+        self.clocks[waiting_gpu][self.stream as usize] += t;
         self.buckets.cpu += t;
         self.record(EventKind::CpuCompute, Device::Gpu(waiting_gpu as u32), 0, t);
         t
@@ -308,7 +323,7 @@ impl Machine {
     /// CPU component at 8–30% of the epoch.
     pub fn cpu_accumulate(&mut self, waiting_gpu: usize, bytes: usize) -> f64 {
         let t = self.config.cpu_accumulate_seconds(bytes);
-        self.clocks[waiting_gpu] += t;
+        self.clocks[waiting_gpu][self.stream as usize] += t;
         self.buckets.cpu += t;
         self.record(
             EventKind::CpuCompute,
@@ -327,26 +342,67 @@ impl Machine {
 
     /// Synchronizes all GPU clocks to the maximum and records a barrier
     /// event of the given scope. The scope does not change the timing
-    /// model — every barrier joins all clocks — but tells the schedule
-    /// checker what protocol role the barrier plays.
+    /// model — every barrier joins all clocks, *across every stream* —
+    /// but tells the schedule checker what protocol role the barrier
+    /// plays. The stream cursor returns to the default stream.
     pub fn sync(&mut self, scope: BarrierScope) {
         let max = self.elapsed();
         for c in &mut self.clocks {
-            *c = max;
+            *c = [max; NUM_STREAMS];
         }
+        self.stream = 0;
         // Barriers synchronize devices; they carry no accesses of their own.
         self.pending.clear();
         self.record(EventKind::Barrier(scope), Device::Host, 0, 0.0);
     }
 
-    /// Current simulated time: the furthest-ahead GPU clock.
-    pub fn elapsed(&self) -> f64 {
-        self.clocks.iter().copied().fold(0.0, f64::max)
+    /// Selects the stream subsequent charges are issued on (and their
+    /// events tagged with). Stream 0 is the compute/default stream; see
+    /// [`NUM_STREAMS`].
+    ///
+    /// # Panics
+    /// Panics if `stream >= NUM_STREAMS`.
+    pub fn set_stream(&mut self, stream: u8) {
+        assert!(
+            (stream as usize) < NUM_STREAMS,
+            "stream {stream} out of range (NUM_STREAMS = {NUM_STREAMS})"
+        );
+        self.stream = stream;
     }
 
-    /// GPU `gpu`'s own clock.
+    /// Makes GPU `gpu`'s *current* stream wait for everything issued so
+    /// far on its `upstream` stream (the `cudaStreamWaitEvent` analogue):
+    /// the current stream's clock joins up to the upstream clock, and a
+    /// [`EventKind::StreamWait`] event is recorded so the happens-before
+    /// checker orders subsequent work after the upstream's.
+    pub fn stream_wait(&mut self, gpu: usize, upstream: u8) {
+        let cur = self.stream as usize;
+        let up = upstream as usize;
+        self.clocks[gpu][cur] = self.clocks[gpu][cur].max(self.clocks[gpu][up]);
+        self.record(
+            EventKind::StreamWait { upstream },
+            Device::Gpu(gpu as u32),
+            0,
+            0.0,
+        );
+    }
+
+    /// Current simulated time: the furthest-ahead GPU stream clock.
+    pub fn elapsed(&self) -> f64 {
+        self.clocks
+            .iter()
+            .flat_map(|c| c.iter().copied())
+            .fold(0.0, f64::max)
+    }
+
+    /// GPU `gpu`'s own clock: the furthest-ahead of its streams.
     pub fn clock(&self, gpu: usize) -> f64 {
-        self.clocks[gpu]
+        self.clocks[gpu].iter().copied().fold(0.0, f64::max)
+    }
+
+    /// GPU `gpu`'s clock on one specific stream.
+    pub fn stream_clock(&self, gpu: usize, stream: u8) -> f64 {
+        self.clocks[gpu][stream as usize]
     }
 
     /// Accumulated per-component times and volumes.
@@ -357,8 +413,9 @@ impl Machine {
     /// Zeroes clocks and buckets; memory state and peaks are kept.
     pub fn reset_time(&mut self) {
         for c in &mut self.clocks {
-            *c = 0.0;
+            *c = [0.0; NUM_STREAMS];
         }
+        self.stream = 0;
         self.buckets = TimeBuckets::default();
         self.trace.clear();
     }
@@ -383,6 +440,7 @@ impl Machine {
                 gpu: i,
                 config: self.config.clone(),
                 clock: self.clocks[i],
+                stream: 0,
                 buckets: TimeBuckets::default(),
                 memory: std::mem::replace(&mut self.gpus[i], MemoryTracker::new("forked", 0)),
                 tracing,
@@ -443,6 +501,14 @@ impl Timeline for Machine {
 
     fn tag<I: IntoIterator<Item = Access>>(&mut self, accesses: I) {
         Machine::tag(self, accesses)
+    }
+
+    fn set_stream(&mut self, stream: u8) {
+        Machine::set_stream(self, stream)
+    }
+
+    fn stream_wait(&mut self, gpu: usize, upstream: u8) {
+        Machine::stream_wait(self, gpu, upstream)
     }
 
     fn alloc(&mut self, gpu: usize, bytes: usize, label: &str) -> Result<(), SimError> {
@@ -761,6 +827,71 @@ mod tests {
         b.d2d(2, 2, 1 << 16);
         assert_eq!(a.clock(2), b.clock(2));
         assert_eq!(a.buckets(), b.buckets());
+    }
+
+    #[test]
+    fn streams_overlap_until_barrier() {
+        // The same charges issued on one stream cost their sum; split
+        // across streams they cost the max — the overlap model.
+        let mut serial = machine();
+        serial.h2d(0, 1_000_000);
+        serial.gpu_dense(0, 1e9);
+        let sum = serial.clock(0);
+
+        let mut overlapped = machine();
+        overlapped.set_stream(1);
+        let t_load = overlapped.h2d(0, 1_000_000);
+        overlapped.set_stream(0);
+        let t_compute = overlapped.gpu_dense(0, 1e9);
+        assert_eq!(overlapped.clock(0), t_load.max(t_compute));
+        assert!(overlapped.clock(0) < sum);
+        assert_eq!(overlapped.stream_clock(0, 1), t_load);
+        assert_eq!(overlapped.stream_clock(0, 2), 0.0);
+
+        overlapped.barrier();
+        for s in 0..NUM_STREAMS as u8 {
+            assert_eq!(overlapped.stream_clock(0, s), t_load.max(t_compute));
+            assert_eq!(overlapped.stream_clock(3, s), t_load.max(t_compute));
+        }
+    }
+
+    #[test]
+    fn stream_wait_joins_upstream_clock_only() {
+        let mut m = machine();
+        m.enable_unbounded_trace();
+        m.set_stream(1);
+        let t = m.h2d(0, 1_000_000);
+        m.set_stream(0);
+        assert_eq!(m.stream_clock(0, 0), 0.0);
+        m.stream_wait(0, 1);
+        assert_eq!(m.stream_clock(0, 0), t);
+        // Other GPUs and streams untouched: no barrier happened.
+        assert_eq!(m.stream_clock(0, 2), 0.0);
+        assert_eq!(m.clock(1), 0.0);
+        let evs: Vec<_> = m.trace().events().collect();
+        assert_eq!(evs[1].kind, EventKind::StreamWait { upstream: 1 });
+        assert_eq!(evs[1].stream, 0);
+        assert_eq!(evs[1].seconds, 0.0);
+    }
+
+    #[test]
+    fn events_carry_the_issuing_stream() {
+        let mut m = machine();
+        m.enable_unbounded_trace();
+        m.h2d(0, 10);
+        m.set_stream(2);
+        m.d2h(0, 10);
+        m.barrier();
+        m.h2d(0, 10);
+        let streams: Vec<_> = m.trace().events().map(|e| e.stream).collect();
+        // The barrier resets the cursor to the default stream.
+        assert_eq!(streams, vec![0, 2, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_stream_rejects_out_of_range() {
+        machine().set_stream(NUM_STREAMS as u8);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! sequential in naive mode.
 
 use crate::config::MachineConfig;
-use crate::machine::TimeBuckets;
+use crate::machine::{TimeBuckets, NUM_STREAMS};
 use crate::memory::{MemoryTracker, SimError};
 use crate::trace::{Access, Device, Event, EventKind};
 
@@ -40,6 +40,19 @@ pub trait Timeline {
 
     /// Stages access annotations for the next charged operation.
     fn tag<I: IntoIterator<Item = Access>>(&mut self, accesses: I);
+
+    /// Selects the stream subsequent charges are issued on (see
+    /// [`NUM_STREAMS`](crate::machine::NUM_STREAMS)). The cursor resets to
+    /// the default stream at barriers
+    /// ([`Machine::sync`](crate::machine::Machine::sync)) and at shard
+    /// forks.
+    fn set_stream(&mut self, stream: u8);
+
+    /// Makes GPU `gpu`'s current stream wait for everything issued so far
+    /// on its `upstream` stream: a zero-cost cross-stream dependency that
+    /// joins the current stream's clock up to the upstream's and records
+    /// an [`EventKind::StreamWait`] ordering edge.
+    fn stream_wait(&mut self, gpu: usize, upstream: u8);
 
     /// Allocates `bytes` on GPU `gpu`.
     fn alloc(&mut self, gpu: usize, bytes: usize, label: &str) -> Result<(), SimError>;
@@ -93,7 +106,8 @@ pub trait Timeline {
 pub struct GpuShard {
     pub(crate) gpu: usize,
     pub(crate) config: MachineConfig,
-    pub(crate) clock: f64,
+    pub(crate) clock: [f64; NUM_STREAMS],
+    pub(crate) stream: u8,
     pub(crate) buckets: TimeBuckets,
     pub(crate) memory: MemoryTracker,
     pub(crate) tracing: bool,
@@ -109,9 +123,15 @@ impl GpuShard {
         self.gpu
     }
 
-    /// The shard's current clock (seconds).
+    /// The shard's current clock (seconds): the furthest-ahead of its
+    /// streams.
     pub fn clock(&self) -> f64 {
-        self.clock
+        self.clock.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The shard's clock on one specific stream.
+    pub fn stream_clock(&self, stream: u8) -> f64 {
+        self.clock[stream as usize]
     }
 
     /// The shard's memory tracker.
@@ -139,8 +159,9 @@ impl GpuShard {
                 Device::Gpu(self.gpu as u32),
                 bytes,
                 seconds,
-                self.clock,
+                self.clock[self.stream as usize],
             )
+            .on_stream(self.stream)
             .with_accesses(accesses),
         );
     }
@@ -158,6 +179,21 @@ impl Timeline for GpuShard {
         self.pending.extend(accesses);
     }
 
+    fn set_stream(&mut self, stream: u8) {
+        assert!(
+            (stream as usize) < NUM_STREAMS,
+            "stream {stream} out of range (NUM_STREAMS = {NUM_STREAMS})"
+        );
+        self.stream = stream;
+    }
+
+    fn stream_wait(&mut self, gpu: usize, upstream: u8) {
+        self.own(gpu);
+        let cur = self.stream as usize;
+        self.clock[cur] = self.clock[cur].max(self.clock[upstream as usize]);
+        self.record(EventKind::StreamWait { upstream }, 0, 0.0);
+    }
+
     fn alloc(&mut self, gpu: usize, bytes: usize, label: &str) -> Result<(), SimError> {
         self.own(gpu);
         self.memory.alloc(bytes, label)
@@ -171,7 +207,7 @@ impl Timeline for GpuShard {
     fn h2d(&mut self, gpu: usize, bytes: usize) -> f64 {
         self.own(gpu);
         let t = self.config.pcie_transfer_seconds(bytes);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_h2d += bytes as u64;
         self.record(EventKind::H2D, bytes, t);
@@ -181,7 +217,7 @@ impl Timeline for GpuShard {
     fn h2d_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
         self.own(gpu);
         let t = self.config.mixed_pcie_transfer_seconds(bytes, remote_bytes);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_h2d += bytes as u64;
         self.record(EventKind::H2D, bytes, t);
@@ -191,7 +227,7 @@ impl Timeline for GpuShard {
     fn d2h(&mut self, gpu: usize, bytes: usize) -> f64 {
         self.own(gpu);
         let t = self.config.pcie_transfer_seconds(bytes);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_d2h += bytes as u64;
         self.record(EventKind::D2H, bytes, t);
@@ -201,7 +237,7 @@ impl Timeline for GpuShard {
     fn d2h_mixed(&mut self, gpu: usize, bytes: usize, remote_bytes: usize) -> f64 {
         self.own(gpu);
         let t = self.config.mixed_pcie_transfer_seconds(bytes, remote_bytes);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.h2d += t;
         self.buckets.bytes_d2h += bytes as u64;
         self.record(EventKind::D2H, bytes, t);
@@ -211,7 +247,7 @@ impl Timeline for GpuShard {
     fn d2d(&mut self, _src: usize, dst: usize, bytes: usize) -> f64 {
         self.own(dst);
         let t = self.config.nvlink_transfer_seconds(bytes);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.d2d += t;
         self.buckets.bytes_d2d += bytes as u64;
         self.record(EventKind::D2D, bytes, t);
@@ -229,7 +265,7 @@ impl Timeline for GpuShard {
     fn reuse(&mut self, gpu: usize, bytes: usize) -> f64 {
         self.own(gpu);
         let t = self.config.reuse_seconds(bytes);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.reuse += t;
         self.buckets.bytes_reuse += bytes as u64;
         self.record(EventKind::Reuse, bytes, t);
@@ -239,7 +275,7 @@ impl Timeline for GpuShard {
     fn gpu_dense(&mut self, gpu: usize, flops: f64) -> f64 {
         self.own(gpu);
         let t = self.config.gpu_dense_seconds(flops);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.gpu += t;
         self.record(EventKind::GpuCompute, 0, t);
         t
@@ -248,7 +284,7 @@ impl Timeline for GpuShard {
     fn gpu_edge(&mut self, gpu: usize, flops: f64) -> f64 {
         self.own(gpu);
         let t = self.config.gpu_edge_seconds(flops);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.gpu += t;
         self.record(EventKind::GpuCompute, 0, t);
         t
@@ -257,7 +293,7 @@ impl Timeline for GpuShard {
     fn cpu_compute(&mut self, waiting_gpu: usize, flops: f64) -> f64 {
         self.own(waiting_gpu);
         let t = self.config.cpu_compute_seconds(flops);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.cpu += t;
         self.record(EventKind::CpuCompute, 0, t);
         t
@@ -266,7 +302,7 @@ impl Timeline for GpuShard {
     fn cpu_accumulate(&mut self, waiting_gpu: usize, bytes: usize) -> f64 {
         self.own(waiting_gpu);
         let t = self.config.cpu_accumulate_seconds(bytes);
-        self.clock += t;
+        self.clock[self.stream as usize] += t;
         self.buckets.cpu += t;
         self.record(EventKind::CpuCompute, bytes, t);
         t

@@ -25,6 +25,17 @@ pub enum EventKind {
     GpuCompute,
     /// CPU compute.
     CpuCompute,
+    /// Cross-stream dependency on the *same* device: the current stream
+    /// waits until everything already issued on `upstream` has completed
+    /// (the `cudaStreamWaitEvent` analogue). Costs no time of its own —
+    /// it only joins the waiting stream's clock up to the upstream
+    /// stream's, and tells the happens-before checker that subsequent
+    /// events on this (device, stream) are ordered after prior events on
+    /// (device, upstream).
+    StreamWait {
+        /// The stream being waited on.
+        upstream: u8,
+    },
     /// Barrier synchronization (all device clocks joined).
     Barrier(BarrierScope),
 }
@@ -117,11 +128,30 @@ pub enum ResourceId {
         /// Owning GPU.
         gpu: u32,
     },
+    /// One slot of a GPU's double-buffered representation staging pair
+    /// (`OverlapMode::DoubleBuffer`): batch `j` lives in slot `j % 2`, so
+    /// the prefetch of batch `j+1` writes the *other* slot while batch
+    /// `j` computes. Distinct slots are distinct resources.
+    DevRepSlot {
+        /// Owning GPU.
+        gpu: u32,
+        /// Staging slot (`batch % 2`).
+        slot: u8,
+    },
     /// A GPU's transition-gradient accumulation buffer (Algorithm 3).
     /// Remote GPUs `Accum` into it; the owner evicts it to the CPU.
     DevGrad {
         /// Owning GPU.
         gpu: u32,
+    },
+    /// One slot of a GPU's double-buffered gradient staging pair: batch
+    /// `j` accumulates into slot `j % 2` while slot `(j-1) % 2` drains
+    /// D2H behind it.
+    DevGradSlot {
+        /// Owning GPU.
+        gpu: u32,
+        /// Staging slot (`batch % 2`).
+        slot: u8,
     },
     /// A GPU's resident chunk topology (CSC structure).
     Topology {
@@ -147,7 +177,13 @@ impl std::fmt::Display for ResourceId {
                 write!(f, "agg-cache[{layer}][{gpu}][{chunk}]")
             }
             ResourceId::DevRep { gpu } => write!(f, "gpu{gpu} rep buffer"),
+            ResourceId::DevRepSlot { gpu, slot } => {
+                write!(f, "gpu{gpu} rep staging slot {slot}")
+            }
             ResourceId::DevGrad { gpu } => write!(f, "gpu{gpu} grad buffer"),
+            ResourceId::DevGradSlot { gpu, slot } => {
+                write!(f, "gpu{gpu} grad staging slot {slot}")
+            }
             ResourceId::Topology { gpu } => write!(f, "gpu{gpu} topology"),
         }
     }
@@ -485,5 +521,17 @@ mod tests {
         assert!(ResourceId::Rep { layer: 0 }.initially_valid());
         assert!(!ResourceId::Rep { layer: 1 }.initially_valid());
         assert!(!ResourceId::DevRep { gpu: 0 }.initially_valid());
+    }
+
+    #[test]
+    fn staging_slots_are_distinct_resources() {
+        let a = ResourceId::DevRepSlot { gpu: 1, slot: 0 };
+        let b = ResourceId::DevRepSlot { gpu: 1, slot: 1 };
+        assert_ne!(a, b);
+        assert!(a.to_string().contains("slot 0"));
+        assert!(ResourceId::DevGradSlot { gpu: 2, slot: 1 }
+            .to_string()
+            .contains("gpu2 grad staging slot 1"));
+        assert!(!a.initially_valid());
     }
 }

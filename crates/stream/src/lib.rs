@@ -1,0 +1,301 @@
+//! Stream scheduler: the copy/compute overlap model.
+//!
+//! HongTu hides its large host↔GPU traffic by issuing transfers on
+//! dedicated copy streams and overlapping them with computation, so the
+//! per-batch cost is `max(transfer, compute)` rather than their sum (§6's
+//! implementation discipline). This crate models that scheduler for the
+//! simulated machine:
+//!
+//! - [`StreamId`] names the three per-GPU streams — compute, copy-in
+//!   (H2D), copy-out (D2H) — that map onto `hongtu_sim`'s per-stream
+//!   clocks ([`hongtu_sim::NUM_STREAMS`]). Streams are independent event
+//!   timelines: their clocks only relate through explicit cross-stream
+//!   waits ([`hongtu_sim::EventKind::StreamWait`]) and barriers.
+//! - [`pipeline`] generates the software-pipelined segment structure:
+//!   while batch `j` computes, batch `j+1`'s dedup H2D load and
+//!   checkpoint reloads are prefetched on copy-in, and batch `j-1`'s
+//!   gradient/checkpoint D2H drains on copy-out. One prologue segment
+//!   fills the pipe; one epilogue segment drains it.
+//! - [`slot_of`] / [`rep_slot`] / [`grad_slot`] give the double-buffer
+//!   slot discipline: batch `j` lives in staging slot `j % 2`, so a
+//!   prefetch always writes the slot the current compute batch is *not*
+//!   using. Slots are distinct resources to the happens-before checker —
+//!   the one genuinely cross-stream hazard left is the in-place `ℕ^gpu`
+//!   reuse refill, which must wait for the copy-in stream's H2D into the
+//!   same slot (and is exactly the R402 class of race the checker
+//!   rejects when the wait is missing).
+//! - [`StagingPlan`] sizes and installs the per-GPU staging buffers: two
+//!   input slots and two output slots, allocated *statically* at engine
+//!   construction. A staging pair that does not fit device memory fails
+//!   construction with [`SimError::OutOfMemory`] naming the slot label
+//!   and GPU.
+
+use hongtu_sim::{Machine, ResourceId, SimError};
+
+/// The per-GPU streams of the overlap executor. The numeric ids index
+/// `hongtu_sim`'s per-stream clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamId {
+    /// Kernel launches (and the default stream everything uses when
+    /// overlap is off).
+    Compute,
+    /// Host→GPU copies: dedup loads, checkpoint/aggregate reloads.
+    CopyIn,
+    /// GPU→host copies: checkpoint stores, gradient evictions.
+    CopyOut,
+}
+
+impl StreamId {
+    /// The stream index used by the simulator's per-stream clocks and
+    /// event tags.
+    pub fn id(self) -> u8 {
+        match self {
+            StreamId::Compute => 0,
+            StreamId::CopyIn => 1,
+            StreamId::CopyOut => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamId::Compute => f.write_str("compute"),
+            StreamId::CopyIn => f.write_str("copy-in"),
+            StreamId::CopyOut => f.write_str("copy-out"),
+        }
+    }
+}
+
+/// Whether the engine overlaps transfers with compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverlapMode {
+    /// Everything on the default stream; load, compute, and evict phases
+    /// are charged additively (the pre-overlap model).
+    #[default]
+    Off,
+    /// Software-pipelined batches over double-buffered staging: batch
+    /// `j+1` loads and batch `j-1` drains behind batch `j`'s compute.
+    /// Changes time and memory, never results.
+    DoubleBuffer,
+}
+
+/// The staging slot batch `j` occupies under double buffering.
+pub fn slot_of(batch: usize) -> u8 {
+    (batch % 2) as u8
+}
+
+/// The resource identity of GPU `gpu`'s representation staging slot for
+/// batch `batch`.
+pub fn rep_slot(gpu: usize, batch: usize) -> ResourceId {
+    ResourceId::DevRepSlot {
+        gpu: gpu as u32,
+        slot: slot_of(batch),
+    }
+}
+
+/// The resource identity of GPU `gpu`'s gradient staging slot for batch
+/// `batch`.
+pub fn grad_slot(gpu: usize, batch: usize) -> ResourceId {
+    ResourceId::DevGradSlot {
+        gpu: gpu as u32,
+        slot: slot_of(batch),
+    }
+}
+
+/// One segment of the software pipeline: the per-batch work co-scheduled
+/// between two barriers. Within a segment the three roles run on their
+/// three streams; the segment's simulated cost is the *maximum* of the
+/// three, not the sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Batch whose loads are issued on the copy-in stream.
+    pub prefetch: Option<usize>,
+    /// Batch computing on the compute stream.
+    pub compute: Option<usize>,
+    /// Batch whose stores drain on the copy-out stream.
+    pub drain: Option<usize>,
+}
+
+impl Segment {
+    /// True for the pipe-filling segment (first prefetch, nothing else).
+    pub fn is_prologue(&self) -> bool {
+        self.compute.is_none() && self.drain.is_none()
+    }
+
+    /// True for the pipe-draining segment (last drain, nothing else).
+    pub fn is_epilogue(&self) -> bool {
+        self.compute.is_none() && self.prefetch.is_none() && self.drain.is_some()
+    }
+}
+
+/// The pipelined schedule for `n` batches: a prologue that prefetches
+/// batch 0, `n` steady segments (compute `j`, prefetch `j+1`, drain
+/// `j-1`), and an epilogue that drains batch `n-1`. Every batch appears
+/// exactly once in each role, and a segment never prefetches into the
+/// slot its compute batch occupies (`(j+1) % 2 != j % 2`).
+pub fn pipeline(n: usize) -> impl Iterator<Item = Segment> {
+    let prologue = (n > 0).then_some(Segment {
+        prefetch: Some(0),
+        compute: None,
+        drain: None,
+    });
+    let steady = (0..n).map(move |j| Segment {
+        prefetch: (j + 1 < n).then_some(j + 1),
+        compute: Some(j),
+        drain: (j > 0).then(|| j - 1),
+    });
+    let epilogue = (n > 0).then(|| Segment {
+        prefetch: None,
+        compute: None,
+        drain: Some(n - 1),
+    });
+    prologue.into_iter().chain(steady).chain(epilogue)
+}
+
+/// Static sizing of one GPU's double-buffered staging memory. Installed
+/// once at engine construction; the overlap executor then runs with no
+/// per-batch allocation churn (slots are reused in `j % 2` rotation), so
+/// peak memory is flat at `2·(in + out)` staging bytes above the
+/// resident model state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagingPlan {
+    /// GPU this plan sizes.
+    pub gpu: usize,
+    /// Bytes of one *input* staging slot: the worst-case (layer, batch)
+    /// footprint of chunk topology, neighbor/transition buffer, and
+    /// reloaded checkpoints.
+    pub in_slot_bytes: usize,
+    /// Bytes of one *output* staging slot: the worst-case (layer, batch)
+    /// footprint of layer output, intermediates, and gradient staging
+    /// awaiting its D2H drain.
+    pub out_slot_bytes: usize,
+}
+
+impl StagingPlan {
+    /// Total staging bytes the plan pins: two slots of each kind.
+    pub fn total_bytes(&self) -> usize {
+        2 * (self.in_slot_bytes + self.out_slot_bytes)
+    }
+
+    /// Allocates the four staging slots on the machine. Fails with
+    /// [`SimError::OutOfMemory`] — naming the slot label and the GPU —
+    /// when the double-buffer does not fit, which is how an oversized
+    /// overlap configuration is rejected *at construction* instead of
+    /// corrupting a running epoch.
+    pub fn install(&self, machine: &mut Machine) -> Result<(), SimError> {
+        for slot in 0..2u8 {
+            machine.alloc(
+                self.gpu,
+                self.in_slot_bytes,
+                &format!("input staging buffer (slot {slot})"),
+            )?;
+            machine.alloc(
+                self.gpu,
+                self.out_slot_bytes,
+                &format!("output staging buffer (slot {slot})"),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Frees the four staging slots.
+    pub fn uninstall(&self, machine: &mut Machine) {
+        machine.free(self.gpu, self.total_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_sim::MachineConfig;
+
+    #[test]
+    fn stream_ids_are_stable_and_distinct() {
+        assert_eq!(StreamId::Compute.id(), 0);
+        assert_eq!(StreamId::CopyIn.id(), 1);
+        assert_eq!(StreamId::CopyOut.id(), 2);
+        assert!((StreamId::CopyOut.id() as usize) < hongtu_sim::NUM_STREAMS);
+        assert_eq!(StreamId::CopyIn.to_string(), "copy-in");
+    }
+
+    #[test]
+    fn pipeline_covers_every_batch_once_per_role() {
+        for n in 0..7 {
+            let segs: Vec<_> = pipeline(n).collect();
+            if n == 0 {
+                assert!(segs.is_empty());
+                continue;
+            }
+            assert_eq!(segs.len(), n + 2);
+            assert!(segs[0].is_prologue());
+            assert!(segs[n + 1].is_epilogue());
+            for role in [
+                |s: &Segment| s.prefetch,
+                |s: &Segment| s.compute,
+                |s: &Segment| s.drain,
+            ] {
+                let batches: Vec<_> = segs.iter().filter_map(role).collect();
+                assert_eq!(batches, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_shifts_roles_by_one_batch() {
+        for seg in pipeline(5) {
+            if let (Some(p), Some(c)) = (seg.prefetch, seg.compute) {
+                assert_eq!(p, c + 1);
+                // The prefetch never lands in the computing batch's slot.
+                assert_ne!(slot_of(p), slot_of(c));
+            }
+            if let (Some(c), Some(d)) = (seg.compute, seg.drain) {
+                assert_eq!(d, c - 1);
+                assert_ne!(slot_of(d), slot_of(c));
+            }
+        }
+    }
+
+    #[test]
+    fn slot_resources_alternate_per_gpu() {
+        assert_eq!(slot_of(0), 0);
+        assert_eq!(slot_of(3), 1);
+        assert_ne!(rep_slot(1, 2), rep_slot(1, 3));
+        assert_eq!(rep_slot(1, 2), rep_slot(1, 4));
+        assert_ne!(rep_slot(0, 0), rep_slot(1, 0));
+        assert_ne!(rep_slot(0, 0), grad_slot(0, 0));
+    }
+
+    #[test]
+    fn staging_plan_installs_and_reports_oom() {
+        let mut m = Machine::new(MachineConfig::scaled(2, 10_000));
+        let plan = StagingPlan {
+            gpu: 0,
+            in_slot_bytes: 3_000,
+            out_slot_bytes: 1_000,
+        };
+        assert_eq!(plan.total_bytes(), 8_000);
+        plan.install(&mut m).unwrap();
+        assert_eq!(m.gpu_memory(0).in_use(), 8_000);
+        plan.uninstall(&mut m);
+        assert_eq!(m.gpu_memory(0).in_use(), 0);
+
+        let too_big = StagingPlan {
+            gpu: 1,
+            in_slot_bytes: 4_000,
+            out_slot_bytes: 2_000,
+        };
+        match too_big.install(&mut m).unwrap_err() {
+            SimError::OutOfMemory { device, label, .. } => {
+                assert_eq!(device, "GPU1");
+                assert!(label.contains("staging buffer"), "label: {label}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlap_mode_defaults_off() {
+        assert_eq!(OverlapMode::default(), OverlapMode::Off);
+    }
+}

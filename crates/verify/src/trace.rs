@@ -153,6 +153,18 @@ impl Checker {
             return;
         }
         let e = self.entity(ev.device, ev.stream);
+        if let EventKind::StreamWait { upstream } = ev.kind {
+            // A device-local cross-stream dependency: the waiting stream
+            // learns everything the upstream stream of the *same* device
+            // has done so far (the cudaStreamWaitEvent edge).
+            let up = self.entity(ev.device, upstream);
+            if up != e {
+                let snapshot = self.clocks[up].clone();
+                for (f, v) in snapshot.into_iter().enumerate() {
+                    self.clocks[e][f] = self.clocks[e][f].max(v);
+                }
+            }
+        }
         self.clocks[e][e] += 1;
         let tick = self.clocks[e][e];
         for a in &ev.accesses {
@@ -455,6 +467,10 @@ mod tests {
         Event::new(EventKind::Barrier(scope), Device::Host, 0, 0.0, 0.0)
     }
 
+    fn stream_ev(g: u32, stream: u8, kind: EventKind, accesses: Vec<Access>) -> Event {
+        gpu_ev(g, kind, accesses).on_stream(stream)
+    }
+
     const REP: ResourceId = ResourceId::DevRep { gpu: 0 };
 
     #[test]
@@ -529,6 +545,104 @@ mod tests {
             vec![Access::read(REP, Region::All)],
         ));
         assert!(verify_trace(&t).is_ok());
+    }
+
+    #[test]
+    fn same_device_streams_race_without_a_wait() {
+        // Copy-in stream fills the buffer while the compute stream reads
+        // it: unordered within the segment, so a W/R race.
+        let mut t = Trace::unbounded();
+        t.record(stream_ev(
+            0,
+            1,
+            EventKind::H2D,
+            vec![Access::write(REP, Region::All)],
+        ));
+        t.record(stream_ev(
+            0,
+            0,
+            EventKind::GpuCompute,
+            vec![Access::read(REP, Region::All)],
+        ));
+        assert!(verify_trace(&t).has(DiagCode::RaceWriteRead));
+    }
+
+    #[test]
+    fn stream_wait_orders_cross_stream_accesses() {
+        // Same schedule, but the compute stream waits for the copy-in
+        // stream before reading — the cudaStreamWaitEvent pattern.
+        let mut t = Trace::unbounded();
+        t.record(stream_ev(
+            0,
+            1,
+            EventKind::H2D,
+            vec![Access::write(REP, Region::All)],
+        ));
+        t.record(stream_ev(
+            0,
+            0,
+            EventKind::StreamWait { upstream: 1 },
+            vec![],
+        ));
+        t.record(stream_ev(
+            0,
+            0,
+            EventKind::GpuCompute,
+            vec![Access::read(REP, Region::All)],
+        ));
+        let r = verify_trace(&t);
+        assert!(r.is_ok(), "{}", r.render());
+    }
+
+    #[test]
+    fn stream_wait_only_covers_prior_upstream_events() {
+        // The wait is issued *before* the copy-in stream's write, so the
+        // read is not ordered after it.
+        let mut t = Trace::unbounded();
+        t.record(stream_ev(
+            0,
+            0,
+            EventKind::StreamWait { upstream: 1 },
+            vec![],
+        ));
+        t.record(stream_ev(
+            0,
+            1,
+            EventKind::H2D,
+            vec![Access::write(REP, Region::All)],
+        ));
+        t.record(stream_ev(
+            0,
+            0,
+            EventKind::GpuCompute,
+            vec![Access::read(REP, Region::All)],
+        ));
+        assert!(verify_trace(&t).has(DiagCode::RaceWriteRead));
+    }
+
+    #[test]
+    fn stream_wait_does_not_order_other_devices() {
+        // GPU 1's wait on its own copy stream says nothing about GPU 0.
+        let mut t = Trace::unbounded();
+        t.record(stream_ev(
+            0,
+            0,
+            EventKind::GpuCompute,
+            vec![Access::write(REP, Region::All)],
+        ));
+        t.record(stream_ev(
+            1,
+            0,
+            EventKind::StreamWait { upstream: 1 },
+            vec![],
+        ));
+        t.record(stream_ev(
+            1,
+            0,
+            EventKind::D2D,
+            vec![Access::read(REP, Region::All)],
+        ));
+        assert!(verify_trace(&t).has(DiagCode::RaceWriteRead));
     }
 
     #[test]

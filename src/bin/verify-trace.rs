@@ -16,7 +16,9 @@
 //! commutable reorderings (`S502`). Exits 0 if every trace is clean,
 //! 1 if any diagnostic fires (or on bad arguments).
 
-use hongtu_core::{CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy};
+use hongtu_core::{
+    CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, OverlapMode,
+};
 use hongtu_datasets::{all_keys, load, DatasetKey};
 use hongtu_nn::ModelKind;
 use hongtu_sim::{MachineConfig, Trace};
@@ -36,13 +38,15 @@ struct Args {
     epochs: usize,
     determinism: bool,
     exec: ExecutionMode,
+    overlap: OverlapMode,
 }
 
 const USAGE: &str = "usage: verify-trace [--dataset rdt|opt|it|opr|fds|all] \
                      [--gpus M] [--chunks N] [--seed S] \
                      [--model gcn|gat|sage|gin|commnet|ggnn] [--hidden H] [--layers L] \
                      [--comm vanilla|p2p|p2pru] [--memory recompute|hybrid] \
-                     [--epochs E] [--determinism] [--exec sequential|parallel]";
+                     [--epochs E] [--determinism] [--exec sequential|parallel] \
+                     [--overlap off|doublebuffer]";
 
 fn parse_dataset(s: &str) -> Result<Vec<DatasetKey>, String> {
     match s.to_ascii_lowercase().as_str() {
@@ -103,6 +107,16 @@ fn parse_exec(s: &str) -> Result<ExecutionMode, String> {
     }
 }
 
+fn parse_overlap(s: &str) -> Result<OverlapMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "off" => Ok(OverlapMode::Off),
+        "doublebuffer" | "db" => Ok(OverlapMode::DoubleBuffer),
+        other => Err(format!(
+            "unknown overlap mode {other:?} (want off|doublebuffer)"
+        )),
+    }
+}
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         datasets: vec![DatasetKey::Rdt],
@@ -117,6 +131,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         epochs: 1,
         determinism: false,
         exec: ExecutionMode::Sequential,
+        overlap: OverlapMode::Off,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -162,6 +177,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--determinism" => args.determinism = true,
             "--exec" => args.exec = parse_exec(&value("--exec")?)?,
+            "--overlap" => args.overlap = parse_overlap(&value("--overlap")?)?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -191,6 +207,7 @@ fn traced_epochs(
         interleaved: true,
         validation: hongtu_core::ValidationLevel::Plan,
         exec,
+        overlap: args.overlap,
     };
     let mut engine = HongTuEngine::new(
         ds,
@@ -225,7 +242,7 @@ fn main() {
         let mut rng = SeededRng::new(args.seed);
         let ds = load(*key, &mut rng);
         println!(
-            "{} ({}): |V| = {}, |E| = {}, {} {}x{} on {} GPUs x {} chunks, {:?}/{:?}/{:?}, {} epoch(s)",
+            "{} ({}): |V| = {}, |E| = {}, {} {}x{} on {} GPUs x {} chunks, {:?}/{:?}/{:?}/{:?}, {} epoch(s)",
             key.abbrev(),
             key.real_name(),
             ds.num_vertices(),
@@ -238,6 +255,7 @@ fn main() {
             args.comm,
             args.memory,
             args.exec,
+            args.overlap,
             args.epochs,
         );
 

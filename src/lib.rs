@@ -15,5 +15,6 @@ pub use hongtu_nn as nn;
 pub use hongtu_parallel as parallel;
 pub use hongtu_partition as partition;
 pub use hongtu_sim as sim;
+pub use hongtu_stream as stream;
 pub use hongtu_tensor as tensor;
 pub use hongtu_verify as verify;

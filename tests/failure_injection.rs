@@ -3,7 +3,7 @@
 //! wrong.
 
 use hongtu::core::systems::{InMemoryKind, MultiGpuInMemory, Workload};
-use hongtu::core::{HongTuConfig, HongTuEngine};
+use hongtu::core::{HongTuConfig, HongTuEngine, OverlapMode};
 use hongtu::datasets::{load, DatasetKey};
 use hongtu::nn::ModelKind;
 use hongtu::sim::{MachineConfig, SimError};
@@ -67,6 +67,39 @@ fn epoch_oom_is_an_error_not_a_panic() {
     // (GAT with 1 chunk has large per-batch intermediates; the smallest
     // size above must have hit it.)
     panic!("no configuration exercised the mid-epoch OOM path");
+}
+
+/// Double-buffered staging that does not fit fails *at construction* —
+/// naming the staging-buffer slot and the GPU — on a capacity where the
+/// additive executor trains fine. The overlap executor must never start
+/// an epoch it cannot finish.
+#[test]
+fn staging_double_buffer_oom_fails_at_construction() {
+    let ds = rdt();
+    // Scan capacities upward: the window where the single-buffered
+    // schedule fits but the second staging copy does not.
+    for kb in [256usize, 320, 384, 448, 512, 640, 768, 1024, 1536, 2048] {
+        let off_cfg = HongTuConfig::full(MachineConfig::scaled(4, kb << 10));
+        let Ok(mut off) = HongTuEngine::new(&ds, ModelKind::Gcn, 32, 2, 4, off_cfg) else {
+            continue;
+        };
+        if off.train_epoch().is_err() {
+            continue;
+        }
+        let mut db_cfg = HongTuConfig::full(MachineConfig::scaled(4, kb << 10));
+        db_cfg.overlap = OverlapMode::DoubleBuffer;
+        match HongTuEngine::new(&ds, ModelKind::Gcn, 32, 2, 4, db_cfg) {
+            Err(SimError::OutOfMemory { device, label, .. }) => {
+                assert!(device.starts_with("GPU"), "device: {device:?}");
+                assert!(label.contains("staging buffer"), "label: {label:?}");
+                return;
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+            // Both fit at this capacity — the window is below it.
+            Ok(_) => break,
+        }
+    }
+    panic!("no capacity separated the additive executor from double buffering");
 }
 
 /// Comparator OOM errors carry the device context.

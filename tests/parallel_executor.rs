@@ -7,9 +7,13 @@
 //! The RNG seed is `HONGTU_TEST_SEED` when set (the CI matrix runs two
 //! seeds), 99 otherwise; the worker pool size is `HONGTU_THREADS` (the CI
 //! matrix runs 1, 2, and 8), so these same assertions certify the executor
-//! at every pool size including the degenerate single-thread one.
+//! at every pool size including the degenerate single-thread one. Setting
+//! `HONGTU_TEST_OVERLAP=doublebuffer` (the CI matrix's overlap dimension)
+//! re-runs the whole suite under the double-buffered overlap executor.
 
-use hongtu::core::{CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy};
+use hongtu::core::{
+    CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, OverlapMode,
+};
 use hongtu::datasets::dataset::{with_self_loops, Dataset, DatasetKey, Splits};
 use hongtu::datasets::load;
 use hongtu::graph::generators;
@@ -30,6 +34,13 @@ fn dataset() -> Dataset {
     load(DatasetKey::Rdt, &mut SeededRng::new(test_seed()))
 }
 
+fn test_overlap() -> OverlapMode {
+    match std::env::var("HONGTU_TEST_OVERLAP").as_deref() {
+        Ok("doublebuffer") | Ok("db") => OverlapMode::DoubleBuffer,
+        _ => OverlapMode::Off,
+    }
+}
+
 fn config(
     gpus: usize,
     comm: CommMode,
@@ -41,6 +52,7 @@ fn config(
     cfg.memory = memory;
     cfg.reorganize = comm != CommMode::Vanilla;
     cfg.exec = exec;
+    cfg.overlap = test_overlap();
     cfg
 }
 

@@ -16,11 +16,21 @@ cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 -
 echo "==> verify-trace smoke run, parallel executor (certified against the sequential reference)"
 cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism --exec parallel
 
+echo "==> verify-trace smoke run, double-buffered overlap (both execution modes)"
+cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism --overlap doublebuffer
+cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism --overlap doublebuffer --exec parallel
+
 echo "==> parallel executor certification, release profile"
 cargo test -q --release --test parallel_executor
 
+echo "==> overlap executor certification, release profile"
+cargo test -q --release --test overlap_executor
+
 echo "==> bench smoke: sequential vs parallel wall-clock (BENCH_parallel.json)"
 cargo run -q --release -p hongtu-bench --bin bench_parallel -- --out BENCH_parallel.json
+
+echo "==> bench smoke: additive vs double-buffered sim time (BENCH_overlap.json)"
+cargo run -q --release -p hongtu-bench --bin bench_overlap -- --out BENCH_overlap.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
