@@ -1,0 +1,193 @@
+//! `bench_infer` — simulated-time and peak-memory comparison of the
+//! forward-only inference executor against a full training epoch (whose
+//! forward half it must reproduce bit for bit), emitted as
+//! machine-readable JSON for CI.
+//!
+//! For each model × overlap mode × GPU count the same plan is driven by
+//! both executors; the report records *simulated* per-epoch seconds,
+//! peak GPU/host memory for both, the infer/train time fraction, and
+//! the inference logits digest. The process exits 1 if inference is not
+//! strictly faster than the training epoch or not strictly smaller on
+//! both memory tiers, or if the inference digest diverges across
+//! overlap modes.
+//!
+//! ```text
+//! cargo run -p hongtu-bench --bin bench_infer -- [--out FILE] \
+//!     [--dataset rdt|opt|it|opr|fds]
+//! ```
+//!
+//! Default output is `BENCH_infer.json` in the current directory.
+
+use hongtu_core::cli::{logits_digest, parse_dataset};
+use hongtu_core::{CommMode, HongTuConfig, HongTuEngine, Mode, OverlapMode, Session};
+use hongtu_datasets::{load, DatasetKey};
+use hongtu_nn::ModelKind;
+use hongtu_sim::MachineConfig;
+use hongtu_tensor::SeededRng;
+
+struct Sample {
+    model: &'static str,
+    overlap: &'static str,
+    gpus: usize,
+    train_epoch_s: f64,
+    infer_epoch_s: f64,
+    train_peak_gpu: usize,
+    infer_peak_gpu: usize,
+    train_peak_host: usize,
+    infer_peak_host: usize,
+    digest: u64,
+}
+
+fn config(gpus: usize, overlap: OverlapMode, mode: Mode) -> HongTuConfig {
+    HongTuConfig::builder()
+        .machine(MachineConfig::scaled(gpus, 512 << 20))
+        .comm(CommMode::P2pRu)
+        .overlap(overlap)
+        .mode(mode)
+        .build()
+        .expect("valid config")
+}
+
+fn main() {
+    let mut out = String::from("BENCH_infer.json");
+    let mut dataset = DatasetKey::Rdt;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("usage: bench_infer [--out FILE] [--dataset rdt|opt|it|opr|fds]");
+            std::process::exit(2);
+        };
+        match flag.as_str() {
+            "--out" => out = value,
+            "--dataset" => {
+                dataset = parse_dataset(&value).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ds = load(dataset, &mut SeededRng::new(99));
+    let mut samples = Vec::new();
+    for (kind, model) in [
+        (ModelKind::Gcn, "gcn"),
+        (ModelKind::Gat, "gat"),
+        (ModelKind::Sage, "sage"),
+    ] {
+        for (overlap, overlap_name) in [
+            (OverlapMode::Off, "off"),
+            (OverlapMode::DoubleBuffer, "doublebuffer"),
+        ] {
+            for gpus in [1usize, 2, 4] {
+                let mut engine =
+                    HongTuEngine::new(&ds, kind, 32, 2, 4, config(gpus, overlap, Mode::Train))
+                        .expect("engine construction");
+                let train = engine.train_epoch().expect("train epoch");
+                let mut session =
+                    Session::new(&ds, kind, 32, 2, 4, config(gpus, overlap, Mode::Infer))
+                        .expect("session construction");
+                let infer = session.infer_epoch().expect("infer epoch");
+                println!(
+                    "{model}/{overlap_name}/{gpus} GPUs: train {:.3} ms, infer {:.3} ms \
+                     ({:.0}% of epoch), peak GPU {:.1} -> {:.1} MB, digest {:016x}",
+                    train.time * 1e3,
+                    infer.time * 1e3,
+                    100.0 * infer.time / train.time,
+                    engine.machine().max_gpu_peak() as f64 / (1 << 20) as f64,
+                    infer.peak_gpu_bytes as f64 / (1 << 20) as f64,
+                    logits_digest(&infer.logits),
+                );
+                samples.push(Sample {
+                    model,
+                    overlap: overlap_name,
+                    gpus,
+                    train_epoch_s: train.time,
+                    infer_epoch_s: infer.time,
+                    train_peak_gpu: engine.machine().max_gpu_peak(),
+                    infer_peak_gpu: infer.peak_gpu_bytes,
+                    train_peak_host: engine.machine().host_memory().peak(),
+                    infer_peak_host: infer.peak_host_bytes,
+                    digest: logits_digest(&infer.logits),
+                });
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"dataset\": \"{}\",\n", dataset.abbrev()));
+    json.push_str("  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"overlap\": \"{}\", \"gpus\": {}, \
+             \"train_sim_epoch_s\": {:.9}, \"infer_sim_epoch_s\": {:.9}, \
+             \"infer_fraction\": {:.4}, \"train_peak_gpu_bytes\": {}, \
+             \"infer_peak_gpu_bytes\": {}, \"train_peak_host_bytes\": {}, \
+             \"infer_peak_host_bytes\": {}, \"logits_digest\": \"{:016x}\"}}{}\n",
+            s.model,
+            s.overlap,
+            s.gpus,
+            s.train_epoch_s,
+            s.infer_epoch_s,
+            s.infer_epoch_s / s.train_epoch_s,
+            s.train_peak_gpu,
+            s.infer_peak_gpu,
+            s.train_peak_host,
+            s.infer_peak_host,
+            s.digest,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("writing report");
+    println!("wrote {out}");
+
+    let mut bad = false;
+    for s in &samples {
+        if s.infer_epoch_s >= s.train_epoch_s {
+            eprintln!(
+                "FAIL: {}/{}/{} GPUs: infer {} s not strictly below train epoch {} s",
+                s.model, s.overlap, s.gpus, s.infer_epoch_s, s.train_epoch_s
+            );
+            bad = true;
+        }
+        if s.infer_peak_gpu >= s.train_peak_gpu || s.infer_peak_host >= s.train_peak_host {
+            eprintln!(
+                "FAIL: {}/{}/{} GPUs: inference peaks (gpu {}, host {}) not strictly \
+                 below training's (gpu {}, host {})",
+                s.model,
+                s.overlap,
+                s.gpus,
+                s.infer_peak_gpu,
+                s.infer_peak_host,
+                s.train_peak_gpu,
+                s.train_peak_host
+            );
+            bad = true;
+        }
+    }
+    // The digest must agree across overlap modes (and execution modes —
+    // pinned by the test suite); divergence here is a determinism bug.
+    for s in &samples {
+        if let Some(other) = samples
+            .iter()
+            .find(|o| o.model == s.model && o.gpus == s.gpus && o.digest != s.digest)
+        {
+            eprintln!(
+                "FAIL: {}/{} GPUs: logits digest diverged across overlap modes \
+                 ({} {:016x} vs {} {:016x})",
+                s.model, s.gpus, s.overlap, s.digest, other.overlap, other.digest
+            );
+            bad = true;
+            break;
+        }
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

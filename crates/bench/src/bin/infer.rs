@@ -1,20 +1,22 @@
-//! Command-line trainer: run HongTu end-to-end on any built-in dataset
-//! proxy (or an edge-list file) from the shell.
+//! Command-line inference runner: full-graph, forward-only serving over
+//! a `Mode::Infer` session — layer-wise progression, no checkpoints, no
+//! gradients. Emits a logits digest (FNV-1a over the exact f32 bits, so
+//! two invocations agree iff the logits are bitwise identical), the
+//! simulated epoch time, and the peak memory on both tiers.
 //!
 //! ```text
-//! cargo run -p hongtu-bench --bin train -- \
+//! cargo run -p hongtu-bench --bin infer -- \
 //!     --dataset rdt --model gcn --layers 2 --hidden 32 \
-//!     --epochs 50 --chunks 4 --gpus 4 --gpu-mem-mb 256 \
-//!     [--comm full|p2p|vanilla] [--memory hybrid|recompute] \
-//!     [--no-reorg] [--seed N] [--save model.htgm] [--quiet]
+//!     --chunks 4 --gpus 4 --gpu-mem-mb 256 \
+//!     [--comm full|p2p|vanilla] [--exec sequential|parallel] \
+//!     [--overlap off|doublebuffer] [--epochs N] [--no-reorg] [--seed N] \
+//!     [--load model.htgm] [--quiet]
 //! ```
 
 use hongtu_core::cli::{
-    parse_comm, parse_dataset, parse_exec, parse_memory, parse_model, parse_overlap,
+    logits_digest, parse_comm, parse_dataset, parse_exec, parse_model, parse_overlap,
 };
-use hongtu_core::{
-    CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, OverlapMode,
-};
+use hongtu_core::{CommMode, ExecutionMode, HongTuConfig, OverlapMode, Session};
 use hongtu_datasets::{load, DatasetKey};
 use hongtu_nn::ModelKind;
 use hongtu_tensor::SeededRng;
@@ -30,10 +32,9 @@ struct Args {
     gpus: usize,
     gpu_mem_mb: usize,
     comm: CommMode,
-    memory: MemoryStrategy,
     reorganize: bool,
     seed: u64,
-    save: Option<String>,
+    load: Option<String>,
     quiet: bool,
     exec: ExecutionMode,
     overlap: OverlapMode,
@@ -46,15 +47,14 @@ impl Default for Args {
             model: ModelKind::Gcn,
             layers: 2,
             hidden: 32,
-            epochs: 30,
+            epochs: 1,
             chunks: 4,
             gpus: 4,
             gpu_mem_mb: 256,
             comm: CommMode::P2pRu,
-            memory: MemoryStrategy::Hybrid,
             reorganize: true,
             seed: 42,
-            save: None,
+            load: None,
             quiet: false,
             exec: ExecutionMode::Sequential,
             overlap: OverlapMode::Off,
@@ -64,12 +64,11 @@ impl Default for Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: train [--dataset rdt|opt|it|opr|fds] [--model gcn|gat|sage|gin|commnet|ggnn]\n\
+        "usage: infer [--dataset rdt|opt|it|opr|fds] [--model gcn|gat|sage|gin|commnet|ggnn]\n\
          \x20            [--layers N] [--hidden N] [--epochs N] [--chunks N] [--gpus N]\n\
          \x20            [--gpu-mem-mb N] [--comm full|p2p|vanilla]\n\
-         \x20            [--memory hybrid|recompute] [--no-reorg] [--seed N]\n\
          \x20            [--exec sequential|parallel] [--overlap off|doublebuffer]\n\
-         \x20            [--save FILE] [--quiet]"
+         \x20            [--no-reorg] [--seed N] [--load FILE] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -103,14 +102,11 @@ fn parse_args() -> Args {
                 args.model = parse_model(&value).unwrap_or_else(|_| bad("--model", &value))
             }
             "--comm" => args.comm = parse_comm(&value).unwrap_or_else(|_| bad("--comm", &value)),
-            "--memory" => {
-                args.memory = parse_memory(&value).unwrap_or_else(|_| bad("--memory", &value))
-            }
             "--exec" => args.exec = parse_exec(&value).unwrap_or_else(|_| bad("--exec", &value)),
             "--overlap" => {
                 args.overlap = parse_overlap(&value).unwrap_or_else(|_| bad("--overlap", &value))
             }
-            "--save" => args.save = Some(value),
+            "--load" => args.load = Some(value),
             "--layers" | "--hidden" | "--epochs" | "--chunks" | "--gpus" | "--gpu-mem-mb"
             | "--seed" => {
                 let Ok(n) = value.parse::<usize>() else {
@@ -153,10 +149,10 @@ fn main() {
         .gpus(args.gpus)
         .gpu_mem_mb(args.gpu_mem_mb)
         .comm(args.comm)
-        .memory(args.memory)
         .reorganize(args.reorganize)
         .exec(args.exec)
         .overlap(args.overlap)
+        .infer()
         .build()
     {
         Ok(c) => c,
@@ -165,7 +161,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let mut engine = match HongTuEngine::new(
+    let mut session = match Session::new(
         &dataset,
         args.model,
         args.hidden,
@@ -173,53 +169,47 @@ fn main() {
         args.chunks,
         config,
     ) {
-        Ok(e) => e,
+        Ok(s) => s,
         Err(e) => {
-            eprintln!("engine construction failed: {e}");
+            eprintln!("session construction failed: {e}");
             std::process::exit(1);
         }
     };
-    if !args.quiet {
-        let v = &engine.preprocessing().volumes;
-        println!(
-            "plan: {} x {} chunks | V_ori {:.2}|V| | H2D reduction {:.0}%",
-            engine.plan().m,
-            engine.plan().n,
-            v.v_ori as f64 / dataset.num_vertices() as f64,
-            100.0 * v.h2d_reduction()
-        );
+    if let Some(path) = &args.load {
+        match hongtu_nn::load_model_file(path) {
+            Ok(model) => session.set_model(model),
+            Err(e) => {
+                eprintln!("loading model failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
-    for epoch in 1..=args.epochs {
-        match engine.train_epoch() {
+    let mut inferencer = session.inferencer();
+    let mut last = None;
+    for epoch in 1..=args.epochs.max(1) {
+        match inferencer.epoch() {
             Ok(r) => {
-                if !args.quiet && (epoch % 10 == 0 || epoch == 1 || epoch == args.epochs) {
+                if !args.quiet {
                     println!(
-                        "epoch {epoch:>4}: loss {:.4}  train-acc {:.3}  sim {:.3} ms",
-                        r.loss.loss,
-                        r.loss.accuracy,
+                        "epoch {epoch:>3}: logits {:016x}  sim {:.3} ms",
+                        logits_digest(&r.logits),
                         r.time * 1e3
                     );
                 }
+                last = Some(r);
             }
             Err(e) => {
-                eprintln!("epoch {epoch} failed: {e}");
+                eprintln!("inference epoch {epoch} failed: {e}");
                 std::process::exit(1);
             }
         }
     }
+    let r = last.expect("at least one epoch runs");
     println!(
-        "final: val {:.3}, test {:.3} | peak GPU {:.1} MB",
-        engine.accuracy(&dataset.splits.val),
-        engine.accuracy(&dataset.splits.test),
-        engine.machine().max_gpu_peak() as f64 / (1 << 20) as f64
+        "logits digest {:016x} | sim {:.3} ms | peak GPU {:.1} MB | peak host {:.1} MB",
+        logits_digest(&r.logits),
+        r.time * 1e3,
+        r.peak_gpu_bytes as f64 / (1 << 20) as f64,
+        r.peak_host_bytes as f64 / (1 << 20) as f64
     );
-    if let Some(path) = args.save {
-        match hongtu_nn::save_model_file(engine.model(), &path) {
-            Ok(()) => println!("model saved to {path}"),
-            Err(e) => {
-                eprintln!("saving model failed: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
 }

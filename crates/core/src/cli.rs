@@ -1,0 +1,179 @@
+//! Shared command-line flag parsing for the HongTu binaries.
+//!
+//! Every CLI (`train`, `infer`, `verify-trace`, `verify-plan`, the bench
+//! bins) historically carried its own copy of the flag-value parsers,
+//! with drifting spellings (`--comm full` in one bin, `--comm p2pru` in
+//! another). This module is the single home for those parsers: each
+//! accepts the union of the spellings the bins used to accept, so no
+//! existing invocation breaks.
+//!
+//! All parsers are `fn(&str) -> Result<T, String>` — the binaries decide
+//! how to report errors (usage text, exit codes).
+
+use crate::engine::{CommMode, ExecutionMode, MemoryStrategy, Mode, OverlapMode};
+use hongtu_datasets::{all_keys, DatasetKey};
+use hongtu_nn::ModelKind;
+use hongtu_tensor::Matrix;
+
+/// Parses one dataset key. Accepts the short key (`rdt`) and the real
+/// dataset name (`reddit`).
+pub fn parse_dataset(s: &str) -> Result<DatasetKey, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "rdt" | "reddit" => Ok(DatasetKey::Rdt),
+        "opt" | "products" => Ok(DatasetKey::Opt),
+        "it" | "it-2004" => Ok(DatasetKey::It),
+        "opr" | "papers" => Ok(DatasetKey::Opr),
+        "fds" | "friendster" => Ok(DatasetKey::Fds),
+        other => Err(format!(
+            "unknown dataset {other:?} (want rdt|opt|it|opr|fds)"
+        )),
+    }
+}
+
+/// Parses a dataset selection that may be `all`.
+pub fn parse_datasets(s: &str) -> Result<Vec<DatasetKey>, String> {
+    if s.eq_ignore_ascii_case("all") {
+        Ok(all_keys().to_vec())
+    } else {
+        parse_dataset(s)
+            .map(|k| vec![k])
+            .map_err(|e| e.replace("rdt|opt|it|opr|fds", "rdt|opt|it|opr|fds|all"))
+    }
+}
+
+/// Parses a model kind.
+pub fn parse_model(s: &str) -> Result<ModelKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "gcn" => Ok(ModelKind::Gcn),
+        "gat" => Ok(ModelKind::Gat),
+        "sage" => Ok(ModelKind::Sage),
+        "gin" => Ok(ModelKind::Gin),
+        "commnet" => Ok(ModelKind::CommNet),
+        "ggnn" | "ggcn" => Ok(ModelKind::Ggnn),
+        other => Err(format!(
+            "unknown model {other:?} (want gcn|gat|sage|gin|commnet|ggnn)"
+        )),
+    }
+}
+
+/// Parses a communication mode. `full` and `p2p+ru` are aliases for
+/// `p2pru`; `baseline` is an alias for `vanilla`.
+pub fn parse_comm(s: &str) -> Result<CommMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "vanilla" | "baseline" => Ok(CommMode::Vanilla),
+        "p2p" => Ok(CommMode::P2p),
+        "p2pru" | "p2p+ru" | "full" => Ok(CommMode::P2pRu),
+        other => Err(format!(
+            "unknown comm mode {other:?} (want vanilla|p2p|p2pru|full)"
+        )),
+    }
+}
+
+/// Parses an intermediate-data memory strategy.
+pub fn parse_memory(s: &str) -> Result<MemoryStrategy, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "recompute" => Ok(MemoryStrategy::Recompute),
+        "hybrid" => Ok(MemoryStrategy::Hybrid),
+        other => Err(format!(
+            "unknown memory strategy {other:?} (want recompute|hybrid)"
+        )),
+    }
+}
+
+/// Parses a host execution mode.
+pub fn parse_exec(s: &str) -> Result<ExecutionMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "sequential" | "seq" => Ok(ExecutionMode::Sequential),
+        "parallel" | "par" => Ok(ExecutionMode::Parallel),
+        other => Err(format!(
+            "unknown execution mode {other:?} (want sequential|parallel)"
+        )),
+    }
+}
+
+/// Parses a transfer/compute overlap mode.
+pub fn parse_overlap(s: &str) -> Result<OverlapMode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "off" => Ok(OverlapMode::Off),
+        "doublebuffer" | "db" => Ok(OverlapMode::DoubleBuffer),
+        other => Err(format!(
+            "unknown overlap mode {other:?} (want off|doublebuffer)"
+        )),
+    }
+}
+
+/// Parses a session mode (training vs forward-only inference).
+pub fn parse_mode(s: &str) -> Result<Mode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "train" => Ok(Mode::Train),
+        "infer" | "inference" | "serve" => Ok(Mode::Infer),
+        other => Err(format!("unknown mode {other:?} (want train|infer)")),
+    }
+}
+
+/// FNV-1a digest over a logits matrix's exact f32 bit patterns: two runs
+/// print the same digest iff their logits are bitwise identical, which
+/// is how the CLIs assert the determinism contract cheaply.
+pub fn logits_digest(m: &Matrix) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &x in m.as_slice() {
+        for b in x.to_bits().to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash ^= m.rows() as u64;
+    hash = hash.wrapping_mul(PRIME);
+    hash ^= m.cols() as u64;
+    hash.wrapping_mul(PRIME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_aliases_agree() {
+        for s in ["p2pru", "p2p+ru", "full", "P2PRU"] {
+            assert_eq!(parse_comm(s).unwrap(), CommMode::P2pRu, "{s}");
+        }
+        for s in ["vanilla", "baseline"] {
+            assert_eq!(parse_comm(s).unwrap(), CommMode::Vanilla, "{s}");
+        }
+        assert!(parse_comm("nvlink").is_err());
+    }
+
+    #[test]
+    fn datasets_all_expands() {
+        assert_eq!(parse_datasets("all").unwrap(), all_keys().to_vec());
+        assert_eq!(parse_datasets("reddit").unwrap(), vec![DatasetKey::Rdt]);
+        assert!(parse_datasets("imagenet").is_err());
+    }
+
+    #[test]
+    fn mode_and_exec_spellings() {
+        assert_eq!(parse_mode("serve").unwrap(), Mode::Infer);
+        assert_eq!(parse_mode("TRAIN").unwrap(), Mode::Train);
+        assert!(parse_mode("eval").is_err());
+        assert_eq!(parse_exec("par").unwrap(), ExecutionMode::Parallel);
+        assert_eq!(parse_overlap("db").unwrap(), OverlapMode::DoubleBuffer);
+    }
+
+    #[test]
+    fn digest_separates_bitwise_differences() {
+        let mut a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(3, 2);
+        assert_eq!(logits_digest(&a), logits_digest(&b));
+        // -0.0 == 0.0 under f32 comparison but differs bitwise: the
+        // digest must see it.
+        a.as_mut_slice()[0] = -0.0;
+        assert_ne!(logits_digest(&a), logits_digest(&b));
+        // Shape is part of the digest.
+        assert_ne!(
+            logits_digest(&Matrix::zeros(2, 3)),
+            logits_digest(&Matrix::zeros(3, 2))
+        );
+    }
+}

@@ -1,4 +1,16 @@
-//! The HongTu execution engine (paper Algorithm 1).
+//! The HongTu execution engine (paper Algorithm 1), structured as a
+//! [`Session`] — graph, partition/dedup/staging plans, host store, and
+//! the simulated machine, built and validated **once** — from which two
+//! executors borrow:
+//!
+//! - [`Trainer`] / [`Session::train_epoch_with`]: the full
+//!   forward/backward training loop of Algorithm 1;
+//! - [`Inferencer`] / [`Session::infer_epoch`]: the forward-only
+//!   serving path — layer-wise full-graph inference over the same plans,
+//!   with no checkpoint stores and no gradient state.
+//!
+//! [`HongTuEngine`] remains as a thin owning facade over a `Session`
+//! plus persistent optimizer state, so existing call sites keep working.
 //!
 //! Vertex representations `h^l` and gradients `∇h^l` for **every** layer
 //! live in (pinned) CPU memory; each simulated GPU holds, at any moment,
@@ -78,7 +90,28 @@ pub enum ExecutionMode {
     Parallel,
 }
 
+/// What a [`Session`] is built to run. The mode is fixed at construction
+/// because it decides which host and device state exists at all:
+/// inference sessions never allocate gradient stores, hybrid checkpoint
+/// caches, or optimizer state, so their peak memory is strictly below an
+/// otherwise-identical training session's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Full training: forward + backward + parameter update per epoch.
+    #[default]
+    Train,
+    /// Forward-only serving: [`Session::infer_epoch`] produces per-vertex
+    /// logits, skipping checkpoint stores and all gradient machinery.
+    Infer,
+}
+
 /// Engine configuration.
+///
+/// Prefer [`HongTuConfig::builder`], which validates the configuration
+/// before any expensive plan construction starts. Filling the struct
+/// literally (or mutating a [`HongTuConfig::full`] preset) keeps working
+/// but is a deprecated pattern: it skips validation, and new fields added
+/// here will break literal construction at compile time.
 #[derive(Debug, Clone)]
 pub struct HongTuConfig {
     /// Communication optimizations.
@@ -110,6 +143,10 @@ pub struct HongTuConfig {
     /// compute and each segment costs the max of its streams. Changes
     /// simulated time and peak memory, never results.
     pub overlap: OverlapMode,
+    /// What the session built from this config runs: training (the
+    /// default) or forward-only inference. Decides which state is
+    /// allocated at construction and how staging is sized.
+    pub mode: Mode,
 }
 
 impl HongTuConfig {
@@ -125,6 +162,7 @@ impl HongTuConfig {
             validation: ValidationLevel::Plan,
             exec: ExecutionMode::Sequential,
             overlap: OverlapMode::Off,
+            mode: Mode::Train,
         }
     }
 
@@ -142,7 +180,192 @@ impl HongTuConfig {
             validation: ValidationLevel::Plan,
             exec: ExecutionMode::Sequential,
             overlap: OverlapMode::Off,
+            mode: Mode::Train,
         }
+    }
+
+    /// A validating builder starting from the full-HongTu defaults on a
+    /// 4-GPU scaled machine:
+    ///
+    /// ```
+    /// use hongtu_core::{HongTuConfig, Mode, OverlapMode};
+    /// let cfg = HongTuConfig::builder()
+    ///     .gpus(4)
+    ///     .overlap(OverlapMode::DoubleBuffer)
+    ///     .mode(Mode::Infer)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.machine.num_gpus, 4);
+    /// ```
+    pub fn builder() -> HongTuConfigBuilder {
+        HongTuConfigBuilder::default()
+    }
+}
+
+/// A [`HongTuConfig`] that failed [`HongTuConfigBuilder::build`]
+/// validation, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid engine configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`HongTuConfig`] — the preferred construction path. Every
+/// setter is chainable; [`HongTuConfigBuilder::build`] validates the
+/// whole configuration and returns [`ConfigError`] instead of letting a
+/// bad value surface later as a confusing plan or simulation failure.
+///
+/// The machine is either given whole via
+/// [`HongTuConfigBuilder::machine`], or assembled from
+/// [`HongTuConfigBuilder::gpus`] / [`HongTuConfigBuilder::gpu_mem_mb`]
+/// (defaults: 4 GPUs × 256 MiB, the test-scale platform). Mixing the two
+/// is rejected at `build()`.
+#[derive(Debug, Clone, Default)]
+pub struct HongTuConfigBuilder {
+    machine: Option<MachineConfig>,
+    gpus: Option<usize>,
+    gpu_mem_mb: Option<usize>,
+    comm: Option<CommMode>,
+    memory: Option<MemoryStrategy>,
+    reorganize: Option<bool>,
+    lr: Option<f32>,
+    interleaved: Option<bool>,
+    validation: Option<ValidationLevel>,
+    exec: Option<ExecutionMode>,
+    overlap: Option<OverlapMode>,
+    mode: Option<Mode>,
+}
+
+impl HongTuConfigBuilder {
+    /// Use this simulated platform verbatim (incompatible with
+    /// [`HongTuConfigBuilder::gpus`] / [`HongTuConfigBuilder::gpu_mem_mb`]).
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Number of simulated GPUs of a scaled machine (default 4).
+    pub fn gpus(mut self, gpus: usize) -> Self {
+        self.gpus = Some(gpus);
+        self
+    }
+
+    /// Device memory per simulated GPU in MiB (default 256).
+    pub fn gpu_mem_mb(mut self, mb: usize) -> Self {
+        self.gpu_mem_mb = Some(mb);
+        self
+    }
+
+    /// Communication optimizations (default [`CommMode::P2pRu`]).
+    pub fn comm(mut self, comm: CommMode) -> Self {
+        self.comm = Some(comm);
+        self
+    }
+
+    /// Intermediate-data strategy (default [`MemoryStrategy::Hybrid`]).
+    pub fn memory(mut self, memory: MemoryStrategy) -> Self {
+        self.memory = Some(memory);
+        self
+    }
+
+    /// Run Algorithm 4 partition reorganization (default true; ignored —
+    /// as in the struct path — when comm is [`CommMode::Vanilla`]).
+    pub fn reorganize(mut self, reorganize: bool) -> Self {
+        self.reorganize = Some(reorganize);
+        self
+    }
+
+    /// Adam learning rate (default 0.01). Must be finite and positive.
+    pub fn lr(mut self, lr: f32) -> Self {
+        self.lr = Some(lr);
+        self
+    }
+
+    /// Interleaved inter-GPU pull schedule (default true).
+    pub fn interleaved(mut self, interleaved: bool) -> Self {
+        self.interleaved = Some(interleaved);
+        self
+    }
+
+    /// Static plan verification level (default [`ValidationLevel::Plan`]).
+    pub fn validation(mut self, validation: ValidationLevel) -> Self {
+        self.validation = Some(validation);
+        self
+    }
+
+    /// Host-side execution mode (default [`ExecutionMode::Sequential`]).
+    pub fn exec(mut self, exec: ExecutionMode) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Copy/compute overlap (default [`OverlapMode::Off`]).
+    pub fn overlap(mut self, overlap: OverlapMode) -> Self {
+        self.overlap = Some(overlap);
+        self
+    }
+
+    /// Session mode (default [`Mode::Train`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Shorthand for `.mode(Mode::Infer)`.
+    pub fn infer(self) -> Self {
+        self.mode(Mode::Infer)
+    }
+
+    /// Validates and assembles the configuration.
+    pub fn build(self) -> Result<HongTuConfig, ConfigError> {
+        if self.machine.is_some() && (self.gpus.is_some() || self.gpu_mem_mb.is_some()) {
+            return Err(ConfigError(
+                "set either machine(..) or gpus(..)/gpu_mem_mb(..), not both".to_string(),
+            ));
+        }
+        let machine = match self.machine {
+            Some(m) => m,
+            None => {
+                let gpus = self.gpus.unwrap_or(4);
+                let mb = self.gpu_mem_mb.unwrap_or(256);
+                if gpus == 0 {
+                    return Err(ConfigError("gpus must be at least 1".to_string()));
+                }
+                if mb == 0 {
+                    return Err(ConfigError("gpu_mem_mb must be positive".to_string()));
+                }
+                MachineConfig::scaled(gpus, mb << 20)
+            }
+        };
+        if machine.num_gpus == 0 {
+            return Err(ConfigError("machine has no GPUs".to_string()));
+        }
+        if machine.gpu_memory == 0 {
+            return Err(ConfigError("machine GPUs have no memory".to_string()));
+        }
+        let lr = self.lr.unwrap_or(0.01);
+        if !lr.is_finite() || lr <= 0.0 {
+            return Err(ConfigError(format!(
+                "learning rate must be finite and positive, got {lr}"
+            )));
+        }
+        Ok(HongTuConfig {
+            comm: self.comm.unwrap_or(CommMode::P2pRu),
+            memory: self.memory.unwrap_or(MemoryStrategy::Hybrid),
+            reorganize: self.reorganize.unwrap_or(true),
+            machine,
+            lr,
+            interleaved: self.interleaved.unwrap_or(true),
+            validation: self.validation.unwrap_or(ValidationLevel::Plan),
+            exec: self.exec.unwrap_or(ExecutionMode::Sequential),
+            overlap: self.overlap.unwrap_or(OverlapMode::Off),
+            mode: self.mode.unwrap_or(Mode::Train),
+        })
     }
 }
 
@@ -216,6 +439,24 @@ pub struct EpochReport {
     pub buckets: TimeBuckets,
 }
 
+/// Result of one forward-only inference epoch
+/// ([`Session::infer_epoch`]).
+#[derive(Debug, Clone)]
+pub struct InferReport {
+    /// Per-vertex logits `h^L` — the full-graph inference output.
+    pub logits: Matrix,
+    /// Simulated epoch time in seconds (critical path over GPUs).
+    pub time: f64,
+    /// Per-component simulated time/volume.
+    pub buckets: TimeBuckets,
+    /// High-water device memory across GPUs, in bytes, including the
+    /// session's static allocations (params, staging).
+    pub peak_gpu_bytes: usize,
+    /// High-water host memory in bytes (the layer stores `h^l`; no
+    /// gradient or checkpoint buffers exist on an inference session).
+    pub peak_host_bytes: usize,
+}
+
 /// Plan-level preprocessing artifacts and their modeled cost.
 #[derive(Debug, Clone)]
 pub struct Preprocessing {
@@ -247,7 +488,11 @@ struct StepCtx<'a> {
     buffer_comm: Option<&'a [Vec<BatchComm>]>,
     model: &'a GnnModel,
     comm: CommMode,
-    memory: MemoryStrategy,
+    /// Whether hybrid aggregate checkpoints are in play for this epoch:
+    /// true only for a *training* epoch under
+    /// [`MemoryStrategy::Hybrid`]. Inference epochs never store (or
+    /// reload) checkpoints, whatever the configured strategy.
+    checkpoint: bool,
     interleaved: bool,
     h: &'a [Matrix],
     grad_h: &'a [Matrix],
@@ -264,7 +509,8 @@ macro_rules! ctx {
             buffer_comm: $engine.buffer_comm.as_deref(),
             model: &$engine.model,
             comm: $engine.config.comm,
-            memory: $engine.config.memory,
+            checkpoint: $engine.run_mode == Mode::Train
+                && $engine.config.memory == MemoryStrategy::Hybrid,
             interleaved: $engine.config.interleaved,
             h: &$engine.h,
             grad_h: &$engine.grad_h,
@@ -273,9 +519,28 @@ macro_rules! ctx {
     };
 }
 
-/// The HongTu training engine.
-pub struct HongTuEngine {
+/// A validated HongTu execution session: the dataset-derived plans
+/// (two-level partition, dedup transition sets, §6 buffer plans,
+/// staging), the host-resident stores, the model replica, and the
+/// simulated machine — everything both executors share, built and
+/// verified **once**.
+///
+/// A session is constructed for one [`Mode`]:
+///
+/// - [`Mode::Train`] sessions additionally hold the gradient stores
+///   `∇h^l`, the hybrid checkpoint cache, and device space for optimizer
+///   state; drive them with [`Session::trainer`] (or the
+///   [`HongTuEngine`] facade).
+/// - [`Mode::Infer`] sessions allocate none of that — their peak host
+///   and device memory is strictly below the training session's — and
+///   are driven with [`Session::inferencer`].
+pub struct Session {
     config: HongTuConfig,
+    /// The [`Mode`] of the epoch currently (or last) running. Equal to
+    /// `config.mode` except that step functions read it through
+    /// [`StepCtx`] to gate checkpoint stores, keeping the forward steps
+    /// shared between both executors.
+    run_mode: Mode,
     machine: Machine,
     plan: TwoLevelPartition,
     dedup: DedupPlan,
@@ -287,12 +552,12 @@ pub struct HongTuEngine {
     /// only; the buffers themselves are resident on the machine).
     staging: Option<Vec<StagingPlan>>,
     model: GnnModel,
-    opt: Adam,
     labels: Vec<u32>,
     train_mask: Vec<bool>,
     /// `h[l]`: host-resident layer representations (`h[0]` = features).
     h: Vec<Matrix>,
-    /// `∇h[l]`: host-resident gradient buffers.
+    /// `∇h[l]`: host-resident gradient buffers ([`Mode::Train`] only;
+    /// empty matrices on an inference session).
     grad_h: Vec<Matrix>,
     /// `agg_cache[l][i][j]`: hybrid checkpoints (host-resident).
     agg_cache: Vec<Vec<Vec<Option<Matrix>>>>,
@@ -300,8 +565,8 @@ pub struct HongTuEngine {
     epochs_run: usize,
 }
 
-impl HongTuEngine {
-    /// Builds the engine: partitions the graph (`m` = machine GPU count,
+impl Session {
+    /// Builds the session: partitions the graph (`m` = machine GPU count,
     /// `n` chunks per partition), optionally reorganizes, allocates host
     /// buffers, and replicates model parameters to every simulated GPU.
     pub fn new(
@@ -321,7 +586,7 @@ impl HongTuEngine {
         Self::with_plan(dataset, kind, hidden, layers, plan, config)
     }
 
-    /// Builds the engine from a caller-supplied 2-level partition plan
+    /// Builds the session from a caller-supplied 2-level partition plan
     /// (e.g. from a custom partitioner). The plan's `m` must equal the
     /// machine's GPU count.
     pub fn with_plan(
@@ -416,23 +681,30 @@ impl HongTuEngine {
             seconds: preprocess_flops / config.machine.cpu_flops,
         };
 
-        // ---- host buffers: h^l and ∇h^l for every layer (Alg 1, line 3) ----
+        // ---- host buffers: h^l for every layer (Alg 1, line 3); ∇h^l
+        // only exists on training sessions ----
+        let train = config.mode == Mode::Train;
         let v = dataset.num_vertices();
         let mut h = Vec::with_capacity(dims.len());
         let mut grad_h = Vec::with_capacity(dims.len());
         for &d in &dims {
             machine.host_alloc(v * d * F32, "h^l")?;
-            machine.host_alloc(v * d * F32, "grad h^l")?;
             h.push(Matrix::zeros(v, d));
-            grad_h.push(Matrix::zeros(v, d));
+            if train {
+                machine.host_alloc(v * d * F32, "grad h^l")?;
+                grad_h.push(Matrix::zeros(v, d));
+            } else {
+                grad_h.push(Matrix::zeros(0, 0));
+            }
         }
         h[0] = dataset.features.clone();
 
-        // ---- hybrid checkpoint storage ----
+        // ---- hybrid checkpoint storage (training only: inference never
+        // stores checkpoints, so the cache is dead weight) ----
         let l_count = model.num_layers();
         let mut agg_cache: Vec<Vec<Vec<Option<Matrix>>>> =
             vec![vec![vec![None; plan.n]; m]; l_count];
-        if config.memory == MemoryStrategy::Hybrid {
+        if train && config.memory == MemoryStrategy::Hybrid {
             let mut cache_bytes = 0usize;
             for l in 0..l_count {
                 for c in plan.all_chunks() {
@@ -443,12 +715,18 @@ impl HongTuEngine {
         }
         let _ = &mut agg_cache;
 
-        // ---- per-GPU static allocations: replicated params + Adam state ----
+        // ---- per-GPU static allocations: replicated params, plus Adam
+        // moment state (2× params) on training sessions ----
+        let param_copies = if train { 3 } else { 1 };
         for gpu in 0..m {
             machine.alloc(
                 gpu,
-                model.param_bytes() * 3,
-                "model params + optimizer state",
+                model.param_bytes() * param_copies,
+                if train {
+                    "model params + optimizer state"
+                } else {
+                    "model params"
+                },
             )?;
         }
 
@@ -469,14 +747,15 @@ impl HongTuEngine {
             None
         };
 
-        let lr = config.lr;
         let paranoid_bufs = if config.validation == ValidationLevel::Paranoid {
             bufplans
         } else {
             None
         };
-        Ok(HongTuEngine {
+        let run_mode = config.mode;
+        Ok(Session {
             config,
+            run_mode,
             machine,
             plan,
             dedup,
@@ -484,7 +763,6 @@ impl HongTuEngine {
             paranoid_bufs,
             staging,
             model,
-            opt: Adam::new(lr),
             labels: dataset.labels.clone(),
             train_mask: dataset.splits.train.clone(),
             h,
@@ -542,17 +820,20 @@ impl HongTuEngine {
         hongtu_nn::loss::masked_accuracy(self.logits(), &self.labels, mask)
     }
 
-    /// Runs one full training epoch (Algorithm 1). Returns the loss and the
-    /// simulated time spent.
-    ///
-    /// Under [`ValidationLevel::Paranoid`], the epoch is additionally
-    /// *schedule-certified*: it runs under an unbounded event trace and
-    /// the happens-before checker (`hongtu-verify`'s trace pass) must
-    /// find no race or ordering hazard, else the epoch fails with
+    /// Runs `inner` under the session's validation policy. Under
+    /// [`ValidationLevel::Paranoid`], the epoch is *schedule-certified*:
+    /// it runs under an unbounded event trace and the happens-before
+    /// checker (`hongtu-verify`'s trace pass) must find no race or
+    /// ordering hazard, else the epoch fails with
     /// [`SimError::InvalidSchedule`]. This applies in release builds too —
     /// opting into `Paranoid` buys the certification, whatever the build
     /// profile; it also certifies the parallel executor's schedules.
-    pub fn train_epoch(&mut self) -> Result<EpochReport, SimError> {
+    /// Training and inference epochs share this wrapper, so inference
+    /// schedules are held to the same certification bar.
+    fn epoch_certified<R>(
+        &mut self,
+        inner: impl FnOnce(&mut Self) -> Result<R, SimError>,
+    ) -> Result<R, SimError> {
         // Paranoid: re-run the graph-free verifier passes before touching
         // the plans again (catches accidental in-training mutation).
         let paranoid = self.config.validation == ValidationLevel::Paranoid;
@@ -565,13 +846,13 @@ impl HongTuEngine {
             }
         }
         if !paranoid {
-            return self.train_epoch_inner();
+            return inner(self);
         }
         // Schedule certification: run under an unbounded trace (the checker
         // refuses pruned traces), then replay the epoch's events into the
         // user's trace so external tracing still observes them.
         let mut user = self.machine.replace_trace(Trace::unbounded());
-        let result = self.train_epoch_inner();
+        let result = inner(self);
         if user.is_enabled() {
             for e in self.machine.trace().events() {
                 user.record(e.clone());
@@ -587,7 +868,88 @@ impl HongTuEngine {
         result
     }
 
-    fn train_epoch_inner(&mut self) -> Result<EpochReport, SimError> {
+    /// Runs one full training epoch (Algorithm 1) with the caller's
+    /// optimizer state. Returns the loss and the simulated time spent.
+    ///
+    /// Most callers reach this through [`Trainer::epoch`] (or the
+    /// [`HongTuEngine`] facade), which owns the [`Adam`] state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was built with [`Mode::Infer`]: inference
+    /// sessions allocate neither gradient stores nor optimizer state, so
+    /// a training epoch on one is an API-misuse bug, not a recoverable
+    /// condition.
+    pub fn train_epoch(&mut self, opt: &mut Adam) -> Result<EpochReport, SimError> {
+        assert_eq!(
+            self.config.mode,
+            Mode::Train,
+            "train_epoch on an inference session: build the session with \
+             Mode::Train (inference sessions carry no gradient buffers or \
+             optimizer state)"
+        );
+        self.epoch_certified(|s| s.train_epoch_inner(opt))
+    }
+
+    /// Runs one forward-only inference epoch over the full graph:
+    /// layer-wise progression (all chunks of layer `l` before any chunk
+    /// of layer `l+1`), no checkpoint stores, no gradients — activations
+    /// spill to the host store only as the next layer's input. Reuses the
+    /// same partition/dedup/staging plans and the same forward steps as
+    /// training, so the logits are bitwise identical to a training
+    /// epoch's forward half under every execution/overlap/comm mode.
+    ///
+    /// Works on any session. On a [`Mode::Infer`] session the peak
+    /// memory in the report reflects the smaller serving footprint (no
+    /// Adam state, no gradient host stores, no aggregate cache); on a
+    /// [`Mode::Train`] session the epoch still skips checkpoint stores
+    /// but runs against the training allocation.
+    pub fn infer_epoch(&mut self) -> Result<InferReport, SimError> {
+        self.epoch_certified(Self::infer_epoch_inner)
+    }
+
+    fn infer_epoch_inner(&mut self) -> Result<InferReport, SimError> {
+        self.run_mode = Mode::Infer;
+        let t0 = self.machine.elapsed();
+        let b0 = self.machine.buckets();
+        let l_count = self.model.num_layers();
+        let n = self.plan.n;
+        let phased = self.config.comm != CommMode::Vanilla;
+        let parallel = self.config.exec == ExecutionMode::Parallel;
+        let overlap = self.config.overlap == OverlapMode::DoubleBuffer;
+
+        // ---- forward pass only (Alg 1, lines 4–9, minus checkpoints) ----
+        for l in 0..l_count {
+            if overlap {
+                if parallel {
+                    self.forward_layer_overlap_parallel(l);
+                } else {
+                    self.forward_layer_overlap_sequential(l);
+                }
+            } else {
+                for j in 0..n {
+                    if parallel {
+                        self.forward_batch_parallel(l, j, phased)?;
+                    } else {
+                        self.forward_batch_sequential(l, j, phased)?;
+                    }
+                }
+            }
+        }
+        self.machine.sync(BarrierScope::Epoch);
+
+        self.epochs_run += 1;
+        Ok(InferReport {
+            logits: self.h.last().unwrap().clone(),
+            time: self.machine.elapsed() - t0,
+            buckets: delta(self.machine.buckets(), b0),
+            peak_gpu_bytes: self.machine.max_gpu_peak(),
+            peak_host_bytes: self.machine.host_memory().peak(),
+        })
+    }
+
+    fn train_epoch_inner(&mut self, opt: &mut Adam) -> Result<EpochReport, SimError> {
+        self.run_mode = Mode::Train;
         let t0 = self.machine.elapsed();
         let b0 = self.machine.buckets();
         let l_count = self.model.num_layers();
@@ -683,7 +1045,7 @@ impl HongTuEngine {
                 t.add(g);
             }
         }
-        self.model.apply_grads(&total, &mut self.opt);
+        self.model.apply_grads(&total, opt);
 
         self.epochs_run += 1;
         Ok(EpochReport {
@@ -1264,6 +1626,221 @@ impl HongTuEngine {
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
     }
+
+    /// The configuration the session was built with.
+    pub fn config(&self) -> &HongTuConfig {
+        &self.config
+    }
+
+    /// Replaces the model parameters, e.g. with weights restored via
+    /// [`hongtu_nn::load_model_file`] before serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement's layer count or parameter volume
+    /// differs from the session's (the GPU allocations and staging plans
+    /// were sized for the original model).
+    pub fn set_model(&mut self, model: GnnModel) {
+        assert_eq!(
+            (model.num_layers(), model.param_bytes()),
+            (self.model.num_layers(), self.model.param_bytes()),
+            "replacement model shape differs from the session's"
+        );
+        self.model = model;
+    }
+
+    /// A training executor borrowing this session, owning fresh [`Adam`]
+    /// optimizer state (initialized from the configured learning rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was built with [`Mode::Infer`] — see
+    /// [`Session::train_epoch`].
+    pub fn trainer(&mut self) -> Trainer<'_> {
+        assert_eq!(
+            self.config.mode,
+            Mode::Train,
+            "trainer() on an inference session: build the session with Mode::Train"
+        );
+        let opt = Adam::new(self.config.lr);
+        Trainer { session: self, opt }
+    }
+
+    /// A forward-only inference executor borrowing this session.
+    pub fn inferencer(&mut self) -> Inferencer<'_> {
+        Inferencer { session: self }
+    }
+}
+
+/// Training executor: borrows a [`Session`] and owns the [`Adam`]
+/// optimizer state, so several training runs (each with fresh optimizer
+/// moments) can reuse one validated session.
+pub struct Trainer<'s> {
+    session: &'s mut Session,
+    opt: Adam,
+}
+
+impl Trainer<'_> {
+    /// Runs one training epoch — see [`Session::train_epoch`].
+    pub fn epoch(&mut self) -> Result<EpochReport, SimError> {
+        self.session.train_epoch(&mut self.opt)
+    }
+
+    /// The underlying session (logits, accuracy, machine state).
+    pub fn session(&self) -> &Session {
+        self.session
+    }
+}
+
+/// Forward-only inference executor borrowing a [`Session`].
+pub struct Inferencer<'s> {
+    session: &'s mut Session,
+}
+
+impl Inferencer<'_> {
+    /// Runs one inference epoch — see [`Session::infer_epoch`].
+    pub fn epoch(&mut self) -> Result<InferReport, SimError> {
+        self.session.infer_epoch()
+    }
+
+    /// The underlying session (logits, accuracy, machine state).
+    pub fn session(&self) -> &Session {
+        self.session
+    }
+}
+
+/// The classic owning engine: a [`Session`] plus [`Adam`] optimizer
+/// state, with `train_epoch`/`infer_epoch` inherent methods. Existing
+/// callers keep working unchanged; new code that wants to separate the
+/// validated session from its executors should use [`Session`] with
+/// [`Session::trainer`]/[`Session::inferencer`] directly.
+pub struct HongTuEngine {
+    session: Session,
+    opt: Adam,
+}
+
+impl HongTuEngine {
+    /// Builds the engine — see [`Session::new`].
+    pub fn new(
+        dataset: &Dataset,
+        kind: ModelKind,
+        hidden: usize,
+        layers: usize,
+        n_chunks: usize,
+        config: HongTuConfig,
+    ) -> Result<Self, SimError> {
+        Session::new(dataset, kind, hidden, layers, n_chunks, config).map(Self::from_session)
+    }
+
+    /// Builds the engine from a caller-supplied partition plan — see
+    /// [`Session::with_plan`].
+    pub fn with_plan(
+        dataset: &Dataset,
+        kind: ModelKind,
+        hidden: usize,
+        layers: usize,
+        plan: TwoLevelPartition,
+        config: HongTuConfig,
+    ) -> Result<Self, SimError> {
+        Session::with_plan(dataset, kind, hidden, layers, plan, config).map(Self::from_session)
+    }
+
+    /// Wraps an already-built session, pairing it with fresh optimizer
+    /// state at the configured learning rate.
+    pub fn from_session(session: Session) -> Self {
+        let opt = Adam::new(session.config.lr);
+        HongTuEngine { session, opt }
+    }
+
+    /// Runs one training epoch — see [`Session::train_epoch`].
+    pub fn train_epoch(&mut self) -> Result<EpochReport, SimError> {
+        self.session.train_epoch(&mut self.opt)
+    }
+
+    /// Runs one forward-only inference epoch — see
+    /// [`Session::infer_epoch`].
+    pub fn infer_epoch(&mut self) -> Result<InferReport, SimError> {
+        self.session.infer_epoch()
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session.
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Unwraps the engine back into its session, dropping the optimizer
+    /// state.
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// The partition plan in use.
+    pub fn plan(&self) -> &TwoLevelPartition {
+        self.session.plan()
+    }
+
+    /// The communication plan in use.
+    pub fn dedup_plan(&self) -> &DedupPlan {
+        self.session.dedup_plan()
+    }
+
+    /// Preprocessing summary (volumes + modeled seconds).
+    pub fn preprocessing(&self) -> &Preprocessing {
+        self.session.preprocessing()
+    }
+
+    /// The simulated machine (memory peaks, trace).
+    pub fn machine(&self) -> &Machine {
+        self.session.machine()
+    }
+
+    /// Mutable access to the simulated machine, e.g. to enable the
+    /// unbounded event trace before certifying an epoch schedule.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        self.session.machine_mut()
+    }
+
+    /// Per-GPU staging plans of the overlap executor (`None` when
+    /// overlap is off).
+    pub fn staging_plans(&self) -> Option<&[StagingPlan]> {
+        self.session.staging_plans()
+    }
+
+    /// The model under training.
+    pub fn model(&self) -> &GnnModel {
+        self.session.model()
+    }
+
+    /// Replaces the model parameters — see [`Session::set_model`].
+    pub fn set_model(&mut self, model: GnnModel) {
+        self.session.set_model(model);
+    }
+
+    /// Number of epochs completed.
+    pub fn epochs_run(&self) -> usize {
+        self.session.epochs_run()
+    }
+
+    /// Current logits (`h^L`), e.g. for external accuracy evaluation.
+    pub fn logits(&self) -> &Matrix {
+        self.session.logits()
+    }
+
+    /// Validation/test accuracy from the representations computed in the
+    /// last epoch's forward pass.
+    pub fn accuracy(&self, mask: &[bool]) -> f32 {
+        self.session.accuracy(mask)
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &HongTuConfig {
+        self.session.config()
+    }
 }
 
 /// Per-GPU scratch carried from the load phase to the compute phase of a
@@ -1464,7 +2041,7 @@ fn forward_compute_step<T: Timeline>(
 
     // -- hybrid checkpoint --
     let mut agg = None;
-    if ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache() {
+    if ctx.checkpoint && layer.supports_agg_cache() {
         let a = f.agg.expect("cache-capable layer must emit an aggregate");
         tl.tag([Access::write(agg_slot(l, i, j), Region::All)]);
         tl.d2h(i, a.byte_size());
@@ -1492,7 +2069,7 @@ fn backward_load_step<T: Timeline>(
     let layer = ctx.model.layer(l);
     let out_dim = layer.out_dim();
     let row = layer.in_dim() * F32;
-    let use_hybrid = ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+    let use_hybrid = ctx.checkpoint && layer.supports_agg_cache();
 
     // -- load ∇h^{l+1}_{V_ij} from CPU (line 16) --
     let grad_out_bytes = chunk.num_dests() * out_dim * F32;
@@ -1548,7 +2125,7 @@ fn backward_compute_step<T: Timeline>(
     let chunk = &ctx.plan.chunks[i][j];
     let layer = ctx.model.layer(l);
     let row = layer.in_dim() * F32;
-    let use_hybrid = ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+    let use_hybrid = ctx.checkpoint && layer.supports_agg_cache();
     let fwd = layer.forward_flops(chunk);
     let bwd = layer.backward_flops(chunk);
     // Neighbor gradients land in the merged transition-gradient buffer
@@ -1930,7 +2507,7 @@ fn ov_forward_compute<T: Timeline>(
 
     ov_reuse_handoff(ctx, tl, i, j, row);
 
-    let agg = (ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache())
+    let agg = (ctx.checkpoint && layer.supports_agg_cache())
         .then(|| f.agg.expect("cache-capable layer must emit an aggregate"));
     FwOut { out: f.out, agg }
 }
@@ -1945,7 +2522,7 @@ fn ov_forward_drain<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, 
     let out_bytes = chunk.num_dests() * layer.out_dim() * F32;
     tl.tag([Access::write(rep(l + 1), chunk_region(i, j))]);
     tl.d2h(i, out_bytes);
-    if ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache() {
+    if ctx.checkpoint && layer.supports_agg_cache() {
         let bytes = ctx.agg_cache[l][i][j]
             .as_ref()
             .expect("hybrid checkpoint missing — was the compute segment applied?")
@@ -1977,7 +2554,7 @@ fn ov_backward_prefetch<T: Timeline>(
     let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
     let grad_out = ctx.grad_h[l + 1].gather_rows(&dest_idx);
 
-    if ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache() {
+    if ctx.checkpoint && layer.supports_agg_cache() {
         let bytes = ctx.agg_cache[l][i][j]
             .as_ref()
             .expect("hybrid checkpoint missing — was forward run?")
@@ -2007,7 +2584,7 @@ fn ov_backward_compute<T: Timeline>(
     let chunk = &ctx.plan.chunks[i][j];
     let layer = ctx.model.layer(l);
     let row = layer.in_dim() * F32;
-    let use_hybrid = ctx.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+    let use_hybrid = ctx.checkpoint && layer.supports_agg_cache();
     let fwd = layer.forward_flops(chunk);
     let bwd = layer.backward_flops(chunk);
     let acc = Access::accum(grad_slot(i, j), Region::All).with_gen(j as u32);
@@ -2111,7 +2688,11 @@ fn plan_staging(
     for l in 0..model.num_layers() {
         let layer = model.layer(l);
         let row = layer.in_dim() * F32;
-        let use_hybrid = config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+        // Inference never reloads hybrid checkpoints, so its staging
+        // slots skip the checkpoint-row term entirely.
+        let use_hybrid = config.mode == Mode::Train
+            && config.memory == MemoryStrategy::Hybrid
+            && layer.supports_agg_cache();
         for (j, chunk) in plan.chunks[gpu].iter().enumerate() {
             let topo = chunk.topology_bytes();
             let buf_bytes = match config.comm {
@@ -2490,5 +3071,92 @@ mod tests {
         let p = e.preprocessing();
         assert!(p.volumes.v_ori >= p.volumes.v_p2p);
         assert!(p.seconds > 0.0);
+    }
+
+    #[test]
+    fn builder_defaults_match_full_config() {
+        let built = HongTuConfig::builder().machine(machine()).build().unwrap();
+        let full = HongTuConfig::full(machine());
+        assert_eq!(built.comm, full.comm);
+        assert_eq!(built.memory, full.memory);
+        assert_eq!(built.reorganize, full.reorganize);
+        assert_eq!(built.lr, full.lr);
+        assert_eq!(built.interleaved, full.interleaved);
+        assert_eq!(built.validation, full.validation);
+        assert_eq!(built.exec, full.exec);
+        assert_eq!(built.overlap, full.overlap);
+        assert_eq!(built.mode, Mode::Train);
+    }
+
+    #[test]
+    fn builder_scales_machine_from_gpus_and_mem() {
+        let cfg = HongTuConfig::builder()
+            .gpus(2)
+            .gpu_mem_mb(128)
+            .infer()
+            .build()
+            .unwrap();
+        assert_eq!(cfg.machine.num_gpus, 2);
+        assert_eq!(cfg.machine.gpu_memory, 128 << 20);
+        assert_eq!(cfg.mode, Mode::Infer);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configurations() {
+        // An explicit machine conflicts with gpus/gpu_mem_mb shorthands.
+        assert!(HongTuConfig::builder()
+            .machine(machine())
+            .gpus(2)
+            .build()
+            .is_err());
+        assert!(HongTuConfig::builder().gpus(0).build().is_err());
+        assert!(HongTuConfig::builder().gpu_mem_mb(0).build().is_err());
+        assert!(HongTuConfig::builder().lr(0.0).build().is_err());
+        assert!(HongTuConfig::builder().lr(f32::NAN).build().is_err());
+        let err = HongTuConfig::builder().gpus(0).build().unwrap_err();
+        assert!(err.to_string().contains("invalid engine configuration"));
+    }
+
+    #[test]
+    fn infer_epoch_skips_checkpoints_and_matches_forward() {
+        let ds = small_dataset();
+        let mut cfg = HongTuConfig::full(machine());
+        cfg.mode = Mode::Infer;
+        let mut session = Session::new(&ds, ModelKind::Gcn, 16, 2, 4, cfg).expect("session");
+        let r = session.infer_epoch().unwrap();
+        assert!(r.time > 0.0);
+        // No checkpoint was stored anywhere.
+        for per_layer in &session.agg_cache {
+            for per_gpu in per_layer {
+                assert!(per_gpu.iter().all(|c| c.is_none()));
+            }
+        }
+        // The logits equal a training epoch's forward half (pre-update
+        // weights) on an identically-seeded training engine.
+        let mut train = engine(&ds, ModelKind::Gcn, HongTuConfig::full(machine()));
+        train.train_epoch().unwrap();
+        assert_eq!(r.logits, *train.logits());
+    }
+
+    #[test]
+    #[should_panic(expected = "trainer() on an inference session")]
+    fn trainer_on_infer_session_panics() {
+        let ds = small_dataset();
+        let mut cfg = HongTuConfig::full(machine());
+        cfg.mode = Mode::Infer;
+        let mut session = Session::new(&ds, ModelKind::Gcn, 16, 2, 4, cfg).expect("session");
+        let _ = session.trainer();
+    }
+
+    #[test]
+    fn engine_facade_round_trips_through_session() {
+        let ds = small_dataset();
+        let mut e = engine(&ds, ModelKind::Gcn, HongTuConfig::full(machine()));
+        e.train_epoch().unwrap();
+        let mut session = e.into_session();
+        session.infer_epoch().unwrap();
+        let mut e = HongTuEngine::from_session(session);
+        e.train_epoch().unwrap();
+        assert_eq!(e.epochs_run(), 3);
     }
 }

@@ -27,6 +27,7 @@
 // Indexed loops are deliberate: indices double as GPU/batch identifiers.
 #![allow(clippy::needless_range_loop)]
 
+pub mod cli;
 pub mod cost;
 pub mod engine;
 pub mod reorg;
@@ -41,7 +42,8 @@ pub use buffers::GpuBufferPlan;
 pub use cost::{comm_cost, CommVolumes};
 pub use dedup::DedupPlan;
 pub use engine::{
-    CommMode, EpochReport, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, OverlapMode,
+    CommMode, ConfigError, EpochReport, ExecutionMode, HongTuConfig, HongTuConfigBuilder,
+    HongTuEngine, InferReport, Inferencer, MemoryStrategy, Mode, OverlapMode, Session, Trainer,
     ValidationLevel,
 };
 pub use reorg::{reorganize, reorganize_guarded};

@@ -9,7 +9,8 @@
 //! verifier passes. Exits 0 if every plan is clean, 1 if any diagnostic
 //! fires (or on bad arguments).
 
-use hongtu_datasets::{all_keys, load, DatasetKey};
+use hongtu_core::cli::parse_datasets;
+use hongtu_datasets::{load, DatasetKey};
 use hongtu_partition::{DedupPlan, GpuBufferPlan, TwoLevelPartition};
 use hongtu_tensor::SeededRng;
 use hongtu_verify::verify_all;
@@ -23,20 +24,6 @@ struct Args {
 
 const USAGE: &str = "usage: verify-plan [--dataset rdt|opt|it|opr|fds|all] \
                      [--gpus M] [--chunks N] [--seed S]";
-
-fn parse_dataset(s: &str) -> Result<Vec<DatasetKey>, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "rdt" => Ok(vec![DatasetKey::Rdt]),
-        "opt" => Ok(vec![DatasetKey::Opt]),
-        "it" => Ok(vec![DatasetKey::It]),
-        "opr" => Ok(vec![DatasetKey::Opr]),
-        "fds" => Ok(vec![DatasetKey::Fds]),
-        "all" => Ok(all_keys().to_vec()),
-        other => Err(format!(
-            "unknown dataset {other:?} (want rdt|opt|it|opr|fds|all)"
-        )),
-    }
-}
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -53,7 +40,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match flag.as_str() {
-            "--dataset" => args.datasets = parse_dataset(&value("--dataset")?)?,
+            "--dataset" => args.datasets = parse_datasets(&value("--dataset")?)?,
             "--gpus" => {
                 args.gpus = value("--gpus")?
                     .parse()

@@ -4,10 +4,13 @@
 //! Usage:
 //!   verify-trace [--dataset rdt|opt|it|opr|fds|all] [--gpus M] [--chunks N]
 //!                [--seed S] [--model gcn|gat|sage|gin|commnet|ggnn]
-//!                [--hidden H] [--layers L] [--comm vanilla|p2p|p2pru]
+//!                [--hidden H] [--layers L] [--comm vanilla|p2p|p2pru|full]
 //!                [--memory recompute|hybrid] [--epochs E] [--determinism]
+//!                [--exec sequential|parallel] [--overlap off|doublebuffer]
+//!                [--mode train|infer]
 //!
-//! Builds the engine exactly as training would, records one (or more)
+//! Builds the engine exactly as training would (or a forward-only
+//! inference session under `--mode infer`), records one (or more)
 //! epochs into an unbounded event trace, and runs the vector-clock
 //! happens-before analysis over it: data races on shared buffers,
 //! reads of unpopulated or stale checkpoint slots, and batch barrier
@@ -16,10 +19,14 @@
 //! commutable reorderings (`S502`). Exits 0 if every trace is clean,
 //! 1 if any diagnostic fires (or on bad arguments).
 
-use hongtu_core::{
-    CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, OverlapMode,
+use hongtu_core::cli::{
+    parse_comm, parse_datasets, parse_exec, parse_memory, parse_mode, parse_model, parse_overlap,
 };
-use hongtu_datasets::{all_keys, load, DatasetKey};
+use hongtu_core::{
+    CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, Mode, OverlapMode,
+};
+use hongtu_datasets::load;
+use hongtu_datasets::DatasetKey;
 use hongtu_nn::ModelKind;
 use hongtu_sim::{MachineConfig, Trace};
 use hongtu_tensor::SeededRng;
@@ -39,83 +46,15 @@ struct Args {
     determinism: bool,
     exec: ExecutionMode,
     overlap: OverlapMode,
+    mode: Mode,
 }
 
 const USAGE: &str = "usage: verify-trace [--dataset rdt|opt|it|opr|fds|all] \
                      [--gpus M] [--chunks N] [--seed S] \
                      [--model gcn|gat|sage|gin|commnet|ggnn] [--hidden H] [--layers L] \
-                     [--comm vanilla|p2p|p2pru] [--memory recompute|hybrid] \
+                     [--comm vanilla|p2p|p2pru|full] [--memory recompute|hybrid] \
                      [--epochs E] [--determinism] [--exec sequential|parallel] \
-                     [--overlap off|doublebuffer]";
-
-fn parse_dataset(s: &str) -> Result<Vec<DatasetKey>, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "rdt" => Ok(vec![DatasetKey::Rdt]),
-        "opt" => Ok(vec![DatasetKey::Opt]),
-        "it" => Ok(vec![DatasetKey::It]),
-        "opr" => Ok(vec![DatasetKey::Opr]),
-        "fds" => Ok(vec![DatasetKey::Fds]),
-        "all" => Ok(all_keys().to_vec()),
-        other => Err(format!(
-            "unknown dataset {other:?} (want rdt|opt|it|opr|fds|all)"
-        )),
-    }
-}
-
-fn parse_model(s: &str) -> Result<ModelKind, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "gcn" => Ok(ModelKind::Gcn),
-        "gat" => Ok(ModelKind::Gat),
-        "sage" => Ok(ModelKind::Sage),
-        "gin" => Ok(ModelKind::Gin),
-        "commnet" => Ok(ModelKind::CommNet),
-        "ggnn" => Ok(ModelKind::Ggnn),
-        other => Err(format!(
-            "unknown model {other:?} (want gcn|gat|sage|gin|commnet|ggnn)"
-        )),
-    }
-}
-
-fn parse_comm(s: &str) -> Result<CommMode, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "vanilla" => Ok(CommMode::Vanilla),
-        "p2p" => Ok(CommMode::P2p),
-        "p2pru" | "p2p+ru" => Ok(CommMode::P2pRu),
-        other => Err(format!(
-            "unknown comm mode {other:?} (want vanilla|p2p|p2pru)"
-        )),
-    }
-}
-
-fn parse_memory(s: &str) -> Result<MemoryStrategy, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "recompute" => Ok(MemoryStrategy::Recompute),
-        "hybrid" => Ok(MemoryStrategy::Hybrid),
-        other => Err(format!(
-            "unknown memory strategy {other:?} (want recompute|hybrid)"
-        )),
-    }
-}
-
-fn parse_exec(s: &str) -> Result<ExecutionMode, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "sequential" | "seq" => Ok(ExecutionMode::Sequential),
-        "parallel" | "par" => Ok(ExecutionMode::Parallel),
-        other => Err(format!(
-            "unknown execution mode {other:?} (want sequential|parallel)"
-        )),
-    }
-}
-
-fn parse_overlap(s: &str) -> Result<OverlapMode, String> {
-    match s.to_ascii_lowercase().as_str() {
-        "off" => Ok(OverlapMode::Off),
-        "doublebuffer" | "db" => Ok(OverlapMode::DoubleBuffer),
-        other => Err(format!(
-            "unknown overlap mode {other:?} (want off|doublebuffer)"
-        )),
-    }
-}
+                     [--overlap off|doublebuffer] [--mode train|infer]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -132,6 +71,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         determinism: false,
         exec: ExecutionMode::Sequential,
         overlap: OverlapMode::Off,
+        mode: Mode::Train,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -141,7 +81,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match flag.as_str() {
-            "--dataset" => args.datasets = parse_dataset(&value("--dataset")?)?,
+            "--dataset" => args.datasets = parse_datasets(&value("--dataset")?)?,
             "--gpus" => {
                 args.gpus = value("--gpus")?
                     .parse()
@@ -178,6 +118,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--determinism" => args.determinism = true,
             "--exec" => args.exec = parse_exec(&value("--exec")?)?,
             "--overlap" => args.overlap = parse_overlap(&value("--overlap")?)?,
+            "--mode" => args.mode = parse_mode(&value("--mode")?)?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -191,24 +132,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-/// Trains `epochs` epochs under an unbounded trace and returns it.
+/// Runs `epochs` epochs (training or forward-only inference, per
+/// `--mode`) under an unbounded trace and returns it.
 fn traced_epochs(
     args: &Args,
     ds: &hongtu_datasets::Dataset,
     exec: ExecutionMode,
 ) -> Result<Trace, String> {
     let machine = MachineConfig::scaled(args.gpus, 1 << 30);
-    let config = HongTuConfig {
-        comm: args.comm,
-        memory: args.memory,
-        reorganize: args.comm != CommMode::Vanilla,
-        machine,
-        lr: 0.01,
-        interleaved: true,
-        validation: hongtu_core::ValidationLevel::Plan,
-        exec,
-        overlap: args.overlap,
-    };
+    let config = HongTuConfig::builder()
+        .machine(machine)
+        .comm(args.comm)
+        .memory(args.memory)
+        .reorganize(args.comm != CommMode::Vanilla)
+        .exec(exec)
+        .overlap(args.overlap)
+        .mode(args.mode)
+        .build()
+        .map_err(|e| e.to_string())?;
     let mut engine = HongTuEngine::new(
         ds,
         args.model,
@@ -220,9 +161,16 @@ fn traced_epochs(
     .map_err(|e| format!("engine construction failed: {e}"))?;
     engine.machine_mut().enable_unbounded_trace();
     for _ in 0..args.epochs {
-        engine
-            .train_epoch()
-            .map_err(|e| format!("training failed: {e}"))?;
+        match args.mode {
+            Mode::Train => engine
+                .train_epoch()
+                .map(|_| ())
+                .map_err(|e| format!("training failed: {e}"))?,
+            Mode::Infer => engine
+                .infer_epoch()
+                .map(|_| ())
+                .map_err(|e| format!("inference failed: {e}"))?,
+        }
     }
     Ok(engine.machine().trace().clone())
 }
@@ -242,7 +190,7 @@ fn main() {
         let mut rng = SeededRng::new(args.seed);
         let ds = load(*key, &mut rng);
         println!(
-            "{} ({}): |V| = {}, |E| = {}, {} {}x{} on {} GPUs x {} chunks, {:?}/{:?}/{:?}/{:?}, {} epoch(s)",
+            "{} ({}): |V| = {}, |E| = {}, {} {}x{} on {} GPUs x {} chunks, {:?}/{:?}/{:?}/{:?}/{:?}, {} epoch(s)",
             key.abbrev(),
             key.real_name(),
             ds.num_vertices(),
@@ -256,6 +204,7 @@ fn main() {
             args.memory,
             args.exec,
             args.overlap,
+            args.mode,
             args.epochs,
         );
 

@@ -20,17 +20,31 @@ echo "==> verify-trace smoke run, double-buffered overlap (both execution modes)
 cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism --overlap doublebuffer
 cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism --overlap doublebuffer --exec parallel
 
+echo "==> verify-trace smoke run, forward-only inference (both execution modes)"
+cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism --mode infer --overlap doublebuffer
+cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism --mode infer --overlap doublebuffer --exec parallel
+
+echo "==> infer CLI smoke run (forward-only serving path)"
+cargo run -q --release -p hongtu-bench --bin infer -- --dataset rdt --gpus 4 --chunks 4 --overlap doublebuffer --quiet
+cargo run -q --release -p hongtu-bench --bin infer -- --dataset rdt --gpus 4 --chunks 4 --exec parallel --quiet
+
 echo "==> parallel executor certification, release profile"
 cargo test -q --release --test parallel_executor
 
 echo "==> overlap executor certification, release profile"
 cargo test -q --release --test overlap_executor
 
+echo "==> inference executor certification, release profile"
+cargo test -q --release --test inference_executor
+
 echo "==> bench smoke: sequential vs parallel wall-clock (BENCH_parallel.json)"
 cargo run -q --release -p hongtu-bench --bin bench_parallel -- --out BENCH_parallel.json
 
 echo "==> bench smoke: additive vs double-buffered sim time (BENCH_overlap.json)"
 cargo run -q --release -p hongtu-bench --bin bench_overlap -- --out BENCH_overlap.json
+
+echo "==> bench smoke: infer vs train-epoch sim time and memory (BENCH_infer.json)"
+cargo run -q --release -p hongtu-bench --bin bench_infer -- --out BENCH_infer.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
