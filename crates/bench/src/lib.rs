@@ -5,6 +5,8 @@
 //! dataset proxies and the simulated platform. `config` centralizes the
 //! scaled experiment constants; `table` renders aligned text tables.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod run;
 pub mod table;

@@ -37,8 +37,10 @@ use crate::cost::CommVolumes;
 use crate::dedup::DedupPlan;
 use crate::reorg::reorganize_guarded;
 use hongtu_datasets::Dataset;
-use hongtu_nn::{masked_cross_entropy, GnnModel, LayerGrads, MaskedLoss, ModelKind};
-use hongtu_partition::TwoLevelPartition;
+use hongtu_nn::{
+    masked_cross_entropy, GnnLayer, GnnModel, LayerForward, LayerGrads, MaskedLoss, ModelKind,
+};
+use hongtu_partition::{ChunkSubgraph, TwoLevelPartition};
 use hongtu_sim::{
     Access, BarrierScope, Machine, MachineConfig, Region, ResourceId, SimError, TimeBuckets,
     Timeline, Trace,
@@ -457,6 +459,19 @@ pub struct InferReport {
     pub peak_host_bytes: usize,
 }
 
+/// Static peak-memory bound per tier, derived from the plans alone
+/// ([`Session::static_memory_bound`]). Dominates the simulator's measured
+/// peaks ([`Machine::max_gpu_peak`], host tracker) on every configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticMemoryBound {
+    /// Per-GPU device bound in bytes (params + optimizer state + staging
+    /// or worst per-batch footprint).
+    pub gpu: Vec<usize>,
+    /// Host bound in bytes (layer stores, gradient stores, hybrid
+    /// aggregate cache).
+    pub host: usize,
+}
+
 /// Plan-level preprocessing artifacts and their modeled cost.
 #[derive(Debug, Clone)]
 pub struct Preprocessing {
@@ -494,6 +509,13 @@ struct StepCtx<'a> {
     /// reload) checkpoints, whatever the configured strategy.
     checkpoint: bool,
     interleaved: bool,
+    /// Schedule-synthesis backend: when set, the step functions charge
+    /// every transfer/compute event and carry every access annotation
+    /// exactly as in a real epoch, but replace the layer numerics with
+    /// shape-preserving zero tensors. The emitted trace is therefore the
+    /// executor's schedule, derived from the plans alone — no FLOP of
+    /// real math runs. See [`Session::synthesize_schedule`].
+    synth: bool,
     h: &'a [Matrix],
     grad_h: &'a [Matrix],
     agg_cache: &'a [Vec<Vec<Option<Matrix>>>],
@@ -512,6 +534,7 @@ macro_rules! ctx {
             checkpoint: $engine.run_mode == Mode::Train
                 && $engine.config.memory == MemoryStrategy::Hybrid,
             interleaved: $engine.config.interleaved,
+            synth: $engine.synth,
             h: &$engine.h,
             grad_h: &$engine.grad_h,
             agg_cache: &$engine.agg_cache,
@@ -563,6 +586,10 @@ pub struct Session {
     agg_cache: Vec<Vec<Vec<Option<Matrix>>>>,
     preprocessing: Preprocessing,
     epochs_run: usize,
+    /// True only on the throwaway clone driven by
+    /// [`Session::synthesize_schedule`]: step functions skip the layer
+    /// numerics and emit shape-identical placeholder tensors instead.
+    synth: bool,
 }
 
 impl Session {
@@ -753,7 +780,7 @@ impl Session {
             None
         };
         let run_mode = config.mode;
-        Ok(Session {
+        let session = Session {
             config,
             run_mode,
             machine,
@@ -770,7 +797,23 @@ impl Session {
             agg_cache,
             preprocessing,
             epochs_run: 0,
-        })
+            synth: false,
+        };
+
+        // ---- static schedule certification (Paranoid): synthesize the
+        // epoch schedule from the plans alone — before a single simulated
+        // FLOP runs — and hold it to the happens-before, lifetime, and
+        // (for small configs) exhaustive-interleaving passes 6–8 ----
+        if session.config.validation == ValidationLevel::Paranoid {
+            let explore = session
+                .exhaustive_exploration_feasible()
+                .then_some(hongtu_verify::DEFAULT_EXPLORE_BUDGET);
+            let report = session.certify_schedule(explore)?;
+            if !report.is_ok() {
+                return Err(invalid_schedule(&report));
+            }
+        }
+        Ok(session)
     }
 
     /// The partition plan in use.
@@ -818,6 +861,176 @@ impl Session {
     /// last epoch's forward pass.
     pub fn accuracy(&self, mask: &[bool]) -> f32 {
         hongtu_nn::loss::masked_accuracy(self.logits(), &self.labels, mask)
+    }
+
+    /// A throwaway copy of this session for schedule synthesis: identical
+    /// plans, machine state, and host-store shapes, but flagged `synth` so
+    /// the step functions substitute shape-preserving placeholders for the
+    /// layer numerics. The model is rebuilt structurally (weights never
+    /// influence the schedule — only layer dimensions do), because
+    /// [`GnnModel`] holds trait objects and is not `Clone`.
+    fn clone_for_synthesis(&self) -> Session {
+        let mut rng = SeededRng::new(0);
+        let model = GnnModel::new(self.model.kind, &self.model.dims, &mut rng);
+        Session {
+            config: self.config.clone(),
+            run_mode: self.run_mode,
+            machine: self.machine.clone(),
+            plan: self.plan.clone(),
+            dedup: self.dedup.clone(),
+            buffer_comm: self.buffer_comm.clone(),
+            // The clone drives the inner epoch directly — no per-epoch
+            // paranoid re-checks, which would recurse.
+            paranoid_bufs: None,
+            staging: self.staging.clone(),
+            model,
+            labels: self.labels.clone(),
+            train_mask: self.train_mask.clone(),
+            h: self.h.clone(),
+            grad_h: self.grad_h.clone(),
+            agg_cache: self.agg_cache.clone(),
+            preprocessing: self.preprocessing.clone(),
+            epochs_run: self.epochs_run,
+            synth: true,
+        }
+    }
+
+    /// Symbolically synthesizes the annotated event schedule the *next*
+    /// epoch of this session would execute, from the plans and
+    /// configuration alone — the step functions run with their numerics
+    /// replaced by shape-identical placeholders, so every H2D/D2D/D2H
+    /// transfer, stream assignment, barrier, and access annotation is
+    /// emitted exactly as a real epoch would emit it, without computing a
+    /// single FLOP of GNN math.
+    ///
+    /// A [`Mode::Train`] session synthesizes a training epoch; a
+    /// [`Mode::Infer`] session a forward-only inference epoch. The session
+    /// itself is not perturbed (synthesis runs on a throwaway clone), so
+    /// the returned trace is event-for-event identical — including
+    /// simulated timestamps — to the trace the next executed epoch would
+    /// record.
+    pub fn synthesize_schedule(&self) -> Result<Trace, SimError> {
+        let mut s = self.clone_for_synthesis();
+        s.machine.replace_trace(Trace::unbounded());
+        match s.config.mode {
+            Mode::Train => {
+                let mut opt = Adam::new(s.config.lr);
+                s.train_epoch_inner(&mut opt)?;
+            }
+            Mode::Infer => {
+                s.infer_epoch_inner()?;
+            }
+        }
+        Ok(s.machine.replace_trace(Trace::disabled()))
+    }
+
+    /// Statically certifies this session's schedule: synthesizes the
+    /// epoch event DAG ([`Session::synthesize_schedule`]) and runs the
+    /// schedule verifier passes over it — pass 6 (happens-before over the
+    /// synthesized DAG), pass 7 (resource lifetime/liveness, L6xx), and,
+    /// when `explore` carries a linearization budget, pass 8 (bounded
+    /// exhaustive interleaving exploration, X7xx).
+    ///
+    /// Exhaustive exploration is exponential in the worst case; gate it
+    /// with [`Session::exhaustive_exploration_feasible`] (≤ 2 GPUs and
+    /// ≤ 2 layers), as the Paranoid construction path does.
+    pub fn certify_schedule(&self, explore: Option<usize>) -> Result<Report, SimError> {
+        let trace = self.synthesize_schedule()?;
+        Ok(hongtu_verify::verify_schedule(&trace, explore))
+    }
+
+    /// Whether this session is small enough for the exhaustive
+    /// interleaving exploration of pass 8 (≤ 2 GPUs × ≤ 2 layers — the
+    /// bound the `verify-schedule` CLI and Paranoid construction use).
+    pub fn exhaustive_exploration_feasible(&self) -> bool {
+        self.plan.m <= 2 && self.model.num_layers() <= 2
+    }
+
+    /// Static peak-memory bound per tier, derived from the plans alone by
+    /// the same arithmetic the executors charge: replicated parameters
+    /// (plus optimizer state on training sessions), the pinned staging
+    /// slots under [`OverlapMode::DoubleBuffer`], and otherwise the worst
+    /// (layer, batch) footprint of the phased executor. The bound
+    /// dominates (≥) the simulator's measured per-GPU and host peaks for
+    /// every supported configuration.
+    pub fn static_memory_bound(&self) -> StaticMemoryBound {
+        let train = self.config.mode == Mode::Train;
+        let m = self.plan.m;
+        let param_copies = if train { 3 } else { 1 };
+        let base = self.model.param_bytes() * param_copies;
+
+        let gpu = (0..m)
+            .map(|i| {
+                base + match &self.staging {
+                    // Overlap executor: batches live in the two pinned
+                    // staging slots; no per-batch allocation exists.
+                    Some(plans) => plans[i].total_bytes(),
+                    None => self.worst_batch_footprint(i, train),
+                }
+            })
+            .collect();
+
+        // Host: layer stores h^l (+ ∇h^l on training sessions) and the
+        // hybrid aggregate cache — all allocated at construction.
+        let v = self.h[0].rows();
+        let mut host = 0usize;
+        for hl in &self.h {
+            host += v * hl.cols() * F32;
+        }
+        if train {
+            host *= 2;
+        }
+        if train && self.config.memory == MemoryStrategy::Hybrid {
+            for l in 0..self.model.num_layers() {
+                for c in self.plan.all_chunks() {
+                    host += self.model.layer(l).agg_cache_bytes(c);
+                }
+            }
+        }
+        StaticMemoryBound { gpu, host }
+    }
+
+    /// Worst-case per-batch device footprint of the phased (non-overlap)
+    /// executor on GPU `i`: the merged neighbor buffer, chunk topology,
+    /// layer output, and intermediates of the forward step, and the
+    /// topology + intermediates + checkpoint reload of the backward step.
+    fn worst_batch_footprint(&self, i: usize, train: bool) -> usize {
+        let mut worst = 0usize;
+        for l in 0..self.model.num_layers() {
+            let layer = self.model.layer(l);
+            let row = layer.in_dim() * F32;
+            let use_hybrid =
+                train && self.config.memory == MemoryStrategy::Hybrid && layer.supports_agg_cache();
+            for (j, chunk) in self.plan.chunks[i].iter().enumerate() {
+                let topo = chunk.topology_bytes();
+                let buf = match self.config.comm {
+                    CommMode::Vanilla => chunk.num_neighbors() * row,
+                    CommMode::P2p => {
+                        let b = &self.dedup.batches[j];
+                        (b.transition[i].len() + chunk.num_neighbors() - b.fetch[i][i]) * row
+                    }
+                    CommMode::P2pRu => {
+                        self.buffer_comm
+                            .as_ref()
+                            .expect("buffer plan built for P2pRu")[i][j]
+                            .buffer_rows
+                            * row
+                    }
+                };
+                let out_bytes = chunk.num_dests() * layer.out_dim() * F32;
+                let inter = layer.intermediate_bytes(chunk);
+                worst = worst.max(buf + topo + out_bytes + inter);
+                if train {
+                    let reload = if use_hybrid {
+                        layer.agg_cache_bytes(chunk)
+                    } else {
+                        buf
+                    };
+                    worst = worst.max(topo + inter + reload);
+                }
+            }
+        }
+        worst
     }
 
     /// Runs `inner` under the session's validation policy. Under
@@ -963,8 +1176,10 @@ impl Session {
         let parallel = self.config.exec == ExecutionMode::Parallel;
         let overlap = self.config.overlap == OverlapMode::DoubleBuffer;
 
-        for g in &mut self.grad_h {
-            g.fill_zero();
+        if !self.synth {
+            for g in &mut self.grad_h {
+                g.fill_zero();
+            }
         }
         // Zero-initializing the host gradient stores is a (cost-free)
         // write the schedule checker needs to see: every later gradient
@@ -993,7 +1208,15 @@ impl Session {
         }
 
         // ---- downstream task (lines 10–11) ----
-        let loss = masked_cross_entropy(self.h.last().unwrap(), &self.labels, &self.train_mask);
+        let loss = if self.synth {
+            MaskedLoss {
+                loss: 0.0,
+                grad: Matrix::zeros(0, 0),
+                accuracy: 0.0,
+            }
+        } else {
+            masked_cross_entropy(self.h.last().unwrap(), &self.labels, &self.train_mask)
+        };
         let v = self.labels.len();
         let classes = self.h.last().unwrap().cols();
         self.machine.tag([
@@ -1001,7 +1224,9 @@ impl Session {
             Access::write(grad(l_count), Region::All),
         ]);
         self.machine.cpu_compute(0, (v * classes * 8) as f64);
-        *self.grad_h.last_mut().unwrap() = loss.grad.clone();
+        if !self.synth {
+            *self.grad_h.last_mut().unwrap() = loss.grad.clone();
+        }
         // The loss gradient is written on GPU 0's timeline; every GPU's
         // backward pass reads it, so the batch loop must not start before
         // a barrier.
@@ -1039,13 +1264,15 @@ impl Session {
                 .gpu_dense(i, 2.0 * self.model.param_count() as f64);
         }
         self.machine.sync(BarrierScope::Epoch);
-        let mut total = self.model.zero_grads();
-        for gpu_grads in &grads {
-            for (t, g) in total.iter_mut().zip(gpu_grads) {
-                t.add(g);
+        if !self.synth {
+            let mut total = self.model.zero_grads();
+            for gpu_grads in &grads {
+                for (t, g) in total.iter_mut().zip(gpu_grads) {
+                    t.add(g);
+                }
             }
+            self.model.apply_grads(&total, opt);
         }
-        self.model.apply_grads(&total, opt);
 
         self.epochs_run += 1;
         Ok(EpochReport {
@@ -1184,12 +1411,16 @@ impl Session {
     /// `h^{l+1}` scatter (Alg 1 line 9) and the hybrid checkpoint store.
     fn apply_forward_outs(&mut self, l: usize, j: usize, outs: Vec<FwOut>) {
         for (i, out) in outs.into_iter().enumerate() {
-            let dest_idx: Vec<usize> = self.plan.chunks[i][j]
-                .dests
-                .iter()
-                .map(|&v| v as usize)
-                .collect();
-            self.h[l + 1].scatter_rows(&dest_idx, &out.out);
+            if !self.synth {
+                let dest_idx: Vec<usize> = self.plan.chunks[i][j]
+                    .dests
+                    .iter()
+                    .map(|&v| v as usize)
+                    .collect();
+                self.h[l + 1].scatter_rows(&dest_idx, &out.out);
+            }
+            // Synthesis still stores the (placeholder) checkpoint: the
+            // backward steps read its byte size off the cache.
             if let Some(agg) = out.agg {
                 self.agg_cache[l][i][j] = Some(agg);
             }
@@ -1365,6 +1596,9 @@ impl Session {
     /// store in GPU index order — neighbor sets overlap across GPUs, so
     /// this fixed order *is* the determinism contract for `∇h^l`.
     fn apply_backward_grads(&mut self, l: usize, j: usize, grad_nbrs: Vec<Matrix>) {
+        if self.synth {
+            return;
+        }
         for (i, grad_nbr) in grad_nbrs.into_iter().enumerate() {
             let nbr_idx: Vec<usize> = self.plan.chunks[i][j]
                 .neighbors
@@ -1896,6 +2130,20 @@ fn collect_slots<V>(slots: Vec<Option<Result<V, SimError>>>) -> Result<Vec<V>, S
         .collect()
 }
 
+/// Placeholder forward output for schedule synthesis: zero tensors of
+/// exactly the shapes (and, for the checkpoint, the byte size) the real
+/// layer would produce, so every downstream size-derived charge — the
+/// `h^{l+1}` writeback and the hybrid checkpoint store/reload — is
+/// identical to the executed schedule without running the numerics.
+fn synth_forward(layer: &dyn GnnLayer, chunk: &ChunkSubgraph) -> LayerForward {
+    LayerForward {
+        out: Matrix::zeros(chunk.num_dests(), layer.out_dim()),
+        agg: layer
+            .supports_agg_cache()
+            .then(|| Matrix::zeros(1, layer.agg_cache_bytes(chunk) / F32)),
+    }
+}
+
 /// Sends every neighbor row owned by `server` that a remote GPU needs for
 /// batch `j` down that GPU's channel, in neighbor order. All sends finish
 /// inside the load phase — before any compute step receives — so the
@@ -1923,10 +2171,12 @@ fn serve_neighbor_rows(
         if !idx.is_empty() {
             // A fetcher that failed its load step may have dropped its
             // receiver; a closed channel is not an error here.
-            let _ = tx.send(ServeBlock {
-                src: server,
-                rows: ctx.h[l].gather_rows(&idx),
-            });
+            let rows = if ctx.synth {
+                Matrix::zeros(idx.len(), ctx.h[l].cols())
+            } else {
+                ctx.h[l].gather_rows(&idx)
+            };
+            let _ = tx.send(ServeBlock { src: server, rows });
         }
     }
 }
@@ -1937,6 +2187,11 @@ fn serve_neighbor_rows(
 /// both paths produce bitwise-identical matrices.
 fn assemble_neighbors(ctx: &StepCtx, l: usize, i: usize, j: usize, feed: &NbrFeed) -> Matrix {
     let chunk = &ctx.plan.chunks[i][j];
+    if ctx.synth {
+        // Schedule synthesis: only the shape matters (downstream charges
+        // are derived from the plan, not from this matrix's values).
+        return Matrix::zeros(chunk.neighbors.len(), ctx.h[l].cols());
+    }
     let nbr_idx: Vec<usize> = chunk.neighbors.iter().map(|&v| v as usize).collect();
     let blocks = match feed {
         NbrFeed::Direct => return ctx.h[l].gather_rows(&nbr_idx),
@@ -2024,9 +2279,13 @@ fn forward_compute_step<T: Timeline>(
     // -- inter-GPU fetches (Algorithm 2): sources resident post-barrier --
     charge_neighbor_fetch(ctx, tl, i, j, row);
 
-    // -- real numerics --
-    let h_nbr = assemble_neighbors(ctx, l, i, j, feed);
-    let f = layer.forward(chunk, &h_nbr);
+    // -- real numerics (placeholders under schedule synthesis) --
+    let f = if ctx.synth {
+        synth_forward(layer, chunk)
+    } else {
+        let h_nbr = assemble_neighbors(ctx, l, i, j, feed);
+        layer.forward(chunk, &h_nbr)
+    };
     let flops = layer.forward_flops(chunk);
     tl.tag([
         Access::read(dev_rep(i), Region::All),
@@ -2075,8 +2334,12 @@ fn backward_load_step<T: Timeline>(
     let grad_out_bytes = chunk.num_dests() * out_dim * F32;
     tl.tag([Access::read(grad(l + 1), Region::All)]);
     tl.h2d(i, grad_out_bytes);
-    let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
-    let grad_out = ctx.grad_h[l + 1].gather_rows(&dest_idx);
+    let grad_out = if ctx.synth {
+        Matrix::zeros(chunk.num_dests(), out_dim)
+    } else {
+        let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
+        ctx.grad_h[l + 1].gather_rows(&dest_idx)
+    };
 
     let topo = chunk.topology_bytes();
     tl.alloc(i, topo, "chunk topology (bwd)")?;
@@ -2142,7 +2405,11 @@ fn backward_compute_step<T: Timeline>(
         tl.gpu_dense(i, fwd.dense); // UPDATE recompute
         tl.gpu_dense(i, bwd.dense);
         tl.gpu_edge(i, bwd.edge);
-        layer.backward_from_agg(chunk, agg, &load.grad_out, grads)
+        if ctx.synth {
+            Matrix::zeros(chunk.neighbors.len(), layer.in_dim())
+        } else {
+            layer.backward_from_agg(chunk, agg, &load.grad_out, grads)
+        }
     } else {
         // Inter-GPU half of the neighbor reload, then full re-forward.
         charge_neighbor_fetch(ctx, tl, i, j, row);
@@ -2156,7 +2423,11 @@ fn backward_compute_step<T: Timeline>(
         tl.gpu_edge(i, fwd.edge);
         tl.gpu_dense(i, bwd.dense);
         tl.gpu_edge(i, bwd.edge);
-        layer.backward_from_input(chunk, &h_nbr, &load.grad_out, grads)
+        if ctx.synth {
+            Matrix::zeros(chunk.neighbors.len(), layer.in_dim())
+        } else {
+            layer.backward_from_input(chunk, &h_nbr, &load.grad_out, grads)
+        }
     };
 
     // -- push remote transition gradients to their owner GPUs --
@@ -2495,8 +2766,12 @@ fn ov_forward_compute<T: Timeline>(
 
     ov_neighbor_fetch(ctx, tl, i, j, row);
 
-    let h_nbr = assemble_neighbors(ctx, l, i, j, &NbrFeed::Direct);
-    let f = layer.forward(chunk, &h_nbr);
+    let f = if ctx.synth {
+        synth_forward(layer, chunk)
+    } else {
+        let h_nbr = assemble_neighbors(ctx, l, i, j, &NbrFeed::Direct);
+        layer.forward(chunk, &h_nbr)
+    };
     let flops = layer.forward_flops(chunk);
     tl.tag([
         Access::read(rep_slot(i, j), Region::All),
@@ -2551,8 +2826,12 @@ fn ov_backward_prefetch<T: Timeline>(
     let grad_out_bytes = chunk.num_dests() * layer.out_dim() * F32;
     tl.tag([Access::read(grad(l + 1), Region::All)]);
     tl.h2d(i, grad_out_bytes);
-    let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
-    let grad_out = ctx.grad_h[l + 1].gather_rows(&dest_idx);
+    let grad_out = if ctx.synth {
+        Matrix::zeros(chunk.num_dests(), layer.out_dim())
+    } else {
+        let dest_idx: Vec<usize> = chunk.dests.iter().map(|&v| v as usize).collect();
+        ctx.grad_h[l + 1].gather_rows(&dest_idx)
+    };
 
     if ctx.checkpoint && layer.supports_agg_cache() {
         let bytes = ctx.agg_cache[l][i][j]
@@ -2598,7 +2877,11 @@ fn ov_backward_compute<T: Timeline>(
         tl.gpu_dense(i, fwd.dense); // UPDATE recompute
         tl.gpu_dense(i, bwd.dense);
         tl.gpu_edge(i, bwd.edge);
-        layer.backward_from_agg(chunk, agg, grad_out, grads)
+        if ctx.synth {
+            Matrix::zeros(chunk.neighbors.len(), layer.in_dim())
+        } else {
+            layer.backward_from_agg(chunk, agg, grad_out, grads)
+        }
     } else {
         // Inter-GPU half of the neighbor reload, then full re-forward.
         ov_neighbor_fetch(ctx, tl, i, j, row);
@@ -2612,7 +2895,11 @@ fn ov_backward_compute<T: Timeline>(
         tl.gpu_edge(i, fwd.edge);
         tl.gpu_dense(i, bwd.dense);
         tl.gpu_edge(i, bwd.edge);
-        let g = layer.backward_from_input(chunk, &h_nbr, grad_out, grads);
+        let g = if ctx.synth {
+            Matrix::zeros(chunk.neighbors.len(), layer.in_dim())
+        } else {
+            layer.backward_from_input(chunk, &h_nbr, grad_out, grads)
+        };
         ov_reuse_handoff(ctx, tl, i, j, row);
         g
     };

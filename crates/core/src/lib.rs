@@ -24,6 +24,7 @@
 //!   multi-GPU in-memory ("Sancus" / HongTu-IM), single-node and
 //!   distributed CPU ("DistGNN"), and sampled mini-batch ("DistDGL").
 
+#![forbid(unsafe_code)]
 // Indexed loops are deliberate: indices double as GPU/batch identifiers.
 #![allow(clippy::needless_range_loop)]
 
@@ -43,7 +44,7 @@ pub use cost::{comm_cost, CommVolumes};
 pub use dedup::DedupPlan;
 pub use engine::{
     CommMode, ConfigError, EpochReport, ExecutionMode, HongTuConfig, HongTuConfigBuilder,
-    HongTuEngine, InferReport, Inferencer, MemoryStrategy, Mode, OverlapMode, Session, Trainer,
-    ValidationLevel,
+    HongTuEngine, InferReport, Inferencer, MemoryStrategy, Mode, OverlapMode, Session,
+    StaticMemoryBound, Trainer, ValidationLevel,
 };
 pub use reorg::{reorganize, reorganize_guarded};

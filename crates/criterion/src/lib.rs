@@ -12,6 +12,8 @@
 //! chosen iteration count and reports min / median / max per-iteration
 //! times to stdout.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Entry point handed to each benchmark function.

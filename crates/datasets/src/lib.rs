@@ -21,6 +21,8 @@
 //! paper scale* from the published |V|, |E| and model dimensions, since
 //! materializing the real tensors is exactly what HongTu exists to avoid.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod memory_model;
 pub mod registry;

@@ -7,6 +7,8 @@
 //! GCN edge normalization, degree statistics, and a simple edge-list text
 //! format for interchange.
 
+#![forbid(unsafe_code)]
+
 pub mod binfmt;
 pub mod builder;
 pub mod csr;

@@ -20,6 +20,7 @@
 //! differences in [`gradcheck`]. Trained models serialize through
 //! [`serialize`].
 
+#![forbid(unsafe_code)]
 // Indexed loops over chunk/edge structures are deliberate in the kernels:
 // the indices double as positions into parallel edge arrays.
 #![allow(clippy::needless_range_loop)]

@@ -26,6 +26,7 @@
 //! the static plan verifier (`hongtu-verify`) can see every plan type
 //! without depending on the engine.
 
+#![forbid(unsafe_code)]
 // Indexed loops are deliberate: indices double as vertex/partition ids.
 #![allow(clippy::needless_range_loop)]
 

@@ -13,6 +13,8 @@
 //! - Sampling is seeded from the test name and case index, not an entropy
 //!   source, so runs are stable across machines and invocations.
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

@@ -23,6 +23,8 @@
 //! The numerics of training do **not** run here — they run for real in
 //! `hongtu-nn`; this crate only prices the data movement and compute.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod machine;
 pub mod memory;

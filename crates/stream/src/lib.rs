@@ -30,6 +30,8 @@
 //!   construction with [`SimError::OutOfMemory`] naming the slot label
 //!   and GPU.
 
+#![forbid(unsafe_code)]
+
 use hongtu_sim::{Machine, ResourceId, SimError};
 
 /// The per-GPU streams of the overlap executor. The numeric ids index

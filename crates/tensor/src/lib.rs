@@ -14,6 +14,8 @@
 //! - Shape mismatches are programming errors and panic with a descriptive
 //!   message, mirroring the behaviour of mainstream numeric libraries.
 
+#![forbid(unsafe_code)]
+
 pub mod init;
 pub mod matrix;
 pub mod ops;

@@ -104,6 +104,32 @@ pub enum DiagCode {
     /// Two traces of the same plan differ by more than commutable
     /// reorderings (the schedule is not deterministic).
     NonDeterministicSchedule,
+
+    // ---- resource lifetime pass (L6xx) ----
+    /// A staging slot (or checkpoint slot) generation is accessed after
+    /// the slot was recycled to a newer generation — the data has been
+    /// evicted/overwritten by the pipeline's slot rotation.
+    UseAfterEvict,
+    /// A slot generation is (re)installed after its contents were already
+    /// consumed — a second install clobbering a generation readers have
+    /// started draining.
+    DoubleInstall,
+    /// A staging slot generation was installed but never consumed before
+    /// the slot moved on — the installed data (and the transfer that
+    /// staged it) leaked.
+    StagingSlotLeak,
+    /// A hybrid aggregate checkpoint is reloaded before any store wrote
+    /// it (backward reading a checkpoint the forward never produced).
+    ReloadBeforeStore,
+
+    // ---- interleaving exploration pass (X7xx) ----
+    /// Some barrier-respecting interleaving of the schedule's
+    /// per-(device, stream) entities reads data before the deposit it
+    /// needs — the counterexample linearization is in the message.
+    InterleavingRace,
+    /// Exploration exhausted its linearization budget before covering
+    /// every interleaving: absence of a counterexample proves nothing.
+    InterleavingBudgetExceeded,
 }
 
 impl DiagCode {
@@ -140,6 +166,12 @@ impl DiagCode {
             DiagCode::RaceAccum => "R405",
             DiagCode::BatchNotBarriered => "S501",
             DiagCode::NonDeterministicSchedule => "S502",
+            DiagCode::UseAfterEvict => "L601",
+            DiagCode::DoubleInstall => "L602",
+            DiagCode::StagingSlotLeak => "L603",
+            DiagCode::ReloadBeforeStore => "L604",
+            DiagCode::InterleavingRace => "X701",
+            DiagCode::InterleavingBudgetExceeded => "X702",
         }
     }
 
@@ -172,6 +204,9 @@ impl DiagCode {
             DiagCode::StaleGeneration => "§5.2",
             DiagCode::RaceAccum => "§5.1",
             DiagCode::NonDeterministicSchedule => "§6",
+            DiagCode::UseAfterEvict | DiagCode::DoubleInstall | DiagCode::StagingSlotLeak => "§6",
+            DiagCode::ReloadBeforeStore => "§4.2",
+            DiagCode::InterleavingRace | DiagCode::InterleavingBudgetExceeded => "§4.1",
         }
     }
 }
@@ -401,6 +436,12 @@ mod tests {
             DiagCode::RaceAccum,
             DiagCode::BatchNotBarriered,
             DiagCode::NonDeterministicSchedule,
+            DiagCode::UseAfterEvict,
+            DiagCode::DoubleInstall,
+            DiagCode::StagingSlotLeak,
+            DiagCode::ReloadBeforeStore,
+            DiagCode::InterleavingRace,
+            DiagCode::InterleavingBudgetExceeded,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {

@@ -31,20 +31,38 @@
 //! [`verify_determinism`] compares two traces of the same plan modulo
 //! commutable reorderings (`S502`).
 //!
-//! See `DESIGN.md` ("Checked invariants" and "Happens-before invariants")
-//! for the full code catalogue.
+//! Passes 6–8 close the loop back to *static*: the engine's symbolic
+//! schedule synthesizer replays the executor's own step functions with
+//! a no-compute backend and hands the resulting event DAG to
+//! [`verify_schedule`], which re-runs the happens-before analysis over
+//! the synthesized schedule (pass 6), checks resource lifetimes —
+//! staging-slot install/consume discipline and checkpoint
+//! store-before-reload, `L601`–`L604` (pass 7, [`verify_lifetimes`]) —
+//! and, for small configs, explores *every* barrier-respecting
+//! interleaving of the schedule with DPOR-style partial-order
+//! reduction, reporting the first racy linearization as a
+//! counterexample — `X701`/`X702` (pass 8, [`verify_interleavings`]).
+//!
+//! See `DESIGN.md` ("Checked invariants", "Happens-before invariants",
+//! and "Static vs dynamic certification") for the full code catalogue.
+
+#![forbid(unsafe_code)]
 
 pub mod buffers;
 pub mod dedup;
 pub mod diag;
+pub mod lifetime;
 pub mod partition;
+pub mod schedule;
 pub mod trace;
 pub mod volumes;
 
 pub use buffers::{verify_all_buffers, verify_buffers};
 pub use dedup::verify_dedup;
 pub use diag::{DiagCode, Diagnostic, Location, Report, ValidationLevel};
+pub use lifetime::verify_lifetimes;
 pub use partition::verify_partition;
+pub use schedule::{verify_interleavings, verify_schedule, DEFAULT_EXPLORE_BUDGET};
 pub use trace::{verify_determinism, verify_trace};
 pub use volumes::{expected_volumes, verify_volumes};
 

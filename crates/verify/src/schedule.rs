@@ -1,0 +1,528 @@
+//! Static schedule certification (passes 6–8): happens-before over a
+//! *synthesized* schedule, resource lifetimes, and bounded exhaustive
+//! interleaving exploration (codes `X701`/`X702`).
+//!
+//! [`verify_schedule`] is the entry point the engine's symbolic schedule
+//! synthesizer feeds: pass 6 re-runs the vector-clock happens-before
+//! checker ([`crate::verify_trace`]) over the synthesized event DAG,
+//! pass 7 runs the lifetime analysis ([`crate::lifetime`]), and pass 8 —
+//! this module — explores *every* barrier-respecting interleaving of the
+//! schedule, not just the one linearization the simulator recorded.
+//!
+//! The explorer reconstructs, per barrier-delimited segment, the exact
+//! dependency DAG pass 5 reasons over: per-(device, stream) program
+//! order plus `StreamWait` edges. It then enumerates the DAG's
+//! linearizations with a DPOR-style partial-order reduction — an enabled
+//! event that conflicts with no *remaining, DAG-unordered* event commutes
+//! with every interleaving of the rest, so it is executed without
+//! branching; only genuinely racing frontiers fork the search. Along
+//! each linearization, every `Read`/`Accum` access records its
+//! *observation*: the set of in-segment conflicting deposits executed
+//! before it. If any linearization produces an observation different
+//! from the recorded schedule's, the reads are order-sensitive — a real
+//! race — and the offending linearization is reported as a
+//! counterexample (`X701`). A schedule whose conflicting pairs are all
+//! DAG-ordered (what pass 5 certifies) branches nowhere, so exploration
+//! of a clean schedule is linear in the trace; the work budget (`X702`
+//! on exhaustion) only bites on corrupt schedules, where the frontier
+//! genuinely explodes.
+
+use crate::diag::{push, DiagCode, Diagnostic, Location, Report};
+use crate::lifetime::check_lifetimes;
+use crate::trace::{conflicts, incomplete, is_deposit, location_of, verify_trace};
+use hongtu_sim::{Access, Device, Event, EventKind, Intent, Trace};
+use std::collections::HashMap;
+
+/// Default work budget (executed events summed over every explored
+/// linearization) for pass 8. Clean schedules cost exactly one event of
+/// budget per trace event, so this covers any config small enough to be
+/// worth exploring exhaustively with plenty of headroom for
+/// counterexample searches on corrupt schedules.
+pub const DEFAULT_EXPLORE_BUDGET: usize = 1_000_000;
+
+/// One barrier-delimited segment of the trace with its intra-segment
+/// dependency DAG. Barriers join every clock, so segments are
+/// independent: the explorer never interleaves across a barrier.
+struct Segment<'a> {
+    /// `(absolute trace index, event)` in recorded order — which is a
+    /// topological order of the DAG, since every edge points backwards.
+    events: Vec<(usize, &'a Event)>,
+    /// Direct predecessors, by local index.
+    preds: Vec<Vec<usize>>,
+}
+
+fn build_segment(events: Vec<(usize, &Event)>) -> Segment<'_> {
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); events.len()];
+    let mut last_on: HashMap<(Device, u8), usize> = HashMap::new();
+    for (n, &(_, ev)) in events.iter().enumerate() {
+        if let Some(&p) = last_on.get(&(ev.device, ev.stream)) {
+            preds[n].push(p);
+        }
+        if let EventKind::StreamWait { upstream } = ev.kind {
+            if upstream != ev.stream {
+                // The wait orders this stream after everything the
+                // upstream stream of the same device has issued so far
+                // in this segment (pre-barrier work is ordered anyway).
+                if let Some(&p) = last_on.get(&(ev.device, upstream)) {
+                    if !preds[n].contains(&p) {
+                        preds[n].push(p);
+                    }
+                }
+            }
+        }
+        last_on.insert((ev.device, ev.stream), n);
+    }
+    Segment { events, preds }
+}
+
+fn segments(trace: &Trace) -> Vec<Segment<'_>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<(usize, &Event)> = Vec::new();
+    for (idx, ev) in trace.events().enumerate() {
+        if matches!(ev.kind, EventKind::Barrier(_)) {
+            if !cur.is_empty() {
+                out.push(build_segment(std::mem::take(&mut cur)));
+            }
+        } else {
+            cur.push((idx, ev));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(build_segment(cur));
+    }
+    out
+}
+
+/// Whether any access pair of the two events conflicts (same resource,
+/// overlapping region, non-commuting intents).
+fn events_conflict(a: &Event, b: &Event) -> bool {
+    a.accesses.iter().any(|x| {
+        b.accesses.iter().any(|y| {
+            x.resource == y.resource && conflicts(x.intent, y.intent) && x.region.overlaps(y.region)
+        })
+    })
+}
+
+/// The per-segment interleaving explorer.
+struct Explorer<'a> {
+    seg: &'a Segment<'a>,
+    /// For each event, the remaining-unexecuted conflicting events the
+    /// DAG does *not* order it against — the only pairs whose relative
+    /// order a linearization gets to choose.
+    danger: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    /// Unexecuted direct-predecessor counts.
+    pred_count: Vec<usize>,
+    executed: Vec<bool>,
+    /// Executed local indices, in execution order.
+    order: Vec<usize>,
+    /// Reference observations per (event, read-access), taken from the
+    /// recorded order.
+    ref_obs: Vec<Vec<Vec<usize>>>,
+    budget: usize,
+    outcome: Option<Outcome>,
+}
+
+enum Outcome {
+    Race(Diagnostic),
+    Budget,
+}
+
+impl<'a> Explorer<'a> {
+    fn new(seg: &'a Segment<'a>, budget: usize) -> Self {
+        let n = seg.events.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, ps) in seg.preds.iter().enumerate() {
+            for &p in ps {
+                succs[p].push(i);
+            }
+        }
+        // Transitive "happens-after" sets, walking the topological
+        // (= recorded) order backwards.
+        let words = n.div_ceil(64).max(1);
+        let mut after: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        for i in (0..n).rev() {
+            for &j in &succs[i] {
+                let (lo, hi) = after.split_at_mut(j);
+                for (w, v) in lo[i].iter_mut().zip(&hi[0]) {
+                    *w |= v;
+                }
+                after[i][j / 64] |= 1 << (j % 64);
+            }
+        }
+        let ordered = |i: usize, j: usize| {
+            after[i][j / 64] >> (j % 64) & 1 == 1 || after[j][i / 64] >> (i % 64) & 1 == 1
+        };
+        let mut danger: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if !ordered(i, j) && events_conflict(seg.events[i].1, seg.events[j].1) {
+                    danger[i].push(j);
+                    danger[j].push(i);
+                }
+            }
+        }
+        let pred_count: Vec<usize> = seg.preds.iter().map(Vec::len).collect();
+        let mut ex = Explorer {
+            seg,
+            danger,
+            succs,
+            pred_count,
+            executed: vec![false; n],
+            order: Vec::with_capacity(n),
+            ref_obs: vec![Vec::new(); n],
+            budget,
+            outcome: None,
+        };
+        ex.take_reference();
+        ex
+    }
+
+    /// The observation of one read access given the current execution
+    /// prefix: which in-segment conflicting deposits it sees.
+    fn observe(&self, a: &Access) -> Vec<usize> {
+        self.order
+            .iter()
+            .copied()
+            .filter(|&d| {
+                self.seg.events[d].1.accesses.iter().any(|w| {
+                    is_deposit(w.intent)
+                        && w.resource == a.resource
+                        && conflicts(w.intent, a.intent)
+                        && w.region.overlaps(a.region)
+                })
+            })
+            .collect()
+    }
+
+    /// Replays the recorded order once to capture each read access's
+    /// reference observation. The recorded order is always a valid
+    /// linearization (every DAG edge points backwards in it).
+    fn take_reference(&mut self) {
+        let n = self.seg.events.len();
+        for e in 0..n {
+            self.ref_obs[e] = self.seg.events[e]
+                .1
+                .accesses
+                .iter()
+                .map(|a| {
+                    if a.intent == Intent::Write {
+                        Vec::new()
+                    } else {
+                        self.observe(a)
+                    }
+                })
+                .collect();
+            self.order.push(e);
+        }
+        self.order.clear();
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        (0..self.seg.events.len())
+            .filter(|&i| !self.executed[i] && self.pred_count[i] == 0)
+            .collect()
+    }
+
+    /// Whether `e` commutes with every remaining event: none of its
+    /// DAG-unordered conflict partners is still unexecuted.
+    fn commutes(&self, e: usize) -> bool {
+        self.danger[e].iter().all(|&p| self.executed[p])
+    }
+
+    /// Executes one event: spends budget, checks its read observations
+    /// against the reference, applies deposits. Returns `true` to abort
+    /// (outcome set).
+    fn execute(&mut self, e: usize) -> bool {
+        if self.budget == 0 {
+            self.outcome = Some(Outcome::Budget);
+            return true;
+        }
+        self.budget -= 1;
+        let ev = self.seg.events[e].1;
+        for (ai, a) in ev.accesses.iter().enumerate() {
+            // Plain writes don't observe; `Accum` observes prior writes
+            // and `Read` observes prior writes *and* accumulates —
+            // `conflicts` inside `observe` encodes exactly that.
+            if a.intent == Intent::Write {
+                continue;
+            }
+            let obs = self.observe(a);
+            if obs != self.ref_obs[e][ai] {
+                let d = self.race_diag(e, a, &obs, &self.ref_obs[e][ai]);
+                self.outcome = Some(Outcome::Race(d));
+                return true;
+            }
+        }
+        self.executed[e] = true;
+        self.order.push(e);
+        for s in 0..self.succs[e].len() {
+            self.pred_count[self.succs[e][s]] -= 1;
+        }
+        false
+    }
+
+    fn undo(&mut self, e: usize) {
+        debug_assert_eq!(self.order.last(), Some(&e));
+        self.order.pop();
+        self.executed[e] = false;
+        for s in 0..self.succs[e].len() {
+            self.pred_count[self.succs[e][s]] += 1;
+        }
+    }
+
+    fn race_diag(&self, e: usize, a: &Access, obs: &[usize], want: &[usize]) -> Diagnostic {
+        let (abs, ev) = self.seg.events[e];
+        let fmt = |ids: &[usize]| {
+            let v: Vec<String> = ids
+                .iter()
+                .map(|&l| self.seg.events[l].0.to_string())
+                .collect();
+            format!("{{{}}}", v.join(", "))
+        };
+        let prefix: Vec<String> = self
+            .order
+            .iter()
+            .map(|&l| self.seg.events[l].0.to_string())
+            .collect();
+        Diagnostic::new(
+            DiagCode::InterleavingRace,
+            location_of(ev.device),
+            format!(
+                "interleaving [{}] → {abs} is barrier- and stream-legal but racy: \
+                 event {abs} ({:?} on {}) {:?}s {} {:?} observing deposits {} where \
+                 the recorded schedule observed {} — a conflicting access pair is \
+                 unordered",
+                prefix.join(", "),
+                ev.kind,
+                ev.device,
+                a.intent,
+                a.resource,
+                a.region,
+                fmt(obs),
+                fmt(want),
+            ),
+        )
+    }
+
+    /// Depth-first exploration from the current state; restores the
+    /// state it entered with. Returns `true` to abort.
+    fn run(&mut self) -> bool {
+        let mark = self.order.len();
+        let abort = self.run_inner();
+        while self.order.len() > mark {
+            let e = *self.order.last().expect("order above mark");
+            self.undo(e);
+        }
+        abort
+    }
+
+    fn run_inner(&mut self) -> bool {
+        loop {
+            let enabled = self.enabled();
+            if enabled.is_empty() {
+                // A complete linearization (the DAG is acyclic, so an
+                // empty frontier means everything executed).
+                return false;
+            }
+            if let Some(&e) = enabled.iter().find(|&&e| self.commutes(e)) {
+                if self.execute(e) {
+                    return true;
+                }
+                continue;
+            }
+            // Every enabled event races with something still pending:
+            // branch over the whole frontier.
+            for &e in &enabled {
+                if self.execute(e) {
+                    return true;
+                }
+                if self.run() {
+                    return true;
+                }
+                self.undo(e);
+            }
+            return false;
+        }
+    }
+}
+
+pub(crate) fn check_interleavings(trace: &Trace, budget: usize) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut remaining = budget;
+    for seg in &segments(trace) {
+        let mut ex = Explorer::new(seg, remaining);
+        ex.run();
+        remaining = ex.budget;
+        match ex.outcome {
+            None => {}
+            Some(Outcome::Race(d)) => {
+                push(&mut diags, d);
+                break;
+            }
+            Some(Outcome::Budget) => {
+                push(
+                    &mut diags,
+                    Diagnostic::new(
+                        DiagCode::InterleavingBudgetExceeded,
+                        Location::default(),
+                        format!(
+                            "interleaving exploration exhausted its budget of {budget} \
+                             event executions — the remaining interleavings are \
+                             uncertified (raise the budget or shrink the config)"
+                        ),
+                    ),
+                );
+                break;
+            }
+        }
+    }
+    diags
+}
+
+/// Pass 8 alone: explores every barrier-respecting interleaving of the
+/// trace and reports the first linearization on which some read observes
+/// different data than the recorded schedule (`X701`), or budget
+/// exhaustion (`X702`). Refuses (`R400`) incomplete traces.
+pub fn verify_interleavings(trace: &Trace, budget: usize) -> Report {
+    let mut report = Report::default();
+    if let Some(d) = incomplete(trace) {
+        report.extend_pass(vec![d]);
+        return report;
+    }
+    report.extend_pass(check_interleavings(trace, budget));
+    report
+}
+
+/// Full static schedule certification over a synthesized (or recorded)
+/// trace: pass 6 (happens-before, `R4xx`/`S501`), pass 7 (resource
+/// lifetimes, `L6xx`), and — when `explore` is `Some(budget)` — pass 8
+/// (exhaustive interleavings, `X7xx`). Exploration is skipped when the
+/// earlier passes already failed: a schedule with unordered conflicting
+/// accesses makes the interleaving frontier explode, and the defect is
+/// already reported.
+pub fn verify_schedule(trace: &Trace, explore: Option<usize>) -> Report {
+    let mut report = verify_trace(trace);
+    if incomplete(trace).is_some() {
+        return report;
+    }
+    report.extend_pass(check_lifetimes(trace));
+    if let Some(budget) = explore {
+        if report.is_ok() {
+            report.extend_pass(check_interleavings(trace, budget));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_sim::{Access, BarrierScope, Region, ResourceId};
+
+    const SLOT: ResourceId = ResourceId::DevRepSlot { gpu: 0, slot: 0 };
+
+    fn ev(stream: u8, kind: EventKind, accesses: Vec<Access>) -> Event {
+        Event::new(kind, Device::Gpu(0), 0, 1e-6, 0.0)
+            .on_stream(stream)
+            .with_accesses(accesses)
+    }
+
+    fn barrier() -> Event {
+        Event::new(
+            EventKind::Barrier(BarrierScope::Batch),
+            Device::Host,
+            0,
+            0.0,
+            0.0,
+        )
+    }
+
+    fn trace_of(events: Vec<Event>) -> Trace {
+        let mut t = Trace::unbounded();
+        for e in events {
+            t.record(e);
+        }
+        t
+    }
+
+    /// Write on the copy stream, stream-wait, read on the compute
+    /// stream: the wait orders the pair, so every interleaving agrees.
+    fn waited() -> Vec<Event> {
+        vec![
+            ev(
+                1,
+                EventKind::H2D,
+                vec![Access::write(SLOT, Region::All).with_gen(0)],
+            ),
+            ev(0, EventKind::StreamWait { upstream: 1 }, vec![]),
+            ev(
+                0,
+                EventKind::GpuCompute,
+                vec![Access::read(SLOT, Region::All)],
+            ),
+            barrier(),
+        ]
+    }
+
+    #[test]
+    fn ordered_cross_stream_pair_explores_clean() {
+        let t = trace_of(waited());
+        assert!(verify_interleavings(&t, DEFAULT_EXPLORE_BUDGET).is_ok());
+        assert!(verify_schedule(&t, Some(DEFAULT_EXPLORE_BUDGET)).is_ok());
+    }
+
+    #[test]
+    fn dropped_stream_wait_yields_racy_interleaving() {
+        let mut events = waited();
+        events.remove(1);
+        let t = trace_of(events);
+        let report = verify_interleavings(&t, DEFAULT_EXPLORE_BUDGET);
+        assert!(
+            report.diagnostics.iter().any(|d| d.code.code() == "X701"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_is_reported() {
+        let t = trace_of(waited());
+        let report = verify_interleavings(&t, 1);
+        assert_eq!(report.diagnostics[0].code.code(), "X702");
+    }
+
+    #[test]
+    fn clean_schedule_costs_linear_budget() {
+        // 3 non-barrier events: exactly 3 units of work, not more.
+        let t = trace_of(waited());
+        assert!(verify_interleavings(&t, 3).is_ok());
+    }
+
+    #[test]
+    fn barriers_limit_the_frontier() {
+        // Conflicting writes separated by a barrier never interleave.
+        let t = trace_of(vec![
+            ev(
+                0,
+                EventKind::H2D,
+                vec![Access::write(SLOT, Region::All).with_gen(0)],
+            ),
+            barrier(),
+            ev(
+                1,
+                EventKind::GpuCompute,
+                vec![Access::read(SLOT, Region::All)],
+            ),
+            barrier(),
+        ]);
+        assert!(verify_interleavings(&t, DEFAULT_EXPLORE_BUDGET).is_ok());
+    }
+
+    #[test]
+    fn incomplete_trace_is_refused() {
+        let r = verify_interleavings(&Trace::disabled(), 10);
+        assert_eq!(r.diagnostics[0].code.code(), "R400");
+        assert!(!verify_schedule(&Trace::disabled(), None).is_ok());
+    }
+}

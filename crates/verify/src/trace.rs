@@ -29,14 +29,14 @@ use hongtu_sim::{
 };
 use std::collections::HashMap;
 
-fn location_of(device: Device) -> Location {
+pub(crate) fn location_of(device: Device) -> Location {
     match device {
         Device::Host => Location::default(),
         Device::Gpu(g) => Location::gpu(g as usize),
     }
 }
 
-fn conflicts(a: Intent, b: Intent) -> bool {
+pub(crate) fn conflicts(a: Intent, b: Intent) -> bool {
     match (a, b) {
         (Intent::Read, Intent::Read) => false,
         // Atomic accumulates commute with each other…
@@ -46,7 +46,7 @@ fn conflicts(a: Intent, b: Intent) -> bool {
     }
 }
 
-fn is_deposit(i: Intent) -> bool {
+pub(crate) fn is_deposit(i: Intent) -> bool {
     matches!(i, Intent::Write | Intent::Accum)
 }
 
@@ -307,7 +307,7 @@ impl Checker {
     }
 }
 
-fn incomplete(trace: &Trace) -> Option<Diagnostic> {
+pub(crate) fn incomplete(trace: &Trace) -> Option<Diagnostic> {
     if !trace.is_enabled() {
         return Some(Diagnostic::new(
             DiagCode::TraceIncomplete,

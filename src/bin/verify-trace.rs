@@ -137,19 +137,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 fn traced_epochs(
     args: &Args,
     ds: &hongtu_datasets::Dataset,
-    exec: ExecutionMode,
+    config: HongTuConfig,
 ) -> Result<Trace, String> {
-    let machine = MachineConfig::scaled(args.gpus, 1 << 30);
-    let config = HongTuConfig::builder()
-        .machine(machine)
-        .comm(args.comm)
-        .memory(args.memory)
-        .reorganize(args.comm != CommMode::Vanilla)
-        .exec(exec)
-        .overlap(args.overlap)
-        .mode(args.mode)
-        .build()
-        .map_err(|e| e.to_string())?;
     let mut engine = HongTuEngine::new(
         ds,
         args.model,
@@ -185,6 +174,26 @@ fn main() {
         }
     };
 
+    // One validated config for every dataset and run; the builder surfaces
+    // `ConfigError` (e.g. contradictory machine/overlap combinations)
+    // instead of panicking inside engine construction.
+    let config = match HongTuConfig::builder()
+        .machine(MachineConfig::scaled(args.gpus, 1 << 30))
+        .comm(args.comm)
+        .memory(args.memory)
+        .reorganize(args.comm != CommMode::Vanilla)
+        .exec(args.exec)
+        .overlap(args.overlap)
+        .mode(args.mode)
+        .build()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(1);
+        }
+    };
+
     let mut any_bad = false;
     for key in &args.datasets {
         let mut rng = SeededRng::new(args.seed);
@@ -208,7 +217,7 @@ fn main() {
             args.epochs,
         );
 
-        let trace = match traced_epochs(&args, &ds, args.exec) {
+        let trace = match traced_epochs(&args, &ds, config.clone()) {
             Ok(t) => t,
             Err(msg) => {
                 eprintln!("  {msg}");
@@ -235,11 +244,10 @@ fn main() {
             // *sequential* schedule: equivalence then certifies that the
             // worker-thread execution is a mere commutable reordering of
             // the reference, i.e. race-free by construction.
-            let reference = if args.exec == ExecutionMode::Parallel {
-                ExecutionMode::Sequential
-            } else {
-                args.exec
-            };
+            let mut reference = config.clone();
+            if args.exec == ExecutionMode::Parallel {
+                reference.exec = ExecutionMode::Sequential;
+            }
             let second = match traced_epochs(&args, &ds, reference) {
                 Ok(t) => t,
                 Err(msg) => {

@@ -8,6 +8,8 @@
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
+
+#![forbid(unsafe_code)]
 pub use hongtu_core as core;
 pub use hongtu_datasets as datasets;
 pub use hongtu_graph as graph;
