@@ -111,6 +111,68 @@ pub fn parse_mode(s: &str) -> Result<Mode, String> {
     }
 }
 
+/// Shared argv walker for the binaries' flag loops.
+///
+/// Every bin used to hand-roll the same `while let Some(flag) = it.next()`
+/// loop with a local closure for pulling the flag's value token. This
+/// wraps that loop: [`next_flag`](FlagParser::next_flag) yields raw flag
+/// tokens, and the `value*` methods consume the following token with a
+/// uniform `"--x requires a value"` error. Error *reporting* (usage
+/// text, exit codes) stays with the caller, matching the rest of this
+/// module.
+pub struct FlagParser {
+    args: std::vec::IntoIter<String>,
+}
+
+impl FlagParser {
+    /// Walks `std::env::args()`, skipping the program name.
+    pub fn from_env() -> Self {
+        FlagParser {
+            args: std::env::args().skip(1).collect::<Vec<_>>().into_iter(),
+        }
+    }
+
+    /// Walks an explicit argv vector (tests, pre-collected args).
+    pub fn new(argv: Vec<String>) -> Self {
+        FlagParser {
+            args: argv.into_iter(),
+        }
+    }
+
+    /// Next flag token, or `None` when argv is exhausted.
+    pub fn next_flag(&mut self) -> Option<String> {
+        self.args.next()
+    }
+
+    /// Consumes the value token following `flag`.
+    pub fn value(&mut self, flag: &str) -> Result<String, String> {
+        self.args
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    }
+
+    /// Consumes and `str::parse`s the value token following `flag`.
+    pub fn parse_value<T>(&mut self, flag: &str) -> Result<T, String>
+    where
+        T: std::str::FromStr,
+        T::Err: std::fmt::Display,
+    {
+        self.value(flag)?
+            .parse()
+            .map_err(|e| format!("{flag}: {e}"))
+    }
+
+    /// Consumes the value token following `flag` and feeds it through one
+    /// of this module's `parse_*` helpers (or any compatible closure).
+    pub fn value_with<T>(
+        &mut self,
+        flag: &str,
+        parse: impl FnOnce(&str) -> Result<T, String>,
+    ) -> Result<T, String> {
+        parse(&self.value(flag)?)
+    }
+}
+
 /// FNV-1a digest over a logits matrix's exact f32 bit patterns: two runs
 /// print the same digest iff their logits are bitwise identical, which
 /// is how the CLIs assert the determinism contract cheaply.
@@ -159,6 +221,29 @@ mod tests {
         assert!(parse_mode("eval").is_err());
         assert_eq!(parse_exec("par").unwrap(), ExecutionMode::Parallel);
         assert_eq!(parse_overlap("db").unwrap(), OverlapMode::DoubleBuffer);
+    }
+
+    #[test]
+    fn flag_parser_walks_flags_and_values() {
+        let argv: Vec<String> = ["--gpus", "4", "--comm", "full", "--measure"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut p = FlagParser::new(argv);
+        assert_eq!(p.next_flag().as_deref(), Some("--gpus"));
+        assert_eq!(p.parse_value::<usize>("--gpus").unwrap(), 4);
+        assert_eq!(p.next_flag().as_deref(), Some("--comm"));
+        assert_eq!(p.value_with("--comm", parse_comm).unwrap(), CommMode::P2pRu);
+        assert_eq!(p.next_flag().as_deref(), Some("--measure"));
+        assert_eq!(p.next_flag(), None);
+        // A flag at the end of argv has no value token.
+        let argv: Vec<String> = vec!["--seed".to_string()];
+        let mut p = FlagParser::new(argv);
+        p.next_flag();
+        assert_eq!(
+            p.parse_value::<u64>("--seed").unwrap_err(),
+            "--seed requires a value"
+        );
     }
 
     #[test]

@@ -42,8 +42,8 @@ use hongtu_nn::{
 };
 use hongtu_partition::{ChunkSubgraph, TwoLevelPartition};
 use hongtu_sim::{
-    Access, BarrierScope, Machine, MachineConfig, Region, ResourceId, SimError, TimeBuckets,
-    Timeline, Trace,
+    Access, BarrierScope, ContribKind, Machine, MachineConfig, Provenance, Region, ResourceId,
+    SimError, TimeBuckets, Timeline, Trace,
 };
 pub use hongtu_stream::OverlapMode;
 use hongtu_stream::{grad_slot, pipeline, rep_slot, StagingPlan, StreamId};
@@ -927,16 +927,55 @@ impl Session {
     /// Statically certifies this session's schedule: synthesizes the
     /// epoch event DAG ([`Session::synthesize_schedule`]) and runs the
     /// schedule verifier passes over it — pass 6 (happens-before over the
-    /// synthesized DAG), pass 7 (resource lifetime/liveness, L6xx), and,
+    /// synthesized DAG), pass 7 (resource lifetime/liveness, L6xx),
     /// when `explore` carries a linearization budget, pass 8 (bounded
-    /// exhaustive interleaving exploration, X7xx).
+    /// exhaustive interleaving exploration, X7xx), and pass 9 (dataflow
+    /// conservation against the plans, F8xx).
     ///
     /// Exhaustive exploration is exponential in the worst case; gate it
     /// with [`Session::exhaustive_exploration_feasible`] (≤ 2 GPUs and
     /// ≤ 2 layers), as the Paranoid construction path does.
     pub fn certify_schedule(&self, explore: Option<usize>) -> Result<Report, SimError> {
         let trace = self.synthesize_schedule()?;
-        Ok(hongtu_verify::verify_schedule(&trace, explore))
+        let mut report = hongtu_verify::verify_schedule(&trace, explore);
+        report.merge(hongtu_verify::verify_dataflow(
+            &trace,
+            &self.dataflow_spec(),
+        ));
+        Ok(report)
+    }
+
+    /// Statically certifies dataflow conservation alone (pass 9):
+    /// synthesizes the epoch schedule and balances its provenance
+    /// annotations against a [`hongtu_verify::DataflowSpec`] derived
+    /// independently from the partition/dedup/buffer plans.
+    pub fn certify_dataflow(&self) -> Result<Report, SimError> {
+        let trace = self.synthesize_schedule()?;
+        Ok(hongtu_verify::verify_dataflow(
+            &trace,
+            &self.dataflow_spec(),
+        ))
+    }
+
+    /// The expected-flow table pass 9 certifies against. The merged
+    /// in-place buffer plans are rebuilt on demand for P2P+RU — outside
+    /// `Paranoid` the session does not retain them after construction.
+    fn dataflow_spec(&self) -> hongtu_verify::DataflowSpec {
+        let comm = match self.config.comm {
+            CommMode::Vanilla => hongtu_verify::CommKind::Vanilla,
+            CommMode::P2p => hongtu_verify::CommKind::P2p,
+            CommMode::P2pRu => hongtu_verify::CommKind::P2pRu,
+        };
+        let rebuilt;
+        let bufplans = if comm != hongtu_verify::CommKind::P2pRu {
+            None
+        } else if let Some(bufs) = &self.paranoid_bufs {
+            Some(bufs.as_slice())
+        } else {
+            rebuilt = GpuBufferPlan::build_all(&self.plan, &self.dedup);
+            Some(rebuilt.as_slice())
+        };
+        hongtu_verify::DataflowSpec::from_plans(&self.plan, &self.dedup, bufplans, comm)
     }
 
     /// Whether this session is small enough for the exhaustive
@@ -2277,7 +2316,7 @@ fn forward_compute_step<T: Timeline>(
     }
 
     // -- inter-GPU fetches (Algorithm 2): sources resident post-barrier --
-    charge_neighbor_fetch(ctx, tl, i, j, row);
+    charge_neighbor_fetch(ctx, tl, l, i, j, row);
 
     // -- real numerics (placeholders under schedule synthesis) --
     let f = if ctx.synth {
@@ -2288,21 +2327,30 @@ fn forward_compute_step<T: Timeline>(
     };
     let flops = layer.forward_flops(chunk);
     tl.tag([
-        Access::read(dev_rep(i), Region::All),
+        Access::read(dev_rep(i), Region::All)
+            .with_prov(Provenance::new(ContribKind::Aggregate, l, j).rows(chunk.num_neighbors())),
         Access::read(topology(i), chunk_region(i, j)),
     ]);
     tl.gpu_dense(i, flops.dense);
     tl.gpu_edge(i, flops.edge);
 
     // -- write back h^{l+1}_{V_ij} (line 9): cost here, data via FwOut --
-    tl.tag([Access::write(rep(l + 1), chunk_region(i, j))]);
+    tl.tag([Access::write(rep(l + 1), chunk_region(i, j)).with_prov(
+        Provenance::new(ContribKind::ActStore, l + 1, j)
+            .owned_by(i)
+            .rows(chunk.num_dests()),
+    )]);
     tl.d2h(i, out_bytes);
 
     // -- hybrid checkpoint --
     let mut agg = None;
     if ctx.checkpoint && layer.supports_agg_cache() {
         let a = f.agg.expect("cache-capable layer must emit an aggregate");
-        tl.tag([Access::write(agg_slot(l, i, j), Region::All)]);
+        tl.tag([Access::write(agg_slot(l, i, j), Region::All).with_prov(
+            Provenance::new(ContribKind::CkptStore, l, j)
+                .owned_by(i)
+                .rows(chunk.num_dests()),
+        )]);
         tl.d2h(i, a.byte_size());
         agg = Some(a);
     }
@@ -2353,7 +2401,11 @@ fn backward_load_step<T: Timeline>(
             .expect("hybrid checkpoint missing — was forward run?")
             .byte_size();
         tl.alloc(i, bytes, "aggregate checkpoint")?;
-        tl.tag([Access::read(agg_slot(l, i, j), Region::All)]);
+        tl.tag([Access::read(agg_slot(l, i, j), Region::All).with_prov(
+            Provenance::new(ContribKind::CkptReload, l, j)
+                .owned_by(i)
+                .rows(chunk.num_dests()),
+        )]);
         tl.h2d(i, bytes);
         bytes
     } else {
@@ -2394,7 +2446,17 @@ fn backward_compute_step<T: Timeline>(
     // Neighbor gradients land in the merged transition-gradient buffer
     // via atomic accumulation, which commutes with remote pushes
     // arriving during the same phase.
-    let acc = Access::accum(dev_grad(i), Region::All).with_gen(j as u32);
+    let local_rows = match ctx.comm {
+        CommMode::Vanilla => chunk.num_neighbors(),
+        CommMode::P2p | CommMode::P2pRu => ctx.dedup.batches[j].fetch[i][i],
+    };
+    let acc = Access::accum(dev_grad(i), Region::All)
+        .with_gen(j as u32)
+        .with_prov(
+            Provenance::new(ContribKind::GradLocal, l, j)
+                .owned_by(i)
+                .rows(local_rows),
+        );
 
     let grad_nbr = if use_hybrid {
         // Recompute UPDATE only from the cached aggregate.
@@ -2412,10 +2474,12 @@ fn backward_compute_step<T: Timeline>(
         }
     } else {
         // Inter-GPU half of the neighbor reload, then full re-forward.
-        charge_neighbor_fetch(ctx, tl, i, j, row);
+        charge_neighbor_fetch(ctx, tl, l, i, j, row);
         let h_nbr = assemble_neighbors(ctx, l, i, j, feed);
         tl.tag([
-            Access::read(dev_rep(i), Region::All),
+            Access::read(dev_rep(i), Region::All).with_prov(
+                Provenance::new(ContribKind::Aggregate, l, j).rows(chunk.num_neighbors()),
+            ),
             Access::read(topology(i), chunk_region(i, j)),
             acc,
         ]);
@@ -2431,7 +2495,7 @@ fn backward_compute_step<T: Timeline>(
     };
 
     // -- push remote transition gradients to their owner GPUs --
-    charge_gradient_push(ctx, tl, i, j, row);
+    charge_gradient_push(ctx, tl, l, i, j, row);
     Ok(grad_nbr)
 }
 
@@ -2475,7 +2539,9 @@ fn charge_neighbor_host_load<T: Timeline>(
             let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
             tl.tag([
                 Access::read(rep(l), Region::All),
-                Access::write(dev_rep(i), Region::All).with_gen(j as u32),
+                Access::write(dev_rep(i), Region::All)
+                    .with_gen(j as u32)
+                    .with_prov(Provenance::new(ContribKind::HostLoad, l, j).rows(rows)),
             ]);
             tl.h2d_mixed(i, rows * row, remote * row);
             rows
@@ -2484,7 +2550,13 @@ fn charge_neighbor_host_load<T: Timeline>(
             // Host→GPU: the transition subset this GPU owns.
             tl.tag([
                 Access::read(rep(l), Region::All),
-                Access::write(dev_rep(i), Region::Owned).with_gen(j as u32),
+                Access::write(dev_rep(i), Region::Owned)
+                    .with_gen(j as u32)
+                    .with_prov(
+                        Provenance::new(ContribKind::HostLoad, l, j)
+                            .owned_by(i)
+                            .rows(batch.transition[i].len()),
+                    ),
             ]);
             tl.h2d(i, batch.transition[i].len() * row);
             // Merged transition+neighbor buffer (§6 "data buffer
@@ -2499,7 +2571,13 @@ fn charge_neighbor_host_load<T: Timeline>(
             let bc = &ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j];
             tl.tag([
                 Access::read(rep(l), Region::All),
-                Access::write(dev_rep(i), Region::Owned).with_gen(j as u32),
+                Access::write(dev_rep(i), Region::Owned)
+                    .with_gen(j as u32)
+                    .with_prov(
+                        Provenance::new(ContribKind::HostLoad, l, j)
+                            .owned_by(i)
+                            .rows(bc.h2d_rows),
+                    ),
             ]);
             tl.h2d(i, bc.h2d_rows * row);
             if bc.reused_rows > 0 {
@@ -2512,7 +2590,9 @@ fn charge_neighbor_host_load<T: Timeline>(
                     } else {
                         prev
                     },
-                    Access::write(dev_rep(i), Region::Owned).with_gen(j as u32),
+                    Access::write(dev_rep(i), Region::Owned)
+                        .with_gen(j as u32)
+                        .with_prov(Provenance::new(ContribKind::Reuse, l, j).rows(bc.reused_rows)),
                 ]);
                 tl.reuse(i, bc.reused_rows * row);
             }
@@ -2527,7 +2607,14 @@ fn charge_neighbor_host_load<T: Timeline>(
 /// phase B): fetch remote transition rows into GPU `i`'s merged buffer.
 /// Must run after the phase barrier so every source GPU's owned rows are
 /// resident (otherwise the schedule checker reports a W→R race).
-fn charge_neighbor_fetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, row: usize) {
+fn charge_neighbor_fetch<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+    row: usize,
+) {
     let batch = &ctx.dedup.batches[j];
     let fetch_rows = |k: usize| -> usize {
         match ctx.comm {
@@ -2547,7 +2634,14 @@ fn charge_neighbor_fetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: us
             // Interleaved schedule: charged to the pulling GPU only.
             tl.tag([
                 Access::read(dev_rep(k), Region::Owned).with_gen(j as u32),
-                Access::write(dev_rep(i), Region::Fetched).with_gen(j as u32),
+                Access::write(dev_rep(i), Region::Fetched)
+                    .with_gen(j as u32)
+                    .with_prov(
+                        Provenance::new(ContribKind::Fetch, l, j)
+                            .owned_by(k)
+                            .from_gpu(k)
+                            .rows(rows),
+                    ),
             ]);
             tl.d2d(k, i, rows * row);
             if !ctx.interleaved {
@@ -2562,14 +2656,28 @@ fn charge_neighbor_fetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: us
 /// Charges the inter-GPU gradient pushes of Algorithm 3: remote
 /// transition-vertex gradients are atomically added into the owning
 /// GPUs' merged gradient buffers (time charged to the pusher).
-fn charge_gradient_push<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, row: usize) {
+fn charge_gradient_push<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+    row: usize,
+) {
     if ctx.comm == CommMode::Vanilla {
         return;
     }
     let batch = &ctx.dedup.batches[j];
     for k in 0..ctx.plan.m {
         if k != i && batch.fetch[i][k] > 0 {
-            tl.tag([Access::accum(dev_grad(k), Region::All).with_gen(j as u32)]);
+            tl.tag([Access::accum(dev_grad(k), Region::All)
+                .with_gen(j as u32)
+                .with_prov(
+                    Provenance::new(ContribKind::GradPush, l, j)
+                        .owned_by(k)
+                        .from_gpu(i)
+                        .rows(batch.fetch[i][k]),
+                )]);
             tl.d2d(k, i, batch.fetch[i][k] * row);
             tl.gpu_edge(i, (batch.fetch[i][k] * row / F32) as f64);
         }
@@ -2595,7 +2703,13 @@ fn charge_gradient_evict<T: Timeline>(
             let rows = chunk.num_neighbors();
             let sockets = tl.machine_config().num_sockets;
             let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
-            tl.tag([Access::read(dev_grad(i), Region::All).with_gen(j as u32)]);
+            tl.tag([Access::read(dev_grad(i), Region::All)
+                .with_gen(j as u32)
+                .with_prov(
+                    Provenance::new(ContribKind::GradFlush, l, j)
+                        .owned_by(i)
+                        .rows(rows),
+                )]);
             tl.d2h_mixed(i, rows * row, remote * row);
             // Replica gradients of the full neighbor set overlap across
             // GPUs; host-side accumulation commutes.
@@ -2615,7 +2729,13 @@ fn charge_gradient_evict<T: Timeline>(
             } else {
                 batch.transition[i].len()
             };
-            tl.tag([Access::read(dev_grad(i), Region::All).with_gen(j as u32)]);
+            tl.tag([Access::read(dev_grad(i), Region::All)
+                .with_gen(j as u32)
+                .with_prov(
+                    Provenance::new(ContribKind::GradFlush, l, j)
+                        .owned_by(i)
+                        .rows(evicted),
+                )]);
             tl.d2h(i, evicted * row);
             // Each GPU evicts its owned transition partition — disjoint
             // slices of the host store.
@@ -2674,14 +2794,22 @@ fn ov_host_load<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: u
             let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
             tl.tag([
                 Access::read(rep(l), Region::All),
-                Access::write(rep_slot(i, j), Region::All).with_gen(j as u32),
+                Access::write(rep_slot(i, j), Region::All)
+                    .with_gen(j as u32)
+                    .with_prov(Provenance::new(ContribKind::HostLoad, l, j).rows(rows)),
             ]);
             tl.h2d_mixed(i, rows * row, remote * row);
         }
         CommMode::P2p => {
             tl.tag([
                 Access::read(rep(l), Region::All),
-                Access::write(rep_slot(i, j), Region::Owned).with_gen(j as u32),
+                Access::write(rep_slot(i, j), Region::Owned)
+                    .with_gen(j as u32)
+                    .with_prov(
+                        Provenance::new(ContribKind::HostLoad, l, j)
+                            .owned_by(i)
+                            .rows(batch.transition[i].len()),
+                    ),
             ]);
             tl.h2d(i, batch.transition[i].len() * row);
         }
@@ -2689,7 +2817,13 @@ fn ov_host_load<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: u
             let bc = &ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j];
             tl.tag([
                 Access::read(rep(l), Region::All),
-                Access::write(rep_slot(i, j), Region::Owned).with_gen(j as u32),
+                Access::write(rep_slot(i, j), Region::Owned)
+                    .with_gen(j as u32)
+                    .with_prov(
+                        Provenance::new(ContribKind::HostLoad, l, j)
+                            .owned_by(i)
+                            .rows(bc.h2d_rows),
+                    ),
             ]);
             tl.h2d(i, bc.h2d_rows * row);
         }
@@ -2701,7 +2835,14 @@ fn ov_host_load<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: u
 /// into the slot the copy-in stream is concurrently prefetching. The
 /// stream wait orders it after that H2D — dropping the wait is exactly
 /// the eager-refill write/read race the schedule checker rejects.
-fn ov_reuse_handoff<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, row: usize) {
+fn ov_reuse_handoff<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+    row: usize,
+) {
     if ctx.comm != CommMode::P2pRu || j + 1 >= ctx.dedup.n {
         return;
     }
@@ -2712,7 +2853,9 @@ fn ov_reuse_handoff<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, 
     tl.stream_wait(i, StreamId::CopyIn.id());
     tl.tag([
         Access::read(rep_slot(i, j), Region::Owned).with_gen(j as u32),
-        Access::write(rep_slot(i, j + 1), Region::Owned).with_gen(j as u32 + 1),
+        Access::write(rep_slot(i, j + 1), Region::Owned)
+            .with_gen(j as u32 + 1)
+            .with_prov(Provenance::new(ContribKind::Reuse, l, j + 1).rows(bc.reused_rows)),
     ]);
     tl.reuse(i, bc.reused_rows * row);
 }
@@ -2720,7 +2863,14 @@ fn ov_reuse_handoff<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, 
 /// Inter-GPU half of the neighbor load (Algorithm 2 phase B) on the
 /// compute stream, reading source slots the copy-in stream populated a
 /// segment earlier (barrier-ordered, so no stream wait is needed).
-fn ov_neighbor_fetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize, row: usize) {
+fn ov_neighbor_fetch<T: Timeline>(
+    ctx: &StepCtx,
+    tl: &mut T,
+    l: usize,
+    i: usize,
+    j: usize,
+    row: usize,
+) {
     if ctx.comm == CommMode::Vanilla {
         return;
     }
@@ -2736,7 +2886,14 @@ fn ov_neighbor_fetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, i: usize, j: usize,
         if k != i && rows > 0 {
             tl.tag([
                 Access::read(rep_slot(k, j), Region::Owned).with_gen(j as u32),
-                Access::write(rep_slot(i, j), Region::Fetched).with_gen(j as u32),
+                Access::write(rep_slot(i, j), Region::Fetched)
+                    .with_gen(j as u32)
+                    .with_prov(
+                        Provenance::new(ContribKind::Fetch, l, j)
+                            .owned_by(k)
+                            .from_gpu(k)
+                            .rows(rows),
+                    ),
             ]);
             tl.d2d(k, i, rows * row);
             if !ctx.interleaved {
@@ -2764,7 +2921,7 @@ fn ov_forward_compute<T: Timeline>(
     let layer = ctx.model.layer(l);
     let row = layer.in_dim() * F32;
 
-    ov_neighbor_fetch(ctx, tl, i, j, row);
+    ov_neighbor_fetch(ctx, tl, l, i, j, row);
 
     let f = if ctx.synth {
         synth_forward(layer, chunk)
@@ -2774,13 +2931,14 @@ fn ov_forward_compute<T: Timeline>(
     };
     let flops = layer.forward_flops(chunk);
     tl.tag([
-        Access::read(rep_slot(i, j), Region::All),
+        Access::read(rep_slot(i, j), Region::All)
+            .with_prov(Provenance::new(ContribKind::Aggregate, l, j).rows(chunk.num_neighbors())),
         Access::read(topology(i), chunk_region(i, j)),
     ]);
     tl.gpu_dense(i, flops.dense);
     tl.gpu_edge(i, flops.edge);
 
-    ov_reuse_handoff(ctx, tl, i, j, row);
+    ov_reuse_handoff(ctx, tl, l, i, j, row);
 
     let agg = (ctx.checkpoint && layer.supports_agg_cache())
         .then(|| f.agg.expect("cache-capable layer must emit an aggregate"));
@@ -2795,14 +2953,22 @@ fn ov_forward_drain<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, 
     let chunk = &ctx.plan.chunks[i][j];
     let layer = ctx.model.layer(l);
     let out_bytes = chunk.num_dests() * layer.out_dim() * F32;
-    tl.tag([Access::write(rep(l + 1), chunk_region(i, j))]);
+    tl.tag([Access::write(rep(l + 1), chunk_region(i, j)).with_prov(
+        Provenance::new(ContribKind::ActStore, l + 1, j)
+            .owned_by(i)
+            .rows(chunk.num_dests()),
+    )]);
     tl.d2h(i, out_bytes);
     if ctx.checkpoint && layer.supports_agg_cache() {
         let bytes = ctx.agg_cache[l][i][j]
             .as_ref()
             .expect("hybrid checkpoint missing — was the compute segment applied?")
             .byte_size();
-        tl.tag([Access::write(agg_slot(l, i, j), Region::All)]);
+        tl.tag([Access::write(agg_slot(l, i, j), Region::All).with_prov(
+            Provenance::new(ContribKind::CkptStore, l, j)
+                .owned_by(i)
+                .rows(chunk.num_dests()),
+        )]);
         tl.d2h(i, bytes);
     }
 }
@@ -2838,7 +3004,11 @@ fn ov_backward_prefetch<T: Timeline>(
             .as_ref()
             .expect("hybrid checkpoint missing — was forward run?")
             .byte_size();
-        tl.tag([Access::read(agg_slot(l, i, j), Region::All)]);
+        tl.tag([Access::read(agg_slot(l, i, j), Region::All).with_prov(
+            Provenance::new(ContribKind::CkptReload, l, j)
+                .owned_by(i)
+                .rows(chunk.num_dests()),
+        )]);
         tl.h2d(i, bytes);
     } else {
         ov_host_load(ctx, tl, l, i, j, row);
@@ -2866,7 +3036,17 @@ fn ov_backward_compute<T: Timeline>(
     let use_hybrid = ctx.checkpoint && layer.supports_agg_cache();
     let fwd = layer.forward_flops(chunk);
     let bwd = layer.backward_flops(chunk);
-    let acc = Access::accum(grad_slot(i, j), Region::All).with_gen(j as u32);
+    let local_rows = match ctx.comm {
+        CommMode::Vanilla => chunk.num_neighbors(),
+        CommMode::P2p | CommMode::P2pRu => ctx.dedup.batches[j].fetch[i][i],
+    };
+    let acc = Access::accum(grad_slot(i, j), Region::All)
+        .with_gen(j as u32)
+        .with_prov(
+            Provenance::new(ContribKind::GradLocal, l, j)
+                .owned_by(i)
+                .rows(local_rows),
+        );
 
     let grad_nbr = if use_hybrid {
         // Recompute UPDATE only from the cached aggregate.
@@ -2884,10 +3064,12 @@ fn ov_backward_compute<T: Timeline>(
         }
     } else {
         // Inter-GPU half of the neighbor reload, then full re-forward.
-        ov_neighbor_fetch(ctx, tl, i, j, row);
+        ov_neighbor_fetch(ctx, tl, l, i, j, row);
         let h_nbr = assemble_neighbors(ctx, l, i, j, &NbrFeed::Direct);
         tl.tag([
-            Access::read(rep_slot(i, j), Region::All),
+            Access::read(rep_slot(i, j), Region::All).with_prov(
+                Provenance::new(ContribKind::Aggregate, l, j).rows(chunk.num_neighbors()),
+            ),
             Access::read(topology(i), chunk_region(i, j)),
             acc,
         ]);
@@ -2900,7 +3082,7 @@ fn ov_backward_compute<T: Timeline>(
         } else {
             layer.backward_from_input(chunk, &h_nbr, grad_out, grads)
         };
-        ov_reuse_handoff(ctx, tl, i, j, row);
+        ov_reuse_handoff(ctx, tl, l, i, j, row);
         g
     };
 
@@ -2909,7 +3091,14 @@ fn ov_backward_compute<T: Timeline>(
         let batch = &ctx.dedup.batches[j];
         for k in 0..ctx.plan.m {
             if k != i && batch.fetch[i][k] > 0 {
-                tl.tag([Access::accum(grad_slot(k, j), Region::All).with_gen(j as u32)]);
+                tl.tag([Access::accum(grad_slot(k, j), Region::All)
+                    .with_gen(j as u32)
+                    .with_prov(
+                        Provenance::new(ContribKind::GradPush, l, j)
+                            .owned_by(k)
+                            .from_gpu(i)
+                            .rows(batch.fetch[i][k]),
+                    )]);
                 tl.d2d(k, i, batch.fetch[i][k] * row);
                 tl.gpu_edge(i, (batch.fetch[i][k] * row / F32) as f64);
             }
@@ -2932,7 +3121,13 @@ fn ov_backward_drain<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize,
             let rows = chunk.num_neighbors();
             let sockets = tl.machine_config().num_sockets;
             let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
-            tl.tag([Access::read(grad_slot(i, j), Region::All).with_gen(j as u32)]);
+            tl.tag([Access::read(grad_slot(i, j), Region::All)
+                .with_gen(j as u32)
+                .with_prov(
+                    Provenance::new(ContribKind::GradFlush, l, j)
+                        .owned_by(i)
+                        .rows(rows),
+                )]);
             tl.d2h_mixed(i, rows * row, remote * row);
             tl.tag([Access::accum(grad(l), Region::All)]);
             tl.cpu_accumulate(i, rows * row);
@@ -2948,7 +3143,13 @@ fn ov_backward_drain<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize,
             } else {
                 batch.transition[i].len()
             };
-            tl.tag([Access::read(grad_slot(i, j), Region::All).with_gen(j as u32)]);
+            tl.tag([Access::read(grad_slot(i, j), Region::All)
+                .with_gen(j as u32)
+                .with_prov(
+                    Provenance::new(ContribKind::GradFlush, l, j)
+                        .owned_by(i)
+                        .rows(evicted),
+                )]);
             tl.d2h(i, evicted * row);
             tl.tag([Access::accum(grad(l), Region::Part(i as u32))]);
             tl.cpu_accumulate(i, evicted * row);

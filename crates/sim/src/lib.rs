@@ -36,5 +36,6 @@ pub use machine::{Machine, TimeBuckets, NUM_STREAMS};
 pub use memory::{MemoryTracker, SimError};
 pub use shard::{GpuShard, Timeline};
 pub use trace::{
-    Access, BarrierScope, Device, Event, EventKind, Intent, Region, ResourceId, Trace,
+    Access, BarrierScope, ContribKind, Device, Event, EventKind, Intent, Provenance, Region,
+    ResourceId, Trace, PROV_MIXED, PROV_NONE,
 };

@@ -230,6 +230,98 @@ impl Region {
     }
 }
 
+/// What role a provenance-tagged access plays in the dataflow (which
+/// side of a contribution ledger it lands on). See
+/// [`Provenance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContribKind {
+    /// Host → GPU load populating a neighbor/transition buffer.
+    HostLoad,
+    /// In-place reuse of rows surviving from the previous batch's buffer
+    /// (the `ℕ^gpu` split of §5.2).
+    Reuse,
+    /// P2P serve of rows owned by a remote GPU.
+    Fetch,
+    /// An aggregation consuming a fully-populated neighbor buffer.
+    Aggregate,
+    /// Writeback of computed activations into the host layer store.
+    ActStore,
+    /// Store of a cached-aggregate checkpoint (§4.2 hybrid strategy).
+    CkptStore,
+    /// Reload of a cached-aggregate checkpoint in the backward pass.
+    CkptReload,
+    /// Locally-kept gradient rows accumulated into the owner's buffer.
+    GradLocal,
+    /// Gradient rows pushed P2P into a remote owner's buffer.
+    GradPush,
+    /// Eviction of an accumulated gradient buffer to the host.
+    GradFlush,
+}
+
+/// Sentinel for [`Provenance::owner`] when the rows span multiple
+/// owners (a vanilla full-neighbor load, an in-place reuse window).
+pub const PROV_MIXED: u32 = u32::MAX;
+
+/// Sentinel for [`Provenance::from`] when no serving/pushing GPU
+/// applies.
+pub const PROV_NONE: u32 = u32::MAX;
+
+/// Dataflow provenance of an access: which contribution it carries,
+/// for which `(layer, batch)` value generation, and how many rows.
+/// Values derive purely from the partition/dedup plans (never from
+/// runtime data), so the synthesized schedule and the executed one
+/// carry identical provenance. Consumed by `hongtu-verify`'s pass 9
+/// (dataflow conservation, `F8xx`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Provenance {
+    /// Ledger role of this access.
+    pub kind: ContribKind,
+    /// Layer whose values the rows carry.
+    pub layer: u32,
+    /// Batch (chunk index) of the value generation.
+    pub batch: u32,
+    /// Partition owning the moved rows ([`PROV_MIXED`] when mixed).
+    pub owner: u32,
+    /// Serving GPU for fetches / pushing GPU for gradient pushes
+    /// ([`PROV_NONE`] otherwise).
+    pub from: u32,
+    /// Row count of the contribution.
+    pub rows: usize,
+}
+
+impl Provenance {
+    /// A provenance record for `(layer, batch)` with mixed ownership,
+    /// no serving GPU, and zero rows; refine with the builders.
+    pub fn new(kind: ContribKind, layer: usize, batch: usize) -> Self {
+        Provenance {
+            kind,
+            layer: layer as u32,
+            batch: batch as u32,
+            owner: PROV_MIXED,
+            from: PROV_NONE,
+            rows: 0,
+        }
+    }
+
+    /// Sets the owning partition of the rows.
+    pub fn owned_by(mut self, owner: usize) -> Self {
+        self.owner = owner as u32;
+        self
+    }
+
+    /// Sets the serving (fetch) or pushing (gradient) GPU.
+    pub fn from_gpu(mut self, from: usize) -> Self {
+        self.from = from as u32;
+        self
+    }
+
+    /// Sets the row count.
+    pub fn rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+}
+
 /// One annotated access of an event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Access {
@@ -244,6 +336,8 @@ pub struct Access {
     /// of generation `g` — this is what catches "slot not populated
     /// *this batch*" staleness that plain write-before-read would miss.
     pub gen: Option<u32>,
+    /// Optional dataflow provenance for the conservation checker.
+    pub prov: Option<Provenance>,
 }
 
 impl Access {
@@ -254,6 +348,7 @@ impl Access {
             region,
             intent: Intent::Read,
             gen: None,
+            prov: None,
         }
     }
 
@@ -264,6 +359,7 @@ impl Access {
             region,
             intent: Intent::Write,
             gen: None,
+            prov: None,
         }
     }
 
@@ -274,12 +370,19 @@ impl Access {
             region,
             intent: Intent::Accum,
             gen: None,
+            prov: None,
         }
     }
 
     /// Attaches a data generation.
     pub fn with_gen(mut self, gen: u32) -> Self {
         self.gen = Some(gen);
+        self
+    }
+
+    /// Attaches dataflow provenance.
+    pub fn with_prov(mut self, prov: Provenance) -> Self {
+        self.prov = Some(prov);
         self
     }
 }
@@ -496,8 +599,31 @@ mod tests {
         let a = Access::read(r, Region::Owned).with_gen(7);
         assert_eq!(a.intent, Intent::Read);
         assert_eq!(a.gen, Some(7));
+        assert_eq!(a.prov, None);
         assert_eq!(Access::write(r, Region::All).intent, Intent::Write);
         assert_eq!(Access::accum(r, Region::All).intent, Intent::Accum);
+    }
+
+    #[test]
+    fn provenance_builders() {
+        let p = Provenance::new(ContribKind::Fetch, 1, 2)
+            .owned_by(3)
+            .from_gpu(3)
+            .rows(40);
+        assert_eq!(p.layer, 1);
+        assert_eq!(p.batch, 2);
+        assert_eq!(p.owner, 3);
+        assert_eq!(p.from, 3);
+        assert_eq!(p.rows, 40);
+
+        let q = Provenance::new(ContribKind::HostLoad, 0, 0);
+        assert_eq!(q.owner, PROV_MIXED);
+        assert_eq!(q.from, PROV_NONE);
+        assert_eq!(q.rows, 0);
+
+        let r = ResourceId::DevRep { gpu: 0 };
+        let a = Access::write(r, Region::Owned).with_prov(q);
+        assert_eq!(a.prov, Some(q));
     }
 
     #[test]

@@ -130,6 +130,26 @@ pub enum DiagCode {
     /// Exploration exhausted its linearization budget before covering
     /// every interleaving: absence of a counterexample proves nothing.
     InterleavingBudgetExceeded,
+
+    // ---- dataflow conservation pass (F8xx) ----
+    /// An aggregation ran with fewer supplied contribution rows than the
+    /// plans promise — some in-neighbor contribution was dropped.
+    DroppedContribution,
+    /// An aggregation ran with more supplied contribution rows than the
+    /// plans promise — some contribution was delivered twice.
+    DoubleCountedContribution,
+    /// An activation write overlaps a previous write that no read ever
+    /// consumed — the earlier generation's values were lost.
+    ActivationOverwritten,
+    /// A gradient buffer was flushed to the host before every expected
+    /// accumulation (local or pushed) had arrived.
+    GradFlushEarly,
+    /// A gradient accumulation has no forward counterpart: a push from a
+    /// GPU that fetched nothing, or more rows than the forward flow.
+    OrphanGradient,
+    /// The deduplicated transfer decomposition does not carry the same
+    /// per-owner contribution multiset as the vanilla comparator.
+    DedupMultisetMismatch,
 }
 
 impl DiagCode {
@@ -172,6 +192,12 @@ impl DiagCode {
             DiagCode::ReloadBeforeStore => "L604",
             DiagCode::InterleavingRace => "X701",
             DiagCode::InterleavingBudgetExceeded => "X702",
+            DiagCode::DroppedContribution => "F801",
+            DiagCode::DoubleCountedContribution => "F802",
+            DiagCode::ActivationOverwritten => "F803",
+            DiagCode::GradFlushEarly => "F804",
+            DiagCode::OrphanGradient => "F805",
+            DiagCode::DedupMultisetMismatch => "F806",
         }
     }
 
@@ -207,6 +233,11 @@ impl DiagCode {
             DiagCode::UseAfterEvict | DiagCode::DoubleInstall | DiagCode::StagingSlotLeak => "§6",
             DiagCode::ReloadBeforeStore => "§4.2",
             DiagCode::InterleavingRace | DiagCode::InterleavingBudgetExceeded => "§4.1",
+            DiagCode::DroppedContribution
+            | DiagCode::DoubleCountedContribution
+            | DiagCode::DedupMultisetMismatch => "§5.1",
+            DiagCode::ActivationOverwritten => "§4.2",
+            DiagCode::GradFlushEarly | DiagCode::OrphanGradient => "§5.2",
         }
     }
 }
@@ -377,6 +408,14 @@ impl Report {
         }
         self.diagnostics.extend(pass);
     }
+
+    /// Absorbs another report's findings (for callers combining pass
+    /// families run by separate drivers, e.g. schedule certification
+    /// plus dataflow conservation).
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+        self.truncated_passes += other.truncated_passes;
+    }
 }
 
 /// How much checking the engine performs.
@@ -442,6 +481,12 @@ mod tests {
             DiagCode::ReloadBeforeStore,
             DiagCode::InterleavingRace,
             DiagCode::InterleavingBudgetExceeded,
+            DiagCode::DroppedContribution,
+            DiagCode::DoubleCountedContribution,
+            DiagCode::ActivationOverwritten,
+            DiagCode::GradFlushEarly,
+            DiagCode::OrphanGradient,
+            DiagCode::DedupMultisetMismatch,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {
@@ -466,6 +511,29 @@ mod tests {
         assert!(s.contains("B201"));
         assert!(s.contains("§6"));
         assert!(s.contains("gpu 1, batch 2, vertex 7"));
+    }
+
+    #[test]
+    fn merge_combines_reports() {
+        let mut a = Report::default();
+        a.extend_pass(vec![Diagnostic::new(
+            DiagCode::DroppedContribution,
+            Location::gpu_batch(0, 1),
+            "short 3 rows",
+        )]);
+        let mut b = Report::default();
+        b.extend_pass(vec![Diagnostic::new(
+            DiagCode::OrphanGradient,
+            Location::gpu(2),
+            "push with no fetch",
+        )]);
+        b.truncated_passes = 1;
+        a.merge(b);
+        assert_eq!(a.diagnostics.len(), 2);
+        assert_eq!(a.truncated_passes, 1);
+        assert!(a.has(DiagCode::DroppedContribution));
+        assert!(a.has(DiagCode::OrphanGradient));
+        assert!(a.render().contains("F805"));
     }
 
     #[test]

@@ -43,12 +43,22 @@
 //! reduction, reporting the first racy linearization as a
 //! counterexample — `X701`/`X702` (pass 8, [`verify_interleavings`]).
 //!
+//! Pass 9 ([`verify_dataflow`]) certifies *value* conservation on top of
+//! schedule safety: contribution multisets reconstructed from the
+//! trace's provenance annotations are balanced against a
+//! [`DataflowSpec`] derived independently from the plans — dropped or
+//! double-counted aggregation inputs, clobbered activations,
+//! early-flushed or orphaned gradients, and dedup-vs-vanilla multiset
+//! divergence (`F801`–`F806`).
+//!
 //! See `DESIGN.md` ("Checked invariants", "Happens-before invariants",
-//! and "Static vs dynamic certification") for the full code catalogue.
+//! "Static vs dynamic certification", and "F8xx dataflow conservation")
+//! for the full code catalogue.
 
 #![forbid(unsafe_code)]
 
 pub mod buffers;
+pub mod dataflow;
 pub mod dedup;
 pub mod diag;
 pub mod lifetime;
@@ -58,6 +68,7 @@ pub mod trace;
 pub mod volumes;
 
 pub use buffers::{verify_all_buffers, verify_buffers};
+pub use dataflow::{demand_by_owner, verify_dataflow, ChunkFlow, CommKind, DataflowSpec};
 pub use dedup::verify_dedup;
 pub use diag::{DiagCode, Diagnostic, Location, Report, ValidationLevel};
 pub use lifetime::verify_lifetimes;

@@ -1,0 +1,271 @@
+//! `lint` — in-repo source lint for the invariants `grep` can't hold.
+//!
+//! Three rules, all token-level scans over the workspace sources (no
+//! parsing, no dependencies):
+//!
+//! 1. **Diagnostic catalogue coverage.** Every `DiagCode` variant in
+//!    `crates/verify/src/diag.rs` must have exactly one catalogue row in
+//!    `DESIGN.md` (a `| CODE |` table cell) and at least one mutation
+//!    test referencing it (by variant name or by `"CODE"` string) under
+//!    `crates/verify/tests/` or `tests/`. A diagnostic nobody can look
+//!    up, or that no corruption provably triggers, is dead weight.
+//! 2. **Unsafe discipline.** The workspace crates carry
+//!    `#![forbid(unsafe_code)]`, but that attribute does not cover
+//!    bin/test targets — so the token is forbidden outright outside
+//!    `crates/parallel`, and inside it every non-comment use must carry
+//!    a `SAFETY` comment within the preceding 8 lines.
+//! 3. **Tagging chokepoint.** `Machine::tag` calls are how trace events
+//!    acquire schedule metadata; every call site outside the engine's
+//!    emission layer (and the method's own crate) bypasses the
+//!    provenance discipline passes 5–9 certify. No `.tag(` outside the
+//!    allowlist.
+//!
+//! Exits 0 when clean, 1 with one line per violation otherwise. Wired
+//! into `tools/check.sh` and CI's `check` job.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The token patterns the lint hunts for, assembled at compile time so
+/// this file — which the lint also scans — never contains them itself.
+const UNSAFE_TOKEN: &str = concat!("uns", "afe ");
+const TAG_TOKEN: &str = concat!(".t", "ag(");
+
+/// Files allowed to contain `Machine::tag` calls: the engine's emission
+/// layer and the method's defining module (incl. its unit tests).
+const TAG_ALLOWLIST: [&str; 2] = ["crates/core/src/engine.rs", "crates/sim/src/machine.rs"];
+
+fn main() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+
+    let sources = rust_sources(&root);
+    check_diag_catalogue(&root, &mut violations);
+    check_unsafe_discipline(&root, &sources, &mut violations);
+    check_tag_chokepoint(&root, &sources, &mut violations);
+
+    if violations.is_empty() {
+        println!("lint: clean ({} source files scanned)", sources.len());
+        return;
+    }
+    for v in &violations {
+        eprintln!("lint: {v}");
+    }
+    eprintln!("lint: {} violation(s)", violations.len());
+    std::process::exit(1);
+}
+
+/// All `.rs` files under `src/` and `crates/`, skipping build output.
+fn rust_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["src", "crates"] {
+        walk(&root.join(top), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+fn read(path: &Path) -> String {
+    fs::read_to_string(path).unwrap_or_default()
+}
+
+// ---------------------------------------- rule 1: diagnostic catalogue
+
+/// Extracts `(Variant, "CODE")` pairs from the `DiagCode::code()` match.
+/// Filters on shape — a single-identifier variant mapped to a
+/// letter+digits code — so the `paper_ref()` arms (multi-variant
+/// patterns, `§`-prefixed strings) in the same file don't match.
+fn diag_codes(diag_src: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for line in diag_src.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("DiagCode::") else {
+            continue;
+        };
+        let Some((variant, rhs)) = rest.split_once("=>") else {
+            continue;
+        };
+        let variant = variant.trim();
+        if variant.is_empty() || !variant.chars().all(|c| c.is_ascii_alphanumeric()) {
+            continue;
+        }
+        let Some(code) = rhs
+            .trim()
+            .strip_prefix('"')
+            .and_then(|r| r.split('"').next())
+        else {
+            continue;
+        };
+        let mut chars = code.chars();
+        let shaped = chars.next().is_some_and(|c| c.is_ascii_uppercase())
+            && code.len() > 1
+            && chars.all(|c| c.is_ascii_digit());
+        if !shaped {
+            continue;
+        }
+        if !out.iter().any(|(v, _)| v == variant) {
+            out.push((variant.to_string(), code.to_string()));
+        }
+    }
+    out
+}
+
+fn check_diag_catalogue(root: &Path, violations: &mut Vec<String>) {
+    let diag_src = read(&root.join("crates/verify/src/diag.rs"));
+    let codes = diag_codes(&diag_src);
+    if codes.is_empty() {
+        violations.push("crates/verify/src/diag.rs: no DiagCode code() arms found".to_string());
+        return;
+    }
+
+    let design = read(&root.join("DESIGN.md"));
+    let mut test_corpus = String::new();
+    for dir in ["crates/verify/tests", "tests"] {
+        let mut files = Vec::new();
+        walk(&root.join(dir), &mut files);
+        for f in files {
+            test_corpus.push_str(&read(&f));
+        }
+    }
+
+    for (variant, code) in &codes {
+        let cell = format!("| {code} |");
+        let rows = design.lines().filter(|l| l.contains(&cell)).count();
+        if rows != 1 {
+            violations.push(format!(
+                "DESIGN.md: diagnostic {code} ({variant}) has {rows} catalogue rows, want \
+                 exactly 1"
+            ));
+        }
+        let by_variant = format!("DiagCode::{variant}");
+        let by_code = format!("\"{code}\"");
+        if !test_corpus.contains(&by_variant) && !test_corpus.contains(&by_code) {
+            violations.push(format!(
+                "{code} ({variant}): no mutation test references it under \
+                 crates/verify/tests/ or tests/"
+            ));
+        }
+    }
+}
+
+// ----------------------------------- rule 2: memory-safety discipline
+
+fn check_unsafe_discipline(root: &Path, sources: &[PathBuf], violations: &mut Vec<String>) {
+    for path in sources {
+        let relpath = rel(root, path);
+        let inside_parallel = relpath.starts_with("crates/parallel/");
+        let src = read(path);
+        let lines: Vec<&str> = src.lines().collect();
+        for (idx, line) in lines.iter().enumerate() {
+            if !line.contains(UNSAFE_TOKEN) {
+                continue;
+            }
+            if !inside_parallel {
+                violations.push(format!(
+                    "{relpath}:{}: {}code outside crates/parallel",
+                    idx + 1,
+                    UNSAFE_TOKEN
+                ));
+                continue;
+            }
+            if line.trim_start().starts_with("//") {
+                continue;
+            }
+            let start = idx.saturating_sub(8);
+            let documented = lines[start..idx].iter().any(|l| l.contains("SAFETY"));
+            if !documented {
+                violations.push(format!(
+                    "{relpath}:{}: undocumented {}block (add a // SAFETY: comment within \
+                     the preceding 8 lines)",
+                    idx + 1,
+                    UNSAFE_TOKEN
+                ));
+            }
+        }
+    }
+}
+
+// ------------------------------------------ rule 3: tagging chokepoint
+
+fn check_tag_chokepoint(root: &Path, sources: &[PathBuf], violations: &mut Vec<String>) {
+    for path in sources {
+        let relpath = rel(root, path);
+        if TAG_ALLOWLIST.contains(&relpath.as_str()) {
+            continue;
+        }
+        let src = read(path);
+        for (idx, line) in src.lines().enumerate() {
+            if line.trim_start().starts_with("//") {
+                continue;
+            }
+            if line.contains(TAG_TOKEN) {
+                violations.push(format!(
+                    "{relpath}:{}: Machine::tag call outside the engine's emission layer \
+                     (allowed: {})",
+                    idx + 1,
+                    TAG_ALLOWLIST.join(", ")
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diag_code_extraction_parses_match_arms() {
+        let src = r#"
+            match self {
+                DiagCode::ChunkOverlap => "P001",
+                DiagCode::DroppedContribution => "F801",
+            }
+        "#;
+        assert_eq!(
+            diag_codes(src),
+            vec![
+                ("ChunkOverlap".to_string(), "P001".to_string()),
+                ("DroppedContribution".to_string(), "F801".to_string()),
+            ]
+        );
+    }
+
+    /// The lint must pass on the repo it ships in — this is the same
+    /// invocation `tools/check.sh` runs, minus the process boundary.
+    #[test]
+    fn repo_is_lint_clean() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let sources = rust_sources(&root);
+        assert!(!sources.is_empty());
+        let mut violations = Vec::new();
+        check_diag_catalogue(&root, &mut violations);
+        check_unsafe_discipline(&root, &sources, &mut violations);
+        check_tag_chokepoint(&root, &sources, &mut violations);
+        assert!(violations.is_empty(), "{}", violations.join("\n"));
+    }
+}

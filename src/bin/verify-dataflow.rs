@@ -1,24 +1,22 @@
-//! `verify-schedule` — statically certify a configuration's execution
-//! schedule without running it.
+//! `verify-dataflow` — statically certify *value conservation* for a
+//! configuration's execution schedule without running it.
 //!
 //! Usage:
-//!   verify-schedule [--dataset rdt|opt|it|opr|fds|all] [--gpus M] [--chunks N]
+//!   verify-dataflow [--dataset rdt|opt|it|opr|fds|all] [--gpus M] [--chunks N]
 //!                   [--seed S] [--model gcn|gat|sage|gin|commnet|ggnn]
 //!                   [--hidden H] [--layers L] [--comm vanilla|p2p|p2pru|full]
 //!                   [--memory recompute|hybrid] [--overlap off|doublebuffer]
-//!                   [--mode train|infer] [--budget B] [--measure]
+//!                   [--mode train|infer]
 //!
-//! Builds the engine exactly as training would, then *synthesizes* the
-//! epoch schedule symbolically — the executor's own step functions
-//! replayed against a no-compute backend — and runs the static
-//! certification passes over it: the vector-clock happens-before
-//! analysis (pass 6, `R4xx`), resource lifetime analysis (pass 7,
-//! `L6xx`), and — when the config is small enough for it to be
-//! exhaustive, or when `--budget` forces it — exploration of every
-//! barrier-respecting interleaving (pass 8, `X7xx`). Also prints the
-//! plan-level static peak-memory bound per device; with `--measure`, one
-//! real epoch is then executed and the measured peaks are checked
-//! against the bound. Exits 0 if every configuration certifies, 1 if
+//! Where `verify-schedule` proves the synthesized schedule is *safe*
+//! (race-free, lifetime-clean), this bin proves it is *correct at the
+//! value level*: pass 9 reconstructs per-aggregation contribution
+//! multisets from the schedule's provenance annotations and balances
+//! them against a `DataflowSpec` derived independently from the
+//! partition/dedup/buffer plans — dropped or double-counted aggregation
+//! inputs (`F801`/`F802`), clobbered activations (`F803`), early-flushed
+//! or orphaned gradients (`F804`/`F805`), and dedup-vs-vanilla multiset
+//! divergence (`F806`). Exits 0 if every configuration certifies, 1 if
 //! any diagnostic fires (or on bad arguments).
 
 use hongtu_core::cli::{
@@ -28,7 +26,6 @@ use hongtu_core::{CommMode, HongTuConfig, HongTuEngine, MemoryStrategy, Mode, Ov
 use hongtu_datasets::{load, DatasetKey};
 use hongtu_nn::ModelKind;
 use hongtu_tensor::SeededRng;
-use hongtu_verify::DEFAULT_EXPLORE_BUDGET;
 
 struct Args {
     datasets: Vec<DatasetKey>,
@@ -42,16 +39,13 @@ struct Args {
     memory: MemoryStrategy,
     overlap: OverlapMode,
     mode: Mode,
-    budget: Option<usize>,
-    measure: bool,
 }
 
-const USAGE: &str = "usage: verify-schedule [--dataset rdt|opt|it|opr|fds|all] \
+const USAGE: &str = "usage: verify-dataflow [--dataset rdt|opt|it|opr|fds|all] \
                      [--gpus M] [--chunks N] [--seed S] \
                      [--model gcn|gat|sage|gin|commnet|ggnn] [--hidden H] [--layers L] \
                      [--comm vanilla|p2p|p2pru|full] [--memory recompute|hybrid] \
-                     [--overlap off|doublebuffer] [--mode train|infer] \
-                     [--budget B] [--measure]";
+                     [--overlap off|doublebuffer] [--mode train|infer]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
@@ -66,8 +60,6 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         memory: MemoryStrategy::Hybrid,
         overlap: OverlapMode::Off,
         mode: Mode::Train,
-        budget: None,
-        measure: false,
     };
     let mut it = FlagParser::new(argv.to_vec());
     while let Some(flag) = it.next_flag() {
@@ -83,8 +75,6 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--memory" => args.memory = it.value_with("--memory", parse_memory)?,
             "--overlap" => args.overlap = it.value_with("--overlap", parse_overlap)?,
             "--mode" => args.mode = it.value_with("--mode", parse_mode)?,
-            "--budget" => args.budget = Some(it.parse_value("--budget")?),
-            "--measure" => args.measure = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -98,10 +88,6 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn mib(bytes: usize) -> f64 {
-    bytes as f64 / (1 << 20) as f64
-}
-
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -112,7 +98,6 @@ fn main() {
         }
     };
 
-    // One config for every dataset, built through the validating builder.
     let config = match HongTuConfig::builder()
         .gpus(args.gpus)
         .gpu_mem_mb(1024)
@@ -151,7 +136,7 @@ fn main() {
             args.mode,
         );
 
-        let mut engine = match HongTuEngine::new(
+        let engine = match HongTuEngine::new(
             &ds,
             args.model,
             args.hidden,
@@ -166,12 +151,6 @@ fn main() {
             }
         };
 
-        let explore = args.budget.or_else(|| {
-            engine
-                .session()
-                .exhaustive_exploration_feasible()
-                .then_some(DEFAULT_EXPLORE_BUDGET)
-        });
         let synth = match engine.session().synthesize_schedule() {
             Ok(t) => t,
             Err(e) => {
@@ -179,61 +158,32 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let report = hongtu_verify::verify_schedule(&synth, explore);
-        match explore {
-            Some(b) => println!(
-                "  {} events synthesized; passes 6-8 (interleaving budget {b})",
-                synth.len()
-            ),
-            None => println!(
-                "  {} events synthesized; passes 6-7 (config too large for \
-                 exhaustive interleavings; force with --budget)",
-                synth.len()
-            ),
-        }
+        let tagged = synth
+            .events()
+            .flat_map(|e| e.accesses.iter())
+            .filter(|a| a.prov.is_some())
+            .count();
+        println!(
+            "  {} events synthesized, {} provenance-tagged accesses; pass 9 (F8xx)",
+            synth.len(),
+            tagged
+        );
+
+        let report = match engine.session().certify_dataflow() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("  certification failed: {e}");
+                std::process::exit(1);
+            }
+        };
         if report.is_ok() {
-            println!("  schedule certified clean");
+            println!("  dataflow certified conserved");
         } else {
             any_bad = true;
             println!("  {} diagnostic(s):", report.diagnostics.len());
             for line in report.render().lines() {
                 println!("    {line}");
             }
-        }
-
-        let bound = engine.session().static_memory_bound();
-        for (i, b) in bound.gpu.iter().enumerate() {
-            println!("  static bound gpu{i}: {:.2} MiB", mib(*b));
-        }
-        println!("  static bound host: {:.2} MiB", mib(bound.host));
-
-        if args.measure {
-            let run = match args.mode {
-                Mode::Train => engine.train_epoch().map(|_| ()).map_err(|e| e.to_string()),
-                Mode::Infer => engine.infer_epoch().map(|_| ()).map_err(|e| e.to_string()),
-            };
-            if let Err(msg) = run {
-                eprintln!("  measured epoch failed: {msg}");
-                std::process::exit(1);
-            }
-            for i in 0..args.gpus {
-                let peak = engine.machine().gpu_memory(i).peak();
-                let ok = peak <= bound.gpu[i];
-                any_bad |= !ok;
-                println!(
-                    "  measured gpu{i} peak: {:.2} MiB {}",
-                    mib(peak),
-                    if ok { "<= bound" } else { "EXCEEDS BOUND" }
-                );
-            }
-            let host_peak = engine.machine().host_memory().peak();
-            let ok = host_peak <= bound.host;
-            any_bad |= !ok;
-            println!(
-                "  measured host peak: {:.2} MiB {}",
-                mib(host_peak),
-                if ok { "<= bound" } else { "EXCEEDS BOUND" }
-            );
         }
         println!();
     }

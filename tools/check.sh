@@ -10,27 +10,21 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> unsafe-code lint (forbidden outside crates/parallel; SAFETY-documented inside)"
-# Every crate but hongtu-parallel carries #![forbid(unsafe_code)]; that
-# attribute does not cover bin/test targets, so grep closes the gap.
-if grep -rn --include='*.rs' -l 'unsafe ' src crates --exclude-dir=parallel | grep -v '^$'; then
-  echo 'unsafe code outside crates/parallel' >&2
-  exit 1
-fi
-# Inside crates/parallel, every line containing `unsafe` must either be a
-# comment or be preceded by a SAFETY comment within the previous 8 lines.
-while IFS=: read -r file line _; do
-  start=$((line > 8 ? line - 8 : 1))
-  if ! sed -n "${start},$((line - 1))p" "$file" | grep -q 'SAFETY'; then
-    echo "undocumented unsafe at ${file}:${line} (add a // SAFETY: comment)" >&2
-    exit 1
-  fi
-done < <(grep -rn --include='*.rs' 'unsafe ' crates/parallel | grep -v '^\s*//' | grep -v ':\s*//')
+echo "==> source lint (diag catalogue coverage, unsafe discipline, tag chokepoint)"
+# src/bin/lint.rs: every DiagCode has exactly one DESIGN.md catalogue row
+# and a mutation test; unsafe only in crates/parallel (SAFETY-documented);
+# Machine::tag only from the engine's emission layer.
+cargo run -q --release --bin lint
 
 echo "==> verify-schedule smoke run (static certification, passes 6-8)"
 cargo run -q --release --bin verify-schedule -- --dataset rdt --gpus 2 --layers 2 --measure
 cargo run -q --release --bin verify-schedule -- --dataset rdt --gpus 4 --chunks 8 --overlap doublebuffer --measure
 cargo run -q --release --bin verify-schedule -- --dataset rdt --gpus 2 --layers 2 --comm vanilla --memory recompute --mode infer
+
+echo "==> verify-dataflow smoke run (conservation certification, pass 9)"
+cargo run -q --release --bin verify-dataflow -- --dataset rdt --gpus 2 --layers 2
+cargo run -q --release --bin verify-dataflow -- --dataset rdt --gpus 4 --chunks 8 --overlap doublebuffer --memory recompute
+cargo run -q --release --bin verify-dataflow -- --dataset rdt --gpus 2 --comm vanilla --mode infer
 
 echo "==> verify-trace smoke run (happens-before schedule certification)"
 cargo run -q --release --bin verify-trace -- --dataset rdt --gpus 4 --chunks 8 --determinism
