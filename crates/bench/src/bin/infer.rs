@@ -10,8 +10,16 @@
 //!     --chunks 4 --gpus 4 --gpu-mem-mb 256 \
 //!     [--comm full|p2p|vanilla] [--exec sequential|parallel] \
 //!     [--overlap off|doublebuffer] [--epochs N] [--no-reorg] [--seed N] \
-//!     [--load model.htgm] [--quiet]
+//!     [--load model.htgm] [--quiet] \
+//!     [--serve N] [--qps RATE] [--batch-window N]
 //! ```
+//!
+//! With `--serve N` the bin switches from full-epoch inference to the
+//! online serving path: N vertex-subset requests arrive open-loop
+//! (Poisson at `--qps`, default auto-calibrated to ~2.5 arrivals per
+//! sweep), are FIFO-batched up to `--batch-window` per pruned sweep,
+//! and the run reports p50/p99 latency, queries/sec and the reject
+//! rate.
 
 use hongtu_core::cli::{
     logits_digest, parse_comm, parse_dataset, parse_exec, parse_model, parse_overlap, FlagParser,
@@ -19,6 +27,7 @@ use hongtu_core::cli::{
 use hongtu_core::{CommMode, ExecutionMode, HongTuConfig, OverlapMode, Session};
 use hongtu_datasets::{load, DatasetKey};
 use hongtu_nn::ModelKind;
+use hongtu_serving::{poisson_workload, run_open_loop, AdmissionControl};
 use hongtu_tensor::SeededRng;
 
 #[derive(Debug)]
@@ -38,6 +47,9 @@ struct Args {
     quiet: bool,
     exec: ExecutionMode,
     overlap: OverlapMode,
+    serve: Option<usize>,
+    qps: f64,
+    batch_window: usize,
 }
 
 impl Default for Args {
@@ -58,6 +70,9 @@ impl Default for Args {
             quiet: false,
             exec: ExecutionMode::Sequential,
             overlap: OverlapMode::Off,
+            serve: None,
+            qps: 0.0,
+            batch_window: 4,
         }
     }
 }
@@ -68,7 +83,8 @@ fn usage() -> ! {
          \x20            [--layers N] [--hidden N] [--epochs N] [--chunks N] [--gpus N]\n\
          \x20            [--gpu-mem-mb N] [--comm full|p2p|vanilla]\n\
          \x20            [--exec sequential|parallel] [--overlap off|doublebuffer]\n\
-         \x20            [--no-reorg] [--seed N] [--load FILE] [--quiet]"
+         \x20            [--no-reorg] [--seed N] [--load FILE] [--quiet]\n\
+         \x20            [--serve N] [--qps RATE] [--batch-window N]"
     );
     std::process::exit(2);
 }
@@ -94,6 +110,9 @@ fn try_parse_args() -> Result<Args, String> {
             "--gpus" => args.gpus = it.parse_value("--gpus")?,
             "--gpu-mem-mb" => args.gpu_mem_mb = it.parse_value("--gpu-mem-mb")?,
             "--seed" => args.seed = it.parse_value("--seed")?,
+            "--serve" => args.serve = Some(it.parse_value("--serve")?),
+            "--qps" => args.qps = it.parse_value("--qps")?,
+            "--batch-window" => args.batch_window = it.parse_value("--batch-window")?,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -158,6 +177,45 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(requests) = args.serve {
+        let n = dataset.num_vertices();
+        let subset = 8.min(n);
+        let mut rng = SeededRng::new(args.seed ^ 0x7372_7665);
+        let qps = if args.qps > 0.0 {
+            args.qps
+        } else {
+            // Auto-calibrate to ~2.5 arrivals per sweep so batches form.
+            let probe = match session.serve(&rng.sample_indices(n, subset)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("probe serve failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            2.5 / probe.time.max(1e-12)
+        };
+        let workload = poisson_workload(n, requests, qps, subset, &mut rng);
+        let admission = AdmissionControl::from_session(&session);
+        let stats = match run_open_loop(&mut session, admission, args.batch_window, workload) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serving failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "served {} / rejected {} ({:.1}% reject) | p50 {:.3} ms | p99 {:.3} ms \
+             | {:.1} q/s | batches {:?}",
+            stats.served,
+            stats.rejected,
+            100.0 * stats.reject_rate,
+            stats.p50_latency * 1e3,
+            stats.p99_latency * 1e3,
+            stats.queries_per_sec,
+            stats.batch_hist
+        );
+        return;
     }
     let mut inferencer = session.inferencer();
     let mut last = None;

@@ -10,7 +10,7 @@
 //! ```
 
 use hongtu_core::cli::{
-    parse_comm, parse_dataset, parse_exec, parse_memory, parse_model, parse_overlap,
+    parse_comm, parse_dataset, parse_exec, parse_memory, parse_model, parse_overlap, FlagParser,
 };
 use hongtu_core::{
     CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, OverlapMode,
@@ -74,66 +74,39 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
+fn try_parse_args() -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
-    let bad = |flag: &str, val: &str| -> ! {
-        eprintln!("invalid value {val:?} for {flag}");
-        usage()
-    };
-    while let Some(flag) = it.next() {
+    let mut p = FlagParser::from_env();
+    while let Some(flag) = p.next_flag() {
         match flag.as_str() {
-            "--no-reorg" => {
-                args.reorganize = false;
-                continue;
-            }
-            "--quiet" => {
-                args.quiet = true;
-                continue;
-            }
+            "--no-reorg" => args.reorganize = false,
+            "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
-            _ => {}
-        }
-        let Some(value) = it.next() else { usage() };
-        match flag.as_str() {
-            "--dataset" => {
-                args.dataset = parse_dataset(&value).unwrap_or_else(|_| bad("--dataset", &value))
-            }
-            "--model" => {
-                args.model = parse_model(&value).unwrap_or_else(|_| bad("--model", &value))
-            }
-            "--comm" => args.comm = parse_comm(&value).unwrap_or_else(|_| bad("--comm", &value)),
-            "--memory" => {
-                args.memory = parse_memory(&value).unwrap_or_else(|_| bad("--memory", &value))
-            }
-            "--exec" => args.exec = parse_exec(&value).unwrap_or_else(|_| bad("--exec", &value)),
-            "--overlap" => {
-                args.overlap = parse_overlap(&value).unwrap_or_else(|_| bad("--overlap", &value))
-            }
-            "--save" => args.save = Some(value),
-            "--layers" | "--hidden" | "--epochs" | "--chunks" | "--gpus" | "--gpu-mem-mb"
-            | "--seed" => {
-                let Ok(n) = value.parse::<usize>() else {
-                    bad(&flag, &value)
-                };
-                match flag.as_str() {
-                    "--layers" => args.layers = n,
-                    "--hidden" => args.hidden = n,
-                    "--epochs" => args.epochs = n,
-                    "--chunks" => args.chunks = n,
-                    "--gpus" => args.gpus = n,
-                    "--gpu-mem-mb" => args.gpu_mem_mb = n,
-                    "--seed" => args.seed = n as u64,
-                    _ => unreachable!(),
-                }
-            }
-            _ => {
-                eprintln!("unknown flag {flag:?}");
-                usage();
-            }
+            "--dataset" => args.dataset = p.value_with("--dataset", parse_dataset)?,
+            "--model" => args.model = p.value_with("--model", parse_model)?,
+            "--comm" => args.comm = p.value_with("--comm", parse_comm)?,
+            "--memory" => args.memory = p.value_with("--memory", parse_memory)?,
+            "--exec" => args.exec = p.value_with("--exec", parse_exec)?,
+            "--overlap" => args.overlap = p.value_with("--overlap", parse_overlap)?,
+            "--save" => args.save = Some(p.value("--save")?),
+            "--layers" => args.layers = p.parse_value("--layers")?,
+            "--hidden" => args.hidden = p.parse_value("--hidden")?,
+            "--epochs" => args.epochs = p.parse_value("--epochs")?,
+            "--chunks" => args.chunks = p.parse_value("--chunks")?,
+            "--gpus" => args.gpus = p.parse_value("--gpus")?,
+            "--gpu-mem-mb" => args.gpu_mem_mb = p.parse_value("--gpu-mem-mb")?,
+            "--seed" => args.seed = p.parse_value("--seed")?,
+            other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    args
+    Ok(args)
+}
+
+fn parse_args() -> Args {
+    try_parse_args().unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        usage()
+    })
 }
 
 fn main() {

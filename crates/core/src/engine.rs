@@ -36,6 +36,7 @@ use crate::buffers::GpuBufferPlan;
 use crate::cost::CommVolumes;
 use crate::dedup::DedupPlan;
 use crate::reorg::reorganize_guarded;
+use crate::serve::{ServeMask, ServeReport};
 use hongtu_datasets::Dataset;
 use hongtu_nn::{
     masked_cross_entropy, GnnLayer, GnnModel, LayerForward, LayerGrads, MaskedLoss, ModelKind,
@@ -516,9 +517,31 @@ struct StepCtx<'a> {
     /// executor's schedule, derived from the plans alone — no FLOP of
     /// real math runs. See [`Session::synthesize_schedule`].
     synth: bool,
+    /// Serving sweep mask: when set, `(layer, batch)` steps outside the
+    /// queried vertices' dependency cones are skipped (all GPUs of a
+    /// batch skip together). `None` for full-graph epochs.
+    mask: Option<&'a ServeMask>,
     h: &'a [Matrix],
     grad_h: &'a [Matrix],
     agg_cache: &'a [Vec<Vec<Option<Matrix>>>],
+}
+
+impl StepCtx<'_> {
+    /// Whether the serving mask prunes batch `j` at layer `l` (absent
+    /// mask = full sweep, nothing pruned).
+    fn pruned(&self, l: usize, j: usize) -> bool {
+        self.mask.is_some_and(|m| !m.active(l, j))
+    }
+
+    /// Whether batch `j`'s in-place ℕ^gpu reuse at layer `l` has a live
+    /// predecessor: the rows are deposited by batch `j - 1`, so under a
+    /// serving mask they are only resident if `j - 1` ran at this layer.
+    fn reuse_source_live(&self, l: usize, j: usize) -> bool {
+        match self.mask {
+            None => true,
+            Some(m) => j > 0 && m.active(l, j - 1),
+        }
+    }
 }
 
 /// Builds a [`StepCtx`] from `&self` via direct field expressions, so the
@@ -535,6 +558,7 @@ macro_rules! ctx {
                 && $engine.config.memory == MemoryStrategy::Hybrid,
             interleaved: $engine.config.interleaved,
             synth: $engine.synth,
+            mask: $engine.serve_mask.as_ref(),
             h: &$engine.h,
             grad_h: &$engine.grad_h,
             agg_cache: &$engine.agg_cache,
@@ -590,6 +614,10 @@ pub struct Session {
     /// [`Session::synthesize_schedule`]: step functions skip the layer
     /// numerics and emit shape-identical placeholder tensors instead.
     synth: bool,
+    /// Installed for the duration of a [`Session::serve`] sweep: the
+    /// per-(layer, batch) activity mask the step functions prune by.
+    /// `None` between serves and on full-graph epochs.
+    serve_mask: Option<ServeMask>,
 }
 
 impl Session {
@@ -798,6 +826,7 @@ impl Session {
             preprocessing,
             epochs_run: 0,
             synth: false,
+            serve_mask: None,
         };
 
         // ---- static schedule certification (Paranoid): synthesize the
@@ -892,6 +921,7 @@ impl Session {
             preprocessing: self.preprocessing.clone(),
             epochs_run: self.epochs_run,
             synth: true,
+            serve_mask: self.serve_mask.clone(),
         }
     }
 
@@ -955,6 +985,42 @@ impl Session {
             &trace,
             &self.dataflow_spec(),
         ))
+    }
+
+    /// Symbolically synthesizes the pruned sweep a
+    /// [`Session::serve`] call for `vertices` would execute — the
+    /// serving counterpart of [`Session::synthesize_schedule`]. The
+    /// session itself is not perturbed.
+    pub fn synthesize_serve_schedule(&self, vertices: &[usize]) -> Result<Trace, SimError> {
+        let mut s = self.clone_for_synthesis();
+        s.serve_mask = Some(ServeMask::from_queries(
+            &s.plan,
+            s.model.num_layers(),
+            vertices,
+        ));
+        s.machine.replace_trace(Trace::unbounded());
+        s.infer_epoch_inner()?;
+        Ok(s.machine.replace_trace(Trace::disabled()))
+    }
+
+    /// Statically certifies the pruned serving sweep for `vertices`:
+    /// synthesizes its schedule ([`Session::synthesize_serve_schedule`])
+    /// and runs the schedule passes (6–8) plus dataflow conservation
+    /// (pass 9) over it. Skipped batches emit no `Aggregate` events, so
+    /// the unmodified plan-derived [`hongtu_verify::DataflowSpec`]
+    /// certifies exactly the batches the sweep ran.
+    pub fn certify_serve(
+        &self,
+        vertices: &[usize],
+        explore: Option<usize>,
+    ) -> Result<Report, SimError> {
+        let trace = self.synthesize_serve_schedule(vertices)?;
+        let mut report = hongtu_verify::verify_schedule(&trace, explore);
+        report.merge(hongtu_verify::verify_dataflow(
+            &trace,
+            &self.dataflow_spec(),
+        ));
+        Ok(report)
     }
 
     /// The expected-flow table pass 9 certifies against. The merged
@@ -1072,6 +1138,82 @@ impl Session {
         worst
     }
 
+    /// Per-GPU serving admission budget in bytes: one input plus one
+    /// output staging slot, as the overlap executor sizes them
+    /// ([`StagingPlan::slot_budget`]) — taken from the pinned plans when
+    /// overlap is on, computed by the same arithmetic on demand
+    /// otherwise. A full-graph sweep's worst batch fits this by
+    /// construction, so any cone (a subset of the full sweep's batches)
+    /// admitted against it fits too.
+    pub fn staging_budget(&self) -> Vec<usize> {
+        if let Some(plans) = &self.staging {
+            return plans.iter().map(StagingPlan::slot_budget).collect();
+        }
+        let rebuilt;
+        let bufplans = if self.config.comm != CommMode::P2pRu {
+            None
+        } else if let Some(bufs) = &self.paranoid_bufs {
+            Some(bufs.as_slice())
+        } else {
+            rebuilt = GpuBufferPlan::build_all(&self.plan, &self.dedup);
+            Some(rebuilt.as_slice())
+        };
+        (0..self.plan.m)
+            .map(|gpu| {
+                plan_staging(
+                    gpu,
+                    &self.plan,
+                    &self.dedup,
+                    bufplans,
+                    &self.model,
+                    &self.config,
+                )
+                .slot_budget()
+            })
+            .collect()
+    }
+
+    /// Per-GPU staging cost of a serving cone: the worst input + output
+    /// footprint over the `(layer, batch)` steps `mask` keeps active,
+    /// computed with the same per-batch arithmetic as the staging plans
+    /// ([`batch_staging_footprint`]). Admission control compares this
+    /// against [`Session::staging_budget`].
+    pub fn serve_cone_cost(&self, mask: &ServeMask) -> Vec<usize> {
+        let rebuilt;
+        let bufplans = if self.config.comm != CommMode::P2pRu {
+            None
+        } else if let Some(bufs) = &self.paranoid_bufs {
+            Some(bufs.as_slice())
+        } else {
+            rebuilt = GpuBufferPlan::build_all(&self.plan, &self.dedup);
+            Some(rebuilt.as_slice())
+        };
+        (0..self.plan.m)
+            .map(|gpu| {
+                let mut worst = 0usize;
+                for l in 0..self.model.num_layers() {
+                    for j in 0..self.plan.n {
+                        if !mask.active(l, j) {
+                            continue;
+                        }
+                        let (inb, outb) = batch_staging_footprint(
+                            gpu,
+                            l,
+                            j,
+                            &self.plan,
+                            &self.dedup,
+                            bufplans,
+                            &self.model,
+                            &self.config,
+                        );
+                        worst = worst.max(inb + outb);
+                    }
+                }
+                worst
+            })
+            .collect()
+    }
+
     /// Runs `inner` under the session's validation policy. Under
     /// [`ValidationLevel::Paranoid`], the epoch is *schedule-certified*:
     /// it runs under an unbounded event trace and the happens-before
@@ -1158,6 +1300,39 @@ impl Session {
     /// but runs against the training allocation.
     pub fn infer_epoch(&mut self) -> Result<InferReport, SimError> {
         self.epoch_certified(Self::infer_epoch_inner)
+    }
+
+    /// Serves exact logits for a subset of vertices: one forward sweep
+    /// pruned to the union of the queried vertices' ≤ L-hop dependency
+    /// cones ([`ServeMask`]), driven through the same step functions —
+    /// and, under [`ValidationLevel::Paranoid`], the same per-epoch
+    /// schedule certification — as [`Session::infer_epoch`]. The
+    /// returned logits rows follow the query order and are bitwise
+    /// equal to the same rows of a full inference epoch.
+    ///
+    /// Admission control lives above this call (`hongtu-serving`): a
+    /// cone whose worst active batch exceeds
+    /// [`Session::staging_budget`] should be rejected there instead of
+    /// running; `serve` itself executes whatever cone it is given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` is empty or contains an out-of-range id.
+    pub fn serve(&mut self, vertices: &[usize]) -> Result<ServeReport, SimError> {
+        let mask = ServeMask::from_queries(&self.plan, self.model.num_layers(), vertices);
+        self.serve_mask = Some(mask);
+        let result = self.epoch_certified(Self::infer_epoch_inner);
+        let mask = self.serve_mask.take().expect("serve mask installed above");
+        let report = result?;
+        Ok(ServeReport {
+            logits: report.logits.gather_rows(vertices),
+            time: report.time,
+            buckets: report.buckets,
+            peak_gpu_bytes: report.peak_gpu_bytes,
+            peak_host_bytes: report.peak_host_bytes,
+            active_steps: mask.active_steps(),
+            total_steps: mask.total_steps(),
+        })
     }
 
     fn infer_epoch_inner(&mut self) -> Result<InferReport, SimError> {
@@ -1449,6 +1624,12 @@ impl Session {
     /// (the fixed reduction order of the determinism contract): the
     /// `h^{l+1}` scatter (Alg 1 line 9) and the hybrid checkpoint store.
     fn apply_forward_outs(&mut self, l: usize, j: usize, outs: Vec<FwOut>) {
+        // A batch pruned from a serving sweep computed nothing: there is
+        // no output to scatter (and scattering an empty placeholder
+        // against the chunk's dest list would be a shape error).
+        if self.serve_mask.as_ref().is_some_and(|m| !m.active(l, j)) {
+            return;
+        }
         for (i, out) in outs.into_iter().enumerate() {
             if !self.synth {
                 let dest_idx: Vec<usize> = self.plan.chunks[i][j]
@@ -2036,6 +2217,11 @@ impl HongTuEngine {
         self.session.infer_epoch()
     }
 
+    /// Serves logits for a vertex subset — see [`Session::serve`].
+    pub fn serve(&mut self, vertices: &[usize]) -> Result<ServeReport, SimError> {
+        self.session.serve(vertices)
+    }
+
     /// The underlying session.
     pub fn session(&self) -> &Session {
         &self.session
@@ -2196,6 +2382,9 @@ fn serve_neighbor_rows(
     j: usize,
     txs: &[Sender<ServeBlock>],
 ) {
+    if ctx.pruned(l, j) {
+        return;
+    }
     let owner = &ctx.plan.assignment.partition_of;
     for (i, tx) in txs.iter().enumerate() {
         if i == server {
@@ -2275,6 +2464,9 @@ fn forward_load_step<T: Timeline>(
     i: usize,
     j: usize,
 ) -> Result<FwLoad, SimError> {
+    if ctx.pruned(l, j) {
+        return Ok(FwLoad { buf_bytes: 0 });
+    }
     let row = ctx.model.layer(l).in_dim() * F32;
     let rows = charge_neighbor_host_load(ctx, tl, l, i, j, row)?;
     Ok(FwLoad {
@@ -2297,6 +2489,12 @@ fn forward_compute_step<T: Timeline>(
     buf_bytes: usize,
     feed: &NbrFeed,
 ) -> Result<FwOut, SimError> {
+    if ctx.pruned(l, j) {
+        return Ok(FwOut {
+            out: Matrix::zeros(0, 0),
+            agg: None,
+        });
+    }
     let chunk = &ctx.plan.chunks[i][j];
     let layer = ctx.model.layer(l);
     let out_dim = layer.out_dim();
@@ -2581,20 +2779,40 @@ fn charge_neighbor_host_load<T: Timeline>(
             ]);
             tl.h2d(i, bc.h2d_rows * row);
             if bc.reused_rows > 0 {
-                // ℕ^gpu rows deposited by the previous batch stay resident
-                // in the merged buffer and are promoted to this batch.
-                let prev = Access::read(dev_rep(i), Region::Owned);
-                tl.tag([
-                    if j > 0 {
-                        prev.with_gen(j as u32 - 1)
-                    } else {
-                        prev
-                    },
-                    Access::write(dev_rep(i), Region::Owned)
-                        .with_gen(j as u32)
-                        .with_prov(Provenance::new(ContribKind::Reuse, l, j).rows(bc.reused_rows)),
-                ]);
-                tl.reuse(i, bc.reused_rows * row);
+                if ctx.reuse_source_live(l, j) {
+                    // ℕ^gpu rows deposited by the previous batch stay
+                    // resident in the merged buffer and are promoted to
+                    // this batch.
+                    let prev = Access::read(dev_rep(i), Region::Owned);
+                    tl.tag([
+                        if j > 0 {
+                            prev.with_gen(j as u32 - 1)
+                        } else {
+                            prev
+                        },
+                        Access::write(dev_rep(i), Region::Owned)
+                            .with_gen(j as u32)
+                            .with_prov(
+                                Provenance::new(ContribKind::Reuse, l, j).rows(bc.reused_rows),
+                            ),
+                    ]);
+                    tl.reuse(i, bc.reused_rows * row);
+                } else {
+                    // Serving sweep with batch j−1 pruned: the rows it
+                    // would have left resident were never loaded, so they
+                    // come over PCIe instead. Same row count, HostLoad
+                    // provenance — the pass-9 per-batch totals are
+                    // unchanged.
+                    tl.tag([
+                        Access::read(rep(l), Region::All),
+                        Access::write(dev_rep(i), Region::Owned)
+                            .with_gen(j as u32)
+                            .with_prov(
+                                Provenance::new(ContribKind::HostLoad, l, j).rows(bc.reused_rows),
+                            ),
+                    ]);
+                    tl.h2d(i, bc.reused_rows * row);
+                }
             }
             bc.buffer_rows
         }
@@ -2768,6 +2986,9 @@ fn charge_gradient_evict<T: Timeline>(
 /// it runs on the compute stream of the previous batch, behind a stream
 /// wait (see [`ov_reuse_handoff`]).
 fn ov_forward_prefetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: usize) {
+    if ctx.pruned(l, j) {
+        return;
+    }
     tl.set_stream(StreamId::CopyIn.id());
     if l == 0 {
         // Topology streamed in once per epoch (reused across layers).
@@ -2777,6 +2998,22 @@ fn ov_forward_prefetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usiz
     }
     let row = ctx.model.layer(l).in_dim() * F32;
     ov_host_load(ctx, tl, l, i, j, row);
+    if ctx.comm == CommMode::P2pRu && !ctx.reuse_source_live(l, j) {
+        // Serving sweep with batch j−1 pruned: its compute segment never
+        // runs, so the reuse hand-off that would deposit the ℕ^gpu rows
+        // into this slot ([`ov_reuse_handoff`]) is skipped — load those
+        // rows from the host store on the copy-in stream instead.
+        let bc = &ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j];
+        if bc.reused_rows > 0 {
+            tl.tag([
+                Access::read(rep(l), Region::All),
+                Access::write(rep_slot(i, j), Region::Owned)
+                    .with_gen(j as u32)
+                    .with_prov(Provenance::new(ContribKind::HostLoad, l, j).rows(bc.reused_rows)),
+            ]);
+            tl.h2d(i, bc.reused_rows * row);
+        }
+    }
 }
 
 /// The host half of the dedup neighbor load for batch `j` (Algorithm 2
@@ -2843,7 +3080,10 @@ fn ov_reuse_handoff<T: Timeline>(
     j: usize,
     row: usize,
 ) {
-    if ctx.comm != CommMode::P2pRu || j + 1 >= ctx.dedup.n {
+    if ctx.comm != CommMode::P2pRu || j + 1 >= ctx.dedup.n || ctx.pruned(l, j + 1) {
+        // A pruned successor was never prefetched: there is no slot
+        // refill to hand rows into (its own prefetch covers the rows
+        // from the host if it ever runs again).
         return;
     }
     let bc = &ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j + 1];
@@ -2916,6 +3156,12 @@ fn ov_forward_compute<T: Timeline>(
     i: usize,
     j: usize,
 ) -> FwOut {
+    if ctx.pruned(l, j) {
+        return FwOut {
+            out: Matrix::zeros(0, 0),
+            agg: None,
+        };
+    }
     tl.set_stream(StreamId::Compute.id());
     let chunk = &ctx.plan.chunks[i][j];
     let layer = ctx.model.layer(l);
@@ -2949,6 +3195,9 @@ fn ov_forward_compute<T: Timeline>(
 /// one segment behind its compute: the `h^{l+1}` writeback (Alg 1
 /// line 9) and the hybrid checkpoint store.
 fn ov_forward_drain<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: usize) {
+    if ctx.pruned(l, j) {
+        return;
+    }
     tl.set_stream(StreamId::CopyOut.id());
     let chunk = &ctx.plan.chunks[i][j];
     let layer = ctx.model.layer(l);
@@ -3175,33 +3424,21 @@ fn plan_staging(
     let mut out_slot = 0usize;
     for l in 0..model.num_layers() {
         let layer = model.layer(l);
-        let row = layer.in_dim() * F32;
         // Inference never reloads hybrid checkpoints, so its staging
         // slots skip the checkpoint-row term entirely.
         let use_hybrid = config.mode == Mode::Train
             && config.memory == MemoryStrategy::Hybrid
             && layer.supports_agg_cache();
         for (j, chunk) in plan.chunks[gpu].iter().enumerate() {
-            let topo = chunk.topology_bytes();
-            let buf_bytes = match config.comm {
-                CommMode::Vanilla => chunk.num_neighbors() * row,
-                CommMode::P2p => {
-                    let b = &dedup.batches[j];
-                    (b.transition[gpu].len() + chunk.num_neighbors() - b.fetch[gpu][gpu]) * row
-                }
-                CommMode::P2pRu => {
-                    bufplans.expect("buffer plans built for P2pRu")[gpu].staging_bytes(row)
-                }
-            };
-            let out_bytes = chunk.num_dests() * layer.out_dim() * F32;
-            let inter = layer.intermediate_bytes(chunk);
+            let (inb, outb) =
+                batch_staging_footprint(gpu, l, j, plan, dedup, bufplans, model, config);
             // Forward batch footprint, and the backward one (checkpoint
-            // reload in; regenerated intermediates covered by `out_bytes
-            // + inter`).
-            in_slot = in_slot.max(topo + buf_bytes);
-            out_slot = out_slot.max(out_bytes + inter);
+            // reload in; regenerated intermediates covered by the
+            // output-side term).
+            in_slot = in_slot.max(inb);
+            out_slot = out_slot.max(outb);
             if use_hybrid {
-                in_slot = in_slot.max(topo + layer.agg_cache_bytes(chunk));
+                in_slot = in_slot.max(chunk.topology_bytes() + layer.agg_cache_bytes(chunk));
             }
         }
     }
@@ -3210,6 +3447,40 @@ fn plan_staging(
         in_slot_bytes: in_slot,
         out_slot_bytes: out_slot,
     }
+}
+
+/// Staging footprint of forward batch `j` at layer `l` on GPU `gpu`:
+/// input bytes (chunk topology plus the merged neighbor/transition
+/// buffer) and output bytes (layer output plus intermediates). The
+/// per-batch term both [`plan_staging`] and the serving admission check
+/// ([`Session::serve_cone_cost`]) are built on, so a cone's cost and
+/// the staging budget are always in the same units.
+#[allow(clippy::too_many_arguments)]
+fn batch_staging_footprint(
+    gpu: usize,
+    l: usize,
+    j: usize,
+    plan: &TwoLevelPartition,
+    dedup: &DedupPlan,
+    bufplans: Option<&[GpuBufferPlan]>,
+    model: &GnnModel,
+    config: &HongTuConfig,
+) -> (usize, usize) {
+    let layer = model.layer(l);
+    let row = layer.in_dim() * F32;
+    let chunk = &plan.chunks[gpu][j];
+    let topo = chunk.topology_bytes();
+    let buf_bytes = match config.comm {
+        CommMode::Vanilla => chunk.num_neighbors() * row,
+        CommMode::P2p => {
+            let b = &dedup.batches[j];
+            (b.transition[gpu].len() + chunk.num_neighbors() - b.fetch[gpu][gpu]) * row
+        }
+        CommMode::P2pRu => bufplans.expect("buffer plans built for P2pRu")[gpu].staging_bytes(row),
+    };
+    let out_bytes = chunk.num_dests() * layer.out_dim() * F32;
+    let inter = layer.intermediate_bytes(chunk);
+    (topo + buf_bytes, out_bytes + inter)
 }
 
 /// Rows of GPU `i`'s neighbor set owned by partitions on a different NUMA

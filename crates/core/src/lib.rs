@@ -20,6 +20,8 @@
 //! - [`engine`] — the HongTu executor (Algorithm 1): partition-based
 //!   training with recomputation-caching-hybrid intermediate data
 //!   management and deduplicated communication;
+//! - [`serve`] — ≤ L-hop dependency cones over the chunk topology: the
+//!   per-batch activity mask [`Session::serve`] prunes its sweep with;
 //! - [`systems`] — comparator systems: single-GPU full-graph ("DGL"),
 //!   multi-GPU in-memory ("Sancus" / HongTu-IM), single-node and
 //!   distributed CPU ("DistGNN"), and sampled mini-batch ("DistDGL").
@@ -32,6 +34,7 @@ pub mod cli;
 pub mod cost;
 pub mod engine;
 pub mod reorg;
+pub mod serve;
 pub mod systems;
 
 // The plan-construction modules moved to `hongtu-partition` so that the
@@ -48,3 +51,4 @@ pub use engine::{
     StaticMemoryBound, Trainer, ValidationLevel,
 };
 pub use reorg::{reorganize, reorganize_guarded};
+pub use serve::{ServeMask, ServeReport};

@@ -1,0 +1,567 @@
+//! Online serving layer over a HongTu [`Session`]: a FIFO queue of
+//! vertex-subset logit queries, batch formation that packs concurrent
+//! requests into one forward sweep pruned to the union of their
+//! ≤ L-hop dependency cones ([`ServeMask`]), and admission control that
+//! holds every formed batch to the staging budget
+//! ([`Session::staging_budget`]) — a request whose cone cannot fit is
+//! answered with a typed [`Overloaded`] response instead of OOM-ing the
+//! executor.
+//!
+//! Batch formation is FIFO and non-overtaking: requests are packed
+//! oldest-first; the first request that does not fit with the
+//! accumulated batch closes the batch and stays at the queue head for
+//! the next sweep, so a large request can delay but never be starved by
+//! later small ones. Only a request that exceeds the budget *alone* —
+//! and therefore can never be served — is rejected.
+//!
+//! [`run_open_loop`] drives a server with a synthetic open-loop
+//! workload ([`poisson_workload`]) on the simulated clock and reports
+//! latency percentiles, throughput, the batch-size histogram, and the
+//! admission-reject rate — the numbers `bench_serving` emits as
+//! `BENCH_serving.json`.
+
+#![forbid(unsafe_code)]
+
+use hongtu_core::{ServeMask, Session};
+use hongtu_sim::SimError;
+use hongtu_tensor::{Matrix, SeededRng};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// One vertex-subset logit query.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// Queried vertex ids (global, non-empty).
+    pub vertices: Vec<usize>,
+    /// Arrival time on the simulated clock, in seconds.
+    pub arrival: f64,
+}
+
+/// Typed admission rejection: the request's own dependency cone exceeds
+/// the per-GPU staging budget, so no sweep — batched or alone — could
+/// run it without overflowing the staging the session was sized for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Id of the rejected request.
+    pub id: u64,
+    /// Per-GPU staging cost of the request's cone, in bytes.
+    pub cone_bytes: Vec<usize>,
+    /// Per-GPU budget the cone was held against, in bytes.
+    pub budget_bytes: Vec<usize>,
+}
+
+/// A served request: the queried vertices' logits (row order follows
+/// the request's vertex order) and its end-to-end latency.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// Id of the request.
+    pub id: u64,
+    /// One logits row per queried vertex — bitwise equal to the same
+    /// rows of a full `infer_epoch`.
+    pub logits: Matrix,
+    /// Completion minus arrival on the simulated clock, in seconds.
+    pub latency: f64,
+}
+
+/// Admission control: per-GPU byte budgets a candidate batch's cone
+/// cost must fit.
+#[derive(Debug, Clone)]
+pub struct AdmissionControl {
+    budget: Vec<usize>,
+}
+
+impl AdmissionControl {
+    /// Budget from the session's own staging arithmetic
+    /// ([`Session::staging_budget`]): one input + one output staging
+    /// slot per GPU. Any single-request cone fits this by construction
+    /// (it is a subset of the full sweep the slots were sized for), so
+    /// under this budget requests are only ever *deferred*, never
+    /// rejected.
+    pub fn from_session(session: &Session) -> AdmissionControl {
+        AdmissionControl {
+            budget: session.staging_budget(),
+        }
+    }
+
+    /// Explicit per-GPU budgets — e.g. tighter than the staging plan to
+    /// bound tail latency, or for exercising the rejection path.
+    pub fn with_budget(budget: Vec<usize>) -> AdmissionControl {
+        AdmissionControl { budget }
+    }
+
+    /// The per-GPU byte budgets.
+    pub fn budget(&self) -> &[usize] {
+        &self.budget
+    }
+
+    /// Whether a sweep pruned to `mask` fits the budget on every GPU.
+    pub fn admits(&self, session: &Session, mask: &ServeMask) -> bool {
+        session
+            .serve_cone_cost(mask)
+            .iter()
+            .zip(&self.budget)
+            .all(|(cost, budget)| cost <= budget)
+    }
+}
+
+/// Result of one served batch ([`Server::step`]).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Requests served by this sweep, in FIFO order.
+    pub served: Vec<Served>,
+    /// Requests rejected while forming this batch (cone over budget
+    /// even alone).
+    pub rejected: Vec<Overloaded>,
+    /// Number of requests packed into the sweep (0 if every candidate
+    /// was rejected).
+    pub batch_size: usize,
+    /// Simulated time of the pruned sweep (0 if nothing ran).
+    pub sweep_time: f64,
+    /// `(layer, batch)` steps the pruned sweep executed.
+    pub active_steps: usize,
+    /// `(layer, batch)` steps a full sweep would have executed.
+    pub total_steps: usize,
+}
+
+/// FIFO batching server over a borrowed [`Session`].
+pub struct Server<'s> {
+    session: &'s mut Session,
+    admission: AdmissionControl,
+    batch_window: usize,
+    queue: VecDeque<Request>,
+    clock: f64,
+}
+
+impl<'s> Server<'s> {
+    /// Builds a server. `batch_window` caps how many requests one sweep
+    /// may pack (≥ 1).
+    pub fn new(
+        session: &'s mut Session,
+        admission: AdmissionControl,
+        batch_window: usize,
+    ) -> Server<'s> {
+        assert!(batch_window >= 1, "batch window must admit one request");
+        Server {
+            session,
+            admission,
+            batch_window,
+            queue: VecDeque::new(),
+            clock: 0.0,
+        }
+    }
+
+    /// Enqueues a request (FIFO).
+    pub fn submit(&mut self, request: Request) {
+        self.queue.push_back(request);
+    }
+
+    /// Requests waiting to be served.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The server's simulated clock: completion time of the last sweep
+    /// (or the last idle advance).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Advances the clock to `t` (idle wait for the next arrival);
+    /// never moves it backwards.
+    pub fn advance_to(&mut self, t: f64) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// Forms one batch from the queue head and serves it with a single
+    /// pruned sweep. Returns `None` when the queue is empty. Packing is
+    /// FIFO without overtaking: a head request that does not fit with
+    /// the accumulated batch (but would fit alone) defers — it stays at
+    /// the head and the batch closes; one that exceeds the budget even
+    /// alone is popped and rejected as [`Overloaded`].
+    pub fn step(&mut self) -> Result<Option<BatchReport>, SimError> {
+        if self.queue.is_empty() {
+            return Ok(None);
+        }
+        let layers = self.session.model().num_layers();
+        let mut rejected = Vec::new();
+        let mut batch: Vec<Request> = Vec::new();
+        let mut union: Vec<usize> = Vec::new();
+        let mut row_of: HashMap<usize, usize> = HashMap::new();
+        while batch.len() < self.batch_window {
+            let Some(head) = self.queue.front() else {
+                break;
+            };
+            let mut cand = union.clone();
+            for &v in &head.vertices {
+                if !row_of.contains_key(&v) && !cand[union.len()..].contains(&v) {
+                    cand.push(v);
+                }
+            }
+            let mask = ServeMask::from_queries(self.session.plan(), layers, &cand);
+            if self.admission.admits(self.session, &mask) {
+                let req = self.queue.pop_front().expect("head exists");
+                for &v in &cand[union.len()..] {
+                    row_of.insert(v, row_of.len());
+                }
+                union = cand;
+                batch.push(req);
+            } else if batch.is_empty() {
+                // Even alone the cone exceeds the budget: typed
+                // rejection — this request can never be served.
+                let req = self.queue.pop_front().expect("head exists");
+                rejected.push(Overloaded {
+                    id: req.id,
+                    cone_bytes: self.session.serve_cone_cost(&mask),
+                    budget_bytes: self.admission.budget.clone(),
+                });
+            } else {
+                // Defer: stays at the queue head; no later request may
+                // overtake it.
+                break;
+            }
+        }
+        if batch.is_empty() {
+            return Ok(Some(BatchReport {
+                served: Vec::new(),
+                rejected,
+                batch_size: 0,
+                sweep_time: 0.0,
+                active_steps: 0,
+                total_steps: 0,
+            }));
+        }
+
+        let report = self.session.serve(&union)?;
+        let batch_size = batch.len();
+        let start = batch.iter().fold(self.clock, |acc, r| acc.max(r.arrival));
+        self.clock = start + report.time;
+        let served = batch
+            .into_iter()
+            .map(|req| {
+                let rows: Vec<usize> = req.vertices.iter().map(|v| row_of[v]).collect();
+                Served {
+                    id: req.id,
+                    logits: report.logits.gather_rows(&rows),
+                    latency: self.clock - req.arrival,
+                }
+            })
+            .collect();
+        Ok(Some(BatchReport {
+            served,
+            rejected,
+            batch_size,
+            sweep_time: report.time,
+            active_steps: report.active_steps,
+            total_steps: report.total_steps,
+        }))
+    }
+}
+
+/// Open-loop Poisson workload: `count` requests with exponential
+/// inter-arrival times at rate `qps`, each querying a uniformly sampled
+/// subset of `subset` distinct vertices.
+pub fn poisson_workload(
+    num_vertices: usize,
+    count: usize,
+    qps: f64,
+    subset: usize,
+    rng: &mut SeededRng,
+) -> Vec<Request> {
+    assert!(qps > 0.0, "arrival rate must be positive");
+    let mut t = 0.0f64;
+    (0..count)
+        .map(|k| {
+            t += -(1.0 - rng.uniform() as f64).ln() / qps;
+            Request {
+                id: k as u64,
+                vertices: rng.sample_indices(num_vertices, subset),
+                arrival: t,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate statistics of one open-loop run ([`run_open_loop`]).
+#[derive(Debug, Clone)]
+pub struct LoadStats {
+    /// Requests served.
+    pub served: usize,
+    /// Requests rejected ([`Overloaded`]).
+    pub rejected: usize,
+    /// `rejected / (served + rejected)`.
+    pub reject_rate: f64,
+    /// Median end-to-end latency in simulated seconds.
+    pub p50_latency: f64,
+    /// 99th-percentile end-to-end latency in simulated seconds.
+    pub p99_latency: f64,
+    /// Served queries per simulated second (served / makespan).
+    pub queries_per_sec: f64,
+    /// `(batch size, occurrences)` over all non-empty sweeps, ascending.
+    pub batch_hist: Vec<(usize, usize)>,
+    /// Simulated completion time of the last sweep.
+    pub makespan: f64,
+    /// Total simulated time spent inside pruned sweeps.
+    pub total_sweep_time: f64,
+}
+
+/// Nearest-rank percentile of an unsorted latency sample (`p` in
+/// [0, 100]); 0 for an empty sample.
+pub fn percentile(latencies: &[f64], p: usize) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+/// Drives `workload` (sorted by arrival) through a [`Server`] on the
+/// simulated clock: requests are enqueued as the clock passes their
+/// arrival, the server batches work-conservingly, and the clock idles
+/// forward when the queue runs dry before the next arrival.
+pub fn run_open_loop(
+    session: &mut Session,
+    admission: AdmissionControl,
+    batch_window: usize,
+    workload: Vec<Request>,
+) -> Result<LoadStats, SimError> {
+    let mut server = Server::new(session, admission, batch_window);
+    let mut pending = workload.into_iter().peekable();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut rejected = 0usize;
+    let mut total_sweep_time = 0.0f64;
+    loop {
+        while pending.peek().is_some_and(|r| r.arrival <= server.clock()) {
+            server.submit(pending.next().expect("peeked"));
+        }
+        if server.queue_len() == 0 {
+            match pending.next() {
+                Some(r) => {
+                    server.advance_to(r.arrival);
+                    server.submit(r);
+                }
+                None => break,
+            }
+        }
+        if let Some(batch) = server.step()? {
+            latencies.extend(batch.served.iter().map(|s| s.latency));
+            rejected += batch.rejected.len();
+            total_sweep_time += batch.sweep_time;
+            if batch.batch_size > 0 {
+                *hist.entry(batch.batch_size).or_insert(0) += 1;
+            }
+        }
+    }
+    let served = latencies.len();
+    let makespan = server.clock();
+    Ok(LoadStats {
+        served,
+        rejected,
+        reject_rate: rejected as f64 / (served + rejected).max(1) as f64,
+        p50_latency: percentile(&latencies, 50),
+        p99_latency: percentile(&latencies, 99),
+        queries_per_sec: if makespan > 0.0 {
+            served as f64 / makespan
+        } else {
+            0.0
+        },
+        batch_hist: hist.into_iter().collect(),
+        makespan,
+        total_sweep_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hongtu_core::{CommMode, HongTuConfig, OverlapMode};
+    use hongtu_datasets::dataset::{Dataset, DatasetKey};
+    use hongtu_datasets::load;
+    use hongtu_nn::ModelKind;
+    use hongtu_sim::MachineConfig;
+
+    fn dataset() -> Dataset {
+        load(DatasetKey::Rdt, &mut SeededRng::new(99))
+    }
+
+    fn session(ds: &Dataset, gpus: usize) -> Session {
+        let cfg = HongTuConfig::builder()
+            .machine(MachineConfig::scaled(gpus, 512 << 20))
+            .comm(CommMode::P2pRu)
+            .reorganize(true)
+            .overlap(OverlapMode::Off)
+            .infer()
+            .build()
+            .expect("valid config");
+        Session::new(ds, ModelKind::Gcn, 16, 2, 4, cfg).expect("session")
+    }
+
+    fn request(id: u64, vertices: Vec<usize>, arrival: f64) -> Request {
+        Request {
+            id,
+            vertices,
+            arrival,
+        }
+    }
+
+    /// A budget no cone can fit yields a typed `Overloaded` response —
+    /// the sweep is never attempted, so there is no `SimError` of any
+    /// kind, let alone an OOM.
+    #[test]
+    fn over_budget_request_is_rejected_typed_not_oom() {
+        let ds = dataset();
+        let mut sess = session(&ds, 2);
+        let admission = AdmissionControl::with_budget(vec![1; 2]);
+        let mut server = Server::new(&mut sess, admission, 4);
+        server.submit(request(7, vec![0, 1], 0.0));
+        let report = server
+            .step()
+            .expect("rejection must not surface as SimError")
+            .expect("queue was non-empty");
+        assert_eq!(report.batch_size, 0);
+        assert!(report.served.is_empty());
+        assert_eq!(report.sweep_time, 0.0);
+        assert_eq!(report.rejected.len(), 1);
+        let rej = &report.rejected[0];
+        assert_eq!(rej.id, 7);
+        assert_eq!(rej.budget_bytes, vec![1; 2]);
+        assert!(
+            rej.cone_bytes
+                .iter()
+                .zip(&rej.budget_bytes)
+                .any(|(c, b)| c > b),
+            "rejection must carry the over-budget cone cost: {:?}",
+            rej.cone_bytes
+        );
+        assert_eq!(server.queue_len(), 0, "rejected request leaves the queue");
+    }
+
+    /// Under the session's own staging budget every request fits (its
+    /// cone is a subset of the full sweep the slots were sized for):
+    /// nothing is rejected and FIFO order is preserved within the batch.
+    #[test]
+    fn default_budget_serves_all_in_fifo_order() {
+        let ds = dataset();
+        let n = ds.graph.num_vertices();
+        let mut sess = session(&ds, 2);
+        let admission = AdmissionControl::from_session(&sess);
+        let mut server = Server::new(&mut sess, admission, 8);
+        server.submit(request(1, vec![0], 0.0));
+        server.submit(request(2, vec![n / 2, 0], 0.1));
+        server.submit(request(3, vec![n - 1], 0.2));
+        let report = server.step().expect("serve").expect("non-empty queue");
+        assert!(report.rejected.is_empty());
+        assert_eq!(report.batch_size, 3);
+        let ids: Vec<u64> = report.served.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        for s in &report.served {
+            assert!(s.latency > 0.0);
+            assert!(s.logits.rows() >= 1);
+        }
+        assert_eq!(report.served[1].logits.rows(), 2);
+        assert!(report.active_steps < report.total_steps || report.batch_size == 3);
+    }
+
+    /// `batch_window = 1` degenerates to one sweep per request, still in
+    /// submission order across steps.
+    #[test]
+    fn batch_window_caps_batch_size_fifo_across_steps() {
+        let ds = dataset();
+        let mut sess = session(&ds, 1);
+        let admission = AdmissionControl::from_session(&sess);
+        let mut server = Server::new(&mut sess, admission, 1);
+        for (k, v) in [(10u64, 0usize), (11, 3), (12, 5)] {
+            server.submit(request(k, vec![v], 0.0));
+        }
+        let mut order = Vec::new();
+        while let Some(report) = server.step().expect("serve") {
+            assert_eq!(report.batch_size, 1);
+            order.extend(report.served.iter().map(|s| s.id));
+        }
+        assert_eq!(order, vec![10, 11, 12]);
+    }
+
+    /// Served rows are bitwise equal to the same rows of a full
+    /// `infer_epoch` on an identically seeded fresh session.
+    #[test]
+    fn served_logits_match_full_inference_rows() {
+        let ds = dataset();
+        let n = ds.graph.num_vertices();
+        let vertices = [0usize, 1, n / 3, n - 1];
+        let served = {
+            let mut sess = session(&ds, 2);
+            let admission = AdmissionControl::from_session(&sess);
+            let mut server = Server::new(&mut sess, admission, 4);
+            server.submit(request(0, vertices.to_vec(), 0.0));
+            let report = server.step().expect("serve").expect("non-empty queue");
+            report.served[0].logits.clone()
+        };
+        let full = {
+            let mut sess = session(&ds, 2);
+            sess.infer_epoch().expect("infer epoch").logits
+        };
+        assert_eq!(served, full.gather_rows(&vertices));
+    }
+
+    #[test]
+    fn poisson_workload_arrivals_monotone_nondecreasing() {
+        let mut rng = SeededRng::new(1234);
+        let reqs = poisson_workload(100, 50, 8.0, 5, &mut rng);
+        assert_eq!(reqs.len(), 50);
+        let mut prev = 0.0f64;
+        for (k, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id, k as u64);
+            assert_eq!(r.vertices.len(), 5);
+            assert!(r.vertices.iter().all(|&v| v < 100));
+            assert!(r.arrival >= prev, "arrivals must be non-decreasing");
+            assert!(r.arrival.is_finite());
+            prev = r.arrival;
+        }
+        assert!(prev > 0.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99), 0.0);
+        assert_eq!(percentile(&[4.0], 50), 4.0);
+        let sample: Vec<f64> = (1..=100).map(|k| k as f64).collect();
+        assert_eq!(percentile(&sample, 50), 50.0);
+        assert_eq!(percentile(&sample, 99), 99.0);
+        assert_eq!(percentile(&sample, 100), 100.0);
+        assert_eq!(percentile(&sample, 0), 1.0);
+    }
+
+    /// Open-loop smoke: under the session's own budget every request is
+    /// served, the tail is finite, and the histogram accounts for every
+    /// served request.
+    #[test]
+    fn open_loop_under_budget_serves_everything() {
+        let ds = dataset();
+        let n = ds.graph.num_vertices();
+        let mut sess = session(&ds, 2);
+        let admission = AdmissionControl::from_session(&sess);
+        let mut rng = SeededRng::new(7);
+        let workload = poisson_workload(n, 10, 50.0, 3, &mut rng);
+        let stats = run_open_loop(&mut sess, admission, 4, workload).expect("open loop");
+        assert_eq!(stats.served, 10);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.reject_rate, 0.0);
+        assert!(stats.p50_latency.is_finite() && stats.p50_latency > 0.0);
+        assert!(stats.p99_latency.is_finite() && stats.p99_latency >= stats.p50_latency);
+        assert!(stats.queries_per_sec > 0.0);
+        assert!(stats.makespan > 0.0);
+        assert!(stats.total_sweep_time > 0.0);
+        let hist_total: usize = stats
+            .batch_hist
+            .iter()
+            .map(|(size, count)| size * count)
+            .sum();
+        assert_eq!(hist_total, 10);
+        assert!(stats
+            .batch_hist
+            .iter()
+            .all(|&(size, _)| (1..=4).contains(&size)));
+    }
+}

@@ -180,6 +180,21 @@ impl StagingPlan {
         2 * (self.in_slot_bytes + self.out_slot_bytes)
     }
 
+    /// Byte budget one in-flight batch may occupy: one input plus one
+    /// output slot. The serving layer's admission control holds a
+    /// request cone's worst per-batch footprint to this bound, so an
+    /// admitted pruned sweep fits the staging the full sweep was sized
+    /// for.
+    pub fn slot_budget(&self) -> usize {
+        self.in_slot_bytes + self.out_slot_bytes
+    }
+
+    /// Whether a batch with the given input/output footprint fits the
+    /// staging slots component-wise.
+    pub fn fits(&self, in_bytes: usize, out_bytes: usize) -> bool {
+        in_bytes <= self.in_slot_bytes && out_bytes <= self.out_slot_bytes
+    }
+
     /// Allocates the four staging slots on the machine. Fails with
     /// [`SimError::OutOfMemory`] — naming the slot label and the GPU —
     /// when the double-buffer does not fit, which is how an oversized
@@ -299,5 +314,19 @@ mod tests {
     #[test]
     fn overlap_mode_defaults_off() {
         assert_eq!(OverlapMode::default(), OverlapMode::Off);
+    }
+
+    #[test]
+    fn slot_budget_is_one_batch_of_staging() {
+        let plan = StagingPlan {
+            gpu: 0,
+            in_slot_bytes: 3_000,
+            out_slot_bytes: 1_000,
+        };
+        assert_eq!(plan.slot_budget(), 4_000);
+        assert_eq!(plan.total_bytes(), 2 * plan.slot_budget());
+        assert!(plan.fits(3_000, 1_000));
+        assert!(!plan.fits(3_001, 0));
+        assert!(!plan.fits(0, 1_001));
     }
 }

@@ -9,7 +9,7 @@
 //! verifier passes. Exits 0 if every plan is clean, 1 if any diagnostic
 //! fires (or on bad arguments).
 
-use hongtu_core::cli::parse_datasets;
+use hongtu_core::cli::{parse_datasets, FlagParser};
 use hongtu_datasets::{load, DatasetKey};
 use hongtu_partition::{DedupPlan, GpuBufferPlan, TwoLevelPartition};
 use hongtu_tensor::SeededRng;
@@ -32,30 +32,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         chunks: 4,
         seed: 42,
     };
-    let mut it = argv.iter();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+    let mut p = FlagParser::new(argv.to_vec());
+    while let Some(flag) = p.next_flag() {
         match flag.as_str() {
-            "--dataset" => args.datasets = parse_datasets(&value("--dataset")?)?,
-            "--gpus" => {
-                args.gpus = value("--gpus")?
-                    .parse()
-                    .map_err(|e| format!("--gpus: {e}"))?
-            }
-            "--chunks" => {
-                args.chunks = value("--chunks")?
-                    .parse()
-                    .map_err(|e| format!("--chunks: {e}"))?
-            }
-            "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
+            "--dataset" => args.datasets = p.value_with("--dataset", parse_datasets)?,
+            "--gpus" => args.gpus = p.parse_value("--gpus")?,
+            "--chunks" => args.chunks = p.parse_value("--chunks")?,
+            "--seed" => args.seed = p.parse_value("--seed")?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);

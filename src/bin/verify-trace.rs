@@ -21,6 +21,7 @@
 
 use hongtu_core::cli::{
     parse_comm, parse_datasets, parse_exec, parse_memory, parse_mode, parse_model, parse_overlap,
+    FlagParser,
 };
 use hongtu_core::{
     CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, Mode, OverlapMode,
@@ -73,52 +74,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         overlap: OverlapMode::Off,
         mode: Mode::Train,
     };
-    let mut it = argv.iter();
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+    let mut p = FlagParser::new(argv.to_vec());
+    while let Some(flag) = p.next_flag() {
         match flag.as_str() {
-            "--dataset" => args.datasets = parse_datasets(&value("--dataset")?)?,
-            "--gpus" => {
-                args.gpus = value("--gpus")?
-                    .parse()
-                    .map_err(|e| format!("--gpus: {e}"))?
-            }
-            "--chunks" => {
-                args.chunks = value("--chunks")?
-                    .parse()
-                    .map_err(|e| format!("--chunks: {e}"))?
-            }
-            "--seed" => {
-                args.seed = value("--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
-            }
-            "--model" => args.model = parse_model(&value("--model")?)?,
-            "--hidden" => {
-                args.hidden = value("--hidden")?
-                    .parse()
-                    .map_err(|e| format!("--hidden: {e}"))?
-            }
-            "--layers" => {
-                args.layers = value("--layers")?
-                    .parse()
-                    .map_err(|e| format!("--layers: {e}"))?
-            }
-            "--comm" => args.comm = parse_comm(&value("--comm")?)?,
-            "--memory" => args.memory = parse_memory(&value("--memory")?)?,
-            "--epochs" => {
-                args.epochs = value("--epochs")?
-                    .parse()
-                    .map_err(|e| format!("--epochs: {e}"))?
-            }
+            "--dataset" => args.datasets = p.value_with("--dataset", parse_datasets)?,
+            "--gpus" => args.gpus = p.parse_value("--gpus")?,
+            "--chunks" => args.chunks = p.parse_value("--chunks")?,
+            "--seed" => args.seed = p.parse_value("--seed")?,
+            "--model" => args.model = p.value_with("--model", parse_model)?,
+            "--hidden" => args.hidden = p.parse_value("--hidden")?,
+            "--layers" => args.layers = p.parse_value("--layers")?,
+            "--comm" => args.comm = p.value_with("--comm", parse_comm)?,
+            "--memory" => args.memory = p.value_with("--memory", parse_memory)?,
+            "--epochs" => args.epochs = p.parse_value("--epochs")?,
             "--determinism" => args.determinism = true,
-            "--exec" => args.exec = parse_exec(&value("--exec")?)?,
-            "--overlap" => args.overlap = parse_overlap(&value("--overlap")?)?,
-            "--mode" => args.mode = parse_mode(&value("--mode")?)?,
+            "--exec" => args.exec = p.value_with("--exec", parse_exec)?,
+            "--overlap" => args.overlap = p.value_with("--overlap", parse_overlap)?,
+            "--mode" => args.mode = p.value_with("--mode", parse_mode)?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);

@@ -16,6 +16,7 @@ pub use hongtu_graph as graph;
 pub use hongtu_nn as nn;
 pub use hongtu_parallel as parallel;
 pub use hongtu_partition as partition;
+pub use hongtu_serving as serving;
 pub use hongtu_sim as sim;
 pub use hongtu_stream as stream;
 pub use hongtu_tensor as tensor;

@@ -53,6 +53,10 @@ cargo test -q --release --test overlap_executor
 echo "==> inference executor certification, release profile"
 cargo test -q --release --test inference_executor
 
+echo "==> serving layer certification, release profile"
+cargo test -q --release -p hongtu-serving
+cargo test -q --release --test serving_executor
+
 echo "==> bench smoke: sequential vs parallel wall-clock (BENCH_parallel.json)"
 cargo run -q --release -p hongtu-bench --bin bench_parallel -- --out BENCH_parallel.json
 
@@ -61,6 +65,9 @@ cargo run -q --release -p hongtu-bench --bin bench_overlap -- --out BENCH_overla
 
 echo "==> bench smoke: infer vs train-epoch sim time and memory (BENCH_infer.json)"
 cargo run -q --release -p hongtu-bench --bin bench_infer -- --out BENCH_infer.json
+
+echo "==> bench smoke: serving path, pruned sweep vs full + open-loop load (BENCH_serving.json)"
+cargo run -q --release -p hongtu-bench --bin bench_serving -- --out BENCH_serving.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
