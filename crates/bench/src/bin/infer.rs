@@ -20,14 +20,25 @@
 //! sweep), are FIFO-batched up to `--batch-window` per pruned sweep,
 //! and the run reports p50/p99 latency, queries/sec and the reject
 //! rate.
+//!
+//! `--deltas N` interleaves N graph updates (delta batches of kind
+//! `--delta-mix edge|feature|mixed`, default mixed) into the serving
+//! stream, committed FIFO through the session's incremental cone-local
+//! recompute: queries reflect exactly the updates enqueued before
+//! them. The run additionally reports committed/rejected update counts
+//! and update-latency percentiles.
 
 use hongtu_core::cli::{
     logits_digest, parse_comm, parse_dataset, parse_exec, parse_model, parse_overlap, FlagParser,
 };
 use hongtu_core::{CommMode, ExecutionMode, HongTuConfig, OverlapMode, Session};
 use hongtu_datasets::{load, DatasetKey};
+use hongtu_delta::{toggle_workload, DeltaMix, DynamicGraph};
 use hongtu_nn::ModelKind;
-use hongtu_serving::{poisson_workload, run_open_loop, AdmissionControl};
+use hongtu_serving::{
+    poisson_workload, run_mixed_open_loop, run_open_loop, AdmissionControl, Request, UpdateRequest,
+    WorkItem,
+};
 use hongtu_tensor::SeededRng;
 
 #[derive(Debug)]
@@ -50,6 +61,8 @@ struct Args {
     serve: Option<usize>,
     qps: f64,
     batch_window: usize,
+    deltas: usize,
+    delta_mix: DeltaMix,
 }
 
 impl Default for Args {
@@ -73,6 +86,8 @@ impl Default for Args {
             serve: None,
             qps: 0.0,
             batch_window: 4,
+            deltas: 0,
+            delta_mix: DeltaMix::Mixed,
         }
     }
 }
@@ -84,7 +99,8 @@ fn usage() -> ! {
          \x20            [--gpu-mem-mb N] [--comm full|p2p|vanilla]\n\
          \x20            [--exec sequential|parallel] [--overlap off|doublebuffer]\n\
          \x20            [--no-reorg] [--seed N] [--load FILE] [--quiet]\n\
-         \x20            [--serve N] [--qps RATE] [--batch-window N]"
+         \x20            [--serve N] [--qps RATE] [--batch-window N]\n\
+         \x20            [--deltas N] [--delta-mix edge|feature|mixed]"
     );
     std::process::exit(2);
 }
@@ -113,6 +129,12 @@ fn try_parse_args() -> Result<Args, String> {
             "--serve" => args.serve = Some(it.parse_value("--serve")?),
             "--qps" => args.qps = it.parse_value("--qps")?,
             "--batch-window" => args.batch_window = it.parse_value("--batch-window")?,
+            "--deltas" => args.deltas = it.parse_value("--deltas")?,
+            "--delta-mix" => {
+                args.delta_mix = it.value_with("--delta-mix", |s| {
+                    DeltaMix::parse(s).ok_or_else(|| format!("bad --delta-mix {s:?}"))
+                })?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -177,6 +199,94 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if args.deltas > 0 {
+        let n = dataset.num_vertices();
+        let subset = 8.min(n);
+        let queries = args.serve.unwrap_or(0);
+        let total = queries + args.deltas;
+        let mut rng = SeededRng::new(args.seed ^ 0x7372_7665);
+        let mut dg = DynamicGraph::from_dataset(&dataset);
+        // Updates patch the host layer stores in place, so they must be
+        // current before the first commit: one full priming sweep
+        // (whose simulated time also calibrates the arrival rate).
+        let prime = match session.infer_epoch() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("priming sweep failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let qps = if args.qps > 0.0 {
+            args.qps
+        } else {
+            2.5 / prime.time.max(1e-12)
+        };
+        // Exactly `--deltas` updates at uniformly sampled queue
+        // positions; toggle batches are generated — and therefore
+        // valid — in FIFO commit order.
+        let mut is_update = vec![false; total];
+        for p in rng.sample_indices(total, args.deltas) {
+            is_update[p] = true;
+        }
+        let mut batches = toggle_workload(
+            dg.graph(),
+            dg.features().cols(),
+            args.deltas,
+            2,
+            args.delta_mix,
+            &mut rng,
+        )
+        .into_iter();
+        let mut t = 0.0f64;
+        let workload: Vec<WorkItem> = (0..total)
+            .map(|k| {
+                t += -(1.0 - rng.uniform() as f64).ln() / qps;
+                if is_update[k] {
+                    WorkItem::Update(UpdateRequest {
+                        id: k as u64,
+                        deltas: batches.next().expect("one batch per update"),
+                        arrival: t,
+                    })
+                } else {
+                    WorkItem::Query(Request {
+                        id: k as u64,
+                        vertices: rng.sample_indices(n, subset),
+                        arrival: t,
+                    })
+                }
+            })
+            .collect();
+        let admission = AdmissionControl::from_session(&session);
+        let stats = match run_mixed_open_loop(
+            &mut session,
+            &mut dg,
+            admission,
+            args.batch_window,
+            workload,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mixed serving failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "served {}/{queries} queries, committed {}/{} updates (rejected {} / {}) \
+             | query p50 {:.3} ms p99 {:.3} ms | update p50 {:.3} ms p99 {:.3} ms \
+             | graph epoch {}",
+            stats.served,
+            stats.updates_committed,
+            args.deltas,
+            stats.rejected,
+            stats.updates_rejected,
+            stats.p50_latency * 1e3,
+            stats.p99_latency * 1e3,
+            stats.p50_update_latency * 1e3,
+            stats.p99_update_latency * 1e3,
+            dg.epoch(),
+        );
+        return;
     }
     if let Some(requests) = args.serve {
         let n = dataset.num_vertices();

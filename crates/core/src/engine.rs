@@ -38,6 +38,7 @@ use crate::dedup::DedupPlan;
 use crate::reorg::reorganize_guarded;
 use crate::serve::{ServeMask, ServeReport};
 use hongtu_datasets::Dataset;
+use hongtu_delta::{Delta, DynamicGraph, StagedCommit};
 use hongtu_nn::{
     masked_cross_entropy, GnnLayer, GnnModel, LayerForward, LayerGrads, MaskedLoss, ModelKind,
 };
@@ -384,6 +385,52 @@ fn invalid_plan(report: &Report) -> SimError {
     }
 }
 
+/// Derives the §6-accurate per-(GPU, batch) communication table of the
+/// P2P+RU executor from the merged in-place buffer plans: rows the owner
+/// loads host→GPU, rows fetched from each remote GPU, rows reused in
+/// place, and the resident buffer capacity. `None` in every other comm
+/// mode. Shared by session construction and the incremental
+/// delta-rebuild path ([`Session::apply_deltas`]).
+fn build_buffer_comm(
+    plan: &TwoLevelPartition,
+    bufplans: Option<&[GpuBufferPlan]>,
+    comm: CommMode,
+) -> Option<Vec<Vec<BatchComm>>> {
+    if comm != CommMode::P2pRu {
+        return None;
+    }
+    let owner = &plan.assignment.partition_of;
+    let per_gpu = bufplans
+        .expect("buffer plans built for P2pRu")
+        .iter()
+        .map(|bp| {
+            bp.batches
+                .iter()
+                .map(|b| {
+                    let mut h2d_rows = 0usize;
+                    let mut d2d_rows = vec![0usize; plan.m];
+                    for &(t, _) in &b.incoming {
+                        let v = b.merged[t as usize] as usize;
+                        let o = owner[v] as usize;
+                        if o == bp.gpu {
+                            h2d_rows += 1;
+                        } else {
+                            d2d_rows[o] += 1;
+                        }
+                    }
+                    BatchComm {
+                        h2d_rows,
+                        d2d_rows,
+                        reused_rows: b.reused(),
+                        buffer_rows: bp.capacity,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect::<Vec<_>>();
+    Some(per_gpu)
+}
+
 /// Converts a failed trace-certification report into the engine error.
 fn invalid_schedule(report: &Report) -> SimError {
     let code = report
@@ -458,6 +505,35 @@ pub struct InferReport {
     /// High-water host memory in bytes (the layer stores `h^l`; no
     /// gradient or checkpoint buffers exist on an inference session).
     pub peak_host_bytes: usize,
+}
+
+/// Result of one committed delta batch ([`Session::apply_deltas`]):
+/// the mutated graph's post-commit logits plus what the incremental
+/// replay cost relative to a full sweep.
+#[derive(Debug, Clone)]
+pub struct DeltaReport {
+    /// The [`hongtu_delta::DynamicGraph`] epoch the commit produced.
+    pub epoch: u64,
+    /// Full per-vertex logits `h^L` after the in-place patch — bitwise
+    /// equal to a from-scratch [`Session::infer_epoch`] on the mutated
+    /// graph.
+    pub logits: Matrix,
+    /// Simulated replay time in seconds (critical path over GPUs).
+    pub time: f64,
+    /// Per-component simulated time/volume of the replay.
+    pub buckets: TimeBuckets,
+    /// High-water device memory across GPUs, in bytes.
+    pub peak_gpu_bytes: usize,
+    /// High-water host memory in bytes.
+    pub peak_host_bytes: usize,
+    /// `(layer, batch)` steps the replay executed.
+    pub active_steps: usize,
+    /// `(layer, batch)` steps a full sweep would have executed.
+    pub total_steps: usize,
+    /// Dirty `h^1` seed vertices the batch invalidated.
+    pub dirty_vertices: usize,
+    /// Chunk subgraphs rebuilt against the mutated topology.
+    pub rebuilt_chunks: usize,
 }
 
 /// Static peak-memory bound per tier, derived from the plans alone
@@ -540,6 +616,21 @@ impl StepCtx<'_> {
         match self.mask {
             None => true,
             Some(m) => j > 0 && m.active(l, j - 1),
+        }
+    }
+
+    /// Whether `(l, j)` is the step that streams batch `j`'s topology to
+    /// the device (reused by every later layer of the epoch). Full sweeps
+    /// upload at layer 0; under a mask the upload belongs to the batch's
+    /// *first active* layer. Downward-closed query cones make that layer 0
+    /// whenever the batch is active at all (so serving behavior is
+    /// unchanged), but the upward-closed delta-replay cones may first
+    /// activate a batch above layer 0 — uploading only at `l == 0` would
+    /// leave its topology reads dangling.
+    fn topology_upload_layer(&self, l: usize, j: usize) -> bool {
+        match self.mask {
+            None => l == 0,
+            Some(m) => m.active(l, j) && !(0..l).any(|k| m.active(k, j)),
         }
     }
 }
@@ -692,41 +783,7 @@ impl Session {
 
         // Full dedup mode plans the in-place merged buffers of §6, which
         // also lets reused rows skip the inter-GPU fetch.
-        let buffer_comm = if config.comm == CommMode::P2pRu {
-            let owner = &plan.assignment.partition_of;
-            let per_gpu = bufplans
-                .as_deref()
-                .expect("buffer plans built for P2pRu")
-                .iter()
-                .map(|bp| {
-                    bp.batches
-                        .iter()
-                        .map(|b| {
-                            let mut h2d_rows = 0usize;
-                            let mut d2d_rows = vec![0usize; plan.m];
-                            for &(t, _) in &b.incoming {
-                                let v = b.merged[t as usize] as usize;
-                                let o = owner[v] as usize;
-                                if o == bp.gpu {
-                                    h2d_rows += 1;
-                                } else {
-                                    d2d_rows[o] += 1;
-                                }
-                            }
-                            BatchComm {
-                                h2d_rows,
-                                d2d_rows,
-                                reused_rows: b.reused(),
-                                buffer_rows: bp.capacity,
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .collect::<Vec<_>>();
-            Some(per_gpu)
-        } else {
-            None
-        };
+        let buffer_comm = build_buffer_comm(&plan, bufplans.as_deref(), config.comm);
         let volumes = CommVolumes::from_plan(&dedup);
         // Modeled preprocessing cost: the heuristic streams every neighbor
         // list a handful of times (phase-1 intersections + index planning).
@@ -1014,8 +1071,48 @@ impl Session {
         vertices: &[usize],
         explore: Option<usize>,
     ) -> Result<Report, SimError> {
+        let mask = ServeMask::from_queries(&self.plan, self.model.num_layers(), vertices);
+        let mut report = hongtu_verify::verify_cone(mask.grid(), hongtu_verify::ConeDir::Downward);
         let trace = self.synthesize_serve_schedule(vertices)?;
-        let mut report = hongtu_verify::verify_schedule(&trace, explore);
+        report.merge(hongtu_verify::verify_schedule(&trace, explore));
+        report.merge(hongtu_verify::verify_dataflow(
+            &trace,
+            &self.dataflow_spec(),
+        ));
+        Ok(report)
+    }
+
+    /// Symbolically synthesizes the pruned repair sweep a
+    /// [`Session::apply_deltas`] replay for `dirty` seed vertices would
+    /// execute against the session's *current* plans — the delta
+    /// counterpart of [`Session::synthesize_serve_schedule`]. Call it
+    /// after the apply (on the rebuilt plans) to certify the replay
+    /// that just ran. The session itself is not perturbed.
+    pub fn synthesize_delta_schedule(&self, dirty: &[usize]) -> Result<Trace, SimError> {
+        let mut s = self.clone_for_synthesis();
+        s.serve_mask = Some(ServeMask::from_dirty(&s.plan, s.model.num_layers(), dirty));
+        s.machine.replace_trace(Trace::unbounded());
+        s.infer_epoch_inner()?;
+        Ok(s.machine.replace_trace(Trace::disabled()))
+    }
+
+    /// Statically certifies the incremental repair sweep for `dirty`
+    /// seed vertices: checks the upward closure of the affected-cone
+    /// mask (pass 10, C9xx), synthesizes the pruned replay schedule
+    /// ([`Session::synthesize_delta_schedule`]), and runs the schedule
+    /// passes (6–8) plus dataflow conservation (pass 9) over it.
+    /// Skipped batches emit no `Aggregate` events, so the unmodified
+    /// plan-derived [`hongtu_verify::DataflowSpec`] certifies exactly
+    /// the batches the replay ran.
+    pub fn certify_delta(
+        &self,
+        dirty: &[usize],
+        explore: Option<usize>,
+    ) -> Result<Report, SimError> {
+        let mask = ServeMask::from_dirty(&self.plan, self.model.num_layers(), dirty);
+        let mut report = hongtu_verify::verify_cone(mask.grid(), hongtu_verify::ConeDir::Upward);
+        let trace = self.synthesize_delta_schedule(dirty)?;
+        report.merge(hongtu_verify::verify_schedule(&trace, explore));
         report.merge(hongtu_verify::verify_dataflow(
             &trace,
             &self.dataflow_spec(),
@@ -1332,6 +1429,217 @@ impl Session {
             peak_host_bytes: report.peak_host_bytes,
             active_steps: mask.active_steps(),
             total_steps: mask.total_steps(),
+        })
+    }
+
+    /// Applies one batch of graph mutations and incrementally repairs
+    /// every host-resident layer store in place: stages the batch
+    /// against `dg`, rebuilds exactly the chunk subgraphs whose
+    /// computation the mutations changed (destination membership is
+    /// kept fixed, so untouched chunks stay bitwise identical),
+    /// re-derives the downstream dedup/buffer/staging plans when the
+    /// topology moved, FIFO-commits the batch, patches the mutated
+    /// feature rows into `h^0`, and replays only the *upward-closed*
+    /// affected cone ([`ServeMask::from_dirty`]) through the same step
+    /// functions — and, under [`ValidationLevel::Paranoid`], the same
+    /// per-epoch schedule certification — as a full
+    /// [`Session::infer_epoch`].
+    ///
+    /// The returned logits are bitwise equal to a from-scratch
+    /// inference epoch on the mutated graph: every row a replayed chunk
+    /// reads at layer `l` is either bitwise-unchanged in `h^l` (its
+    /// in-edge lists, weights, and transitive inputs are untouched) or
+    /// was recomputed at layer `l − 1` (upward closure keeps dirty rows
+    /// covered a layer below). That induction assumes the layer stores
+    /// are *current* — run [`Session::infer_epoch`] once after
+    /// construction before the first incremental apply (construction
+    /// zero-fills `h^{l>0}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is invalid against `dg`
+    /// ([`hongtu_delta::DeltaError`] — validate with
+    /// [`DynamicGraph::stage`] first for a fallible path), if it is
+    /// empty, or if `dg`'s vertex count differs from the session's.
+    pub fn apply_deltas(
+        &mut self,
+        dg: &mut DynamicGraph,
+        deltas: &[Delta],
+    ) -> Result<DeltaReport, SimError> {
+        let staged = dg
+            .stage(deltas)
+            .unwrap_or_else(|e| panic!("invalid delta batch: {e}"));
+        self.apply_staged_impl(dg, staged, true)
+    }
+
+    /// [`Session::apply_deltas`] for an already-staged batch (the
+    /// serving queue stages once for admission pricing and reuses the
+    /// result here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `staged` is empty, was staged against a different
+    /// epoch of `dg`, or if `dg`'s vertex count differs from the
+    /// session's.
+    pub fn apply_staged(
+        &mut self,
+        dg: &mut DynamicGraph,
+        staged: StagedCommit,
+    ) -> Result<DeltaReport, SimError> {
+        self.apply_staged_impl(dg, staged, true)
+    }
+
+    /// Baseline twin of [`Session::apply_deltas`]: identical staging,
+    /// chunk/plan rebuild, and commit, but the repair sweep replays
+    /// **every** `(layer, batch)` step instead of the affected cone.
+    /// Exists so benchmarks (`bench_delta`) can compare incremental
+    /// against full recompute on perfectly matched state — the logits
+    /// of both paths are bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// As [`Session::apply_deltas`].
+    pub fn apply_deltas_full(
+        &mut self,
+        dg: &mut DynamicGraph,
+        deltas: &[Delta],
+    ) -> Result<DeltaReport, SimError> {
+        let staged = dg
+            .stage(deltas)
+            .unwrap_or_else(|e| panic!("invalid delta batch: {e}"));
+        self.apply_staged_impl(dg, staged, false)
+    }
+
+    fn apply_staged_impl(
+        &mut self,
+        dg: &mut DynamicGraph,
+        staged: StagedCommit,
+        incremental: bool,
+    ) -> Result<DeltaReport, SimError> {
+        assert_eq!(
+            dg.num_vertices(),
+            self.h[0].rows(),
+            "dynamic graph and session disagree on vertex count"
+        );
+        assert!(
+            !staged.dirty().is_empty(),
+            "empty delta batch: nothing to replay"
+        );
+
+        // ---- rebuild the chunk subgraphs whose computation changed:
+        // a chunk is stale iff it owns a structurally dirty dest (its
+        // edge list or global-degree GCN weights moved). Destination
+        // membership is never re-balanced, so every other chunk — and
+        // its rows in every h^l — stays bitwise identical. ----
+        let mut rebuilt = 0usize;
+        if !staged.structural().is_empty() {
+            let mut structural = vec![false; dg.num_vertices()];
+            for &s in staged.structural() {
+                structural[s] = true;
+            }
+            for row in &mut self.plan.chunks {
+                for chunk in row.iter_mut() {
+                    if chunk.dests.iter().any(|&d| structural[d as usize]) {
+                        *chunk = ChunkSubgraph::build(
+                            staged.graph(),
+                            chunk.part,
+                            chunk.chunk,
+                            chunk.dests.clone(),
+                        );
+                        rebuilt += 1;
+                    }
+                }
+            }
+
+            // ---- downstream plans follow the topology ----
+            self.dedup = DedupPlan::build(&self.plan);
+            let bufplans = if self.config.validation != ValidationLevel::Off
+                || self.config.comm == CommMode::P2pRu
+            {
+                Some(GpuBufferPlan::build_all(&self.plan, &self.dedup))
+            } else {
+                None
+            };
+            if self.config.validation != ValidationLevel::Off {
+                let report = hongtu_verify::verify_all(
+                    staged.graph(),
+                    &self.plan,
+                    &self.dedup,
+                    bufplans.as_deref().unwrap_or(&[]),
+                );
+                if !report.is_ok() {
+                    return Err(invalid_plan(&report));
+                }
+            }
+            self.buffer_comm = build_buffer_comm(&self.plan, bufplans.as_deref(), self.config.comm);
+            self.preprocessing.volumes = CommVolumes::from_plan(&self.dedup);
+
+            // ---- re-pin staging for the new worst-case footprint ----
+            if let Some(old) = self.staging.take() {
+                for p in &old {
+                    p.uninstall(&mut self.machine);
+                }
+                let plans: Vec<StagingPlan> = (0..self.plan.m)
+                    .map(|gpu| {
+                        plan_staging(
+                            gpu,
+                            &self.plan,
+                            &self.dedup,
+                            bufplans.as_deref(),
+                            &self.model,
+                            &self.config,
+                        )
+                    })
+                    .collect();
+                for p in &plans {
+                    p.install(&mut self.machine)?;
+                }
+                self.staging = Some(plans);
+            }
+            if self.config.validation == ValidationLevel::Paranoid {
+                self.paranoid_bufs = bufplans;
+            }
+        }
+
+        // ---- FIFO commit, then patch the mutated feature rows into
+        // h^0: the replay below reads them at layer 0 ----
+        let dirty = staged.dirty().to_vec();
+        let patches = staged.feature_patches().to_vec();
+        let receipt = dg.commit(staged);
+        for (vtx, row) in &patches {
+            self.h[0].row_mut(*vtx).copy_from_slice(row);
+        }
+
+        // ---- replay the affected cone (or everything, for the
+        // full-recompute baseline) through the inference sweep ----
+        let mask = ServeMask::from_dirty(&self.plan, self.model.num_layers(), &dirty);
+        if self.config.validation != ValidationLevel::Off {
+            let report = hongtu_verify::verify_cone(mask.grid(), hongtu_verify::ConeDir::Upward);
+            if !report.is_ok() {
+                return Err(invalid_plan(&report));
+            }
+        }
+        if incremental {
+            self.serve_mask = Some(mask.clone());
+        }
+        let result = self.epoch_certified(Self::infer_epoch_inner);
+        self.serve_mask = None;
+        let report = result?;
+        Ok(DeltaReport {
+            epoch: receipt.epoch,
+            logits: report.logits,
+            time: report.time,
+            buckets: report.buckets,
+            peak_gpu_bytes: report.peak_gpu_bytes,
+            peak_host_bytes: report.peak_host_bytes,
+            active_steps: if incremental {
+                mask.active_steps()
+            } else {
+                mask.total_steps()
+            },
+            total_steps: mask.total_steps(),
+            dirty_vertices: dirty.len(),
+            rebuilt_chunks: rebuilt,
         })
     }
 
@@ -2507,8 +2815,9 @@ fn forward_compute_step<T: Timeline>(
     tl.alloc(i, topo, "chunk topology")?;
     tl.alloc(i, out_bytes, "layer output")?;
     tl.alloc(i, inter, "intermediate data")?;
-    if l == 0 {
-        // Topology streamed in once per epoch (reused across layers).
+    if ctx.topology_upload_layer(l, j) {
+        // Topology streamed in once per epoch (reused across layers),
+        // at the batch's first active layer.
         tl.tag([Access::write(topology(i), chunk_region(i, j))]);
         tl.h2d(i, topo);
     }
@@ -2990,8 +3299,9 @@ fn ov_forward_prefetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usiz
         return;
     }
     tl.set_stream(StreamId::CopyIn.id());
-    if l == 0 {
-        // Topology streamed in once per epoch (reused across layers).
+    if ctx.topology_upload_layer(l, j) {
+        // Topology streamed in once per epoch (reused across layers),
+        // at the batch's first active layer.
         let topo = ctx.plan.chunks[i][j].topology_bytes();
         tl.tag([Access::write(topology(i), chunk_region(i, j))]);
         tl.h2d(i, topo);

@@ -20,8 +20,13 @@
 //! - [`engine`] — the HongTu executor (Algorithm 1): partition-based
 //!   training with recomputation-caching-hybrid intermediate data
 //!   management and deduplicated communication;
+//! - [`cone`] — the shared cone-recurrence arithmetic behind both the
+//!   downward-closed query cone and the upward-closed delta cone;
 //! - [`serve`] — ≤ L-hop dependency cones over the chunk topology: the
 //!   per-batch activity mask [`Session::serve`] prunes its sweep with;
+//! - `Session::apply_deltas` (in [`engine`]) — incremental cone-local
+//!   recompute after graph mutations (`hongtu-delta` holds the typed
+//!   mutation API and delta log);
 //! - [`systems`] — comparator systems: single-GPU full-graph ("DGL"),
 //!   multi-GPU in-memory ("Sancus" / HongTu-IM), single-node and
 //!   distributed CPU ("DistGNN"), and sampled mini-batch ("DistDGL").
@@ -31,6 +36,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod cli;
+pub mod cone;
 pub mod cost;
 pub mod engine;
 pub mod reorg;
@@ -46,9 +52,9 @@ pub use buffers::GpuBufferPlan;
 pub use cost::{comm_cost, CommVolumes};
 pub use dedup::DedupPlan;
 pub use engine::{
-    CommMode, ConfigError, EpochReport, ExecutionMode, HongTuConfig, HongTuConfigBuilder,
-    HongTuEngine, InferReport, Inferencer, MemoryStrategy, Mode, OverlapMode, Session,
-    StaticMemoryBound, Trainer, ValidationLevel,
+    CommMode, ConfigError, DeltaReport, EpochReport, ExecutionMode, HongTuConfig,
+    HongTuConfigBuilder, HongTuEngine, InferReport, Inferencer, MemoryStrategy, Mode, OverlapMode,
+    Session, StaticMemoryBound, Trainer, ValidationLevel,
 };
 pub use reorg::{reorganize, reorganize_guarded};
 pub use serve::{ServeMask, ServeReport};

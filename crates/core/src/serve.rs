@@ -24,7 +24,13 @@
 //! topology H2D covering every batch that is ever active, and gives the
 //! simple correctness induction: every row an active chunk reads at
 //! layer `l+1` was recomputed at layer `l`.
+//!
+//! The recurrence arithmetic itself lives in [`crate::cone`], shared
+//! with the dual *upward-closed* delta-invalidation cone
+//! ([`ServeMask::from_dirty`]) so query pruning and incremental
+//! recompute can never diverge.
 
+use crate::cone;
 use hongtu_partition::TwoLevelPartition;
 use hongtu_sim::TimeBuckets;
 use hongtu_tensor::Matrix;
@@ -49,43 +55,26 @@ impl ServeMask {
     /// graph, or if `vertices` is empty (an empty query has no cone and
     /// no meaningful sweep).
     pub fn from_queries(plan: &TwoLevelPartition, layers: usize, vertices: &[usize]) -> ServeMask {
-        assert!(!vertices.is_empty(), "ServeMask: empty query");
-        let num_v = plan.assignment.partition_of.len();
-        // Batch (chunk index) of each vertex: destination sets partition
-        // the vertex set across (gpu, chunk), with the chunk id shared
-        // across GPUs.
-        let mut batch_of = vec![0u32; num_v];
-        for c in plan.all_chunks() {
-            for &v in &c.dests {
-                batch_of[v as usize] = c.chunk as u32;
-            }
+        ServeMask {
+            active: cone::downward_closed(plan, layers, vertices),
         }
-        let mut needed = vec![false; num_v];
-        for &v in vertices {
-            assert!(v < num_v, "ServeMask: vertex {v} out of range ({num_v})");
-            needed[v] = true;
+    }
+
+    /// Computes the upward-closed union of the dirty vertices' ≤ L-hop
+    /// *out*-neighborhood cones — the set of `(layer, batch)` steps an
+    /// incremental recompute must replay after a graph mutation
+    /// invalidated those vertices' layer-1 rows ([`crate::cone`] gives
+    /// the recurrence and the duality with the query cone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dirty vertex id is out of range for the plan's
+    /// graph, or if `dirty` is empty (a mutation with no dirty vertices
+    /// has nothing to replay).
+    pub fn from_dirty(plan: &TwoLevelPartition, layers: usize, dirty: &[usize]) -> ServeMask {
+        ServeMask {
+            active: cone::upward_closed(plan, layers, dirty),
         }
-        let mut active = vec![vec![false; plan.n]; layers];
-        for l in (0..layers).rev() {
-            // Batches holding any currently-needed vertex. `needed` only
-            // grows walking down, so active[l] ⊇ active[l+1].
-            let act = &mut active[l];
-            for (v, &need) in needed.iter().enumerate() {
-                if need {
-                    act[batch_of[v] as usize] = true;
-                }
-            }
-            // Layer l recomputes every row layer l+1's active chunks
-            // read: grow `needed` by those chunks' dests and neighbors.
-            for c in plan.all_chunks() {
-                if act[c.chunk] {
-                    for &v in c.dests.iter().chain(&c.neighbors) {
-                        needed[v as usize] = true;
-                    }
-                }
-            }
-        }
-        ServeMask { active }
     }
 
     /// Whether batch `j` runs at layer `l`.
@@ -115,6 +104,12 @@ impl ServeMask {
     /// Total `(layer, batch)` steps a full sweep would run.
     pub fn total_steps(&self) -> usize {
         self.layers() * self.batches()
+    }
+
+    /// The raw `active[l][j]` grid, for closure certification
+    /// (`hongtu_verify::verify_cone`).
+    pub fn grid(&self) -> &[Vec<bool>] {
+        &self.active
     }
 }
 
@@ -183,6 +178,22 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dirty_mask_is_upward_closed() {
+        let plan = ring_plan();
+        let mask = ServeMask::from_dirty(&plan, 3, &[3]);
+        for l in 0..2 {
+            for j in 0..4 {
+                assert!(
+                    !mask.active(l, j) || mask.active(l + 1, j),
+                    "batch {j} active at layer {l} but not {}",
+                    l + 1
+                );
+            }
+        }
+        assert!(mask.active_steps() >= 1);
     }
 
     #[test]

@@ -14,15 +14,29 @@
 //! later small ones. Only a request that exceeds the budget *alone* —
 //! and therefore can never be served — is rejected.
 //!
+//! The queue also accepts graph *updates* ([`UpdateRequest`]): typed
+//! delta batches (`hongtu-delta`) committed through the session's
+//! incremental cone-local recompute ([`Session::apply_staged`]). Commit
+//! semantics are FIFO: an update at the queue head is applied alone —
+//! queries never overtake it — so a query's logits reflect exactly the
+//! updates enqueued (and committed) before it. Admission prices an
+//! update's *recompute* cone (the upward-closed
+//! [`ServeMask::from_dirty`] mask) against the same staging budget as
+//! query cones; an update whose cone cannot fit, or whose delta batch
+//! is invalid against the current topology, is answered with a typed
+//! [`UpdateRejected`] and commits nothing.
+//!
 //! [`run_open_loop`] drives a server with a synthetic open-loop
 //! workload ([`poisson_workload`]) on the simulated clock and reports
 //! latency percentiles, throughput, the batch-size histogram, and the
 //! admission-reject rate — the numbers `bench_serving` emits as
-//! `BENCH_serving.json`.
+//! `BENCH_serving.json`. [`run_mixed_open_loop`] does the same for an
+//! interleaved update + query workload ([`mixed_workload`]).
 
 #![forbid(unsafe_code)]
 
 use hongtu_core::{ServeMask, Session};
+use hongtu_delta::{toggle_workload, Delta, DeltaError, DeltaMix, DynamicGraph};
 use hongtu_sim::SimError;
 use hongtu_tensor::{Matrix, SeededRng};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -62,6 +76,80 @@ pub struct Served {
     pub logits: Matrix,
     /// Completion minus arrival on the simulated clock, in seconds.
     pub latency: f64,
+}
+
+/// One graph-update request: a typed delta batch to commit through
+/// incremental cone-local recompute.
+#[derive(Debug, Clone)]
+pub struct UpdateRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    /// The delta batch (validated transactionally at the queue head).
+    pub deltas: Vec<Delta>,
+    /// Arrival time on the simulated clock, in seconds.
+    pub arrival: f64,
+}
+
+/// A committed update: the graph mutated, the stale cone replayed, and
+/// the served logits patched in place ([`Session::apply_staged`]).
+#[derive(Debug, Clone)]
+pub struct Committed {
+    /// Id of the update.
+    pub id: u64,
+    /// Graph epoch the commit produced.
+    pub epoch: u64,
+    /// Completion minus arrival on the simulated clock, in seconds.
+    pub latency: f64,
+    /// Dirty `h^1` seed vertices the batch invalidated.
+    pub dirty_vertices: usize,
+    /// Chunk subgraphs rebuilt against the mutated topology.
+    pub rebuilt_chunks: usize,
+}
+
+/// Why an update was bounced without committing anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateRejectReason {
+    /// The recompute cone exceeds the staging budget even alone.
+    OverBudget {
+        /// Per-GPU staging cost of the recompute cone, in bytes.
+        cone_bytes: Vec<usize>,
+        /// Per-GPU budget the cone was held against, in bytes.
+        budget_bytes: Vec<usize>,
+    },
+    /// The delta batch is invalid against the current topology
+    /// (staging is transactional, so nothing was applied).
+    Invalid(DeltaError),
+}
+
+/// Typed update rejection: the graph and the served logits are
+/// untouched, and later queue entries proceed as if the update had
+/// never been enqueued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateRejected {
+    /// Id of the rejected update.
+    pub id: u64,
+    /// Why it was bounced.
+    pub reason: UpdateRejectReason,
+}
+
+/// One queue entry: a logit query or a graph update, sharing a single
+/// FIFO order so commits serialize with reads.
+#[derive(Debug, Clone)]
+pub enum WorkItem {
+    /// A vertex-subset logit query.
+    Query(Request),
+    /// A delta-batch commit.
+    Update(UpdateRequest),
+}
+
+impl WorkItem {
+    /// Arrival time on the simulated clock, in seconds.
+    pub fn arrival(&self) -> f64 {
+        match self {
+            WorkItem::Query(r) => r.arrival,
+            WorkItem::Update(u) => u.arrival,
+        }
+    }
 }
 
 /// Admission control: per-GPU byte budgets a candidate batch's cone
@@ -113,10 +201,15 @@ pub struct BatchReport {
     /// Requests rejected while forming this batch (cone over budget
     /// even alone).
     pub rejected: Vec<Overloaded>,
+    /// Updates committed by this step (at most one: updates apply
+    /// alone).
+    pub committed: Vec<Committed>,
+    /// Updates bounced by this step without committing.
+    pub rejected_updates: Vec<UpdateRejected>,
     /// Number of requests packed into the sweep (0 if every candidate
-    /// was rejected).
+    /// was rejected, or if this step processed an update).
     pub batch_size: usize,
-    /// Simulated time of the pruned sweep (0 if nothing ran).
+    /// Simulated time of the pruned sweep or replay (0 if nothing ran).
     pub sweep_time: f64,
     /// `(layer, batch)` steps the pruned sweep executed.
     pub active_steps: usize,
@@ -124,18 +217,35 @@ pub struct BatchReport {
     pub total_steps: usize,
 }
 
-/// FIFO batching server over a borrowed [`Session`].
+impl BatchReport {
+    fn empty() -> BatchReport {
+        BatchReport {
+            served: Vec::new(),
+            rejected: Vec::new(),
+            committed: Vec::new(),
+            rejected_updates: Vec::new(),
+            batch_size: 0,
+            sweep_time: 0.0,
+            active_steps: 0,
+            total_steps: 0,
+        }
+    }
+}
+
+/// FIFO batching server over a borrowed [`Session`], optionally backed
+/// by a [`DynamicGraph`] so the queue can carry graph updates.
 pub struct Server<'s> {
     session: &'s mut Session,
+    graph: Option<&'s mut DynamicGraph>,
     admission: AdmissionControl,
     batch_window: usize,
-    queue: VecDeque<Request>,
+    queue: VecDeque<WorkItem>,
     clock: f64,
 }
 
 impl<'s> Server<'s> {
-    /// Builds a server. `batch_window` caps how many requests one sweep
-    /// may pack (≥ 1).
+    /// Builds a query-only server. `batch_window` caps how many
+    /// requests one sweep may pack (≥ 1).
     pub fn new(
         session: &'s mut Session,
         admission: AdmissionControl,
@@ -144,6 +254,7 @@ impl<'s> Server<'s> {
         assert!(batch_window >= 1, "batch window must admit one request");
         Server {
             session,
+            graph: None,
             admission,
             batch_window,
             queue: VecDeque::new(),
@@ -151,9 +262,48 @@ impl<'s> Server<'s> {
         }
     }
 
-    /// Enqueues a request (FIFO).
+    /// Builds a server that also accepts graph updates, committed
+    /// against `graph` via [`Session::apply_staged`]. The session's
+    /// layer stores must be current before the first update commits —
+    /// run [`Session::infer_epoch`] once after construction.
+    pub fn with_graph(
+        session: &'s mut Session,
+        graph: &'s mut DynamicGraph,
+        admission: AdmissionControl,
+        batch_window: usize,
+    ) -> Server<'s> {
+        let mut server = Server::new(session, admission, batch_window);
+        server.graph = Some(graph);
+        server
+    }
+
+    /// Enqueues a query (FIFO).
     pub fn submit(&mut self, request: Request) {
-        self.queue.push_back(request);
+        self.queue.push_back(WorkItem::Query(request));
+    }
+
+    /// Enqueues a graph update (FIFO with the queries: it commits only
+    /// once every earlier entry has been processed, and no later query
+    /// overtakes it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was built without a dynamic graph
+    /// ([`Server::new`] instead of [`Server::with_graph`]).
+    pub fn submit_update(&mut self, update: UpdateRequest) {
+        assert!(
+            self.graph.is_some(),
+            "updates need a dynamic graph: build the server with Server::with_graph"
+        );
+        self.queue.push_back(WorkItem::Update(update));
+    }
+
+    /// Enqueues either kind of work item (FIFO).
+    pub fn submit_work(&mut self, item: WorkItem) {
+        match item {
+            WorkItem::Query(r) => self.submit(r),
+            WorkItem::Update(u) => self.submit_update(u),
+        }
     }
 
     /// Requests waiting to be served.
@@ -173,15 +323,22 @@ impl<'s> Server<'s> {
         self.clock = self.clock.max(t);
     }
 
-    /// Forms one batch from the queue head and serves it with a single
-    /// pruned sweep. Returns `None` when the queue is empty. Packing is
-    /// FIFO without overtaking: a head request that does not fit with
-    /// the accumulated batch (but would fit alone) defers — it stays at
-    /// the head and the batch closes; one that exceeds the budget even
-    /// alone is popped and rejected as [`Overloaded`].
+    /// Processes the queue head. Returns `None` when the queue is
+    /// empty. A query head opens a batch: later queries are packed
+    /// FIFO without overtaking — a request that does not fit with the
+    /// accumulated batch (but would fit alone) defers, one that exceeds
+    /// the budget even alone is popped and rejected as [`Overloaded`],
+    /// and an update closes the batch (commits serialize with reads) —
+    /// then the batch runs as one pruned sweep. An update head is
+    /// applied alone through [`Session::apply_staged`], priced by its
+    /// recompute cone, with typed [`UpdateRejected`] on an invalid or
+    /// over-budget batch.
     pub fn step(&mut self) -> Result<Option<BatchReport>, SimError> {
         if self.queue.is_empty() {
             return Ok(None);
+        }
+        if matches!(self.queue.front(), Some(WorkItem::Update(_))) {
+            return self.step_update().map(Some);
         }
         let layers = self.session.model().num_layers();
         let mut rejected = Vec::new();
@@ -189,7 +346,9 @@ impl<'s> Server<'s> {
         let mut union: Vec<usize> = Vec::new();
         let mut row_of: HashMap<usize, usize> = HashMap::new();
         while batch.len() < self.batch_window {
-            let Some(head) = self.queue.front() else {
+            // An update at the head closes the batch: queries never
+            // overtake a pending commit.
+            let Some(WorkItem::Query(head)) = self.queue.front() else {
                 break;
             };
             let mut cand = union.clone();
@@ -200,7 +359,9 @@ impl<'s> Server<'s> {
             }
             let mask = ServeMask::from_queries(self.session.plan(), layers, &cand);
             if self.admission.admits(self.session, &mask) {
-                let req = self.queue.pop_front().expect("head exists");
+                let Some(WorkItem::Query(req)) = self.queue.pop_front() else {
+                    unreachable!("head was matched as a query");
+                };
                 for &v in &cand[union.len()..] {
                     row_of.insert(v, row_of.len());
                 }
@@ -209,7 +370,9 @@ impl<'s> Server<'s> {
             } else if batch.is_empty() {
                 // Even alone the cone exceeds the budget: typed
                 // rejection — this request can never be served.
-                let req = self.queue.pop_front().expect("head exists");
+                let Some(WorkItem::Query(req)) = self.queue.pop_front() else {
+                    unreachable!("head was matched as a query");
+                };
                 rejected.push(Overloaded {
                     id: req.id,
                     cone_bytes: self.session.serve_cone_cost(&mask),
@@ -223,12 +386,8 @@ impl<'s> Server<'s> {
         }
         if batch.is_empty() {
             return Ok(Some(BatchReport {
-                served: Vec::new(),
                 rejected,
-                batch_size: 0,
-                sweep_time: 0.0,
-                active_steps: 0,
-                total_steps: 0,
+                ..BatchReport::empty()
             }));
         }
 
@@ -254,7 +413,65 @@ impl<'s> Server<'s> {
             sweep_time: report.time,
             active_steps: report.active_steps,
             total_steps: report.total_steps,
+            ..BatchReport::empty()
         }))
+    }
+
+    /// Commits the update at the queue head alone: stage the delta
+    /// batch transactionally, price its upward-closed recompute cone
+    /// against the admission budget, and replay the stale cone through
+    /// [`Session::apply_staged`]. Rejections leave the graph and the
+    /// served logits untouched.
+    fn step_update(&mut self) -> Result<BatchReport, SimError> {
+        let Some(WorkItem::Update(upd)) = self.queue.pop_front() else {
+            unreachable!("step_update runs only with an update at the head");
+        };
+        let dg = self
+            .graph
+            .as_deref_mut()
+            .expect("updates need a dynamic graph: build the server with Server::with_graph");
+        let staged = match dg.stage(&upd.deltas) {
+            Ok(staged) => staged,
+            Err(err) => {
+                return Ok(BatchReport {
+                    rejected_updates: vec![UpdateRejected {
+                        id: upd.id,
+                        reason: UpdateRejectReason::Invalid(err),
+                    }],
+                    ..BatchReport::empty()
+                });
+            }
+        };
+        let layers = self.session.model().num_layers();
+        let mask = ServeMask::from_dirty(self.session.plan(), layers, staged.dirty());
+        if !self.admission.admits(self.session, &mask) {
+            return Ok(BatchReport {
+                rejected_updates: vec![UpdateRejected {
+                    id: upd.id,
+                    reason: UpdateRejectReason::OverBudget {
+                        cone_bytes: self.session.serve_cone_cost(&mask),
+                        budget_bytes: self.admission.budget.clone(),
+                    },
+                }],
+                ..BatchReport::empty()
+            });
+        }
+        let report = self.session.apply_staged(dg, staged)?;
+        let start = self.clock.max(upd.arrival);
+        self.clock = start + report.time;
+        Ok(BatchReport {
+            committed: vec![Committed {
+                id: upd.id,
+                epoch: report.epoch,
+                latency: self.clock - upd.arrival,
+                dirty_vertices: report.dirty_vertices,
+                rebuilt_chunks: report.rebuilt_chunks,
+            }],
+            sweep_time: report.time,
+            active_steps: report.active_steps,
+            total_steps: report.total_steps,
+            ..BatchReport::empty()
+        })
     }
 }
 
@@ -282,7 +499,59 @@ pub fn poisson_workload(
         .collect()
 }
 
-/// Aggregate statistics of one open-loop run ([`run_open_loop`]).
+/// Open-loop mixed workload: `count` items with exponential
+/// inter-arrival times at rate `qps`; each item is an update with
+/// probability `update_frac` (a valid toggle batch of `edits` deltas,
+/// [`toggle_workload`]) and otherwise a query over a uniformly sampled
+/// subset of `subset` distinct vertices. Update batches are valid
+/// exactly when committed in FIFO order with none rejected — which the
+/// session's own staging budget guarantees.
+#[allow(clippy::too_many_arguments)]
+pub fn mixed_workload(
+    dg: &DynamicGraph,
+    count: usize,
+    qps: f64,
+    subset: usize,
+    update_frac: f64,
+    edits: usize,
+    mix: DeltaMix,
+    rng: &mut SeededRng,
+) -> Vec<WorkItem> {
+    assert!(qps > 0.0, "arrival rate must be positive");
+    assert!(
+        (0.0..=1.0).contains(&update_frac),
+        "update fraction must be in [0, 1]"
+    );
+    let kinds: Vec<bool> = (0..count).map(|_| rng.chance(update_frac)).collect();
+    let updates = kinds.iter().filter(|&&u| u).count();
+    let mut batches =
+        toggle_workload(dg.graph(), dg.features().cols(), updates, edits, mix, rng).into_iter();
+    let n = dg.num_vertices();
+    let mut t = 0.0f64;
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(k, &is_update)| {
+            t += -(1.0 - rng.uniform() as f64).ln() / qps;
+            if is_update {
+                WorkItem::Update(UpdateRequest {
+                    id: k as u64,
+                    deltas: batches.next().expect("one batch per update"),
+                    arrival: t,
+                })
+            } else {
+                WorkItem::Query(Request {
+                    id: k as u64,
+                    vertices: rng.sample_indices(n, subset),
+                    arrival: t,
+                })
+            }
+        })
+        .collect()
+}
+
+/// Aggregate statistics of one open-loop run ([`run_open_loop`],
+/// [`run_mixed_open_loop`]).
 #[derive(Debug, Clone)]
 pub struct LoadStats {
     /// Requests served.
@@ -291,9 +560,9 @@ pub struct LoadStats {
     pub rejected: usize,
     /// `rejected / (served + rejected)`.
     pub reject_rate: f64,
-    /// Median end-to-end latency in simulated seconds.
+    /// Median end-to-end query latency in simulated seconds.
     pub p50_latency: f64,
-    /// 99th-percentile end-to-end latency in simulated seconds.
+    /// 99th-percentile end-to-end query latency in simulated seconds.
     pub p99_latency: f64,
     /// Served queries per simulated second (served / makespan).
     pub queries_per_sec: f64,
@@ -301,8 +570,18 @@ pub struct LoadStats {
     pub batch_hist: Vec<(usize, usize)>,
     /// Simulated completion time of the last sweep.
     pub makespan: f64,
-    /// Total simulated time spent inside pruned sweeps.
+    /// Total simulated time spent inside pruned sweeps and replays.
     pub total_sweep_time: f64,
+    /// Updates committed.
+    pub updates_committed: usize,
+    /// Updates rejected ([`UpdateRejected`]).
+    pub updates_rejected: usize,
+    /// Median end-to-end update latency in simulated seconds (0 with
+    /// no committed updates).
+    pub p50_update_latency: f64,
+    /// 99th-percentile end-to-end update latency in simulated seconds
+    /// (0 with no committed updates).
+    pub p99_update_latency: f64,
 }
 
 /// Nearest-rank percentile of an unsorted latency sample (`p` in
@@ -327,27 +606,59 @@ pub fn run_open_loop(
     workload: Vec<Request>,
 ) -> Result<LoadStats, SimError> {
     let mut server = Server::new(session, admission, batch_window);
+    drive(
+        &mut server,
+        workload.into_iter().map(WorkItem::Query).collect(),
+    )
+}
+
+/// [`run_open_loop`] for an interleaved update + query workload
+/// ([`mixed_workload`]): updates commit FIFO through `dg`, queries see
+/// exactly the updates enqueued (and committed) before them. The
+/// session's layer stores must be current — run
+/// [`Session::infer_epoch`] once before calling.
+pub fn run_mixed_open_loop(
+    session: &mut Session,
+    dg: &mut DynamicGraph,
+    admission: AdmissionControl,
+    batch_window: usize,
+    workload: Vec<WorkItem>,
+) -> Result<LoadStats, SimError> {
+    let mut server = Server::with_graph(session, dg, admission, batch_window);
+    drive(&mut server, workload)
+}
+
+/// Shared open-loop driver: enqueue arrivals as the clock passes them,
+/// batch work-conservingly, idle forward when the queue runs dry.
+fn drive(server: &mut Server<'_>, workload: Vec<WorkItem>) -> Result<LoadStats, SimError> {
     let mut pending = workload.into_iter().peekable();
     let mut latencies: Vec<f64> = Vec::new();
+    let mut update_latencies: Vec<f64> = Vec::new();
     let mut hist: BTreeMap<usize, usize> = BTreeMap::new();
     let mut rejected = 0usize;
+    let mut updates_rejected = 0usize;
     let mut total_sweep_time = 0.0f64;
     loop {
-        while pending.peek().is_some_and(|r| r.arrival <= server.clock()) {
-            server.submit(pending.next().expect("peeked"));
+        while pending
+            .peek()
+            .is_some_and(|w| w.arrival() <= server.clock())
+        {
+            server.submit_work(pending.next().expect("peeked"));
         }
         if server.queue_len() == 0 {
             match pending.next() {
-                Some(r) => {
-                    server.advance_to(r.arrival);
-                    server.submit(r);
+                Some(w) => {
+                    server.advance_to(w.arrival());
+                    server.submit_work(w);
                 }
                 None => break,
             }
         }
         if let Some(batch) = server.step()? {
             latencies.extend(batch.served.iter().map(|s| s.latency));
+            update_latencies.extend(batch.committed.iter().map(|c| c.latency));
             rejected += batch.rejected.len();
+            updates_rejected += batch.rejected_updates.len();
             total_sweep_time += batch.sweep_time;
             if batch.batch_size > 0 {
                 *hist.entry(batch.batch_size).or_insert(0) += 1;
@@ -370,6 +681,10 @@ pub fn run_open_loop(
         batch_hist: hist.into_iter().collect(),
         makespan,
         total_sweep_time,
+        updates_committed: update_latencies.len(),
+        updates_rejected,
+        p50_update_latency: percentile(&update_latencies, 50),
+        p99_update_latency: percentile(&update_latencies, 99),
     })
 }
 
@@ -563,5 +878,183 @@ mod tests {
             .batch_hist
             .iter()
             .all(|&(size, _)| (1..=4).contains(&size)));
+    }
+
+    /// FIFO commit semantics: a query enqueued before an update is
+    /// answered from the pre-update graph, one enqueued after from the
+    /// post-update graph — and the update closes the first query batch
+    /// rather than being overtaken.
+    #[test]
+    fn query_before_update_sees_old_logits_query_after_sees_new() {
+        let ds = dataset();
+        let feat_dim = ds.features.cols();
+        let probe = 0usize;
+        let mut dg = DynamicGraph::from_dataset(&ds);
+        let mut sess = session(&ds, 2);
+        sess.infer_epoch().expect("prime layer stores");
+        let admission = AdmissionControl::from_session(&sess);
+        let mut server = Server::with_graph(&mut sess, &mut dg, admission, 8);
+        server.submit(request(1, vec![probe], 0.0));
+        server.submit_update(UpdateRequest {
+            id: 2,
+            deltas: vec![Delta::UpdateFeatures {
+                vertex: probe as u32,
+                features: vec![0.25; feat_dim],
+            }],
+            arrival: 0.0,
+        });
+        server.submit(request(3, vec![probe], 0.0));
+
+        let first = server.step().expect("serve").expect("non-empty queue");
+        assert_eq!(
+            first.batch_size, 1,
+            "the pending update must close the query batch"
+        );
+        let before = first.served[0].logits.clone();
+
+        let second = server.step().expect("commit").expect("non-empty queue");
+        assert!(second.served.is_empty());
+        assert_eq!(second.committed.len(), 1);
+        assert_eq!(second.committed[0].id, 2);
+        assert_eq!(second.committed[0].epoch, 1);
+        assert!(second.committed[0].latency > 0.0);
+        assert!(second.committed[0].dirty_vertices >= 1);
+
+        let third = server.step().expect("serve").expect("non-empty queue");
+        let after = third.served[0].logits.clone();
+        drop(server);
+
+        let pre = {
+            let mut fresh = session(&ds, 2);
+            fresh.infer_epoch().expect("infer").logits
+        };
+        let post = {
+            let mutated = dg.to_dataset(&ds);
+            let mut fresh = session(&mutated, 2);
+            fresh.infer_epoch().expect("infer").logits
+        };
+        assert_eq!(before, pre.gather_rows(&[probe]));
+        assert_eq!(after, post.gather_rows(&[probe]));
+        assert_ne!(before, after, "the feature rewrite must reach the logits");
+    }
+
+    /// An update whose recompute cone exceeds the budget even alone is
+    /// bounced with a typed reason; the graph does not advance.
+    #[test]
+    fn over_budget_update_is_rejected_typed_graph_untouched() {
+        let ds = dataset();
+        let feat_dim = ds.features.cols();
+        let mut dg = DynamicGraph::from_dataset(&ds);
+        let mut sess = session(&ds, 2);
+        let admission = AdmissionControl::with_budget(vec![1; 2]);
+        let mut server = Server::with_graph(&mut sess, &mut dg, admission, 4);
+        server.submit_update(UpdateRequest {
+            id: 9,
+            deltas: vec![Delta::UpdateFeatures {
+                vertex: 0,
+                features: vec![1.0; feat_dim],
+            }],
+            arrival: 0.0,
+        });
+        let report = server
+            .step()
+            .expect("rejection must not surface as SimError")
+            .expect("queue was non-empty");
+        drop(server);
+        assert!(report.committed.is_empty());
+        assert_eq!(report.sweep_time, 0.0);
+        assert_eq!(report.rejected_updates.len(), 1);
+        let rej = &report.rejected_updates[0];
+        assert_eq!(rej.id, 9);
+        match &rej.reason {
+            UpdateRejectReason::OverBudget {
+                cone_bytes,
+                budget_bytes,
+            } => {
+                assert_eq!(budget_bytes, &vec![1usize; 2]);
+                assert!(cone_bytes.iter().zip(budget_bytes).any(|(c, b)| c > b));
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        assert_eq!(dg.epoch(), 0, "a rejected update must not commit");
+    }
+
+    /// An invalid delta batch (here: re-adding an existing edge) is
+    /// bounced with the typed staging error; nothing is applied.
+    #[test]
+    fn invalid_update_is_rejected_typed_graph_untouched() {
+        let ds = dataset();
+        let (src, dst) = ds
+            .graph
+            .csr
+            .edges()
+            .find(|(u, v)| u != v)
+            .expect("a non-loop edge exists");
+        let mut dg = DynamicGraph::from_dataset(&ds);
+        let mut sess = session(&ds, 2);
+        let admission = AdmissionControl::from_session(&sess);
+        let mut server = Server::with_graph(&mut sess, &mut dg, admission, 4);
+        server.submit_update(UpdateRequest {
+            id: 5,
+            deltas: vec![Delta::AddEdge { src, dst }],
+            arrival: 0.0,
+        });
+        let report = server
+            .step()
+            .expect("rejection must not surface as SimError")
+            .expect("queue was non-empty");
+        drop(server);
+        assert!(report.committed.is_empty());
+        assert_eq!(
+            report.rejected_updates,
+            vec![UpdateRejected {
+                id: 5,
+                reason: UpdateRejectReason::Invalid(DeltaError::DuplicateEdge { src, dst }),
+            }]
+        );
+        assert_eq!(dg.epoch(), 0, "a rejected update must not commit");
+    }
+
+    /// Mixed open-loop smoke: under the session's own budget every
+    /// query is served and every update commits, in FIFO order, and the
+    /// graph epoch counts exactly the committed updates.
+    #[test]
+    fn mixed_open_loop_commits_and_serves_everything() {
+        let ds = dataset();
+        let mut dg = DynamicGraph::from_dataset(&ds);
+        let mut sess = session(&ds, 2);
+        sess.infer_epoch().expect("prime layer stores");
+        let admission = AdmissionControl::from_session(&sess);
+        let mut rng = SeededRng::new(11);
+        let workload = mixed_workload(&dg, 12, 50.0, 3, 0.4, 1, DeltaMix::Mixed, &mut rng);
+        let updates = workload
+            .iter()
+            .filter(|w| matches!(w, WorkItem::Update(_)))
+            .count();
+        assert!(
+            updates >= 1 && updates < workload.len(),
+            "seed must yield a genuinely mixed workload, got {updates} updates"
+        );
+        let mut prev = 0.0f64;
+        for w in &workload {
+            assert!(w.arrival() >= prev, "arrivals must be non-decreasing");
+            prev = w.arrival();
+        }
+        let stats =
+            run_mixed_open_loop(&mut sess, &mut dg, admission, 4, workload).expect("open loop");
+        assert_eq!(stats.served, 12 - updates);
+        assert_eq!(stats.updates_committed, updates);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.updates_rejected, 0);
+        assert_eq!(dg.epoch(), updates as u64);
+        assert!(stats.p50_update_latency.is_finite() && stats.p50_update_latency > 0.0);
+        assert!(stats.p99_update_latency >= stats.p50_update_latency);
+        assert!(stats.total_sweep_time > 0.0);
+        let hist_total: usize = stats
+            .batch_hist
+            .iter()
+            .map(|(size, count)| size * count)
+            .sum();
+        assert_eq!(hist_total, stats.served);
     }
 }

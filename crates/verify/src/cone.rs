@@ -1,0 +1,145 @@
+//! Pass 10: cone-mask closure certification (`C9xx`).
+//!
+//! Both pruned sweeps the engine runs — the serving query sweep and the
+//! incremental delta-recompute sweep — are driven by a `(layer, batch)`
+//! activity grid whose *closure direction* carries the correctness
+//! induction:
+//!
+//! * a **downward-closed** query cone (`active[l] ⊇ active[l+1]`)
+//!   guarantees every row an active chunk reads at layer `l+1` was
+//!   recomputed at layer `l`;
+//! * an **upward-closed** delta cone (`active[l] ⊆ active[l+1]`)
+//!   guarantees every row a replayed chunk reads at layer `l` is either
+//!   untouched in `h^l` or was recomputed at layer `l−1`.
+//!
+//! A mask violating its direction silently serves stale rows or skips
+//! invalidated ones — no executor step would crash. This pass holds the
+//! raw grid to its declared direction ([`ConeDir`]) and to basic shape
+//! sanity before the engine installs it.
+
+use crate::diag::{push, DiagCode, Diagnostic, Location, Report};
+
+/// Which closure direction a cone mask must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConeDir {
+    /// Query cone: `active[l] ⊇ active[l+1]` (grows toward layer 0).
+    Downward,
+    /// Delta cone: `active[l] ⊆ active[l+1]` (grows toward layer L−1).
+    Upward,
+}
+
+/// Certifies a cone mask grid (`active[l][j]`) against its declared
+/// closure direction: the grid must be rectangular and non-empty with at
+/// least one active step (`C902`), and every layer must be a
+/// subset/superset of the next per `dir` (`C901`).
+pub fn verify_cone(active: &[Vec<bool>], dir: ConeDir) -> Report {
+    let mut diags = Vec::new();
+    let batches = active.first().map_or(0, Vec::len);
+    if active.is_empty() || batches == 0 {
+        push(
+            &mut diags,
+            Diagnostic::new(
+                DiagCode::ConeShapeInvalid,
+                Location::default(),
+                format!(
+                    "cone grid is empty ({} layers × {batches} batches)",
+                    active.len()
+                ),
+            ),
+        );
+    }
+    for (l, row) in active.iter().enumerate() {
+        if row.len() != batches {
+            push(
+                &mut diags,
+                Diagnostic::new(
+                    DiagCode::ConeShapeInvalid,
+                    Location::batch(l),
+                    format!(
+                        "ragged cone grid: layer {l} has {} batches, layer 0 has {batches}",
+                        row.len()
+                    ),
+                ),
+            );
+        }
+    }
+    if active.iter().all(|row| row.iter().all(|&a| !a)) && !active.is_empty() && batches > 0 {
+        push(
+            &mut diags,
+            Diagnostic::new(
+                DiagCode::ConeShapeInvalid,
+                Location::default(),
+                "cone grid has no active step: nothing to sweep".to_string(),
+            ),
+        );
+    }
+    for l in 0..active.len().saturating_sub(1) {
+        for (j, (&lo, &hi)) in active[l].iter().zip(&active[l + 1]).enumerate() {
+            let violated = match dir {
+                // Downward: active above ⇒ active below.
+                ConeDir::Downward => hi && !lo,
+                // Upward: active below ⇒ active above.
+                ConeDir::Upward => lo && !hi,
+            };
+            if violated {
+                let (have, miss) = match dir {
+                    ConeDir::Downward => (l + 1, l),
+                    ConeDir::Upward => (l, l + 1),
+                };
+                push(
+                    &mut diags,
+                    Diagnostic::new(
+                        DiagCode::ConeNotClosed,
+                        Location::batch(j),
+                        format!(
+                            "{dir:?}-closed cone broken: batch {j} active at layer {have} \
+                             but not at layer {miss}"
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+    let mut report = Report::default();
+    report.extend_pass(diags);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_masks_certify() {
+        // Downward: widens toward layer 0; upward: its mirror.
+        let down = vec![vec![true, true, true], vec![true, true, false]];
+        let up = vec![vec![true, false, false], vec![true, true, false]];
+        assert!(verify_cone(&down, ConeDir::Downward).is_ok());
+        assert!(verify_cone(&up, ConeDir::Upward).is_ok());
+    }
+
+    #[test]
+    fn direction_violations_are_flagged() {
+        let down_broken = vec![vec![true, false, false], vec![true, true, false]];
+        let r = verify_cone(&down_broken, ConeDir::Downward);
+        assert!(r.has(DiagCode::ConeNotClosed), "{}", r.render());
+        // The same grid read upward is fine…
+        assert!(verify_cone(&down_broken, ConeDir::Upward).is_ok());
+        // …and its transpose-in-direction fails upward.
+        let up_broken = vec![vec![true, true, false], vec![true, false, false]];
+        let r = verify_cone(&up_broken, ConeDir::Upward);
+        assert!(r.has(DiagCode::ConeNotClosed));
+        assert!(r.render().contains("C901"));
+    }
+
+    #[test]
+    fn shape_violations_are_flagged() {
+        assert!(verify_cone(&[], ConeDir::Downward).has(DiagCode::ConeShapeInvalid));
+        let ragged = vec![vec![true, true], vec![true]];
+        assert!(verify_cone(&ragged, ConeDir::Upward).has(DiagCode::ConeShapeInvalid));
+        let dead = vec![vec![false, false], vec![false, false]];
+        let r = verify_cone(&dead, ConeDir::Downward);
+        assert!(r.has(DiagCode::ConeShapeInvalid));
+        assert!(r.render().contains("C902"));
+    }
+}

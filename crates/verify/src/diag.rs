@@ -150,6 +150,17 @@ pub enum DiagCode {
     /// The deduplicated transfer decomposition does not carry the same
     /// per-owner contribution multiset as the vanilla comparator.
     DedupMultisetMismatch,
+
+    // ---- cone-mask pass (C9xx) ----
+    /// A pruned-sweep activity grid violates its declared closure
+    /// direction: a downward-closed query cone with a batch active at
+    /// layer `l+1` but not `l`, or an upward-closed delta cone with a
+    /// batch active at `l` but not `l+1` — the sweep would read rows
+    /// never (re)computed.
+    ConeNotClosed,
+    /// A pruned-sweep activity grid is malformed: empty, ragged, or
+    /// with no active step at all.
+    ConeShapeInvalid,
 }
 
 impl DiagCode {
@@ -198,6 +209,8 @@ impl DiagCode {
             DiagCode::GradFlushEarly => "F804",
             DiagCode::OrphanGradient => "F805",
             DiagCode::DedupMultisetMismatch => "F806",
+            DiagCode::ConeNotClosed => "C901",
+            DiagCode::ConeShapeInvalid => "C902",
         }
     }
 
@@ -238,6 +251,7 @@ impl DiagCode {
             | DiagCode::DedupMultisetMismatch => "§5.1",
             DiagCode::ActivationOverwritten => "§4.2",
             DiagCode::GradFlushEarly | DiagCode::OrphanGradient => "§5.2",
+            DiagCode::ConeNotClosed | DiagCode::ConeShapeInvalid => "§4.1",
         }
     }
 }
@@ -487,6 +501,8 @@ mod tests {
             DiagCode::GradFlushEarly,
             DiagCode::OrphanGradient,
             DiagCode::DedupMultisetMismatch,
+            DiagCode::ConeNotClosed,
+            DiagCode::ConeShapeInvalid,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {

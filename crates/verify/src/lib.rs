@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod buffers;
+pub mod cone;
 pub mod dataflow;
 pub mod dedup;
 pub mod diag;
@@ -68,6 +69,7 @@ pub mod trace;
 pub mod volumes;
 
 pub use buffers::{verify_all_buffers, verify_buffers};
+pub use cone::{verify_cone, ConeDir};
 pub use dataflow::{demand_by_owner, verify_dataflow, ChunkFlow, CommKind, DataflowSpec};
 pub use dedup::verify_dedup;
 pub use diag::{DiagCode, Diagnostic, Location, Report, ValidationLevel};

@@ -1,0 +1,86 @@
+//! Hand-corrupted *bad* cone masks, each triggering its documented
+//! `C9xx` diagnostic — the mutation suite for the cone-closure pass,
+//! mirroring `bad_dataflow.rs` for pass 9.
+//!
+//! Each test starts from a well-formed activity grid and applies one
+//! surgical corruption: flipping a single step breaks exactly the
+//! declared closure direction, and shape corruptions (empty, ragged,
+//! all-inactive) are malformed regardless of direction. Each test
+//! asserts its own code fires and the sibling code stays quiet, so the
+//! codes genuinely discriminate failure modes.
+
+use hongtu_verify::{verify_cone, ConeDir, DiagCode};
+
+/// A 3-layer × 4-batch downward-closed cone (widens toward layer 0).
+fn down_grid() -> Vec<Vec<bool>> {
+    vec![
+        vec![true, true, true, true],
+        vec![true, true, true, false],
+        vec![false, true, true, false],
+    ]
+}
+
+/// Its upward-closed mirror (widens toward layer L−1).
+fn up_grid() -> Vec<Vec<bool>> {
+    let mut g = down_grid();
+    g.reverse();
+    g
+}
+
+#[test]
+fn well_formed_grids_certify() {
+    assert!(verify_cone(&down_grid(), ConeDir::Downward).is_ok());
+    assert!(verify_cone(&up_grid(), ConeDir::Upward).is_ok());
+}
+
+#[test]
+fn downward_hole_fires_cone_not_closed() {
+    let mut g = down_grid();
+    // Batch 2 active at layer 2 but deactivated at layer 1: the sweep
+    // would read layer-1 rows never recomputed.
+    g[1][2] = false;
+    let r = verify_cone(&g, ConeDir::Downward);
+    assert!(r.has(DiagCode::ConeNotClosed), "{}", r.render());
+    assert!(!r.has(DiagCode::ConeShapeInvalid));
+    assert!(r.render().contains("C901"));
+}
+
+#[test]
+fn upward_hole_fires_cone_not_closed() {
+    let mut g = up_grid();
+    // Batch 1 active at layer 0 but deactivated at layer 1: the replay
+    // would skip rows the layer-0 recompute invalidated.
+    g[1][1] = false;
+    let r = verify_cone(&g, ConeDir::Upward);
+    assert!(r.has(DiagCode::ConeNotClosed), "{}", r.render());
+    assert!(!r.has(DiagCode::ConeShapeInvalid));
+}
+
+#[test]
+fn direction_is_not_symmetric() {
+    // A strictly-downward grid read as an upward cone is broken, and
+    // vice versa — the pass checks the *declared* direction.
+    assert!(verify_cone(&down_grid(), ConeDir::Upward).has(DiagCode::ConeNotClosed));
+    assert!(verify_cone(&up_grid(), ConeDir::Downward).has(DiagCode::ConeNotClosed));
+}
+
+#[test]
+fn shape_corruptions_fire_cone_shape_invalid() {
+    // Empty grid.
+    let r = verify_cone(&[], ConeDir::Downward);
+    assert!(r.has(DiagCode::ConeShapeInvalid));
+    assert!(r.render().contains("C902"));
+
+    // Ragged grid.
+    let mut ragged = down_grid();
+    ragged[2].pop();
+    let r = verify_cone(&ragged, ConeDir::Downward);
+    assert!(r.has(DiagCode::ConeShapeInvalid), "{}", r.render());
+
+    // All-inactive grid: nothing to sweep is a caller bug, not a
+    // degenerate success.
+    let dead = vec![vec![false; 4]; 3];
+    let r = verify_cone(&dead, ConeDir::Upward);
+    assert!(r.has(DiagCode::ConeShapeInvalid));
+    assert!(!r.has(DiagCode::ConeNotClosed));
+}

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 pub use hongtu_core as core;
 pub use hongtu_datasets as datasets;
+pub use hongtu_delta as delta;
 pub use hongtu_graph as graph;
 pub use hongtu_nn as nn;
 pub use hongtu_parallel as parallel;

@@ -1,0 +1,398 @@
+//! Certification of the dynamic-graph delta path:
+//! `Session::apply_deltas` must leave every host-resident layer store —
+//! and hence the logits — bitwise identical to a from-scratch
+//! `infer_epoch` on the mutated graph across the full
+//! {model × gpus × overlap} matrix (plus all three comm modes), the
+//! chunk-granular affected cone must cover a brute-force out-edge BFS
+//! oracle on random graphs, the incremental replay schedule must
+//! certify clean under the static passes (including Paranoid, which
+//! re-certifies inside `apply_deltas` itself), and a small delta must
+//! cost strictly less than the full-recompute baseline.
+//!
+//! The bitwise comparison works because the rebuild oracle inherits the
+//! dataset seed (`DynamicGraph::to_dataset`), so a fresh session on the
+//! mutated graph holds the same initial weights, and per-vertex forward
+//! math is independent of chunk membership: each destination aggregates
+//! its in-edges in sorted global order whatever batch owns it.
+
+use hongtu::core::{
+    CommMode, HongTuConfig, Mode, OverlapMode, ServeMask, Session, ValidationLevel,
+};
+use hongtu::datasets::dataset::{with_self_loops, Dataset, DatasetKey, Splits};
+use hongtu::datasets::load;
+use hongtu::delta::{out_edge_ball, toggle_workload, Delta, DeltaMix, DynamicGraph};
+use hongtu::graph::generators;
+use hongtu::nn::ModelKind;
+use hongtu::partition::TwoLevelPartition;
+use hongtu::sim::MachineConfig;
+use hongtu::tensor::{Matrix, SeededRng};
+use hongtu::verify::DEFAULT_EXPLORE_BUDGET;
+use proptest::prelude::*;
+
+fn test_seed() -> u64 {
+    std::env::var("HONGTU_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(99)
+}
+
+fn dataset() -> Dataset {
+    load(DatasetKey::Rdt, &mut SeededRng::new(test_seed()))
+}
+
+fn config(gpus: usize, overlap: OverlapMode, comm: CommMode) -> HongTuConfig {
+    HongTuConfig::builder()
+        .machine(MachineConfig::scaled(gpus, 512 << 20))
+        .comm(comm)
+        .reorganize(comm != CommMode::Vanilla)
+        .overlap(overlap)
+        .mode(Mode::Infer)
+        .build()
+        .expect("valid config")
+}
+
+fn session(ds: &Dataset, kind: ModelKind, gpus: usize, overlap: OverlapMode) -> Session {
+    Session::new(ds, kind, 16, 2, 4, config(gpus, overlap, CommMode::P2pRu)).expect("session")
+}
+
+/// A small mixed mutation batch: one edge toggle and one feature
+/// rewrite, deterministically derived from the base graph.
+fn small_batch(dg: &DynamicGraph, seed: u64) -> Vec<Delta> {
+    let mut rng = SeededRng::new(seed);
+    toggle_workload(
+        dg.graph(),
+        dg.features().cols(),
+        1,
+        2,
+        DeltaMix::Mixed,
+        &mut rng,
+    )
+    .pop()
+    .expect("one batch")
+}
+
+/// Incremental `apply_deltas` logits are bitwise equal to a
+/// from-scratch `infer_epoch` on the mutated graph, across every model,
+/// GPU count, and overlap mode. The incremental session runs first so
+/// nothing about the rebuild can leak into the patched one.
+#[test]
+fn incremental_logits_match_rebuild_across_matrix() {
+    let ds = dataset();
+    for kind in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Sage] {
+        for gpus in [1usize, 2, 4] {
+            for overlap in [OverlapMode::Off, OverlapMode::DoubleBuffer] {
+                let mut dg = DynamicGraph::from_dataset(&ds);
+                let deltas = small_batch(&dg, test_seed());
+                let incremental = {
+                    let mut s = session(&ds, kind, gpus, overlap);
+                    s.infer_epoch().expect("initial full sweep");
+                    let report = s.apply_deltas(&mut dg, &deltas).expect("apply deltas");
+                    assert_eq!(report.epoch, 1);
+                    assert!(report.active_steps <= report.total_steps);
+                    report.logits
+                };
+                let rebuilt = {
+                    let mutated = dg.to_dataset(&ds);
+                    let mut s = session(&mutated, kind, gpus, overlap);
+                    s.infer_epoch().expect("rebuild sweep").logits
+                };
+                assert_eq!(
+                    incremental,
+                    rebuilt,
+                    "{} / {gpus} GPUs / {overlap:?}: incremental logits diverged from rebuild",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// The comm mode does not perturb the incremental repair: Vanilla, +P2P
+/// and +RU all land bitwise on the rebuilt-session logits.
+#[test]
+fn incremental_logits_match_rebuild_across_comm_modes() {
+    let ds = dataset();
+    for comm in [CommMode::Vanilla, CommMode::P2p, CommMode::P2pRu] {
+        let mut dg = DynamicGraph::from_dataset(&ds);
+        let deltas = small_batch(&dg, test_seed() ^ 0x5eed);
+        let incremental = {
+            let cfg = config(2, OverlapMode::Off, comm);
+            let mut s = Session::new(&ds, ModelKind::Gcn, 16, 2, 4, cfg).expect("session");
+            s.infer_epoch().expect("initial full sweep");
+            s.apply_deltas(&mut dg, &deltas)
+                .expect("apply deltas")
+                .logits
+        };
+        let rebuilt = {
+            let mutated = dg.to_dataset(&ds);
+            let cfg = config(2, OverlapMode::Off, comm);
+            let mut s = Session::new(&mutated, ModelKind::Gcn, 16, 2, 4, cfg).expect("session");
+            s.infer_epoch().expect("rebuild sweep").logits
+        };
+        assert_eq!(
+            incremental, rebuilt,
+            "{comm:?}: incremental logits diverged from rebuild"
+        );
+    }
+}
+
+/// The chunk-granular affected cone covers the exact vertex-level
+/// out-edge ball: at the step computing `h^{l+1}`, every vertex whose
+/// row a mutation transitively invalidated (dirty seeds plus up to `l`
+/// out-hops on the mutated graph) must live in an active batch. The
+/// mask may be larger (batch granularity), never smaller — and must be
+/// upward closed.
+#[test]
+fn delta_cone_covers_out_edge_ball_oracle() {
+    for seed in [3u64, 17, 42] {
+        let mut rng = SeededRng::new(seed);
+        let g = with_self_loops(&generators::erdos_renyi(
+            160 + rng.index(120),
+            4.0,
+            &mut rng.fork(1),
+        ));
+        let n = g.num_vertices();
+        let features = Matrix::from_fn(n, 4, |_, c| c as f32);
+        let mut dg = DynamicGraph::new(g, features);
+        let deltas = toggle_workload(dg.graph(), 4, 1, 3, DeltaMix::Mixed, &mut rng.fork(2))
+            .pop()
+            .expect("one batch");
+        let staged = dg.stage(&deltas).expect("valid batch");
+        let dirty = staged.dirty().to_vec();
+        let mutated = staged.graph().clone();
+        dg.commit(staged);
+
+        for (m, chunks) in [(1usize, 4usize), (2, 4), (4, 2)] {
+            let plan = TwoLevelPartition::build(&mutated, m, chunks, seed);
+            let mut batch_of = vec![0usize; n];
+            for c in plan.all_chunks() {
+                for &v in &c.dests {
+                    batch_of[v as usize] = c.chunk;
+                }
+            }
+            for layers in [1usize, 2, 3] {
+                let mask = ServeMask::from_dirty(&plan, layers, &dirty);
+                let ball = out_edge_ball(&mutated, &dirty, layers.saturating_sub(1));
+                for (l, row) in ball.iter().enumerate().take(layers) {
+                    for v in 0..n {
+                        if row[v] {
+                            assert!(
+                                mask.active(l, batch_of[v]),
+                                "seed {seed}, {m}x{chunks}, L={layers}: vertex {v} invalid at \
+                                 h^{} but batch {} inactive at layer {l}",
+                                l + 1,
+                                batch_of[v]
+                            );
+                        }
+                    }
+                }
+                // Upward closure: a batch active at layer l is active
+                // at layer l+1.
+                for l in 0..layers.saturating_sub(1) {
+                    for j in 0..mask.batches() {
+                        assert!(!mask.active(l, j) || mask.active(l + 1, j));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The incremental replay schedule certifies clean under the static
+/// passes — upward cone closure (pass 10), happens-before + lifetimes +
+/// exhaustive interleaving exploration (6–8) and dataflow conservation
+/// (9) — and Paranoid validation re-certifies inside `apply_deltas`
+/// itself.
+#[test]
+fn incremental_schedule_certifies_with_paranoid() {
+    let ds = dataset();
+    let cfg = HongTuConfig::builder()
+        .machine(MachineConfig::scaled(2, 512 << 20))
+        .comm(CommMode::P2pRu)
+        .reorganize(true)
+        .overlap(OverlapMode::DoubleBuffer)
+        .validation(ValidationLevel::Paranoid)
+        .infer()
+        .build()
+        .expect("valid config");
+    let mut session = Session::new(&ds, ModelKind::Gcn, 16, 2, 4, cfg).expect("session");
+    session.infer_epoch().expect("initial full sweep");
+
+    let mut dg = DynamicGraph::from_dataset(&ds);
+    let deltas = small_batch(&dg, test_seed() ^ 0xcafe);
+    let staged = dg.stage(&deltas).expect("valid batch");
+    let dirty = staged.dirty().to_vec();
+
+    // Paranoid re-runs schedule + dataflow certification inside the
+    // epoch wrapper; a clean return IS the certificate.
+    let report = session
+        .apply_staged(&mut dg, staged)
+        .expect("apply under Paranoid");
+    assert_eq!(report.dirty_vertices, dirty.len());
+
+    // Certify the replay that just ran, against the rebuilt plans.
+    assert!(session.exhaustive_exploration_feasible());
+    let cert = session
+        .certify_delta(&dirty, Some(DEFAULT_EXPLORE_BUDGET))
+        .expect("schedule synthesis");
+    assert!(cert.is_ok(), "{}", cert.render());
+}
+
+/// A small delta costs strictly less than the full-recompute baseline
+/// on perfectly matched sessions: strictly fewer sim events, strictly
+/// less simulated time, bitwise-identical logits.
+#[test]
+fn small_delta_beats_full_recompute() {
+    // Batch-granular pruning needs a graph where one vertex's
+    // out-neighborhood does not scatter across every batch, so this
+    // test runs on a sparse random dataset with more chunks than the
+    // dense Rdt proxy. The smallest possible mutation: rewrite the
+    // features of the vertex with the fewest out-edges (usually just
+    // its self-loop), so the affected cone stays a small fraction of
+    // the sweep.
+    let ds = random_dataset(test_seed() ^ 0xbeef, 360);
+    let quiet = (0..ds.graph.num_vertices())
+        .min_by_key(|&v| ds.graph.out_degree(v as u32))
+        .expect("non-empty graph") as u32;
+    let deltas = vec![Delta::UpdateFeatures {
+        vertex: quiet,
+        features: vec![0.25; ds.features.cols()],
+    }];
+    let mk_session = |overlap| {
+        Session::new(
+            &ds,
+            ModelKind::Gcn,
+            16,
+            2,
+            6,
+            config(2, overlap, CommMode::P2pRu),
+        )
+        .expect("session")
+    };
+    for overlap in [OverlapMode::Off, OverlapMode::DoubleBuffer] {
+        let mut dg_inc = DynamicGraph::from_dataset(&ds);
+        let mut dg_full = DynamicGraph::from_dataset(&ds);
+
+        let (inc_logits, inc_events, inc_time) = {
+            let mut s = mk_session(overlap);
+            s.infer_epoch().expect("initial full sweep");
+            s.machine_mut().enable_unbounded_trace();
+            let r = s.apply_deltas(&mut dg_inc, &deltas).expect("incremental");
+            assert!(
+                r.active_steps < r.total_steps,
+                "{overlap:?}: delta cone fills the whole sweep — pick a smaller delta"
+            );
+            (r.logits, s.machine().trace().len(), r.time)
+        };
+        let (full_logits, full_events, full_time) = {
+            let mut s = mk_session(overlap);
+            s.infer_epoch().expect("initial full sweep");
+            s.machine_mut().enable_unbounded_trace();
+            let r = s.apply_deltas_full(&mut dg_full, &deltas).expect("full");
+            (r.logits, s.machine().trace().len(), r.time)
+        };
+
+        assert_eq!(inc_logits, full_logits, "{overlap:?}: paths diverged");
+        assert!(
+            inc_events < full_events,
+            "{overlap:?}: incremental {inc_events} events !< full {full_events}"
+        );
+        assert!(
+            inc_time < full_time,
+            "{overlap:?}: incremental {inc_time}s !< full {full_time}s"
+        );
+    }
+}
+
+/// An ad-hoc random dataset (not from the registry).
+fn random_dataset(seed: u64, n: usize) -> Dataset {
+    let rng = SeededRng::new(seed);
+    let g = generators::erdos_renyi(n, 5.0, &mut rng.fork(1));
+    let graph = with_self_loops(&g);
+    let mut frng = rng.fork(2);
+    let features = Matrix::from_fn(n, 6, |_, _| frng.normal() * 0.5);
+    let mut lrng = rng.fork(3);
+    let labels: Vec<u32> = (0..n).map(|_| lrng.index(3) as u32).collect();
+    let splits = Splits::random(n, 0.4, 0.2, &mut rng.fork(4));
+    Dataset {
+        key: DatasetKey::Rdt,
+        graph,
+        features,
+        labels,
+        splits,
+        num_classes: 3,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random delta sequences converge identically whichever way they
+    /// are applied: batch-by-batch incremental repair, all deltas as a
+    /// single batch, and a full session rebuild on the final graph all
+    /// produce bitwise-equal logits.
+    #[test]
+    fn delta_sequences_converge_bitwise(
+        seed in 0u64..200,
+        n in 140usize..280,
+        chunks in 2usize..5,
+        batches in 1usize..4,
+        edits in 1usize..4,
+        mix_sel in 0usize..3,
+        overlap_sel in 0usize..2,
+    ) {
+        let mix = [DeltaMix::Edge, DeltaMix::Feature, DeltaMix::Mixed][mix_sel];
+        let overlap = [OverlapMode::Off, OverlapMode::DoubleBuffer][overlap_sel];
+        let ds = random_dataset(seed, n);
+        let cfg = || HongTuConfig::builder()
+            .machine(MachineConfig::scaled(2, 512 << 20))
+            .comm(CommMode::P2pRu)
+            .reorganize(true)
+            .overlap(overlap)
+            .infer()
+            .build()
+            .expect("valid config");
+        let workload = toggle_workload(
+            &ds.graph,
+            ds.features.cols(),
+            batches,
+            edits,
+            mix,
+            &mut SeededRng::new(seed ^ 0xd17a),
+        );
+
+        // Path A: batch-by-batch incremental repair.
+        let mut dg_a = DynamicGraph::from_dataset(&ds);
+        let one_by_one = {
+            let mut s = Session::new(&ds, ModelKind::Gcn, 8, 2, chunks, cfg()).expect("session");
+            s.infer_epoch().expect("initial full sweep");
+            let mut logits = None;
+            for b in &workload {
+                logits = Some(s.apply_deltas(&mut dg_a, b).expect("apply").logits);
+            }
+            logits.expect("at least one batch")
+        };
+        prop_assert_eq!(dg_a.epoch(), workload.len() as u64);
+
+        // Path B: every delta as one batch.
+        let mut dg_b = DynamicGraph::from_dataset(&ds);
+        let combined: Vec<Delta> = workload.iter().flatten().cloned().collect();
+        let as_one = {
+            let mut s = Session::new(&ds, ModelKind::Gcn, 8, 2, chunks, cfg()).expect("session");
+            s.infer_epoch().expect("initial full sweep");
+            s.apply_deltas(&mut dg_b, &combined).expect("apply").logits
+        };
+
+        // Path C: full session rebuild on the final graph.
+        let rebuilt = {
+            let mutated = dg_a.to_dataset(&ds);
+            let mut s = Session::new(&mutated, ModelKind::Gcn, 8, 2, chunks, cfg())
+                .expect("session");
+            s.infer_epoch().expect("rebuild sweep").logits
+        };
+
+        prop_assert_eq!(&one_by_one, &as_one, "one-by-one vs single batch diverged");
+        prop_assert_eq!(&one_by_one, &rebuilt, "incremental vs rebuild diverged");
+    }
+}

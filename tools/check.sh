@@ -57,6 +57,10 @@ echo "==> serving layer certification, release profile"
 cargo test -q --release -p hongtu-serving
 cargo test -q --release --test serving_executor
 
+echo "==> delta subsystem certification, release profile"
+cargo test -q --release -p hongtu-delta
+cargo test -q --release --test delta_executor
+
 echo "==> bench smoke: sequential vs parallel wall-clock (BENCH_parallel.json)"
 cargo run -q --release -p hongtu-bench --bin bench_parallel -- --out BENCH_parallel.json
 
@@ -68,6 +72,9 @@ cargo run -q --release -p hongtu-bench --bin bench_infer -- --out BENCH_infer.js
 
 echo "==> bench smoke: serving path, pruned sweep vs full + open-loop load (BENCH_serving.json)"
 cargo run -q --release -p hongtu-bench --bin bench_serving -- --out BENCH_serving.json
+
+echo "==> bench smoke: delta path, incremental vs full recompute + cone/graph scaling (BENCH_delta.json)"
+cargo run -q --release -p hongtu-bench --bin bench_delta -- --out BENCH_delta.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
