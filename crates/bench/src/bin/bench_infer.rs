@@ -18,11 +18,11 @@
 //!
 //! Default output is `BENCH_infer.json` in the current directory.
 
-use hongtu_core::cli::{logits_digest, parse_dataset};
+use hongtu_bench::harness::{
+    scaled_machine, BenchCli, Gate, JsonReport, JsonRow, GPU_COUNTS, MODELS,
+};
+use hongtu_core::cli::logits_digest;
 use hongtu_core::{CommMode, HongTuConfig, HongTuEngine, Mode, OverlapMode, Session};
-use hongtu_datasets::{load, DatasetKey};
-use hongtu_nn::ModelKind;
-use hongtu_sim::MachineConfig;
 use hongtu_tensor::SeededRng;
 
 struct Sample {
@@ -40,7 +40,7 @@ struct Sample {
 
 fn config(gpus: usize, overlap: OverlapMode, mode: Mode) -> HongTuConfig {
     HongTuConfig::builder()
-        .machine(MachineConfig::scaled(gpus, 512 << 20))
+        .machine(scaled_machine(gpus))
         .comm(CommMode::P2pRu)
         .overlap(overlap)
         .mode(mode)
@@ -49,41 +49,15 @@ fn config(gpus: usize, overlap: OverlapMode, mode: Mode) -> HongTuConfig {
 }
 
 fn main() {
-    let mut out = String::from("BENCH_infer.json");
-    let mut dataset = DatasetKey::Rdt;
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let Some(value) = it.next() else {
-            eprintln!("usage: bench_infer [--out FILE] [--dataset rdt|opt|it|opr|fds]");
-            std::process::exit(2);
-        };
-        match flag.as_str() {
-            "--out" => out = value,
-            "--dataset" => {
-                dataset = parse_dataset(&value).unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                })
-            }
-            other => {
-                eprintln!("unknown flag {other:?}");
-                std::process::exit(2);
-            }
-        }
-    }
-
-    let ds = load(dataset, &mut SeededRng::new(99));
+    let cli = BenchCli::parse("bench_infer", "BENCH_infer.json", 1);
+    let ds = hongtu_datasets::load(cli.dataset, &mut SeededRng::new(99));
     let mut samples = Vec::new();
-    for (kind, model) in [
-        (ModelKind::Gcn, "gcn"),
-        (ModelKind::Gat, "gat"),
-        (ModelKind::Sage, "sage"),
-    ] {
+    for (kind, model) in MODELS {
         for (overlap, overlap_name) in [
             (OverlapMode::Off, "off"),
             (OverlapMode::DoubleBuffer, "doublebuffer"),
         ] {
-            for gpus in [1usize, 2, 4] {
+            for gpus in GPU_COUNTS {
                 let mut engine =
                     HongTuEngine::new(&ds, kind, 32, 2, 4, config(gpus, overlap, Mode::Train))
                         .expect("engine construction");
@@ -118,47 +92,38 @@ fn main() {
         }
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"dataset\": \"{}\",\n", dataset.abbrev()));
-    json.push_str("  \"samples\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"model\": \"{}\", \"overlap\": \"{}\", \"gpus\": {}, \
-             \"train_sim_epoch_s\": {:.9}, \"infer_sim_epoch_s\": {:.9}, \
-             \"infer_fraction\": {:.4}, \"train_peak_gpu_bytes\": {}, \
-             \"infer_peak_gpu_bytes\": {}, \"train_peak_host_bytes\": {}, \
-             \"infer_peak_host_bytes\": {}, \"logits_digest\": \"{:016x}\"}}{}\n",
-            s.model,
-            s.overlap,
-            s.gpus,
-            s.train_epoch_s,
-            s.infer_epoch_s,
-            s.infer_epoch_s / s.train_epoch_s,
-            s.train_peak_gpu,
-            s.infer_peak_gpu,
-            s.train_peak_host,
-            s.infer_peak_host,
-            s.digest,
-            if i + 1 < samples.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out, &json).expect("writing report");
-    println!("wrote {out}");
-
-    let mut bad = false;
+    let mut report = JsonReport::new().str("dataset", cli.dataset.abbrev());
     for s in &samples {
-        if s.infer_epoch_s >= s.train_epoch_s {
-            eprintln!(
-                "FAIL: {}/{}/{} GPUs: infer {} s not strictly below train epoch {} s",
+        report.sample(
+            JsonRow::new()
+                .str("model", s.model)
+                .str("overlap", s.overlap)
+                .int("gpus", s.gpus as u64)
+                .f64("train_sim_epoch_s", s.train_epoch_s)
+                .f64("infer_sim_epoch_s", s.infer_epoch_s)
+                .ratio("infer_fraction", s.infer_epoch_s / s.train_epoch_s)
+                .int("train_peak_gpu_bytes", s.train_peak_gpu as u64)
+                .int("infer_peak_gpu_bytes", s.infer_peak_gpu as u64)
+                .int("train_peak_host_bytes", s.train_peak_host as u64)
+                .int("infer_peak_host_bytes", s.infer_peak_host as u64)
+                .hex("logits_digest", s.digest),
+        );
+    }
+    report.write(&cli.out);
+
+    let mut gate = Gate::new();
+    for s in &samples {
+        gate.check(
+            s.infer_epoch_s < s.train_epoch_s,
+            &format!(
+                "{}/{}/{} GPUs: infer {} s not strictly below train epoch {} s",
                 s.model, s.overlap, s.gpus, s.infer_epoch_s, s.train_epoch_s
-            );
-            bad = true;
-        }
-        if s.infer_peak_gpu >= s.train_peak_gpu || s.infer_peak_host >= s.train_peak_host {
-            eprintln!(
-                "FAIL: {}/{}/{} GPUs: inference peaks (gpu {}, host {}) not strictly \
+            ),
+        );
+        gate.check(
+            s.infer_peak_gpu < s.train_peak_gpu && s.infer_peak_host < s.train_peak_host,
+            &format!(
+                "{}/{}/{} GPUs: inference peaks (gpu {}, host {}) not strictly \
                  below training's (gpu {}, host {})",
                 s.model,
                 s.overlap,
@@ -167,9 +132,8 @@ fn main() {
                 s.infer_peak_host,
                 s.train_peak_gpu,
                 s.train_peak_host
-            );
-            bad = true;
-        }
+            ),
+        );
     }
     // The digest must agree across overlap modes (and execution modes —
     // pinned by the test suite); divergence here is a determinism bug.
@@ -178,16 +142,13 @@ fn main() {
             .iter()
             .find(|o| o.model == s.model && o.gpus == s.gpus && o.digest != s.digest)
         {
-            eprintln!(
-                "FAIL: {}/{} GPUs: logits digest diverged across overlap modes \
+            gate.fail(&format!(
+                "{}/{} GPUs: logits digest diverged across overlap modes \
                  ({} {:016x} vs {} {:016x})",
                 s.model, s.gpus, s.overlap, s.digest, other.overlap, other.digest
-            );
-            bad = true;
+            ));
             break;
         }
     }
-    if bad {
-        std::process::exit(1);
-    }
+    gate.finish();
 }

@@ -17,10 +17,11 @@
 //!
 //! Default output is `BENCH_overlap.json` in the current directory.
 
+use hongtu_bench::harness::{
+    comm_name, scaled_machine, BenchCli, Gate, JsonReport, JsonRow, COMM_MODES, GPU_COUNTS, MODELS,
+};
 use hongtu_core::{CommMode, HongTuConfig, HongTuEngine, OverlapMode};
-use hongtu_datasets::{load, DatasetKey};
 use hongtu_nn::ModelKind;
-use hongtu_sim::MachineConfig;
 use hongtu_tensor::SeededRng;
 
 struct Sample {
@@ -44,7 +45,7 @@ fn run_epochs(
     overlap: OverlapMode,
     epochs: usize,
 ) -> (f64, usize, Vec<f32>) {
-    let mut cfg = HongTuConfig::full(MachineConfig::scaled(gpus, 512 << 20));
+    let mut cfg = HongTuConfig::full(scaled_machine(gpus));
     cfg.comm = comm;
     cfg.reorganize = comm != CommMode::Vanilla;
     cfg.overlap = overlap;
@@ -63,62 +64,17 @@ fn run_epochs(
     )
 }
 
-fn comm_name(c: CommMode) -> &'static str {
-    match c {
-        CommMode::Vanilla => "vanilla",
-        CommMode::P2p => "p2p",
-        CommMode::P2pRu => "p2pru",
-    }
-}
-
 fn main() {
-    let mut out = String::from("BENCH_overlap.json");
-    let mut epochs = 2usize;
-    let mut dataset = DatasetKey::Rdt;
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let Some(value) = it.next() else {
-            eprintln!(
-                "usage: bench_overlap [--out FILE] [--epochs N] [--dataset rdt|opt|it|opr|fds]"
-            );
-            std::process::exit(2);
-        };
-        match flag.as_str() {
-            "--out" => out = value,
-            "--epochs" => epochs = value.parse().expect("--epochs: positive integer"),
-            "--dataset" => {
-                dataset = match value.to_lowercase().as_str() {
-                    "rdt" => DatasetKey::Rdt,
-                    "opt" => DatasetKey::Opt,
-                    "it" => DatasetKey::It,
-                    "opr" => DatasetKey::Opr,
-                    "fds" => DatasetKey::Fds,
-                    other => {
-                        eprintln!("unknown dataset {other:?}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            other => {
-                eprintln!("unknown flag {other:?}");
-                std::process::exit(2);
-            }
-        }
-    }
-
-    let ds = load(dataset, &mut SeededRng::new(99));
+    let cli = BenchCli::parse("bench_overlap", "BENCH_overlap.json", 2);
+    let ds = hongtu_datasets::load(cli.dataset, &mut SeededRng::new(99));
     let mut samples = Vec::new();
-    for (kind, model) in [
-        (ModelKind::Gcn, "gcn"),
-        (ModelKind::Gat, "gat"),
-        (ModelKind::Sage, "sage"),
-    ] {
-        for comm in [CommMode::Vanilla, CommMode::P2p, CommMode::P2pRu] {
-            for gpus in [1usize, 2, 4] {
+    for (kind, model) in MODELS {
+        for comm in COMM_MODES {
+            for gpus in GPU_COUNTS {
                 let (off_s, off_peak, off_losses) =
-                    run_epochs(&ds, kind, comm, gpus, OverlapMode::Off, epochs);
+                    run_epochs(&ds, kind, comm, gpus, OverlapMode::Off, cli.epochs);
                 let (db_s, db_peak, db_losses) =
-                    run_epochs(&ds, kind, comm, gpus, OverlapMode::DoubleBuffer, epochs);
+                    run_epochs(&ds, kind, comm, gpus, OverlapMode::DoubleBuffer, cli.epochs);
                 let equal = off_losses == db_losses;
                 println!(
                     "{model}/{}/{gpus} GPUs: off {:.3} ms, doublebuffer {:.3} ms ({:.2}x), \
@@ -146,51 +102,43 @@ fn main() {
         }
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str(&format!("  \"dataset\": \"{}\",\n", dataset.abbrev()));
-    json.push_str(&format!("  \"epochs\": {epochs},\n"));
-    json.push_str("  \"samples\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"model\": \"{}\", \"comm\": \"{}\", \"gpus\": {}, \
-             \"off_sim_epoch_s\": {:.9}, \"doublebuffer_sim_epoch_s\": {:.9}, \
-             \"overlap_speedup\": {:.4}, \"off_peak_bytes\": {}, \
-             \"doublebuffer_peak_bytes\": {}, \"losses_bitwise_equal\": {}}}{}\n",
-            s.model,
-            s.comm,
-            s.gpus,
-            s.off_epoch_s,
-            s.db_epoch_s,
-            s.off_epoch_s / s.db_epoch_s,
-            s.off_peak_bytes,
-            s.db_peak_bytes,
-            s.losses_bitwise_equal,
-            if i + 1 < samples.len() { "," } else { "" },
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out, &json).expect("writing report");
-    println!("wrote {out}");
-
-    let mut bad = false;
+    let mut report = JsonReport::new()
+        .str("dataset", cli.dataset.abbrev())
+        .int("epochs", cli.epochs as u64);
     for s in &samples {
-        if !s.losses_bitwise_equal {
-            eprintln!(
-                "FAIL: {}/{}/{} GPUs: double-buffered losses diverged",
+        report.sample(
+            JsonRow::new()
+                .str("model", s.model)
+                .str("comm", s.comm)
+                .int("gpus", s.gpus as u64)
+                .f64("off_sim_epoch_s", s.off_epoch_s)
+                .f64("doublebuffer_sim_epoch_s", s.db_epoch_s)
+                .ratio("overlap_speedup", s.off_epoch_s / s.db_epoch_s)
+                .int("off_peak_bytes", s.off_peak_bytes as u64)
+                .int("doublebuffer_peak_bytes", s.db_peak_bytes as u64)
+                .bool("losses_bitwise_equal", s.losses_bitwise_equal),
+        );
+    }
+    report.write(&cli.out);
+
+    let mut gate = Gate::new();
+    for s in &samples {
+        gate.check(
+            s.losses_bitwise_equal,
+            &format!(
+                "{}/{}/{} GPUs: double-buffered losses diverged",
                 s.model, s.comm, s.gpus
+            ),
+        );
+        if s.must_overlap {
+            gate.check(
+                s.db_epoch_s < s.off_epoch_s,
+                &format!(
+                    "{}/{}/{} GPUs: doublebuffer {} s not strictly below off {} s",
+                    s.model, s.comm, s.gpus, s.db_epoch_s, s.off_epoch_s
+                ),
             );
-            bad = true;
-        }
-        if s.must_overlap && s.db_epoch_s >= s.off_epoch_s {
-            eprintln!(
-                "FAIL: {}/{}/{} GPUs: doublebuffer {} s not strictly below off {} s",
-                s.model, s.comm, s.gpus, s.db_epoch_s, s.off_epoch_s
-            );
-            bad = true;
         }
     }
-    if bad {
-        std::process::exit(1);
-    }
+    gate.finish();
 }

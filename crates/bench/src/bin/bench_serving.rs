@@ -112,7 +112,8 @@ struct Sample {
 /// granularity.
 fn cluster_subset(session: &Session, size: usize, seed: u64) -> Vec<usize> {
     let mut pool: Vec<usize> = session
-        .plan()
+        .plans()
+        .partition
         .all_chunks()
         .filter(|c| c.chunk == 0)
         .flat_map(|c| c.dests.iter().map(|&v| v as usize))

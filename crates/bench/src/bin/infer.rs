@@ -29,9 +29,12 @@
 //! and update-latency percentiles.
 
 use hongtu_core::cli::{
-    logits_digest, parse_comm, parse_dataset, parse_exec, parse_model, parse_overlap, FlagParser,
+    logits_digest, parse_cache, parse_comm, parse_dataset, parse_exec, parse_model, parse_overlap,
+    FlagParser,
 };
-use hongtu_core::{CommMode, ExecutionMode, HongTuConfig, OverlapMode, Session};
+use hongtu_core::{
+    CacheOff, CachePolicy, CommMode, ExecutionMode, HongTuConfig, OverlapMode, Session,
+};
 use hongtu_datasets::{load, DatasetKey};
 use hongtu_delta::{toggle_workload, DeltaMix, DynamicGraph};
 use hongtu_nn::ModelKind;
@@ -40,8 +43,8 @@ use hongtu_serving::{
     WorkItem,
 };
 use hongtu_tensor::SeededRng;
+use std::sync::Arc;
 
-#[derive(Debug)]
 struct Args {
     dataset: DatasetKey,
     model: ModelKind,
@@ -63,6 +66,7 @@ struct Args {
     batch_window: usize,
     deltas: usize,
     delta_mix: DeltaMix,
+    cache: Arc<dyn CachePolicy>,
 }
 
 impl Default for Args {
@@ -88,6 +92,7 @@ impl Default for Args {
             batch_window: 4,
             deltas: 0,
             delta_mix: DeltaMix::Mixed,
+            cache: Arc::new(CacheOff),
         }
     }
 }
@@ -99,6 +104,7 @@ fn usage() -> ! {
          \x20            [--gpu-mem-mb N] [--comm full|p2p|vanilla]\n\
          \x20            [--exec sequential|parallel] [--overlap off|doublebuffer]\n\
          \x20            [--no-reorg] [--seed N] [--load FILE] [--quiet]\n\
+         \x20            [--cache off|freq|degree]\n\
          \x20            [--serve N] [--qps RATE] [--batch-window N]\n\
          \x20            [--deltas N] [--delta-mix edge|feature|mixed]"
     );
@@ -118,6 +124,7 @@ fn try_parse_args() -> Result<Args, String> {
             "--comm" => args.comm = it.value_with("--comm", parse_comm)?,
             "--exec" => args.exec = it.value_with("--exec", parse_exec)?,
             "--overlap" => args.overlap = it.value_with("--overlap", parse_overlap)?,
+            "--cache" => args.cache = it.value_with("--cache", parse_cache)?,
             "--load" => args.load = Some(it.value("--load")?),
             "--layers" => args.layers = it.parse_value("--layers")?,
             "--hidden" => args.hidden = it.parse_value("--hidden")?,
@@ -168,6 +175,7 @@ fn main() {
         .reorganize(args.reorganize)
         .exec(args.exec)
         .overlap(args.overlap)
+        .cache(args.cache.clone())
         .infer()
         .build()
     {
@@ -355,4 +363,12 @@ fn main() {
         r.peak_gpu_bytes as f64 / (1 << 20) as f64,
         r.peak_host_bytes as f64 / (1 << 20) as f64
     );
+    if let Some(rt) = inferencer.session().cache() {
+        println!(
+            "cache: {} hits / {} scheduled loads ({:.0}% hit rate)",
+            rt.total_hits(),
+            rt.total_loads(),
+            100.0 * rt.hit_rate()
+        );
+    }
 }

@@ -10,16 +10,18 @@
 //! ```
 
 use hongtu_core::cli::{
-    parse_comm, parse_dataset, parse_exec, parse_memory, parse_model, parse_overlap, FlagParser,
+    parse_cache, parse_comm, parse_dataset, parse_exec, parse_memory, parse_model, parse_overlap,
+    FlagParser,
 };
 use hongtu_core::{
-    CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy, OverlapMode,
+    CacheOff, CachePolicy, CommMode, ExecutionMode, HongTuConfig, HongTuEngine, MemoryStrategy,
+    OverlapMode,
 };
 use hongtu_datasets::{load, DatasetKey};
 use hongtu_nn::ModelKind;
 use hongtu_tensor::SeededRng;
+use std::sync::Arc;
 
-#[derive(Debug)]
 struct Args {
     dataset: DatasetKey,
     model: ModelKind,
@@ -37,6 +39,7 @@ struct Args {
     quiet: bool,
     exec: ExecutionMode,
     overlap: OverlapMode,
+    cache: Arc<dyn CachePolicy>,
 }
 
 impl Default for Args {
@@ -58,6 +61,7 @@ impl Default for Args {
             quiet: false,
             exec: ExecutionMode::Sequential,
             overlap: OverlapMode::Off,
+            cache: Arc::new(CacheOff),
         }
     }
 }
@@ -69,7 +73,7 @@ fn usage() -> ! {
          \x20            [--gpu-mem-mb N] [--comm full|p2p|vanilla]\n\
          \x20            [--memory hybrid|recompute] [--no-reorg] [--seed N]\n\
          \x20            [--exec sequential|parallel] [--overlap off|doublebuffer]\n\
-         \x20            [--save FILE] [--quiet]"
+         \x20            [--cache off|freq|degree] [--save FILE] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -88,6 +92,7 @@ fn try_parse_args() -> Result<Args, String> {
             "--memory" => args.memory = p.value_with("--memory", parse_memory)?,
             "--exec" => args.exec = p.value_with("--exec", parse_exec)?,
             "--overlap" => args.overlap = p.value_with("--overlap", parse_overlap)?,
+            "--cache" => args.cache = p.value_with("--cache", parse_cache)?,
             "--save" => args.save = Some(p.value("--save")?),
             "--layers" => args.layers = p.parse_value("--layers")?,
             "--hidden" => args.hidden = p.parse_value("--hidden")?,
@@ -130,6 +135,7 @@ fn main() {
         .reorganize(args.reorganize)
         .exec(args.exec)
         .overlap(args.overlap)
+        .cache(args.cache.clone())
         .build()
     {
         Ok(c) => c,
@@ -154,13 +160,22 @@ fn main() {
     };
     if !args.quiet {
         let v = &engine.preprocessing().volumes;
+        let plans = engine.plans();
         println!(
             "plan: {} x {} chunks | V_ori {:.2}|V| | H2D reduction {:.0}%",
-            engine.plan().m,
-            engine.plan().n,
+            plans.partition.m,
+            plans.partition.n,
             v.v_ori as f64 / dataset.num_vertices() as f64,
             100.0 * v.h2d_reduction()
         );
+        if let Some(cache) = plans.cache {
+            println!(
+                "cache: policy {} | {} resident rows | {:.1} MB",
+                args.cache.name(),
+                cache.total_rows(),
+                cache.per_gpu.iter().map(|g| g.bytes).sum::<usize>() as f64 / (1 << 20) as f64
+            );
+        }
     }
     for epoch in 1..=args.epochs {
         match engine.train_epoch() {
@@ -186,6 +201,14 @@ fn main() {
         engine.accuracy(&dataset.splits.test),
         engine.machine().max_gpu_peak() as f64 / (1 << 20) as f64
     );
+    if let Some(rt) = engine.session().cache() {
+        println!(
+            "cache: {} hits / {} scheduled loads ({:.0}% hit rate)",
+            rt.total_hits(),
+            rt.total_loads(),
+            100.0 * rt.hit_rate()
+        );
+    }
     if let Some(path) = args.save {
         match hongtu_nn::save_model_file(engine.model(), &path) {
             Ok(()) => println!("model saved to {path}"),

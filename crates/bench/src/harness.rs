@@ -1,0 +1,275 @@
+//! Shared scaffolding for the `bench_*` CI gate binaries.
+//!
+//! Every gate bin used to hand-roll the same four pieces: a tiny
+//! `--out/--epochs/--dataset` argv loop, the model × comm × GPU sweep
+//! constants, a string-built JSON report, and a "print FAIL lines, exit
+//! 1" gate accumulator. This module is the single home for all four, so
+//! a new gate bin ([`bench_cache`] being the first) is only its sweep
+//! loop and its gate conditions.
+
+use hongtu_core::cli::parse_dataset;
+use hongtu_core::CommMode;
+use hongtu_datasets::DatasetKey;
+use hongtu_nn::ModelKind;
+use hongtu_sim::MachineConfig;
+
+/// The three models every gate bin sweeps, with their report names.
+pub const MODELS: [(ModelKind, &str); 3] = [
+    (ModelKind::Gcn, "gcn"),
+    (ModelKind::Gat, "gat"),
+    (ModelKind::Sage, "sage"),
+];
+
+/// The GPU counts every gate bin sweeps.
+pub const GPU_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// The communication modes, vanilla first.
+pub const COMM_MODES: [CommMode; 3] = [CommMode::Vanilla, CommMode::P2p, CommMode::P2pRu];
+
+/// Report name of a communication mode.
+pub fn comm_name(c: CommMode) -> &'static str {
+    match c {
+        CommMode::Vanilla => "vanilla",
+        CommMode::P2p => "p2p",
+        CommMode::P2pRu => "p2pru",
+    }
+}
+
+/// The scaled bench machine: `gpus` GPUs of 512 MB — large enough that
+/// every sweep configuration fits, small enough that memory gates bind.
+pub fn scaled_machine(gpus: usize) -> MachineConfig {
+    MachineConfig::scaled(gpus, 512 << 20)
+}
+
+/// The common `--out FILE --epochs N --dataset KEY` argv of the gate
+/// bins. Unknown flags and missing values print usage and exit 2, the
+/// convention every bin already followed.
+pub struct BenchCli {
+    pub out: String,
+    pub epochs: usize,
+    pub dataset: DatasetKey,
+}
+
+impl BenchCli {
+    /// Parses `std::env::args()`. `bin` is the usage-line name;
+    /// `default_out` the report path when `--out` is absent.
+    pub fn parse(bin: &str, default_out: &str, default_epochs: usize) -> Self {
+        let usage = || -> ! {
+            eprintln!("usage: {bin} [--out FILE] [--epochs N] [--dataset rdt|opt|it|opr|fds]");
+            std::process::exit(2);
+        };
+        let mut cli = BenchCli {
+            out: default_out.to_string(),
+            epochs: default_epochs,
+            dataset: DatasetKey::Rdt,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let Some(value) = it.next() else { usage() };
+            match flag.as_str() {
+                "--out" => cli.out = value,
+                "--epochs" => {
+                    cli.epochs = value.parse().unwrap_or_else(|e| {
+                        eprintln!("--epochs: {e}");
+                        usage()
+                    })
+                }
+                "--dataset" => {
+                    cli.dataset = parse_dataset(&value).unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        usage()
+                    })
+                }
+                other => {
+                    eprintln!("unknown flag {other:?}");
+                    usage()
+                }
+            }
+        }
+        cli
+    }
+}
+
+/// One `{...}` object of the report's `samples` array: insertion-ordered
+/// keys, values pre-rendered by the typed push methods.
+#[derive(Default)]
+pub struct JsonRow {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonRow {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    pub fn str(self, key: &str, v: &str) -> Self {
+        self.push(key, format!("\"{v}\""))
+    }
+
+    /// Seconds and other small reals: 9 decimal places, the precision
+    /// the pre-harness bins used.
+    pub fn f64(self, key: &str, v: f64) -> Self {
+        self.push(key, format!("{v:.9}"))
+    }
+
+    /// Ratios (speedups, fractions, rates): 4 decimal places.
+    pub fn ratio(self, key: &str, v: f64) -> Self {
+        self.push(key, format!("{v:.4}"))
+    }
+
+    pub fn int(self, key: &str, v: u64) -> Self {
+        self.push(key, format!("{v}"))
+    }
+
+    pub fn bool(self, key: &str, v: bool) -> Self {
+        self.push(key, format!("{v}"))
+    }
+
+    /// 64-bit digests, rendered as the 16-hex-digit string the CLIs
+    /// print.
+    pub fn hex(self, key: &str, v: u64) -> Self {
+        self.push(key, format!("\"{v:016x}\""))
+    }
+
+    fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// The whole report: scalar header fields plus the `samples` array.
+#[derive(Default)]
+pub struct JsonReport {
+    header: Vec<(String, String)>,
+    samples: Vec<JsonRow>,
+}
+
+impl JsonReport {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.header.push((key.to_string(), format!("\"{v}\"")));
+        self
+    }
+
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        self.header.push((key.to_string(), format!("{v}")));
+        self
+    }
+
+    pub fn sample(&mut self, row: JsonRow) {
+        self.samples.push(row);
+    }
+
+    pub fn render(&self) -> String {
+        let mut json = String::from("{\n");
+        for (k, v) in &self.header {
+            json.push_str(&format!("  \"{k}\": {v},\n"));
+        }
+        json.push_str("  \"samples\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            let sep = if i + 1 < self.samples.len() { "," } else { "" };
+            json.push_str(&format!("    {}{sep}\n", s.render()));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Writes the report and prints the `wrote FILE` line CI greps for.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.render()).expect("writing report");
+        println!("wrote {path}");
+    }
+}
+
+/// Accumulates gate violations; the process exits 1 iff any fired.
+#[derive(Default)]
+pub struct Gate {
+    bad: bool,
+}
+
+impl Gate {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a violation and prints the `FAIL:` line CI surfaces.
+    pub fn fail(&mut self, msg: &str) {
+        eprintln!("FAIL: {msg}");
+        self.bad = true;
+    }
+
+    /// Asserts a gate condition.
+    pub fn check(&mut self, ok: bool, msg: &str) {
+        if !ok {
+            self.fail(msg);
+        }
+    }
+
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// Exits 1 if any gate fired; otherwise returns.
+    pub fn finish(self) {
+        if self.bad {
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_renders_valid_shape() {
+        let mut rep = JsonReport::new().str("dataset", "rdt").int("epochs", 2);
+        rep.sample(
+            JsonRow::new()
+                .str("model", "gcn")
+                .int("gpus", 4)
+                .f64("epoch_s", 0.25)
+                .ratio("speedup", 1.5)
+                .bool("equal", true)
+                .hex("digest", 0xdead_beef),
+        );
+        let json = rep.render();
+        assert!(json.starts_with("{\n  \"dataset\": \"rdt\",\n  \"epochs\": 2,\n"));
+        assert!(json.contains("\"model\": \"gcn\", \"gpus\": 4, \"epoch_s\": 0.250000000"));
+        assert!(json.contains("\"speedup\": 1.5000, \"equal\": true"));
+        assert!(json.contains("\"digest\": \"00000000deadbeef\""));
+        assert!(json.ends_with("  ]\n}\n"));
+        // Balanced braces/brackets — the cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn gate_accumulates() {
+        let mut g = Gate::new();
+        assert!(!g.is_bad());
+        g.check(true, "fine");
+        assert!(!g.is_bad());
+        g.check(false, "broken");
+        assert!(g.is_bad());
+    }
+
+    #[test]
+    fn sweep_constants_cover_the_matrix() {
+        assert_eq!(MODELS.len(), 3);
+        assert_eq!(GPU_COUNTS, [1, 2, 4]);
+        assert_eq!(comm_name(COMM_MODES[2]), "p2pru");
+    }
+}

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod harness;
 pub mod run;
 pub mod table;
 

@@ -11,6 +11,7 @@
 //! how to report errors (usage text, exit codes).
 
 use crate::engine::{CommMode, ExecutionMode, MemoryStrategy, Mode, OverlapMode};
+use hongtu_cache::{CachePolicy, DegreeRanked, FrequencyRanked, Off as CacheOff};
 use hongtu_datasets::{all_keys, DatasetKey};
 use hongtu_nn::ModelKind;
 use hongtu_tensor::Matrix;
@@ -98,6 +99,20 @@ pub fn parse_overlap(s: &str) -> Result<OverlapMode, String> {
         "doublebuffer" | "db" => Ok(OverlapMode::DoubleBuffer),
         other => Err(format!(
             "unknown overlap mode {other:?} (want off|doublebuffer)"
+        )),
+    }
+}
+
+/// Parses a hot-vertex cache policy selection into the trait object the
+/// [`HongTuConfigBuilder::cache`](crate::engine::HongTuConfigBuilder::cache)
+/// setter takes.
+pub fn parse_cache(s: &str) -> Result<std::sync::Arc<dyn CachePolicy>, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "off" | "none" => Ok(std::sync::Arc::new(CacheOff)),
+        "freq" | "frequency" => Ok(std::sync::Arc::new(FrequencyRanked)),
+        "degree" | "deg" => Ok(std::sync::Arc::new(DegreeRanked)),
+        other => Err(format!(
+            "unknown cache policy {other:?} (want off|freq|degree)"
         )),
     }
 }
@@ -221,6 +236,23 @@ mod tests {
         assert!(parse_mode("eval").is_err());
         assert_eq!(parse_exec("par").unwrap(), ExecutionMode::Parallel);
         assert_eq!(parse_overlap("db").unwrap(), OverlapMode::DoubleBuffer);
+    }
+
+    #[test]
+    fn cache_policy_spellings() {
+        for (s, name, enabled) in [
+            ("off", "off", false),
+            ("none", "off", false),
+            ("freq", "freq", true),
+            ("FREQUENCY", "freq", true),
+            ("degree", "degree", true),
+            ("deg", "degree", true),
+        ] {
+            let p = parse_cache(s).unwrap();
+            assert_eq!(p.name(), name, "{s}");
+            assert_eq!(p.enabled(), enabled, "{s}");
+        }
+        assert!(parse_cache("lru").is_err());
     }
 
     #[test]

@@ -53,17 +53,35 @@ impl CommVolumes {
 
 /// Evaluates Equation 4 in seconds for rows of `bytes_per_vertex` bytes.
 pub fn comm_cost(v: CommVolumes, cfg: &MachineConfig, bytes_per_vertex: usize) -> f64 {
+    comm_cost_cached(v, 0, cfg, bytes_per_vertex)
+}
+
+/// Equation 4 extended with the hot-vertex cache term: `cached_rows` of
+/// the `V_+ru` host loads are served from resident HBM instead, moving
+/// them from the `T_hd` (PCIe) term to the `T_ru` (HBM) term:
+///
+/// `C = (V_+ru − c)/T_hd + (V_ori − V_+p2p)/T_dd + (V_+p2p − V_+ru + c)/T_ru`
+///
+/// with `c = min(cached_rows, V_+ru)` — the cache can never serve more
+/// than the scheduled host loads.
+pub fn comm_cost_cached(
+    v: CommVolumes,
+    cached_rows: usize,
+    cfg: &MachineConfig,
+    bytes_per_vertex: usize,
+) -> f64 {
     assert!(
         v.v_ori >= v.v_p2p && v.v_p2p >= v.v_ru,
         "volume ordering violated: {v:?}"
     );
+    let c = cached_rows.min(v.v_ru);
     let b = bytes_per_vertex as f64;
     let t_hd = cfg.pcie_bw;
     let t_dd = cfg.nvlink_bw;
     let t_ru = cfg.hbm_bw;
-    (v.v_ru as f64 * b) / t_hd
+    ((v.v_ru - c) as f64 * b) / t_hd
         + (v.inter_gpu() as f64 * b) / t_dd
-        + (v.intra_gpu() as f64 * b) / t_ru
+        + ((v.intra_gpu() + c) as f64 * b) / t_ru
 }
 
 #[cfg(test)]
@@ -126,6 +144,25 @@ mod tests {
         let c1 = comm_cost(v, &cfg, 64);
         let c2 = comm_cost(v, &cfg, 128);
         assert!((c2 / c1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_term_monotonically_cuts_cost() {
+        let v = volumes();
+        let cfg = MachineConfig::a100_4x();
+        let base = comm_cost(v, &cfg, 128);
+        assert_eq!(comm_cost_cached(v, 0, &cfg, 128), base);
+        let mut prev = base;
+        for c in [v.v_ru / 4, v.v_ru / 2, v.v_ru] {
+            let cost = comm_cost_cached(v, c, &cfg, 128);
+            assert!(cost < prev, "cached {c} rows: {cost} !< {prev}");
+            prev = cost;
+        }
+        // Clamped at V_+ru: extra claimed rows buy nothing.
+        assert_eq!(
+            comm_cost_cached(v, v.v_ru, &cfg, 128),
+            comm_cost_cached(v, v.v_ru * 10, &cfg, 128)
+        );
     }
 
     #[test]

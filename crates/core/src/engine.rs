@@ -35,8 +35,11 @@
 use crate::buffers::GpuBufferPlan;
 use crate::cost::CommVolumes;
 use crate::dedup::DedupPlan;
-use crate::reorg::reorganize_guarded;
+use crate::reorg::reorganize_guarded_cached;
 use crate::serve::{ServeMask, ServeReport};
+use hongtu_cache::{
+    load_sets, CachePlan, CachePolicy, CacheRuntime, HitStats, LoadPattern, Off as CacheOff,
+};
 use hongtu_datasets::Dataset;
 use hongtu_delta::{Delta, DynamicGraph, StagedCommit};
 use hongtu_nn::{
@@ -53,6 +56,7 @@ use hongtu_tensor::{Adam, Matrix, SeededRng};
 use hongtu_verify::Report;
 pub use hongtu_verify::ValidationLevel;
 use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
 
 const F32: usize = std::mem::size_of::<f32>();
 
@@ -151,6 +155,13 @@ pub struct HongTuConfig {
     /// default) or forward-only inference. Decides which state is
     /// allocated at construction and how staging is sized.
     pub mode: Mode,
+    /// Hot-vertex feature-cache admission policy (`hongtu-cache`): ranks
+    /// boundary vertices for the per-GPU HBM headroom left after every
+    /// static allocation. [`hongtu_cache::Off`] (the default) disables
+    /// caching; [`hongtu_cache::FrequencyRanked`] /
+    /// [`hongtu_cache::DegreeRanked`] spend the headroom on the hottest
+    /// layer-0 rows of the host-load schedule.
+    pub cache: Arc<dyn CachePolicy>,
 }
 
 impl HongTuConfig {
@@ -167,6 +178,7 @@ impl HongTuConfig {
             exec: ExecutionMode::Sequential,
             overlap: OverlapMode::Off,
             mode: Mode::Train,
+            cache: Arc::new(CacheOff),
         }
     }
 
@@ -185,6 +197,7 @@ impl HongTuConfig {
             exec: ExecutionMode::Sequential,
             overlap: OverlapMode::Off,
             mode: Mode::Train,
+            cache: Arc::new(CacheOff),
         }
     }
 
@@ -243,6 +256,7 @@ pub struct HongTuConfigBuilder {
     exec: Option<ExecutionMode>,
     overlap: Option<OverlapMode>,
     mode: Option<Mode>,
+    cache: Option<Arc<dyn CachePolicy>>,
 }
 
 impl HongTuConfigBuilder {
@@ -325,6 +339,15 @@ impl HongTuConfigBuilder {
         self.mode(Mode::Infer)
     }
 
+    /// Hot-vertex feature-cache admission policy (default
+    /// [`hongtu_cache::Off`] — no caching). Pass
+    /// `Arc::new(FrequencyRanked)` or `Arc::new(DegreeRanked)` to spend
+    /// the per-GPU HBM headroom on hot layer-0 rows.
+    pub fn cache(mut self, policy: Arc<dyn CachePolicy>) -> Self {
+        self.cache = Some(policy);
+        self
+    }
+
     /// Validates and assembles the configuration.
     pub fn build(self) -> Result<HongTuConfig, ConfigError> {
         if self.machine.is_some() && (self.gpus.is_some() || self.gpu_mem_mb.is_some()) {
@@ -369,6 +392,7 @@ impl HongTuConfigBuilder {
             exec: self.exec.unwrap_or(ExecutionMode::Sequential),
             overlap: self.overlap.unwrap_or(OverlapMode::Off),
             mode: self.mode.unwrap_or(Mode::Train),
+            cache: self.cache.unwrap_or_else(|| Arc::new(CacheOff)),
         })
     }
 }
@@ -464,6 +488,9 @@ fn dev_grad(gpu: usize) -> ResourceId {
 fn topology(gpu: usize) -> ResourceId {
     ResourceId::Topology { gpu: gpu as u32 }
 }
+fn dev_cache(gpu: usize) -> ResourceId {
+    ResourceId::DevCache { gpu: gpu as u32 }
+}
 fn agg_slot(layer: usize, gpu: usize, chunk: usize) -> ResourceId {
     ResourceId::AggCache {
         layer: layer as u32,
@@ -549,6 +576,26 @@ pub struct StaticMemoryBound {
     pub host: usize,
 }
 
+/// Borrowed view of every precomputed artifact a [`Session`] executes —
+/// the unified plan surface ([`Session::plans`]). Prefer this over the
+/// individual getters (`plan()`, `dedup_plan()`, `staging_plans()`),
+/// which predate the cache subsystem and are deprecated.
+#[derive(Clone, Copy)]
+pub struct Plans<'a> {
+    /// The 2-level partition (§4.1).
+    pub partition: &'a TwoLevelPartition,
+    /// The dedup communication plan (§5.1–5.2).
+    pub dedup: &'a DedupPlan,
+    /// Merged in-place buffer index plans (§6). Present whenever they
+    /// were built: validation enabled, or P2P+RU communication.
+    pub buffers: Option<&'a [GpuBufferPlan]>,
+    /// Pinned double-buffered staging (`DoubleBuffer` overlap only).
+    pub staging: Option<&'a [StagingPlan]>,
+    /// The admitted hot-vertex cache plan (`None` when the policy is
+    /// off or nothing fit the headroom).
+    pub cache: Option<&'a CachePlan>,
+}
+
 /// Plan-level preprocessing artifacts and their modeled cost.
 #[derive(Debug, Clone)]
 pub struct Preprocessing {
@@ -597,6 +644,10 @@ struct StepCtx<'a> {
     /// queried vertices' dependency cones are skipped (all GPUs of a
     /// batch skip together). `None` for full-graph epochs.
     mask: Option<&'a ServeMask>,
+    /// Hot-vertex feature-cache runtime, with its hit table frozen for
+    /// the sweep in flight. `None` when the cache policy is off or
+    /// admitted nothing.
+    cache: Option<&'a CacheRuntime>,
     h: &'a [Matrix],
     grad_h: &'a [Matrix],
     agg_cache: &'a [Vec<Vec<Option<Matrix>>>],
@@ -633,6 +684,16 @@ impl StepCtx<'_> {
             Some(m) => m.active(l, j) && !(0..l).any(|k| m.active(k, j)),
         }
     }
+
+    /// Frozen cache hit table entry for the layer-0 host load of batch
+    /// `j` on GPU `i`. Zero for every layer above 0 (only `h^0` rows are
+    /// cached) and whenever no cache runtime is installed or sweeping.
+    fn cache_stats(&self, l: usize, i: usize, j: usize) -> HitStats {
+        if l != 0 {
+            return HitStats::default();
+        }
+        self.cache.map(|c| c.stats(i, j)).unwrap_or_default()
+    }
 }
 
 /// Builds a [`StepCtx`] from `&self` via direct field expressions, so the
@@ -650,6 +711,7 @@ macro_rules! ctx {
             interleaved: $engine.config.interleaved,
             synth: $engine.synth,
             mask: $engine.serve_mask.as_ref(),
+            cache: $engine.cache.as_ref(),
             h: &$engine.h,
             grad_h: &$engine.grad_h,
             agg_cache: &$engine.agg_cache,
@@ -684,11 +746,18 @@ pub struct Session {
     dedup: DedupPlan,
     /// `buffer_comm[i][j]`: §6-accurate communication plan (P2P+RU mode).
     buffer_comm: Option<Vec<Vec<BatchComm>>>,
-    /// Buffer index plans retained for `Paranoid` per-epoch re-checks.
-    paranoid_bufs: Option<Vec<GpuBufferPlan>>,
+    /// Buffer index plans, retained whenever they were built at all
+    /// (validation on, or P2P+RU comm): the [`Plans`] view, `Paranoid`
+    /// per-epoch re-checks, and the cache/serving budget arithmetic all
+    /// read them instead of rebuilding.
+    bufplans: Option<Vec<GpuBufferPlan>>,
     /// Per-GPU double-buffered staging sizes (`DoubleBuffer` overlap
     /// only; the buffers themselves are resident on the machine).
     staging: Option<Vec<StagingPlan>>,
+    /// Hot-vertex layer-0 feature cache ([`hongtu_cache`]): admission
+    /// plan, residency bitmaps, and the journal pass 11 certifies.
+    /// `None` when the configured policy is off or admitted nothing.
+    cache: Option<CacheRuntime>,
     model: GnnModel,
     labels: Vec<u32>,
     train_mask: Vec<bool>,
@@ -756,7 +825,18 @@ impl Session {
 
         // ---- preprocessing: reorganization ----
         if config.reorganize && config.comm != CommMode::Vanilla {
-            plan = reorganize_guarded(plan, &config.machine);
+            // With a cache policy active, guide the cost guard with a
+            // rough per-GPU row budget (half the device, in feature
+            // rows). Exact admission happens below against the real
+            // post-allocation headroom; the guard only needs the right
+            // order of magnitude to rank candidate plans fairly.
+            let row = dims[0] * F32;
+            let budget = if config.cache.enabled() {
+                config.machine.gpu_memory / 2 / row.max(1)
+            } else {
+                0
+            };
+            plan = reorganize_guarded_cached(plan, &config.machine, budget);
         }
         let dedup = DedupPlan::build(&plan);
         // The merged-buffer index plans of §6 are needed by the P2pRu
@@ -859,21 +939,17 @@ impl Session {
             None
         };
 
-        let paranoid_bufs = if config.validation == ValidationLevel::Paranoid {
-            bufplans
-        } else {
-            None
-        };
         let run_mode = config.mode;
-        let session = Session {
+        let mut session = Session {
             config,
             run_mode,
             machine,
             plan,
             dedup,
             buffer_comm,
-            paranoid_bufs,
+            bufplans,
             staging,
+            cache: None,
             model,
             labels: dataset.labels.clone(),
             train_mask: dataset.splits.train.clone(),
@@ -885,6 +961,14 @@ impl Session {
             synth: false,
             serve_mask: None,
         };
+
+        // ---- hot-vertex feature cache: spend the per-GPU HBM headroom
+        // left after every static allocation above on the policy's
+        // hottest layer-0 rows ----
+        let degrees: Vec<u32> = (0..v)
+            .map(|u| dataset.graph.out_degree(u as u32) as u32)
+            .collect();
+        session.install_cache(&degrees)?;
 
         // ---- static schedule certification (Paranoid): synthesize the
         // epoch schedule from the plans alone — before a single simulated
@@ -902,12 +986,33 @@ impl Session {
         Ok(session)
     }
 
+    /// Every precomputed artifact this session executes, as one typed
+    /// view: partition, dedup, buffer, staging, and cache plans.
+    pub fn plans(&self) -> Plans<'_> {
+        Plans {
+            partition: &self.plan,
+            dedup: &self.dedup,
+            buffers: self.bufplans.as_deref(),
+            staging: self.staging.as_deref(),
+            cache: self.cache.as_ref().map(CacheRuntime::plan),
+        }
+    }
+
+    /// The live hot-vertex cache runtime: admission plan, residency,
+    /// hit-rate counters, and the journal pass 11 certifies. `None`
+    /// when the configured policy is off or admitted nothing.
+    pub fn cache(&self) -> Option<&CacheRuntime> {
+        self.cache.as_ref()
+    }
+
     /// The partition plan in use.
+    #[deprecated(note = "use Session::plans().partition")]
     pub fn plan(&self) -> &TwoLevelPartition {
         &self.plan
     }
 
     /// The communication plan in use.
+    #[deprecated(note = "use Session::plans().dedup")]
     pub fn dedup_plan(&self) -> &DedupPlan {
         &self.dedup
     }
@@ -924,6 +1029,7 @@ impl Session {
 
     /// Per-GPU staging plans of the overlap executor (`None` when
     /// overlap is off).
+    #[deprecated(note = "use Session::plans().staging")]
     pub fn staging_plans(&self) -> Option<&[StagingPlan]> {
         self.staging.as_deref()
     }
@@ -949,6 +1055,121 @@ impl Session {
         hongtu_nn::loss::masked_accuracy(self.logits(), &self.labels, mask)
     }
 
+    /// Builds (or rebuilds, after a structural delta) the hot-vertex
+    /// layer-0 feature cache from the current plans: derives the
+    /// host-load sets `S[i][j]`, ranks them with the configured
+    /// [`CachePolicy`], and admits the top slice into the per-GPU HBM
+    /// headroom left after every static allocation
+    /// ([`Session::static_memory_bound`] without the cache term). The
+    /// cache stays `None` when the policy is off or nothing fits.
+    fn install_cache(&mut self, degrees: &[u32]) -> Result<(), SimError> {
+        if let Some(old) = self.cache.take() {
+            for g in &old.plan().per_gpu {
+                if g.bytes > 0 {
+                    self.machine.free(g.gpu, g.bytes);
+                }
+            }
+        }
+        if !self.config.cache.enabled() {
+            return Ok(());
+        }
+        // `self.cache` is `None` here, so the bound is cache-free and
+        // the headroom is exactly what is left on each device.
+        let bound = self.static_memory_bound();
+        let headroom: Vec<usize> = bound
+            .gpu
+            .iter()
+            .map(|&b| self.config.machine.gpu_memory.saturating_sub(b))
+            .collect();
+        let slot = self.model.layer(0).in_dim() * F32;
+        let rebuilt;
+        let bufs = if self.config.comm != CommMode::P2pRu {
+            None
+        } else if let Some(b) = &self.bufplans {
+            Some(b.as_slice())
+        } else {
+            rebuilt = GpuBufferPlan::build_all(&self.plan, &self.dedup);
+            Some(rebuilt.as_slice())
+        };
+        let sets = load_sets(&self.plan, &self.dedup, bufs, self.load_pattern());
+        let plan = CachePlan::build(&sets, degrees, &headroom, slot, self.config.cache.as_ref());
+        if plan.is_empty() {
+            return Ok(());
+        }
+        for g in &plan.per_gpu {
+            if g.bytes > 0 {
+                self.machine
+                    .alloc(g.gpu, g.bytes, "hot-vertex feature cache")?;
+            }
+        }
+        // Vanilla charges NUMA-remote rows at QPI bandwidth; the runtime
+        // needs the same socket map to split its hits the same way.
+        let remote = (self.config.comm == CommMode::Vanilla).then(|| {
+            let m = self.plan.m;
+            let sockets = self.config.machine.num_sockets.min(m);
+            let socket_of = |g: usize| g * sockets / m;
+            let owner = &self.plan.assignment.partition_of;
+            (0..m)
+                .map(|i| {
+                    owner
+                        .iter()
+                        .map(|&o| socket_of(o as usize) != socket_of(i))
+                        .collect()
+                })
+                .collect()
+        });
+        self.cache = Some(CacheRuntime::new(plan, sets, degrees.len(), remote));
+        Ok(())
+    }
+
+    /// The [`hongtu_cache::LoadPattern`] matching this session's
+    /// communication mode.
+    fn load_pattern(&self) -> LoadPattern {
+        match self.config.comm {
+            CommMode::Vanilla => LoadPattern::Vanilla,
+            CommMode::P2p => LoadPattern::P2p,
+            CommMode::P2pRu => LoadPattern::P2pRu,
+        }
+    }
+
+    /// Certifies the hot-vertex cache journal (verifier pass 11,
+    /// `H10xx`): replays every sweep and invalidation the runtime
+    /// journaled against load sets and headroom recomputed
+    /// independently from the current plans. Returns an empty (ok)
+    /// report when no cache is installed.
+    pub fn certify_cache(&self) -> Report {
+        let Some(cache) = &self.cache else {
+            return Report::default();
+        };
+        let bound = self.static_memory_bound();
+        let headroom: Vec<usize> = (0..self.plan.m)
+            .map(|i| {
+                // The bound includes the cache itself; headroom is what
+                // the device had left *before* admission spent it.
+                let sans_cache = bound.gpu[i] - cache.plan().per_gpu[i].bytes;
+                self.config.machine.gpu_memory.saturating_sub(sans_cache)
+            })
+            .collect();
+        let rebuilt;
+        let bufs = if self.config.comm != CommMode::P2pRu {
+            None
+        } else if let Some(b) = &self.bufplans {
+            Some(b.as_slice())
+        } else {
+            rebuilt = GpuBufferPlan::build_all(&self.plan, &self.dedup);
+            Some(rebuilt.as_slice())
+        };
+        hongtu_verify::verify_cache(
+            &self.plan,
+            &self.dedup,
+            bufs,
+            self.load_pattern(),
+            cache.plan(),
+            &headroom,
+            cache.log(),
+        )
+    }
+
     /// A throwaway copy of this session for schedule synthesis: identical
     /// plans, machine state, and host-store shapes, but flagged `synth` so
     /// the step functions substitute shape-preserving placeholders for the
@@ -965,10 +1186,11 @@ impl Session {
             plan: self.plan.clone(),
             dedup: self.dedup.clone(),
             buffer_comm: self.buffer_comm.clone(),
-            // The clone drives the inner epoch directly — no per-epoch
-            // paranoid re-checks, which would recurse.
-            paranoid_bufs: None,
+            bufplans: self.bufplans.clone(),
             staging: self.staging.clone(),
+            // Shares the live resident set, so the synthesized sweep
+            // freezes the same hit table the executed sweep will.
+            cache: self.cache.clone(),
             model,
             labels: self.labels.clone(),
             train_mask: self.train_mask.clone(),
@@ -1132,7 +1354,7 @@ impl Session {
         let rebuilt;
         let bufplans = if comm != hongtu_verify::CommKind::P2pRu {
             None
-        } else if let Some(bufs) = &self.paranoid_bufs {
+        } else if let Some(bufs) = &self.bufplans {
             Some(bufs.as_slice())
         } else {
             rebuilt = GpuBufferPlan::build_all(&self.plan, &self.dedup);
@@ -1163,12 +1385,17 @@ impl Session {
 
         let gpu = (0..m)
             .map(|i| {
-                base + match &self.staging {
-                    // Overlap executor: batches live in the two pinned
-                    // staging slots; no per-batch allocation exists.
-                    Some(plans) => plans[i].total_bytes(),
-                    None => self.worst_batch_footprint(i, train),
-                }
+                // The hot-vertex cache pins its admitted rows for the
+                // session lifetime; admission spent exactly the headroom
+                // under this bound, so the sum stays ≤ device memory.
+                let cache = self.cache.as_ref().map_or(0, |c| c.plan().per_gpu[i].bytes);
+                base + cache
+                    + match &self.staging {
+                        // Overlap executor: batches live in the two pinned
+                        // staging slots; no per-batch allocation exists.
+                        Some(plans) => plans[i].total_bytes(),
+                        None => self.worst_batch_footprint(i, train),
+                    }
             })
             .collect();
 
@@ -1249,7 +1476,7 @@ impl Session {
         let rebuilt;
         let bufplans = if self.config.comm != CommMode::P2pRu {
             None
-        } else if let Some(bufs) = &self.paranoid_bufs {
+        } else if let Some(bufs) = &self.bufplans {
             Some(bufs.as_slice())
         } else {
             rebuilt = GpuBufferPlan::build_all(&self.plan, &self.dedup);
@@ -1279,7 +1506,7 @@ impl Session {
         let rebuilt;
         let bufplans = if self.config.comm != CommMode::P2pRu {
             None
-        } else if let Some(bufs) = &self.paranoid_bufs {
+        } else if let Some(bufs) = &self.bufplans {
             Some(bufs.as_slice())
         } else {
             rebuilt = GpuBufferPlan::build_all(&self.plan, &self.dedup);
@@ -1329,7 +1556,7 @@ impl Session {
         // the plans again (catches accidental in-training mutation).
         let paranoid = self.config.validation == ValidationLevel::Paranoid;
         if paranoid {
-            if let Some(bufs) = &self.paranoid_bufs {
+            if let Some(bufs) = &self.bufplans {
                 let report = hongtu_verify::verify_runtime(&self.plan, &self.dedup, bufs);
                 if !report.is_ok() {
                     return Err(invalid_plan(&report));
@@ -1596,8 +1823,17 @@ impl Session {
                 }
                 self.staging = Some(plans);
             }
-            if self.config.validation == ValidationLevel::Paranoid {
-                self.paranoid_bufs = bufplans;
+            self.bufplans = bufplans;
+
+            // ---- the cache plan follows the topology too: the load
+            // sets and degrees moved, so re-derive admission from
+            // scratch (rows of the old plan may no longer be scheduled
+            // host loads at all). The rebuilt runtime starts cold. ----
+            if self.config.cache.enabled() {
+                let degrees: Vec<u32> = (0..dg.num_vertices())
+                    .map(|u| staged.graph().out_degree(u as u32) as u32)
+                    .collect();
+                self.install_cache(&degrees)?;
             }
         }
 
@@ -1608,6 +1844,12 @@ impl Session {
         let receipt = dg.commit(staged);
         for (vtx, row) in &patches {
             self.h[0].row_mut(*vtx).copy_from_slice(row);
+        }
+        // Cached copies of patched `h^0` rows are stale the instant the
+        // patch lands: drop (and journal) them before the replay sweeps.
+        if let Some(c) = self.cache.as_mut() {
+            let dirty_ids: Vec<_> = dirty.iter().map(|&d| d as u32).collect();
+            c.invalidate(&dirty_ids);
         }
 
         // ---- replay the affected cone (or everything, for the
@@ -1653,6 +1895,15 @@ impl Session {
         let parallel = self.config.exec == ExecutionMode::Parallel;
         let overlap = self.config.overlap == OverlapMode::DoubleBuffer;
 
+        // A batch's layer-0 host load runs iff layer 0 is active under
+        // the serving/delta mask; the cache installs only those rows.
+        let executed: Vec<bool> = (0..n)
+            .map(|j| self.serve_mask.as_ref().is_none_or(|m| m.active(0, j)))
+            .collect();
+        if let Some(c) = self.cache.as_mut() {
+            c.begin_sweep();
+        }
+
         // ---- forward pass only (Alg 1, lines 4–9, minus checkpoints) ----
         for l in 0..l_count {
             if overlap {
@@ -1672,6 +1923,9 @@ impl Session {
             }
         }
         self.machine.sync(BarrierScope::Epoch);
+        if let Some(c) = self.cache.as_mut() {
+            c.end_sweep(&executed);
+        }
 
         self.epochs_run += 1;
         Ok(InferReport {
@@ -1710,6 +1964,13 @@ impl Session {
             .tag((0..=l_count).map(|l| Access::write(grad(l), Region::All)));
         self.machine.cpu_compute(0, 0.0);
 
+        // Training epochs are always full sweeps: every batch's layer-0
+        // host load runs, so the cache installs every admitted row it
+        // saw loaded this sweep.
+        if let Some(c) = self.cache.as_mut() {
+            c.begin_sweep();
+        }
+
         // ---- forward pass (Alg 1, lines 4–9) ----
         for l in 0..l_count {
             if overlap {
@@ -1727,6 +1988,11 @@ impl Session {
                     }
                 }
             }
+        }
+        // The backward pass re-loads through checkpoint reloads, which
+        // bypass the cache by design — the sweep ends with the forward.
+        if let Some(c) = self.cache.as_mut() {
+            c.end_sweep(&vec![true; n]);
         }
 
         // ---- downstream task (lines 10–11) ----
@@ -2546,14 +2812,21 @@ impl HongTuEngine {
         self.session
     }
 
+    /// Every plan the session synthesized, in one place.
+    pub fn plans(&self) -> Plans<'_> {
+        self.session.plans()
+    }
+
     /// The partition plan in use.
+    #[deprecated(note = "use HongTuEngine::plans().partition")]
     pub fn plan(&self) -> &TwoLevelPartition {
-        self.session.plan()
+        self.session.plans().partition
     }
 
     /// The communication plan in use.
+    #[deprecated(note = "use HongTuEngine::plans().dedup")]
     pub fn dedup_plan(&self) -> &DedupPlan {
-        self.session.dedup_plan()
+        self.session.plans().dedup
     }
 
     /// Preprocessing summary (volumes + modeled seconds).
@@ -2574,8 +2847,9 @@ impl HongTuEngine {
 
     /// Per-GPU staging plans of the overlap executor (`None` when
     /// overlap is off).
+    #[deprecated(note = "use HongTuEngine::plans().staging")]
     pub fn staging_plans(&self) -> Option<&[StagingPlan]> {
-        self.session.staging_plans()
+        self.session.plans().staging
     }
 
     /// The model under training.
@@ -3037,6 +3311,20 @@ fn charge_neighbor_host_load<T: Timeline>(
 ) -> Result<usize, SimError> {
     let chunk = &ctx.plan.chunks[i][j];
     let batch = &ctx.dedup.batches[j];
+    // Frozen hot-vertex cache table (layer 0 only): `hits` rows of the
+    // scheduled host load are already resident in HBM and skip PCIe;
+    // `installs > 0` means rows loaded now become resident at sweep end,
+    // so the install write rides the load's own H2D event. Provenance
+    // row totals stay the *full* schedule either way — the cache changes
+    // how rows arrive, never how many the dataflow ledger moves.
+    let cs = ctx.cache_stats(l, i, j);
+    let cache_hit_charge = |tl: &mut T| {
+        if cs.hits > 0 {
+            // Cache-resident rows are an HBM copy, not a PCIe transfer.
+            tl.tag([Access::read(dev_cache(i), Region::All)]);
+            tl.reuse(i, cs.hits * row);
+        }
+    };
     let rows = match ctx.comm {
         CommMode::Vanilla => {
             let rows = chunk.num_neighbors();
@@ -3044,18 +3332,23 @@ fn charge_neighbor_host_load<T: Timeline>(
             // the QPI link (partitions map to sockets pairwise).
             let sockets = tl.machine_config().num_sockets;
             let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
-            tl.tag([
+            let mut acc = vec![
                 Access::read(rep(l), Region::All),
                 Access::write(dev_rep(i), Region::All)
                     .with_gen(j as u32)
                     .with_prov(Provenance::new(ContribKind::HostLoad, l, j).rows(rows)),
-            ]);
-            tl.h2d_mixed(i, rows * row, remote * row);
+            ];
+            if cs.installs > 0 {
+                acc.push(Access::write(dev_cache(i), Region::All));
+            }
+            tl.tag(acc);
+            tl.h2d_mixed(i, (rows - cs.hits) * row, (remote - cs.remote_hits) * row);
+            cache_hit_charge(tl);
             rows
         }
         CommMode::P2p => {
             // Host→GPU: the transition subset this GPU owns.
-            tl.tag([
+            let mut acc = vec![
                 Access::read(rep(l), Region::All),
                 Access::write(dev_rep(i), Region::Owned)
                     .with_gen(j as u32)
@@ -3064,8 +3357,13 @@ fn charge_neighbor_host_load<T: Timeline>(
                             .owned_by(i)
                             .rows(batch.transition[i].len()),
                     ),
-            ]);
-            tl.h2d(i, batch.transition[i].len() * row);
+            ];
+            if cs.installs > 0 {
+                acc.push(Access::write(dev_cache(i), Region::All));
+            }
+            tl.tag(acc);
+            tl.h2d(i, (batch.transition[i].len() - cs.hits) * row);
+            cache_hit_charge(tl);
             // Merged transition+neighbor buffer (§6 "data buffer
             // deduplication"): |ℕ_ij ∪ N_ij|.
             batch.transition[i].len() + chunk.num_neighbors() - batch.fetch[i][i]
@@ -3076,7 +3374,7 @@ fn charge_neighbor_host_load<T: Timeline>(
             // over PCIe or NVLink — is reused in place across adjacent
             // batches; only genuinely new rows move.
             let bc = &ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j];
-            tl.tag([
+            let mut acc = vec![
                 Access::read(rep(l), Region::All),
                 Access::write(dev_rep(i), Region::Owned)
                     .with_gen(j as u32)
@@ -3085,8 +3383,13 @@ fn charge_neighbor_host_load<T: Timeline>(
                             .owned_by(i)
                             .rows(bc.h2d_rows),
                     ),
-            ]);
-            tl.h2d(i, bc.h2d_rows * row);
+            ];
+            if cs.installs > 0 {
+                acc.push(Access::write(dev_cache(i), Region::All));
+            }
+            tl.tag(acc);
+            tl.h2d(i, (bc.h2d_rows - cs.hits) * row);
+            cache_hit_charge(tl);
             if bc.reused_rows > 0 {
                 if ctx.reuse_source_live(l, j) {
                     // ℕ^gpu rows deposited by the previous batch stay
@@ -3334,21 +3637,36 @@ fn ov_forward_prefetch<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usiz
 fn ov_host_load<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: usize, row: usize) {
     let chunk = &ctx.plan.chunks[i][j];
     let batch = &ctx.dedup.batches[j];
+    // Same frozen hot-vertex hit table as [`charge_neighbor_host_load`]:
+    // cached rows skip the PCIe charge, install writes ride the H2D
+    // event, and provenance row totals stay the full schedule.
+    let cs = ctx.cache_stats(l, i, j);
+    let cache_hit_charge = |tl: &mut T| {
+        if cs.hits > 0 {
+            tl.tag([Access::read(dev_cache(i), Region::All)]);
+            tl.reuse(i, cs.hits * row);
+        }
+    };
     match ctx.comm {
         CommMode::Vanilla => {
             let rows = chunk.num_neighbors();
             let sockets = tl.machine_config().num_sockets;
             let remote = remote_socket_rows(&batch.fetch[i], i, ctx.plan.m, sockets);
-            tl.tag([
+            let mut acc = vec![
                 Access::read(rep(l), Region::All),
                 Access::write(rep_slot(i, j), Region::All)
                     .with_gen(j as u32)
                     .with_prov(Provenance::new(ContribKind::HostLoad, l, j).rows(rows)),
-            ]);
-            tl.h2d_mixed(i, rows * row, remote * row);
+            ];
+            if cs.installs > 0 {
+                acc.push(Access::write(dev_cache(i), Region::All));
+            }
+            tl.tag(acc);
+            tl.h2d_mixed(i, (rows - cs.hits) * row, (remote - cs.remote_hits) * row);
+            cache_hit_charge(tl);
         }
         CommMode::P2p => {
-            tl.tag([
+            let mut acc = vec![
                 Access::read(rep(l), Region::All),
                 Access::write(rep_slot(i, j), Region::Owned)
                     .with_gen(j as u32)
@@ -3357,12 +3675,17 @@ fn ov_host_load<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: u
                             .owned_by(i)
                             .rows(batch.transition[i].len()),
                     ),
-            ]);
-            tl.h2d(i, batch.transition[i].len() * row);
+            ];
+            if cs.installs > 0 {
+                acc.push(Access::write(dev_cache(i), Region::All));
+            }
+            tl.tag(acc);
+            tl.h2d(i, (batch.transition[i].len() - cs.hits) * row);
+            cache_hit_charge(tl);
         }
         CommMode::P2pRu => {
             let bc = &ctx.buffer_comm.expect("buffer plan built for P2pRu")[i][j];
-            tl.tag([
+            let mut acc = vec![
                 Access::read(rep(l), Region::All),
                 Access::write(rep_slot(i, j), Region::Owned)
                     .with_gen(j as u32)
@@ -3371,8 +3694,13 @@ fn ov_host_load<T: Timeline>(ctx: &StepCtx, tl: &mut T, l: usize, i: usize, j: u
                             .owned_by(i)
                             .rows(bc.h2d_rows),
                     ),
-            ]);
-            tl.h2d(i, bc.h2d_rows * row);
+            ];
+            if cs.installs > 0 {
+                acc.push(Access::write(dev_cache(i), Region::All));
+            }
+            tl.tag(acc);
+            tl.h2d(i, (bc.h2d_rows - cs.hits) * row);
+            cache_hit_charge(tl);
         }
     }
 }
@@ -4088,10 +4416,10 @@ mod tests {
         }
         // The speedup is bought with the second staging buffer.
         assert!(db.machine().max_gpu_peak() > off.machine().max_gpu_peak());
-        let staging = db.staging_plans().expect("staging installed");
+        let staging = db.plans().staging.expect("staging installed");
         assert_eq!(staging.len(), 4);
         assert!(staging.iter().all(|p| p.total_bytes() > 0));
-        assert!(off.staging_plans().is_none());
+        assert!(off.plans().staging.is_none());
     }
 
     #[test]

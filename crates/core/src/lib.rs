@@ -49,12 +49,18 @@ pub mod systems;
 pub use hongtu_partition::{buffers, dedup};
 
 pub use buffers::GpuBufferPlan;
-pub use cost::{comm_cost, CommVolumes};
+pub use cost::{comm_cost, comm_cost_cached, CommVolumes};
 pub use dedup::DedupPlan;
 pub use engine::{
     CommMode, ConfigError, DeltaReport, EpochReport, ExecutionMode, HongTuConfig,
     HongTuConfigBuilder, HongTuEngine, InferReport, Inferencer, MemoryStrategy, Mode, OverlapMode,
-    Session, StaticMemoryBound, Trainer, ValidationLevel,
+    Plans, Session, StaticMemoryBound, Trainer, ValidationLevel,
 };
-pub use reorg::{reorganize, reorganize_guarded};
+// The hot-vertex cache subsystem (policies, plan, runtime journal) lives
+// in `hongtu-cache`; re-exported here so downstream users configure it
+// through the same crate that accepts the policy.
+pub use hongtu_cache::{
+    CachePlan, CachePolicy, CacheRuntime, DegreeRanked, FrequencyRanked, HitStats, Off as CacheOff,
+};
+pub use reorg::{reorganize, reorganize_guarded, reorganize_guarded_cached};
 pub use serve::{ServeMask, ServeReport};

@@ -357,7 +357,7 @@ impl<'s> Server<'s> {
                     cand.push(v);
                 }
             }
-            let mask = ServeMask::from_queries(self.session.plan(), layers, &cand);
+            let mask = ServeMask::from_queries(self.session.plans().partition, layers, &cand);
             if self.admission.admits(self.session, &mask) {
                 let Some(WorkItem::Query(req)) = self.queue.pop_front() else {
                     unreachable!("head was matched as a query");
@@ -443,7 +443,7 @@ impl<'s> Server<'s> {
             }
         };
         let layers = self.session.model().num_layers();
-        let mask = ServeMask::from_dirty(self.session.plan(), layers, staged.dirty());
+        let mask = ServeMask::from_dirty(self.session.plans().partition, layers, staged.dirty());
         if !self.admission.admits(self.session, &mask) {
             return Ok(BatchReport {
                 rejected_updates: vec![UpdateRejected {

@@ -158,13 +158,25 @@ pub enum ResourceId {
         /// Owning GPU.
         gpu: u32,
     },
+    /// A GPU's hot-vertex feature cache: admitted layer-0 rows kept in
+    /// spare HBM so repeated host loads skip PCIe. Contents mirror the
+    /// immutable `h^0` (valid from the start, like `Rep { layer: 0 }`);
+    /// accesses are advisory and carry no generation.
+    DevCache {
+        /// Owning GPU.
+        gpu: u32,
+    },
 }
 
 impl ResourceId {
     /// Resources whose contents are valid before the first event of a
-    /// trace (reads need no prior write): only the input features.
+    /// trace (reads need no prior write): the input features and the
+    /// hot-vertex cache that mirrors them.
     pub fn initially_valid(self) -> bool {
-        matches!(self, ResourceId::Rep { layer: 0 })
+        matches!(
+            self,
+            ResourceId::Rep { layer: 0 } | ResourceId::DevCache { .. }
+        )
     }
 }
 
@@ -185,6 +197,7 @@ impl std::fmt::Display for ResourceId {
                 write!(f, "gpu{gpu} grad staging slot {slot}")
             }
             ResourceId::Topology { gpu } => write!(f, "gpu{gpu} topology"),
+            ResourceId::DevCache { gpu } => write!(f, "gpu{gpu} feature cache"),
         }
     }
 }
@@ -647,6 +660,12 @@ mod tests {
         assert!(ResourceId::Rep { layer: 0 }.initially_valid());
         assert!(!ResourceId::Rep { layer: 1 }.initially_valid());
         assert!(!ResourceId::DevRep { gpu: 0 }.initially_valid());
+        // The hot-vertex cache mirrors immutable h^0: valid from the start.
+        assert!(ResourceId::DevCache { gpu: 1 }.initially_valid());
+        assert_eq!(
+            ResourceId::DevCache { gpu: 1 }.to_string(),
+            "gpu1 feature cache"
+        );
     }
 
     #[test]

@@ -161,6 +161,23 @@ pub enum DiagCode {
     /// A pruned-sweep activity grid is malformed: empty, ragged, or
     /// with no active step at all.
     ConeShapeInvalid,
+
+    // ---- hot-vertex cache pass (H10xx) ----
+    /// The admitted cache plan (or a replayed resident set) does not fit
+    /// the GPU's post-staging HBM headroom, or its byte accounting
+    /// disagrees with `rows × slot_bytes`.
+    CacheOverflow,
+    /// A sweep charged cache hits that the replayed resident set cannot
+    /// serve: the count disagrees with `|S_ij ∩ resident|`, or a batch
+    /// that never executed claims hits (hit-before-install).
+    CachePhantomHit,
+    /// A delta commit left a patched row resident (or journaled a removal
+    /// of a row that was never resident): a later sweep would serve stale
+    /// features.
+    CacheStaleRow,
+    /// A sweep installed a row the plan never admitted, that no executed
+    /// batch loaded, or that was already resident.
+    CacheUnplannedInstall,
 }
 
 impl DiagCode {
@@ -211,6 +228,10 @@ impl DiagCode {
             DiagCode::DedupMultisetMismatch => "F806",
             DiagCode::ConeNotClosed => "C901",
             DiagCode::ConeShapeInvalid => "C902",
+            DiagCode::CacheOverflow => "H1001",
+            DiagCode::CachePhantomHit => "H1002",
+            DiagCode::CacheStaleRow => "H1003",
+            DiagCode::CacheUnplannedInstall => "H1004",
         }
     }
 
@@ -252,6 +273,10 @@ impl DiagCode {
             DiagCode::ActivationOverwritten => "§4.2",
             DiagCode::GradFlushEarly | DiagCode::OrphanGradient => "§5.2",
             DiagCode::ConeNotClosed | DiagCode::ConeShapeInvalid => "§4.1",
+            DiagCode::CacheOverflow
+            | DiagCode::CachePhantomHit
+            | DiagCode::CacheStaleRow
+            | DiagCode::CacheUnplannedInstall => "§5.2",
         }
     }
 }
@@ -503,11 +528,17 @@ mod tests {
             DiagCode::DedupMultisetMismatch,
             DiagCode::ConeNotClosed,
             DiagCode::ConeShapeInvalid,
+            DiagCode::CacheOverflow,
+            DiagCode::CachePhantomHit,
+            DiagCode::CacheStaleRow,
+            DiagCode::CacheUnplannedInstall,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in all {
             assert!(seen.insert(c.code()), "duplicate code {}", c.code());
-            assert_eq!(c.code().len(), 4);
+            // Pass families use 4-char codes; the two-digit cache family
+            // (pass 11) uses 5.
+            assert!(c.code().len() == 4 || c.code().starts_with("H10"));
             assert!(c.paper_ref().starts_with('§'));
         }
     }

@@ -51,6 +51,14 @@
 //! early-flushed or orphaned gradients, and dedup-vs-vanilla multiset
 //! divergence (`F801`–`F806`).
 //!
+//! Pass 11 ([`verify_cache`]) certifies the hot-vertex feature cache:
+//! the engine's cache journal (sweep hit tables, installs, delta
+//! invalidations) is replayed against load sets recomputed independently
+//! from the plans — headroom overflow, phantom hits (hit-before-install),
+//! stale rows after a delta commit, and unplanned installs
+//! (`H1001`–`H1004`). Pass 10 ([`verify_cone`]) sits between them in the
+//! numbering: cone-mask closure for pruned sweeps (`C901`/`C902`).
+//!
 //! See `DESIGN.md` ("Checked invariants", "Happens-before invariants",
 //! "Static vs dynamic certification", and "F8xx dataflow conservation")
 //! for the full code catalogue.
@@ -58,6 +66,7 @@
 #![forbid(unsafe_code)]
 
 pub mod buffers;
+pub mod cache;
 pub mod cone;
 pub mod dataflow;
 pub mod dedup;
@@ -69,6 +78,7 @@ pub mod trace;
 pub mod volumes;
 
 pub use buffers::{verify_all_buffers, verify_buffers};
+pub use cache::verify_cache;
 pub use cone::{verify_cone, ConeDir};
 pub use dataflow::{demand_by_owner, verify_dataflow, ChunkFlow, CommKind, DataflowSpec};
 pub use dedup::verify_dedup;

@@ -1,0 +1,218 @@
+//! Hand-crafted *bad* cache journals, each firing its documented `H10xx`
+//! diagnostic in isolation, plus a clean-journal control.
+//!
+//! The corruptions mirror the silent bugs pass 11 exists to catch: a hit
+//! charged before the row was installed (the executor would skip an H2D
+//! for a row not on the GPU), a delta commit that leaves a patched row
+//! resident (every later sweep serves stale features), an install the
+//! plan never admitted, and a resident set that outgrows its headroom.
+
+use hongtu_cache::{
+    load_sets, CacheEvent, CacheLog, CachePlan, CacheRuntime, FrequencyRanked, LoadPattern,
+};
+use hongtu_graph::Graph;
+use hongtu_partition::{DedupPlan, GpuBufferPlan, TwoLevelPartition};
+use hongtu_tensor::SeededRng;
+use hongtu_verify::{verify_cache, DiagCode};
+
+const SLOT: usize = 32;
+
+fn triple(seed: u64, m: usize, n: usize) -> (Graph, TwoLevelPartition, DedupPlan) {
+    let mut rng = SeededRng::new(seed);
+    let g = hongtu_graph::generators::web_hybrid(800, 6.0, 0.9, 30.0, &mut rng);
+    let plan = TwoLevelPartition::build(&g, m, n, seed);
+    let dedup = DedupPlan::build(&plan);
+    (g, plan, dedup)
+}
+
+/// Builds a plan + a runtime that has committed `sweeps` full sweeps, and
+/// returns everything pass 11 needs.
+fn setup(
+    seed: u64,
+    m: usize,
+    n: usize,
+    sweeps: usize,
+) -> (
+    Graph,
+    TwoLevelPartition,
+    DedupPlan,
+    Vec<GpuBufferPlan>,
+    Vec<usize>,
+    CachePlan,
+    CacheRuntime,
+) {
+    let (g, plan, dedup) = triple(seed, m, n);
+    let bufs = GpuBufferPlan::build_all(&plan, &dedup);
+    let sets = load_sets(&plan, &dedup, Some(&bufs), LoadPattern::P2pRu);
+    let degrees: Vec<u32> = (0..g.num_vertices())
+        .map(|v| g.out_degree(v as u32) as u32)
+        .collect();
+    let headroom = vec![4096usize; m];
+    let cache = CachePlan::build(&sets, &degrees, &headroom, SLOT, &FrequencyRanked);
+    assert!(!cache.is_empty(), "seed {seed} admitted nothing");
+    let mut rt = CacheRuntime::new(cache.clone(), sets, g.num_vertices(), None);
+    for _ in 0..sweeps {
+        rt.begin_sweep();
+        rt.end_sweep(&vec![true; n]);
+    }
+    (g, plan, dedup, bufs, headroom, cache, rt)
+}
+
+fn certify(
+    plan: &TwoLevelPartition,
+    dedup: &DedupPlan,
+    bufs: &[GpuBufferPlan],
+    cache: &CachePlan,
+    headroom: &[usize],
+    log: &CacheLog,
+) -> hongtu_verify::Report {
+    verify_cache(
+        plan,
+        dedup,
+        Some(bufs),
+        LoadPattern::P2pRu,
+        cache,
+        headroom,
+        log,
+    )
+}
+
+#[test]
+fn honest_journal_certifies_clean() {
+    let (_, plan, dedup, bufs, headroom, cache, mut rt) = setup(1, 3, 3, 2);
+    // A delta invalidation the runtime performed itself is also clean.
+    let victim = cache.per_gpu[0].vertices[0];
+    rt.invalidate(&[victim]);
+    rt.begin_sweep();
+    rt.end_sweep(&[true, true, true]);
+    let report = certify(&plan, &dedup, &bufs, &cache, &headroom, rt.log());
+    assert!(report.is_ok(), "{}", report.render());
+}
+
+#[test]
+fn overfull_plan_is_h1001() {
+    let (_, plan, dedup, bufs, _, cache, rt) = setup(2, 2, 3, 1);
+    // Shrink the declared headroom below what the plan spends.
+    let tiny = vec![SLOT - 1; 2];
+    let report = certify(&plan, &dedup, &bufs, &cache, &tiny, rt.log());
+    assert!(report.has(DiagCode::CacheOverflow), "{}", report.render());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == DiagCode::CacheOverflow),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn hit_before_install_is_h1002() {
+    let (_, plan, dedup, bufs, headroom, cache, rt) = setup(3, 2, 3, 1);
+    let mut log = rt.log().clone();
+    // Doctor the first (cold) sweep to claim a hit nothing installed yet.
+    match &mut log.events[0] {
+        CacheEvent::Sweep { hits, .. } => hits[0][0] += 1,
+        other => panic!("expected sweep event, got {other:?}"),
+    }
+    let report = certify(&plan, &dedup, &bufs, &cache, &headroom, &log);
+    assert!(report.has(DiagCode::CachePhantomHit), "{}", report.render());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == DiagCode::CachePhantomHit),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn hit_on_pruned_batch_is_h1002() {
+    let (_, plan, dedup, bufs, headroom, cache, mut rt) = setup(4, 2, 3, 1);
+    rt.begin_sweep();
+    rt.end_sweep(&[true, false, true]); // batch 1 pruned by a cone mask
+    let mut log = rt.log().clone();
+    match log.events.last_mut().unwrap() {
+        CacheEvent::Sweep { hits, .. } => hits[1][1] = 1, // claims a pruned-batch hit
+        other => panic!("expected sweep event, got {other:?}"),
+    }
+    let report = certify(&plan, &dedup, &bufs, &cache, &headroom, &log);
+    assert!(report.has(DiagCode::CachePhantomHit), "{}", report.render());
+}
+
+#[test]
+fn stale_row_after_delta_is_h1003() {
+    let (_, plan, dedup, bufs, headroom, cache, mut rt) = setup(5, 2, 3, 2);
+    let victim = cache.per_gpu[0].vertices[0];
+    rt.invalidate(&[victim]);
+    let mut log = rt.log().clone();
+    // Doctor the invalidation to "forget" dropping the row on GPU 0.
+    match log.events.last_mut().unwrap() {
+        CacheEvent::Invalidate { removed, .. } => {
+            let pos = removed[0]
+                .binary_search(&victim)
+                .expect("victim was resident");
+            removed[0].remove(pos);
+        }
+        other => panic!("expected invalidate event, got {other:?}"),
+    }
+    let report = certify(&plan, &dedup, &bufs, &cache, &headroom, &log);
+    assert!(report.has(DiagCode::CacheStaleRow), "{}", report.render());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == DiagCode::CacheStaleRow),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn unplanned_install_is_h1004() {
+    let (_, plan, dedup, bufs, headroom, mut cache, rt) = setup(6, 2, 3, 1);
+    let log = rt.log().clone();
+    // The journal installed rows the (now doctored) plan never admitted:
+    // retroactively shrink GPU 0's admitted set.
+    let dropped = cache.per_gpu[0].vertices.pop().expect("non-empty plan");
+    cache.per_gpu[0].bytes -= SLOT;
+    let installed_dropped = match &log.events[0] {
+        CacheEvent::Sweep { installs, .. } => installs[0].contains(&dropped),
+        other => panic!("expected sweep event, got {other:?}"),
+    };
+    assert!(
+        installed_dropped,
+        "first sweep should install every admitted row"
+    );
+    let report = certify(&plan, &dedup, &bufs, &cache, &headroom, &log);
+    assert!(
+        report.has(DiagCode::CacheUnplannedInstall),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.code == DiagCode::CacheUnplannedInstall),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn double_install_is_h1004() {
+    let (_, plan, dedup, bufs, headroom, cache, rt) = setup(7, 2, 3, 1);
+    let mut log = rt.log().clone();
+    // Replay the cold sweep twice: the second installs rows already
+    // resident.
+    let first = log.events[0].clone();
+    log.events.push(first);
+    let report = certify(&plan, &dedup, &bufs, &cache, &headroom, &log);
+    assert!(
+        report.has(DiagCode::CacheUnplannedInstall),
+        "{}",
+        report.render()
+    );
+}

@@ -43,8 +43,8 @@ fn main() {
 
     println!(
         "plan: {} partitions x {} chunks; V_ori = {} rows, H2D reduction {:.0}%",
-        engine.plan().m,
-        engine.plan().n,
+        engine.plans().partition.m,
+        engine.plans().partition.n,
         engine.preprocessing().volumes.v_ori,
         100.0 * engine.preprocessing().volumes.h2d_reduction(),
     );

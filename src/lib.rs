@@ -10,6 +10,7 @@
 //! paper-vs-measured record of every table and figure.
 
 #![forbid(unsafe_code)]
+pub use hongtu_cache as cache;
 pub use hongtu_core as core;
 pub use hongtu_datasets as datasets;
 pub use hongtu_delta as delta;

@@ -57,7 +57,8 @@ fn session(ds: &Dataset, kind: ModelKind, gpus: usize, overlap: OverlapMode) -> 
 /// actually prunes) plus a couple of scattered vertices.
 fn mixed_queries(session: &Session, count: usize, seed: u64) -> Vec<usize> {
     let mut pool: Vec<usize> = session
-        .plan()
+        .plans()
+        .partition
         .all_chunks()
         .filter(|c| c.chunk == 0)
         .flat_map(|c| c.dests.iter().map(|&v| v as usize))
@@ -273,7 +274,7 @@ proptest! {
             .expect("valid config");
         let mut session = Session::new(&ds, ModelKind::Gcn, 8, 2, chunks, cfg).expect("session");
         let vertices = SeededRng::new(seed ^ 0xabcd).sample_indices(n, queries);
-        let mask = ServeMask::from_queries(session.plan(), 2, &vertices);
+        let mask = ServeMask::from_queries(session.plans().partition, 2, &vertices);
 
         // The cone is a subset of the full sweep the staging slots were
         // sized for, so the session's own budget always admits it.

@@ -61,6 +61,11 @@ echo "==> delta subsystem certification, release profile"
 cargo test -q --release -p hongtu-delta
 cargo test -q --release --test delta_executor
 
+echo "==> hot-vertex cache certification, release profile"
+cargo test -q --release -p hongtu-cache
+cargo test -q --release -p hongtu-verify --test bad_cache
+cargo test -q --release --test cache_executor
+
 echo "==> bench smoke: sequential vs parallel wall-clock (BENCH_parallel.json)"
 cargo run -q --release -p hongtu-bench --bin bench_parallel -- --out BENCH_parallel.json
 
@@ -75,6 +80,9 @@ cargo run -q --release -p hongtu-bench --bin bench_serving -- --out BENCH_servin
 
 echo "==> bench smoke: delta path, incremental vs full recompute + cone/graph scaling (BENCH_delta.json)"
 cargo run -q --release -p hongtu-bench --bin bench_delta -- --out BENCH_delta.json
+
+echo "==> bench smoke: hot-vertex cache, H2D reduction at bitwise-equal digests (BENCH_cache.json)"
+cargo run -q --release -p hongtu-bench --bin bench_cache -- --out BENCH_cache.json
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
